@@ -1,0 +1,138 @@
+"""Ablation benchmarks: adj(p) search, hash family, naive-sampling bias.
+
+* The Section 6.2 ablation times the DFS-pruned adjacency search against
+  the naive full-neighbourhood enumeration (compare the two benchmark
+  rows per dimension).
+* The hash-family ablation times a stream pass under splitmix64 vs the
+  Theta(log m)-wise polynomial hash.
+* The bias ablation quantifies the motivation experiment in extra_info.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.naive import NaiveReservoirSampler
+from repro.core.infinite_window import RobustL0SamplerIW
+from repro.datasets.near_duplicates import add_near_duplicates, power_law_counts
+from repro.datasets.synthetic import random_points
+from repro.geometry.adjacency import brute_force_adjacent_cells, collect_adjacent
+from repro.geometry.grid import Grid
+from repro.streams.point import StreamPoint
+
+
+def _points(dim, n=100, seed=0):
+    rng = random.Random(seed)
+    return [tuple(rng.uniform(0, 50) for _ in range(dim)) for _ in range(n)]
+
+
+@pytest.mark.parametrize("dim", [4, 8])
+def test_adj_pruned(benchmark, dim):
+    grid = Grid(side=float(dim), dim=dim, rng=random.Random(1))
+    points = _points(dim)
+
+    def sweep():
+        return sum(len(collect_adjacent(grid, p, 1.0)) for p in points)
+
+    total = benchmark(sweep)
+    benchmark.extra_info.update(
+        {"dim": dim, "mean_adj_cells": round(total / len(points), 2)}
+    )
+
+
+@pytest.mark.parametrize("dim", [4, 8])
+def test_adj_naive(benchmark, dim):
+    grid = Grid(side=float(dim), dim=dim, rng=random.Random(1))
+    points = _points(dim)
+
+    def sweep():
+        return sum(
+            len(brute_force_adjacent_cells(grid, p, 1.0)) for p in points
+        )
+
+    total = benchmark(sweep)
+    benchmark.extra_info.update(
+        {"dim": dim, "mean_adj_cells": round(total / len(points), 2)}
+    )
+
+
+def _noisy_stream(seed=0, num_groups=120):
+    rng = random.Random(seed)
+    base = random_points(num_groups, 5, rng=rng)
+    counts = [rng.randint(1, 5) for _ in range(num_groups)]
+    vectors, labels, alpha = add_near_duplicates(base, rng=rng, counts=counts)
+    order = list(range(len(vectors)))
+    rng.shuffle(order)
+    points = [StreamPoint(vectors[j], i) for i, j in enumerate(order)]
+    return points, [labels[j] for j in order], alpha
+
+
+@pytest.mark.parametrize("kwise", [None, 20], ids=["splitmix64", "kwise20"])
+def test_hash_family(benchmark, kwise):
+    points, _, alpha = _noisy_stream()
+
+    def stream_pass():
+        sampler = RobustL0SamplerIW(
+            alpha,
+            5,
+            seed=31,
+            kwise=kwise,
+            expected_stream_length=len(points),
+        )
+        for p in points:
+            sampler.insert(p)
+        return sampler
+
+    sampler = benchmark(stream_pass)
+    assert sampler.accept_size > 0
+    benchmark.extra_info["hash"] = "kwise20" if kwise else "splitmix64"
+
+
+def test_naive_bias(benchmark, query_rng):
+    rng = random.Random(7)
+    num_groups = 60
+    base = random_points(num_groups, 5, rng=rng)
+    counts = power_law_counts(num_groups, rng=rng)
+    vectors, labels, alpha = add_near_duplicates(base, rng=rng, counts=counts)
+    sizes = [0] * num_groups
+    for label in labels:
+        sizes[label] += 1
+    biggest = max(range(num_groups), key=sizes.__getitem__)
+
+    runs = 150
+
+    def trial_loop():
+        robust_hits = 0
+        naive_hits = 0
+        for run in range(runs):
+            shuffle = random.Random(run)
+            order = list(range(len(vectors)))
+            shuffle.shuffle(order)
+            robust = RobustL0SamplerIW(
+                alpha, 5, seed=run, expected_stream_length=len(vectors)
+            )
+            naive = NaiveReservoirSampler(rng=random.Random(run ^ 0xF))
+            label_of = {}
+            for i, j in enumerate(order):
+                label_of[i] = labels[j]
+                point = StreamPoint(vectors[j], i)
+                robust.insert(point)
+                naive.insert(point)
+            robust_hits += label_of[robust.sample(query_rng).index] == biggest
+            naive_hits += label_of[naive.sample().index] == biggest
+        return robust_hits, naive_hits
+
+    robust_hits, naive_hits = benchmark.pedantic(
+        trial_loop, rounds=1, iterations=1
+    )
+    target = runs / num_groups
+    benchmark.extra_info.update(
+        {
+            "largest_group_share_of_points": round(sizes[biggest] / len(vectors), 3),
+            "robust_overweight_x": round(robust_hits / target, 2),
+            "naive_overweight_x": round(naive_hits / target, 2),
+        }
+    )
+    assert naive_hits > 3 * robust_hits

@@ -1,0 +1,50 @@
+"""Figure 14: peak space usage (pSpace) per dataset.
+
+Benchmarks a full stream pass while the sampler tracks its own peak
+footprint; ``extra_info`` carries the pSpace words for the robust sampler
+and the Omega(n) exact baseline.  The paper's observation to reproduce:
+space is modest and grows with the point dimension.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.exact import ExactDistinctSampler
+from repro.core.infinite_window import RobustL0SamplerIW
+
+
+@pytest.mark.parametrize("name", ["Seeds", "Seeds-pl", "Yacht", "Yacht-pl"])
+def test_pspace(benchmark, catalog, name):
+    dataset = catalog[name]
+    points, _ = dataset.shuffled_stream(random.Random(4))
+
+    def stream_pass():
+        sampler = RobustL0SamplerIW(
+            dataset.alpha,
+            dataset.dim,
+            seed=6,
+            expected_stream_length=dataset.num_points,
+        )
+        for p in points:
+            sampler.insert(p)
+        return sampler
+
+    sampler = benchmark(stream_pass)
+
+    exact = ExactDistinctSampler(dataset.alpha, dataset.dim, seed=6)
+    for p in points:
+        exact.insert(p)
+
+    benchmark.extra_info.update(
+        {
+            "dataset": name,
+            "dim": dataset.dim,
+            "groups": dataset.num_groups,
+            "robust_peak_words": sampler.peak_space_words,
+            "exact_peak_words": exact.space_words(),
+        }
+    )
+    assert 0 < sampler.peak_space_words < 12 * exact.space_words()

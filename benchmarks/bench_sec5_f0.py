@@ -1,0 +1,89 @@
+"""Section 5: robust F0 estimation vs noiseless sketch baselines.
+
+Benchmarks the estimator's stream pass; ``extra_info`` records the
+reproduction table: robust estimate tracks the true group count while a
+noiseless sketch fed raw noisy points counts every near-duplicate.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.bjkst import BJKSTSketch
+from repro.baselines.hyperloglog import HyperLogLog
+from repro.core.f0_infinite import RobustF0EstimatorIW
+from repro.core.f0_sliding import RobustF0EstimatorSW
+from repro.datasets.near_duplicates import add_near_duplicates
+from repro.datasets.synthetic import random_points
+from repro.streams.point import StreamPoint
+from repro.streams.windows import SequenceWindow
+
+
+def build(num_groups=250, seed=2):
+    rng = random.Random(seed)
+    base = random_points(num_groups, 5, rng=rng)
+    counts = [rng.randint(1, 6) for _ in range(num_groups)]
+    vectors, labels, alpha = add_near_duplicates(base, rng=rng, counts=counts)
+    order = list(range(len(vectors)))
+    rng.shuffle(order)
+    points = [StreamPoint(vectors[j], i) for i, j in enumerate(order)]
+    return points, [labels[j] for j in order], alpha
+
+
+def test_f0_infinite(benchmark):
+    points, labels, alpha = build()
+    truth = len(set(labels))
+
+    def estimate_pass():
+        estimator = RobustF0EstimatorIW(
+            alpha, 5, epsilon=0.25, copies=5, seed=21
+        )
+        for p in points:
+            estimator.insert(p)
+        return estimator.estimate()
+
+    estimate = benchmark(estimate_pass)
+
+    oracle = BJKSTSketch(epsilon=0.25, seed=21)
+    raw = BJKSTSketch(epsilon=0.25, seed=21)
+    hll = HyperLogLog(bucket_bits=10, seed=21)
+    for p, label in zip(points, labels):
+        oracle.insert(label)
+        hll.insert(label)
+        raw.insert(p.vector)
+
+    benchmark.extra_info.update(
+        {
+            "true_groups": truth,
+            "points": len(points),
+            "robust_estimate": round(estimate, 1),
+            "robust_rel_error": round(abs(estimate - truth) / truth, 3),
+            "bjkst_oracle": round(oracle.estimate(), 1),
+            "hll_oracle": round(hll.estimate(), 1),
+            "bjkst_on_raw_points": round(raw.estimate(), 1),
+        }
+    )
+    assert abs(estimate - truth) / truth < 0.4
+    assert raw.estimate() > 2 * truth  # noiseless sketch fails on noise
+
+
+@pytest.mark.parametrize("mode", ["ht", "fm"])
+def test_f0_sliding(benchmark, mode):
+    points, labels, alpha = build(num_groups=150, seed=4)
+    window = SequenceWindow(len(points) // 2)
+
+    def estimate_pass():
+        estimator = RobustF0EstimatorSW(
+            alpha, 5, window, copies=6, mode=mode, seed=22
+        )
+        for p in points:
+            estimator.insert(p)
+        return estimator.estimate()
+
+    estimate = benchmark(estimate_pass)
+    benchmark.extra_info.update(
+        {"mode": mode, "window": int(window.size), "estimate": round(estimate, 1)}
+    )
+    assert estimate > 0

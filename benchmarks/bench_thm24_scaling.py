@@ -1,0 +1,60 @@
+"""Theorem 2.4: O(log m) space and flat per-item time, infinite window.
+
+Parametrised over stream sizes; ``extra_info`` records peak words and the
+words/log2(m) ratio, which must stay roughly flat as the stream grows.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.infinite_window import RobustL0SamplerIW
+from repro.datasets.near_duplicates import add_near_duplicates
+from repro.datasets.synthetic import random_points
+from repro.streams.point import StreamPoint
+
+
+def build_stream(num_groups: int, seed: int = 0):
+    rng = random.Random(seed)
+    base = random_points(num_groups, 5, rng=rng)
+    counts = [rng.randint(1, 6) for _ in range(num_groups)]
+    vectors, _, alpha = add_near_duplicates(base, rng=rng, counts=counts)
+    order = list(range(len(vectors)))
+    rng.shuffle(order)
+    return [StreamPoint(vectors[j], i) for i, j in enumerate(order)], alpha
+
+
+@pytest.mark.parametrize("num_groups", [100, 400, 1600])
+def test_scaling(benchmark, num_groups):
+    points, alpha = build_stream(num_groups)
+    m = len(points)
+
+    def stream_pass():
+        sampler = RobustL0SamplerIW(
+            alpha, 5, seed=8, expected_stream_length=m
+        )
+        for p in points:
+            sampler.insert(p)
+        return sampler
+
+    sampler = benchmark(stream_pass)
+    benchmark.extra_info.update(
+        {
+            "groups": num_groups,
+            "stream_length": m,
+            "peak_words": sampler.peak_space_words,
+            "words_per_log2_m": round(
+                sampler.peak_space_words / math.log2(m), 1
+            ),
+            "final_rate_denominator": sampler.rate_denominator,
+        }
+    )
+    # O(log m) space: far below the m * (dim + 2) words needed to store
+    # the stream.  Only meaningful once the stream dwarfs the
+    # kappa0*log(m) threshold, i.e. at the larger parametrisations.
+    assert sampler.peak_space_words > 0
+    if m > 2000:
+        assert sampler.peak_space_words < m * (5 + 2) / 2

@@ -1,0 +1,67 @@
+"""Theorem 2.7: sliding-window sampler - throughput, space, correctness.
+
+Benchmarks the hierarchy's insert path for sequence- and time-based
+windows; ``extra_info`` records peak words (O(log w log m)) and verifies
+that queries always return points from the live window.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.sliding_window import RobustL0SamplerSW
+from repro.datasets.near_duplicates import add_near_duplicates
+from repro.datasets.synthetic import random_points
+from repro.streams.point import StreamPoint
+from repro.streams.windows import SequenceWindow, TimeWindow
+
+
+def build_stream(num_groups=80, copies=4, seed=1):
+    rng = random.Random(seed)
+    base = random_points(num_groups, 5, rng=rng)
+    vectors, _, alpha = add_near_duplicates(
+        base, rng=rng, counts=[copies] * num_groups
+    )
+    order = list(range(len(vectors)))
+    rng.shuffle(order)
+    return [StreamPoint(vectors[j], i) for i, j in enumerate(order)], alpha
+
+
+@pytest.mark.parametrize(
+    "model,window,capacity",
+    [
+        ("sequence", SequenceWindow(128), None),
+        ("time", TimeWindow(128.0), 512),
+    ],
+    ids=["sequence", "time"],
+)
+def test_sliding_pass(benchmark, model, window, capacity, query_rng):
+    points, alpha = build_stream()
+
+    def stream_pass():
+        sampler = RobustL0SamplerSW(
+            alpha,
+            5,
+            window,
+            window_capacity=capacity,
+            seed=9,
+            expected_stream_length=len(points),
+        )
+        for p in points:
+            sampler.insert(p)
+        return sampler
+
+    sampler = benchmark(stream_pass)
+    sample = sampler.sample(query_rng)
+    assert window.in_window(sample, points[-1])
+    benchmark.extra_info.update(
+        {
+            "window_model": model,
+            "points": len(points),
+            "levels": sampler.num_levels,
+            "peak_words": sampler.peak_space_words,
+            "window_f0_estimate": round(sampler.estimate_f0(), 1),
+        }
+    )

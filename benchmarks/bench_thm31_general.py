@@ -1,0 +1,65 @@
+"""Theorem 3.1: general (non-well-separated) datasets.
+
+Benchmarks a stream pass over the overlapping-chain dataset and records
+the normalised ball-hit probabilities (Theta(1/n_opt) for every point).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.infinite_window import RobustL0SamplerIW
+from repro.datasets.synthetic import overlapping_chain
+from repro.geometry.distance import within_distance
+from repro.partition.min_cardinality import min_cardinality_size
+from repro.streams.point import StreamPoint
+
+RUNS = 250
+
+
+def test_general_dataset(benchmark, query_rng):
+    vectors, alpha = overlapping_chain(14, 2, rng=random.Random(5))
+    n_opt = min_cardinality_size(vectors, alpha)
+
+    def stream_pass():
+        rng = random.Random(17)
+        order = list(range(len(vectors)))
+        rng.shuffle(order)
+        sampler = RobustL0SamplerIW(
+            alpha, 2, seed=17, expected_stream_length=len(vectors)
+        )
+        for i, j in enumerate(order):
+            sampler.insert(StreamPoint(vectors[j], i))
+        return sampler
+
+    benchmark(stream_pass)
+
+    hits = [0] * len(vectors)
+    for run in range(RUNS):
+        rng = random.Random(run)
+        order = list(range(len(vectors)))
+        rng.shuffle(order)
+        sampler = RobustL0SamplerIW(
+            alpha, 2, seed=run, expected_stream_length=len(vectors)
+        )
+        for i, j in enumerate(order):
+            sampler.insert(StreamPoint(vectors[j], i))
+        sample = sampler.sample(query_rng).vector
+        for i, v in enumerate(vectors):
+            if within_distance(sample, v, alpha):
+                hits[i] += 1
+
+    normalised = [h / RUNS * n_opt for h in hits]
+    benchmark.extra_info.update(
+        {
+            "points": len(vectors),
+            "n_opt": n_opt,
+            "runs": RUNS,
+            "min_normalised_pr": round(min(normalised), 3),
+            "max_normalised_pr": round(max(normalised), 3),
+        }
+    )
+    # Theta(1): every point's ball is hit with probability bounded away
+    # from zero and from a large constant times 1/n_opt.
+    assert min(normalised) > 0.05
+    assert max(normalised) < 25

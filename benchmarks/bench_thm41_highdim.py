@@ -1,0 +1,59 @@
+"""Theorem 4.1: high-dimensional sparse datasets, native and JL-projected.
+
+Benchmarks a stream pass at several dimensions; ``extra_info`` carries the
+peak words (linear in the effective dimension) so the JL variant's space
+saving is visible.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.synthetic import sparse_high_dim
+from repro.highdim.sparse import HighDimSamplerIW
+from repro.streams.point import StreamPoint
+
+
+def build(dim, num_groups=30, seed=3):
+    vectors, _, alpha = sparse_high_dim(
+        num_groups, 4, dim, rng=random.Random(seed)
+    )
+    order = list(range(len(vectors)))
+    random.Random(seed + 1).shuffle(order)
+    return [StreamPoint(vectors[j], i) for i, j in enumerate(order)], alpha
+
+
+@pytest.mark.parametrize(
+    "dim,project_to",
+    [(10, None), (20, None), (40, None), (40, 10)],
+    ids=["d10", "d20", "d40", "d40-jl10"],
+)
+def test_highdim_pass(benchmark, dim, project_to, query_rng):
+    points, alpha = build(dim)
+
+    def stream_pass():
+        sampler = HighDimSamplerIW(
+            alpha,
+            dim,
+            seed=12,
+            expected_stream_length=len(points),
+            project_to=project_to,
+        )
+        for p in points:
+            sampler.insert(p)
+        return sampler
+
+    sampler = benchmark(stream_pass)
+    sample = sampler.sample(query_rng)
+    effective_dim = project_to if project_to else dim
+    assert sample.dim == effective_dim
+    benchmark.extra_info.update(
+        {
+            "native_dim": dim,
+            "effective_dim": effective_dim,
+            "points": len(points),
+            "peak_words": sampler.peak_space_words,
+        }
+    )

@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table/figure of the paper (see
+DESIGN.md's per-experiment index).  pytest-benchmark measures the hot
+loop; the figure's actual rows (deviation metrics, space words, estimates)
+are attached to ``benchmark.extra_info`` so ``--benchmark-json`` output
+contains the full reproduction data.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.catalog import make_dataset
+
+
+#: The two quickest paper datasets; the full eight are exercised by the
+#: experiment harness (python -m repro.experiments).
+BENCH_DATASETS = ["Seeds", "Yacht"]
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """Materialised benchmark datasets (shared across bench modules)."""
+    datasets = {}
+    for name in BENCH_DATASETS:
+        datasets[name] = make_dataset(name, seed=0)
+        power = make_dataset(name, seed=0, power_law=True)
+        datasets[power.name] = power
+    return datasets
+
+
+@pytest.fixture()
+def query_rng():
+    """Deterministic query-side randomness."""
+    return random.Random(0xBEEF)

@@ -1,0 +1,56 @@
+"""repro - robust distinct sampling on streams with near-duplicates.
+
+A from-scratch reproduction of Chen & Zhang, "Distinct Sampling on
+Streaming Data with Near-Duplicates" (PODS 2018): streaming l0-sampling
+and F0 estimation that treat all near-duplicate points (within distance
+``alpha``) as one element, for infinite and sliding windows.
+
+Quickstart
+----------
+>>> import random
+>>> from repro import RobustL0SamplerIW
+>>> sampler = RobustL0SamplerIW(alpha=0.5, dim=2, seed=42)
+>>> for v in [(0.0, 0.0), (0.1, 0.1), (9.0, 9.0)]:  # two groups
+...     sampler.insert(v)
+>>> sampler.sample(rng=random.Random(7)).dim
+2
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+reproduction of the paper's evaluation figures.
+"""
+
+from repro.core.f0_infinite import RobustF0EstimatorIW
+from repro.core.f0_sliding import RobustF0EstimatorSW
+from repro.core.fixed_rate import FixedRateSlidingSampler
+from repro.core.infinite_window import RobustL0SamplerIW
+from repro.core.ksample import KDistinctSampler
+from repro.core.sliding_window import RobustL0SamplerSW
+from repro.errors import (
+    EmptySampleError,
+    LevelOverflowError,
+    ParameterError,
+    ReproError,
+)
+from repro.streams.point import StreamPoint, as_stream
+from repro.streams.windows import InfiniteWindow, SequenceWindow, TimeWindow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RobustL0SamplerIW",
+    "RobustL0SamplerSW",
+    "FixedRateSlidingSampler",
+    "KDistinctSampler",
+    "RobustF0EstimatorIW",
+    "RobustF0EstimatorSW",
+    "StreamPoint",
+    "as_stream",
+    "InfiniteWindow",
+    "SequenceWindow",
+    "TimeWindow",
+    "ReproError",
+    "ParameterError",
+    "EmptySampleError",
+    "LevelOverflowError",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Baseline algorithms the paper builds on or implicitly compares against.
+
+None of these handle near-duplicates; they serve three purposes:
+
+* motivation experiments - :class:`~repro.baselines.naive.NaiveReservoirSampler`
+  demonstrates the bias of standard sampling on noisy data (the paper's
+  introduction), and :class:`~repro.baselines.minrank.MinRankL0Sampler` is
+  the folklore noiseless l0-sampler the techniques overview starts from;
+* ground truth - :class:`~repro.baselines.exact.ExactDistinctSampler`
+  stores one representative per group in Omega(n) space;
+* F0 sketch baselines for Section 5 - Flajolet-Martin
+  (:class:`~repro.baselines.fm.FMSketch`), Durand-Flajolet LogLog
+  (:class:`~repro.baselines.loglog.LogLogSketch`), HyperLogLog
+  (:class:`~repro.baselines.hyperloglog.HyperLogLog`) and BJKST
+  (:class:`~repro.baselines.bjkst.BJKSTSketch`).
+"""
+
+from repro.baselines.bjkst import BJKSTSketch
+from repro.baselines.exact import ExactDistinctSampler
+from repro.baselines.fm import FMSketch
+from repro.baselines.hyperloglog import HyperLogLog
+from repro.baselines.loglog import LogLogSketch
+from repro.baselines.minrank import MinRankL0Sampler
+from repro.baselines.naive import NaiveReservoirSampler
+
+__all__ = [
+    "NaiveReservoirSampler",
+    "MinRankL0Sampler",
+    "ExactDistinctSampler",
+    "FMSketch",
+    "LogLogSketch",
+    "HyperLogLog",
+    "BJKSTSketch",
+]

@@ -1,0 +1,72 @@
+"""The BJKST distinct-elements sketch (Bar-Yossef et al., RANDOM 2002).
+
+Keep the set ``B`` of items whose hash is below a shrinking threshold
+(equivalently: sampled at rate ``1/2^z``); whenever ``|B|`` exceeds
+``kappa / eps^2`` increment ``z`` and re-filter.  The estimate is
+``|B| * 2^z``.  This is exactly the framework Section 5 plugs the robust
+sampler into, so it doubles as the noiseless reference for
+:class:`~repro.core.f0_infinite.RobustF0EstimatorIW`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable
+
+from repro.errors import ParameterError
+from repro.hashing.mix import SplitMix64
+
+
+class BJKSTSketch:
+    """BJKST F0 sketch with capacity ``ceil(kappa / eps^2)``.
+
+    >>> sketch = BJKSTSketch(epsilon=0.2, seed=4)
+    >>> sketch.extend(range(2000))
+    >>> 1500 <= sketch.estimate() <= 2500
+    True
+    """
+
+    def __init__(
+        self, *, epsilon: float = 0.2, kappa: float = 8.0, seed: int = 0
+    ) -> None:
+        if not 0 < epsilon <= 1:
+            raise ParameterError(f"epsilon must be in (0, 1], got {epsilon}")
+        self._capacity = max(4, math.ceil(kappa / (epsilon * epsilon)))
+        self._hash = SplitMix64(seed)
+        self._z = 0
+        self._kept: dict[int, int] = {}  # hashed id -> raw hash value
+
+    @property
+    def capacity(self) -> int:
+        """Maximum kept-set size before the rate halves."""
+        return self._capacity
+
+    @property
+    def level(self) -> int:
+        """Current subsampling level z (rate 1/2^z)."""
+        return self._z
+
+    def insert(self, item: Hashable) -> None:
+        """Observe one item."""
+        key = hash(item)
+        value = self._hash(key)
+        if value & ((1 << self._z) - 1):
+            return
+        self._kept[key] = value
+        while len(self._kept) > self._capacity:
+            self._z += 1
+            mask = (1 << self._z) - 1
+            self._kept = {k: v for k, v in self._kept.items() if not v & mask}
+
+    def extend(self, items: Iterable[Hashable]) -> None:
+        """Observe a sequence of items."""
+        for item in items:
+            self.insert(item)
+
+    def estimate(self) -> float:
+        """``|B| * 2^z``."""
+        return float(len(self._kept) * (1 << self._z))
+
+    def space_words(self) -> int:
+        """Kept identifiers plus the level counter."""
+        return 2 * len(self._kept) + 2

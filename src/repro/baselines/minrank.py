@@ -1,0 +1,98 @@
+"""The folklore min-rank l0-sampler for *noiseless* streams.
+
+Assign every distinct item a random rank via a hash function and keep the
+item with the minimum rank - the starting point of the paper's techniques
+overview.  It requires exact item identities: on noisy data each near-
+duplicate hashes differently, which reduces it to naive point sampling
+(the paper's argument for why no existing l0-sampler survives
+near-duplicates).  We expose a pluggable ``key`` so experiments can run it
+either on exact identities (oracle mode) or raw coordinates (broken mode).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Sequence
+
+from repro.core.base import coerce_point
+from repro.errors import EmptySampleError
+from repro.hashing.mix import SplitMix64
+from repro.streams.point import StreamPoint
+
+
+def _default_key(point: StreamPoint) -> Hashable:
+    """Raw coordinates as identity (the broken-on-noisy-data mode)."""
+    return point.vector
+
+
+class MinRankL0Sampler:
+    """Keep the item whose hashed rank is minimal.
+
+    Parameters
+    ----------
+    key:
+        Maps a point to its identity; duplicates (by this key) collapse.
+        Default: the exact coordinate tuple.
+    seed:
+        Seed of the rank hash.
+
+    Examples
+    --------
+    >>> sampler = MinRankL0Sampler(seed=1)
+    >>> for v in [(0.0,), (1.0,), (0.0,)]:
+    ...     sampler.insert(v)
+    >>> sampler.distinct_seen
+    2
+    """
+
+    def __init__(
+        self,
+        *,
+        key: Callable[[StreamPoint], Hashable] = _default_key,
+        seed: int = 0,
+    ) -> None:
+        self._key = key
+        self._hash = SplitMix64(seed)
+        self._best_rank: int | None = None
+        self._best: StreamPoint | None = None
+        self._seen_keys: set[Hashable] = set()
+        self._count = 0
+
+    @property
+    def points_seen(self) -> int:
+        """Number of points inserted."""
+        return self._count
+
+    @property
+    def distinct_seen(self) -> int:
+        """Number of distinct identities observed (diagnostic only; a real
+        streaming deployment would not store this set)."""
+        return len(self._seen_keys)
+
+    def insert(self, point: StreamPoint | Sequence[float]) -> None:
+        """Offer a point; its rank is the hash of its identity."""
+        p = coerce_point(point, self._count)
+        self._count += 1
+        identity = self._key(p)
+        self._seen_keys.add(identity)
+        rank = self._hash(hash(identity))
+        if self._best_rank is None or rank < self._best_rank:
+            self._best_rank = rank
+            self._best = p
+
+    def extend(self, points: Iterable[StreamPoint | Sequence[float]]) -> None:
+        """Insert a sequence of points."""
+        for point in points:
+            self.insert(point)
+
+    def sample(self) -> StreamPoint:
+        """The minimum-rank item: uniform over distinct identities."""
+        if self._best is None:
+            raise EmptySampleError("no points inserted")
+        return self._best
+
+    def space_words(self) -> int:
+        """Footprint of the sampler proper (sample + rank), excluding the
+        diagnostic identity set."""
+        if self._best is None:
+            return 2
+        return len(self._best.vector) + 5

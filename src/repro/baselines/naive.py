@@ -1,0 +1,64 @@
+"""Naive uniform reservoir sampling over raw points.
+
+This is what "distinct sampling" degenerates to if near-duplicates are
+ignored: a uniform point of the stream, which is biased towards groups
+with many near-duplicates ("the sampling will be biased towards those
+elements that have a large number of near-duplicates" - Section 1).  Used
+by the motivation ablation to quantify that bias against the robust
+sampler.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.core.base import coerce_point
+from repro.errors import EmptySampleError
+from repro.streams.point import StreamPoint
+
+
+class NaiveReservoirSampler:
+    """Classic single-item reservoir sampling (Vitter 1985).
+
+    >>> rng = random.Random(0)
+    >>> sampler = NaiveReservoirSampler(rng=rng)
+    >>> for i in range(10):
+    ...     sampler.insert((float(i),))
+    >>> 0.0 <= sampler.sample().vector[0] <= 9.0
+    True
+    """
+
+    def __init__(self, *, rng: random.Random | None = None) -> None:
+        self._rng = rng if rng is not None else random.Random()
+        self._sample: StreamPoint | None = None
+        self._count = 0
+
+    @property
+    def points_seen(self) -> int:
+        """Number of points inserted."""
+        return self._count
+
+    def insert(self, point: StreamPoint | Sequence[float]) -> None:
+        """Offer one point; replaces the sample with probability 1/count."""
+        p = coerce_point(point, self._count)
+        self._count += 1
+        if self._sample is None or self._rng.random() < 1.0 / self._count:
+            self._sample = p
+
+    def extend(self, points: Iterable[StreamPoint | Sequence[float]]) -> None:
+        """Insert a sequence of points."""
+        for point in points:
+            self.insert(point)
+
+    def sample(self) -> StreamPoint:
+        """The current uniform sample over raw points."""
+        if self._sample is None:
+            raise EmptySampleError("no points inserted")
+        return self._sample
+
+    def space_words(self) -> int:
+        """Footprint in words."""
+        if self._sample is None:
+            return 2
+        return len(self._sample.vector) + 4

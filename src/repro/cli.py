@@ -1,0 +1,190 @@
+"""Command-line interface: robust sampling over point files.
+
+Reads a stream of points from CSV (one point per line, comma-separated
+coordinates) or JSON-lines (one JSON array per line) and runs one of the
+library's summaries over it:
+
+* ``sample`` - k robust distinct samples (infinite or sliding window);
+* ``count``  - robust F0 estimate;
+* ``heavy``  - robust heavy hitters.
+
+Examples
+--------
+::
+
+    python -m repro.cli sample --alpha 0.5 data.csv
+    python -m repro.cli sample --alpha 0.5 --window 1000 --k 3 data.csv
+    python -m repro.cli count  --alpha 0.5 --epsilon 0.1 data.csv
+    python -m repro.cli heavy  --alpha 0.5 --phi 0.05 data.csv
+    cat data.csv | python -m repro.cli sample --alpha 0.5 -
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from typing import Iterator, Sequence, TextIO
+
+from repro.core.f0_infinite import RobustF0EstimatorIW
+from repro.core.heavy_hitters import RobustHeavyHitters
+from repro.core.ksample import KDistinctSampler
+from repro.errors import ReproError
+from repro.streams.windows import SequenceWindow
+
+
+def _parse_lines(handle: TextIO, fmt: str) -> Iterator[tuple[float, ...]]:
+    for line_number, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            if fmt == "jsonl":
+                values = json.loads(line)
+            else:
+                values = line.split(",")
+            yield tuple(float(x) for x in values)
+        except (ValueError, json.JSONDecodeError) as error:
+            raise SystemExit(
+                f"line {line_number}: cannot parse point ({error})"
+            ) from error
+
+
+def _open_input(path: str) -> TextIO:
+    if path == "-":
+        return sys.stdin
+    return open(path, "r", encoding="utf-8")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("input", help="input file, or - for stdin")
+    parser.add_argument(
+        "--alpha", type=float, required=True,
+        help="near-duplicate distance threshold",
+    )
+    parser.add_argument(
+        "--format", choices=["csv", "jsonl"], default="csv",
+        help="input format (default csv)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="random seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Robust distinct sampling over noisy point streams.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sample = commands.add_parser("sample", help="robust distinct samples")
+    _add_common(sample)
+    sample.add_argument("--k", type=int, default=1, help="samples to draw")
+    sample.add_argument(
+        "--replacement", action="store_true",
+        help="sample groups with replacement",
+    )
+    sample.add_argument(
+        "--window", type=int, default=None,
+        help="restrict to the last N points (sequence-based window)",
+    )
+
+    count = commands.add_parser("count", help="robust distinct count (F0)")
+    _add_common(count)
+    count.add_argument(
+        "--epsilon", type=float, default=0.2, help="target relative accuracy"
+    )
+    count.add_argument(
+        "--copies", type=int, default=9, help="median-of-copies count"
+    )
+
+    heavy = commands.add_parser("heavy", help="robust heavy hitters")
+    _add_common(heavy)
+    heavy.add_argument(
+        "--phi", type=float, default=0.05,
+        help="report groups above this frequency fraction",
+    )
+    heavy.add_argument(
+        "--epsilon", type=float, default=0.01, help="counter resolution"
+    )
+    return parser
+
+
+def _run_sample(args, points: Iterator[Sequence[float]], out: TextIO) -> None:
+    first = next(points, None)
+    if first is None:
+        raise SystemExit("input contains no points")
+    dim = len(first)
+    window = SequenceWindow(args.window) if args.window else None
+    sampler = KDistinctSampler(
+        args.alpha,
+        dim,
+        k=args.k,
+        replacement=args.replacement,
+        window=window,
+        seed=args.seed,
+    )
+    sampler.insert(first)
+    for point in points:
+        sampler.insert(point)
+    rng = random.Random(args.seed)
+    for point in sampler.sample(rng):
+        out.write(",".join(repr(x) for x in point.vector) + "\n")
+
+
+def _run_count(args, points: Iterator[Sequence[float]], out: TextIO) -> None:
+    first = next(points, None)
+    if first is None:
+        raise SystemExit("input contains no points")
+    estimator = RobustF0EstimatorIW(
+        args.alpha,
+        len(first),
+        epsilon=args.epsilon,
+        copies=args.copies,
+        seed=args.seed,
+    )
+    estimator.insert(first)
+    for point in points:
+        estimator.insert(point)
+    out.write(f"{estimator.estimate():.1f}\n")
+
+
+def _run_heavy(args, points: Iterator[Sequence[float]], out: TextIO) -> None:
+    first = next(points, None)
+    if first is None:
+        raise SystemExit("input contains no points")
+    hitters = RobustHeavyHitters(
+        args.alpha, len(first), epsilon=args.epsilon, seed=args.seed
+    )
+    hitters.insert(first)
+    for point in points:
+        hitters.insert(point)
+    for hit in hitters.heavy_hitters(args.phi):
+        coords = ",".join(repr(x) for x in hit.representative.vector)
+        out.write(f"{hit.count}\t{hit.error}\t{coords}\n")
+
+
+def main(argv: list[str] | None = None, out: TextIO | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    handle = _open_input(args.input)
+    try:
+        points = _parse_lines(handle, args.format)
+        if args.command == "sample":
+            _run_sample(args, points, out)
+        elif args.command == "count":
+            _run_count(args, points, out)
+        else:
+            _run_heavy(args, points, out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

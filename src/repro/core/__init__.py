@@ -1,0 +1,36 @@
+"""The paper's contribution: robust l0-sampling and robust F0 estimation.
+
+Public classes
+--------------
+* :class:`~repro.core.infinite_window.RobustL0SamplerIW` - Algorithm 1.
+* :class:`~repro.core.fixed_rate.FixedRateSlidingSampler` - Algorithm 2.
+* :class:`~repro.core.sliding_window.RobustL0SamplerSW` - Algorithms 3-5.
+* :class:`~repro.core.ksample.KDistinctSampler` - k samples with or
+  without replacement (Section 2.3).
+* :class:`~repro.core.f0_infinite.RobustF0EstimatorIW` and
+  :class:`~repro.core.f0_sliding.RobustF0EstimatorSW` - Section 5.
+
+All samplers share the conventions of :mod:`repro.core.base`: points in
+R^d as float tuples, a random grid, one nested sampling hash, and explicit
+word-level space accounting.
+"""
+
+from repro.core.base import CandidateRecord, SamplerConfig, default_grid_side
+from repro.core.f0_infinite import RobustF0EstimatorIW
+from repro.core.f0_sliding import RobustF0EstimatorSW
+from repro.core.fixed_rate import FixedRateSlidingSampler
+from repro.core.infinite_window import RobustL0SamplerIW
+from repro.core.ksample import KDistinctSampler
+from repro.core.sliding_window import RobustL0SamplerSW
+
+__all__ = [
+    "SamplerConfig",
+    "CandidateRecord",
+    "default_grid_side",
+    "RobustL0SamplerIW",
+    "FixedRateSlidingSampler",
+    "RobustL0SamplerSW",
+    "KDistinctSampler",
+    "RobustF0EstimatorIW",
+    "RobustF0EstimatorSW",
+]

@@ -1,0 +1,414 @@
+"""Shared machinery for the robust samplers.
+
+All three samplers (Algorithms 1-3) revolve around the same bookkeeping:
+representative points of *candidate groups*, each classified as accepted
+(its own cell is sampled) or rejected (only some neighbouring cell is),
+looked up by proximity when new points arrive.  This module provides:
+
+* :func:`default_grid_side` - the grid side-length policy,
+* :class:`SamplerConfig` - immutable bundle of grid + hash + alpha shared
+  by a sampler (and across the levels of the sliding-window hierarchy),
+* :class:`PointContext` - the per-arrival geometry (cell, cell hash,
+  ``adj(p)`` hashes) computed once and shared across hierarchy levels,
+* :class:`CandidateRecord` - one tracked group,
+* :class:`CandidateStore` - the accept/reject sets with hash-bucketed
+  proximity search.
+
+Proximity search exploits the geometry: a stored representative ``u`` can
+satisfy ``d(u, p) <= alpha`` only if ``cell(p)`` is within distance
+``alpha`` of ``u`` - i.e. ``cell(p) in adj(u)``.  Each record is therefore
+registered under the hash values of ``adj(representative)`` (already
+computed for its accept/reject classification), and an arriving point only
+inspects the single bucket of its own cell: the common "point of an
+already-seen group" case costs one cell computation and one dictionary
+lookup, no adjacency enumeration.
+
+Sampling decisions everywhere reduce to ``hash_value & (R - 1) == 0``
+(i.e. ``h_R(cell) = 0``) with ``R`` a power of two, so they are nested
+across rates (Fact 1(b)) and records can be re-classified at a doubled
+rate from their cached hash values alone.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.errors import ParameterError
+from repro.geometry.adjacency import collect_adjacent
+from repro.geometry.distance import within_distance
+from repro.geometry.grid import Cell, Grid
+from repro.hashing.kwise import KWiseHash
+from repro.hashing.sampling import SamplingHash
+from repro.streams.point import StreamPoint
+
+#: Default threshold constant kappa_0 (Line 10 of Algorithm 1).  The paper
+#: only requires "a large enough constant": Lemma 2.5 needs kappa_0 >= 2
+#: for the 1/m^2 failure bound; 4 doubles that exponent while keeping the
+#: accept set (and hence pSpace) small.
+DEFAULT_KAPPA0 = 4
+
+#: Dimension up to which the conservative side alpha/sqrt(d) stays cheap
+#: (|adj(p)| <= 25 at dim 2, exactly the paper's Section 2 setting; by
+#: dim 4 the conservative neighbourhood already spans hundreds of cells).
+_SMALL_DIM = 2
+
+
+def default_grid_side(alpha: float, dim: int) -> float:
+    """Grid side length used when the caller does not pick one.
+
+    * ``dim <= 2``: ``alpha / sqrt(dim)`` - the cell diameter is at most
+      ``alpha``, so Fact 1(a) holds for *any* well-separated dataset
+      (separation ratio just above 2), matching Section 2's setting.
+    * ``dim > 2``: ``alpha * dim`` - the Section 4 configuration.  Cells
+      are large relative to ``alpha``, making ``adj(p)`` expected O(1)
+      (Lemma 4.2); it assumes the stronger sparsity ``beta > dim**1.5 *
+      alpha``, which the paper's own evaluation datasets satisfy by
+      construction (their separation ratio is about ``dim**1.5``).
+
+    Callers with small separation ratios in middling dimension should pass
+    an explicit ``grid_side`` of about ``beta / sqrt(dim)`` instead.
+    """
+    if alpha <= 0:
+        raise ParameterError(f"alpha must be positive, got {alpha}")
+    if dim < 1:
+        raise ParameterError(f"dim must be >= 1, got {dim}")
+    if dim <= _SMALL_DIM:
+        return alpha / math.sqrt(dim)
+    return alpha * dim
+
+
+@dataclass(frozen=True, slots=True)
+class PointContext:
+    """Per-arrival geometry shared across a hierarchy's levels.
+
+    Attributes
+    ----------
+    cell:
+        ``cell(p)`` coordinates.
+    cell_hash:
+        Base-hash value of ``cell(p)`` (sampling test: ``& (R-1) == 0``).
+    adj_hashes:
+        Base-hash values of every cell of ``adj(p)``, or ``None`` when not
+        yet computed (they are only needed on the first-point path, so
+        they are filled lazily).
+    """
+
+    cell: Cell
+    cell_hash: int
+    adj_hashes: tuple[int, ...] | None = None
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """Geometry and hashing shared by one sampler instance.
+
+    The sliding-window hierarchy creates many Algorithm 2 instances that
+    *must* share the same grid and hash (sampling decisions have to be
+    nested across levels); bundling them makes that sharing explicit.
+    """
+
+    alpha: float
+    dim: int
+    grid: Grid
+    hash: SamplingHash
+
+    @classmethod
+    def create(
+        cls,
+        alpha: float,
+        dim: int,
+        *,
+        seed: int | None = None,
+        grid_side: float | None = None,
+        kwise: int | None = None,
+    ) -> "SamplerConfig":
+        """Build a configuration with sensible defaults.
+
+        Parameters
+        ----------
+        alpha:
+            Group-diameter threshold (the user-chosen input of the paper).
+        dim:
+            Ambient dimension.
+        seed:
+            Seed for both the grid offset and the sampling hash.  ``None``
+            draws fresh randomness.
+        grid_side:
+            Override for the grid side length (see :func:`default_grid_side`).
+        kwise:
+            When given, use a ``kwise``-wise independent polynomial hash
+            (the theory-faithful choice) instead of the default splitmix64
+            mixer.
+        """
+        if alpha <= 0:
+            raise ParameterError(f"alpha must be positive, got {alpha}")
+        if dim < 1:
+            raise ParameterError(f"dim must be >= 1, got {dim}")
+        rng = random.Random(seed)
+        side = grid_side if grid_side is not None else default_grid_side(alpha, dim)
+        grid = Grid(side=side, dim=dim, rng=rng)
+        hash_seed = rng.randrange(2**63)
+        if kwise is not None:
+            sampling = SamplingHash(KWiseHash(k=kwise, seed=hash_seed))
+        else:
+            sampling = SamplingHash(seed=hash_seed)
+        return cls(alpha=alpha, dim=dim, grid=grid, hash=sampling)
+
+    def cell_hash(self, cell: Cell) -> int:
+        """Base-hash value of a cell (before the ``mod R`` reduction)."""
+        return self.hash.value(self.grid.cell_id(cell))
+
+    def point_context(self, vector: Sequence[float]) -> PointContext:
+        """The cheap part of an arrival's geometry (no adjacency yet)."""
+        cell = self.grid.cell_of(vector)
+        return PointContext(cell=cell, cell_hash=self.cell_hash(cell))
+
+    def adj_hashes(self, vector: Sequence[float]) -> tuple[int, ...]:
+        """Hash values of every cell of ``adj(vector)`` (DFS pruned)."""
+        grid = self.grid
+        value = self.hash.value
+        cell_id = grid.cell_id
+        return tuple(
+            value(cell_id(cell))
+            for cell in collect_adjacent(grid, vector, self.alpha)
+        )
+
+    def with_adj(self, vector: Sequence[float], ctx: PointContext) -> PointContext:
+        """Return ``ctx`` with ``adj_hashes`` filled (computing if needed)."""
+        if ctx.adj_hashes is not None:
+            return ctx
+        return PointContext(
+            cell=ctx.cell,
+            cell_hash=ctx.cell_hash,
+            adj_hashes=self.adj_hashes(vector),
+        )
+
+
+@dataclass
+class CandidateRecord:
+    """Bookkeeping for one candidate group.
+
+    Attributes
+    ----------
+    representative:
+        The group's representative point (the decision point of the
+        algorithms; first point in the infinite window, the Observation 1
+        point in sliding windows).
+    cell:
+        The representative's grid cell.
+    cell_hash:
+        Base-hash value of that cell; the record is *accepted* at rate
+        ``1/R`` iff ``cell_hash & (R - 1) == 0``.
+    adj_hashes:
+        Base-hash values of ``adj(representative)``, cached because they
+        are re-examined on every rate change (resampling / Split) and
+        double as the record's bucket keys in the store.
+    accepted:
+        True when the record is in the accept set, False for the reject
+        set.
+    last:
+        The group's most recent point (the value side of the paper's
+        key-value store ``A``; equals the representative in the infinite
+        window).
+    count:
+        Number of points of the group observed (drives Section 2.3's
+        reservoir sampling).
+    member:
+        A uniformly random member of the group so far (reservoir sample);
+        only maintained when member tracking is enabled.
+    """
+
+    representative: StreamPoint
+    cell: Cell
+    cell_hash: int
+    adj_hashes: tuple[int, ...]
+    accepted: bool
+    last: StreamPoint
+    count: int = 1
+    member: StreamPoint | None = None
+
+    def space_words(self, *, track_members: bool) -> int:
+        """Approximate memory footprint in machine words.
+
+        Counts coordinates of the stored points plus one word per integer
+        field, mirroring how the paper reports pSpace in words.
+        """
+        dim = len(self.representative.vector)
+        words = dim + 2  # representative coordinates + index/time
+        if self.last is not self.representative:
+            words += dim + 2
+        words += 3  # cell hash, accepted flag, count
+        words += len(self.adj_hashes)
+        if track_members and self.member is not None:
+            words += dim + 2
+        return words
+
+
+class CandidateStore:
+    """The accept/reject sets with hash-bucketed proximity lookup."""
+
+    __slots__ = ("_config", "_records", "_buckets", "_accepted_count")
+
+    def __init__(self, config: SamplerConfig) -> None:
+        self._config = config
+        self._records: dict[int, CandidateRecord] = {}
+        # Bucket key: a hash value of some cell of adj(representative).
+        self._buckets: dict[int, list[CandidateRecord]] = {}
+        self._accepted_count = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def accepted_count(self) -> int:
+        """Size of the accept set ``|S_acc|``."""
+        return self._accepted_count
+
+    @property
+    def rejected_count(self) -> int:
+        """Size of the reject set ``|S_rej|``."""
+        return len(self._records) - self._accepted_count
+
+    def records(self) -> Iterator[CandidateRecord]:
+        """Iterate all candidate records (accepted and rejected)."""
+        return iter(list(self._records.values()))
+
+    def get(self, representative_index: int) -> CandidateRecord | None:
+        """Return the record keyed by its representative's arrival index."""
+        return self._records.get(representative_index)
+
+    def __contains__(self, record: CandidateRecord) -> bool:
+        return self._records.get(record.representative.index) is record
+
+    def accepted_records(self) -> list[CandidateRecord]:
+        """The accept set's records."""
+        return [r for r in self._records.values() if r.accepted]
+
+    def rejected_records(self) -> list[CandidateRecord]:
+        """The reject set's records."""
+        return [r for r in self._records.values() if not r.accepted]
+
+    def find_nearby(
+        self, vector: Sequence[float], cell_hash: int
+    ) -> CandidateRecord | None:
+        """Return the record whose representative is within alpha, if any.
+
+        ``cell_hash`` must be the hash value of ``cell(vector)``.  A
+        matching representative ``u`` has ``cell(vector) in adj(u)``, and
+        every record is registered under its ``adj`` hash values, so the
+        single bucket of ``cell_hash`` suffices.
+        """
+        bucket = self._buckets.get(cell_hash)
+        if not bucket:
+            return None
+        alpha = self._config.alpha
+        for record in bucket:
+            if within_distance(record.representative.vector, vector, alpha):
+                return record
+        return None
+
+    def add(self, record: CandidateRecord) -> None:
+        """Insert a new candidate record."""
+        key = record.representative.index
+        if key in self._records:
+            raise ParameterError(
+                f"representative with index {key} already stored"
+            )
+        self._records[key] = record
+        buckets = self._buckets
+        for value in set(record.adj_hashes):
+            buckets.setdefault(value, []).append(record)
+        if record.accepted:
+            self._accepted_count += 1
+
+    def remove(self, record: CandidateRecord) -> None:
+        """Remove a candidate record."""
+        key = record.representative.index
+        del self._records[key]
+        buckets = self._buckets
+        for value in set(record.adj_hashes):
+            bucket = buckets[value]
+            bucket.remove(record)
+            if not bucket:
+                del buckets[value]
+        if record.accepted:
+            self._accepted_count -= 1
+
+    def set_accepted(self, record: CandidateRecord, accepted: bool) -> None:
+        """Flip a record between the accept and reject sets."""
+        if record.accepted != accepted:
+            record.accepted = accepted
+            self._accepted_count += 1 if accepted else -1
+
+    def resample(self, rate_denominator: int) -> None:
+        """Re-derive every record's status at a new (coarser) rate.
+
+        Implements the "update S_acc and S_rej according to the updated
+        hash function" step (Line 12 of Algorithm 1): a record stays
+        accepted if its own cell is still sampled, is rejected if some cell
+        of ``adj(representative)`` is, and is dropped otherwise.
+        """
+        mask = rate_denominator - 1
+        for record in self.records():
+            if record.cell_hash & mask == 0:
+                self.set_accepted(record, True)
+            elif any(value & mask == 0 for value in record.adj_hashes):
+                self.set_accepted(record, False)
+            else:
+                self.remove(record)
+
+    def space_words(self, *, track_members: bool = False) -> int:
+        """Total footprint of the store in words."""
+        return sum(
+            record.space_words(track_members=track_members)
+            for record in self._records.values()
+        )
+
+
+def coerce_point(
+    value: StreamPoint | Sequence[float], next_index: int
+) -> StreamPoint:
+    """Accept either a StreamPoint or raw coordinates.
+
+    Raw coordinates receive the sampler's running arrival index (and a
+    matching timestamp).
+    """
+    if isinstance(value, StreamPoint):
+        return value
+    return StreamPoint(tuple(float(x) for x in value), next_index)
+
+
+@dataclass
+class _ThresholdPolicy:
+    """Computes the kappa_0 * log m accept-set threshold.
+
+    When the caller announces the expected stream length the threshold is
+    fixed up front (the paper's setting); otherwise it grows with the
+    number of points seen, which only affects *when* the rate halves, not
+    correctness.  A ``fixed`` capacity short-circuits the log-m rule - the
+    Section 5 F0 estimator replaces the threshold with ``kappa_B / eps^2``.
+    """
+
+    kappa0: float
+    expected_stream_length: int | None = None
+    minimum: int = 4
+    fixed: int | None = None
+    _seen: int = field(default=0, init=False)
+
+    def observe(self) -> None:
+        """Record one arrival (drives the growing-m fallback)."""
+        self._seen += 1
+
+    def threshold(self) -> int:
+        """Current accept-set capacity."""
+        if self.fixed is not None:
+            return max(self.minimum, self.fixed)
+        m = (
+            self.expected_stream_length
+            if self.expected_stream_length is not None
+            else max(self._seen, 16)
+        )
+        return max(self.minimum, math.ceil(self.kappa0 * math.log2(max(m, 2))))

@@ -1,0 +1,117 @@
+"""Robust F0 estimation in the infinite window (Section 5).
+
+Section 5 plugs the robust sampler into the distinct-elements framework of
+Bar-Yossef et al. (RANDOM 2002): replace Algorithm 1's ``kappa_0 * log m``
+accept threshold with ``kappa_B / eps^2`` and return ``|S_acc| * R``.  A
+single copy is a (1 + eps)-approximation with constant probability; the
+median over Theta(log(1/delta)) independent copies boosts the confidence.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import Iterable, Sequence
+
+from repro.core.infinite_window import RobustL0SamplerIW
+from repro.errors import ParameterError
+from repro.streams.point import StreamPoint
+
+#: Constant kappa_B of the accept-set capacity kappa_B / eps^2.  With
+#: capacity T the estimator's relative standard deviation is about
+#: sqrt(2 / T) at the moment the rate halves, so kappa_B = 8 targets a
+#: one-sigma error of eps / 2.
+DEFAULT_KAPPA_B = 8.0
+
+
+class RobustF0EstimatorIW:
+    """(1 + eps)-approximation of the robust number of distinct elements.
+
+    Parameters
+    ----------
+    alpha, dim:
+        As in :class:`~repro.core.infinite_window.RobustL0SamplerIW`.
+    epsilon:
+        Target relative accuracy (0 < eps <= 1).
+    copies:
+        Number of independent copies whose estimates are medianed;
+        Theta(log(1/delta)) copies give failure probability delta.
+    kappa_b:
+        The capacity constant (see :data:`DEFAULT_KAPPA_B`).
+    seed:
+        Base seed; copy ``i`` uses ``seed + i``.
+
+    Examples
+    --------
+    >>> est = RobustF0EstimatorIW(0.5, 1, epsilon=0.5, copies=3, seed=2)
+    >>> for g in range(20):
+    ...     est.insert((10.0 * g,))
+    ...     est.insert((10.0 * g + 0.1,))
+    >>> 10 <= est.estimate() <= 40
+    True
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        dim: int,
+        *,
+        epsilon: float = 0.2,
+        copies: int = 9,
+        kappa_b: float = DEFAULT_KAPPA_B,
+        seed: int | None = None,
+        grid_side: float | None = None,
+    ) -> None:
+        if not 0 < epsilon <= 1:
+            raise ParameterError(f"epsilon must be in (0, 1], got {epsilon}")
+        if copies < 1:
+            raise ParameterError(f"copies must be >= 1, got {copies}")
+        capacity = max(4, math.ceil(kappa_b / (epsilon * epsilon)))
+        base_seed = seed if seed is not None else 0
+        self._copies = [
+            RobustL0SamplerIW(
+                alpha,
+                dim,
+                seed=base_seed + i if seed is not None else None,
+                grid_side=grid_side,
+                accept_capacity=capacity,
+            )
+            for i in range(copies)
+        ]
+        self._epsilon = epsilon
+
+    @property
+    def epsilon(self) -> float:
+        """Target relative accuracy."""
+        return self._epsilon
+
+    @property
+    def num_copies(self) -> int:
+        """Number of independent estimator copies."""
+        return len(self._copies)
+
+    def insert(self, point: StreamPoint | Sequence[float]) -> None:
+        """Feed one point to every copy."""
+        if not isinstance(point, StreamPoint):
+            point = StreamPoint(
+                tuple(float(x) for x in point), self._copies[0].points_seen
+            )
+        for copy in self._copies:
+            copy.insert(point)
+
+    def extend(self, points: Iterable[StreamPoint | Sequence[float]]) -> None:
+        """Insert a sequence of points."""
+        for point in points:
+            self.insert(point)
+
+    def copy_estimates(self) -> list[float]:
+        """Per-copy point estimates ``|S_acc| * R``."""
+        return [copy.estimate_f0() for copy in self._copies]
+
+    def estimate(self) -> float:
+        """Median of the per-copy estimates."""
+        return statistics.median(self.copy_estimates())
+
+    def space_words(self) -> int:
+        """Total footprint across copies."""
+        return sum(copy.space_words() for copy in self._copies)

@@ -1,0 +1,278 @@
+"""Algorithm 2: sliding-window sampling at a fixed cell sample rate.
+
+This is the building block of the space-efficient hierarchy (Algorithm 3);
+it can also be used standalone when the number of groups per window is
+known to be modest (its worst-case space is w/R).
+
+State per candidate group (cf. the paper's key-value store ``A``): the
+group's representative point ``u`` (possibly already expired itself) and
+the group's most recent point ``p``; the pair dies when ``p`` expires,
+which is exactly when the group no longer intersects the window.
+Observation 1: the representative of each group is then fully determined
+by the stream (the latest point of the group preceded by a w-gap), and it
+lands in the accept set with probability 1/R.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Iterator, Sequence
+
+from repro.core.base import (
+    CandidateRecord,
+    CandidateStore,
+    PointContext,
+    SamplerConfig,
+)
+from repro.core.reservoir import WindowReservoir
+from repro.errors import EmptySampleError, ParameterError
+from repro.streams.point import StreamPoint
+from repro.streams.windows import WindowSpec
+
+
+class FixedRateSlidingSampler:
+    """One Algorithm 2 instance: fixed rate ``1/R`` over a sliding window.
+
+    Parameters
+    ----------
+    config:
+        Shared geometry/hash bundle.  All instances of a hierarchy must
+        share one config so that sampling decisions nest across rates.
+    rate_denominator:
+        ``R`` (power of two); cells are sampled with probability ``1/R``.
+    window:
+        Sequence- or time-based window specification.
+    track_members:
+        Maintain per-group :class:`~repro.core.reservoir.WindowReservoir`
+        samples so :meth:`sample_member` works (Section 2.3).
+    """
+
+    def __init__(
+        self,
+        config: SamplerConfig,
+        rate_denominator: int,
+        window: WindowSpec,
+        *,
+        track_members: bool = False,
+    ) -> None:
+        if rate_denominator < 1 or rate_denominator & (rate_denominator - 1):
+            raise ParameterError(
+                f"rate denominator must be a power of two, got {rate_denominator}"
+            )
+        self._config = config
+        self._rate = rate_denominator
+        self._window = window
+        self._track_members = track_members
+        self._store = CandidateStore(config)
+        # Lazy eviction heap over (expiry key, tiebreak, record, last-ref).
+        self._heap: list[tuple[float, int, CandidateRecord, StreamPoint]] = []
+        self._tiebreak = itertools.count()
+        self._reservoirs: dict[int, WindowReservoir] = {}
+        self._member_rng = random.Random()
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rate_denominator(self) -> int:
+        """``R`` of this instance."""
+        return self._rate
+
+    @property
+    def window(self) -> WindowSpec:
+        """The window specification."""
+        return self._window
+
+    @property
+    def config(self) -> SamplerConfig:
+        """Shared geometry/hash bundle."""
+        return self._config
+
+    @property
+    def accepted_count(self) -> int:
+        """``|S_acc|`` (may include entries whose last point has expired
+        until the next eviction; call :meth:`evict` first for exactness)."""
+        return self._store.accepted_count
+
+    @property
+    def candidate_count(self) -> int:
+        """Number of tracked candidate groups."""
+        return len(self._store)
+
+    def records(self) -> Iterator[CandidateRecord]:
+        """Iterate all candidate records."""
+        return self._store.records()
+
+    def accepted_records(self) -> list[CandidateRecord]:
+        """Records of the accept set."""
+        return self._store.accepted_records()
+
+    def rejected_records(self) -> list[CandidateRecord]:
+        """Records of the reject set."""
+        return self._store.rejected_records()
+
+    # ------------------------------------------------------------------ #
+    # streaming
+    # ------------------------------------------------------------------ #
+
+    def _push_heap(self, record: CandidateRecord) -> None:
+        heapq.heappush(
+            self._heap,
+            (
+                self._window.expiry_key(record.last),
+                next(self._tiebreak),
+                record,
+                record.last,
+            ),
+        )
+
+    def evict(self, latest: StreamPoint) -> None:
+        """Drop groups whose last point expired (Lines 1-3 of Algorithm 2).
+
+        Stale heap entries (the record was updated or already removed) are
+        discarded lazily; amortised O(log n) per tracked update.
+        """
+        heap = self._heap
+        store = self._store
+        window = self._window
+        while heap:
+            _, _, record, last_ref = heap[0]
+            current = store.get(record.representative.index)
+            if current is not record or record.last is not last_ref:
+                heapq.heappop(heap)
+                continue
+            if window.in_window(record.last, latest):
+                break
+            heapq.heappop(heap)
+            store.remove(record)
+            self._reservoirs.pop(record.representative.index, None)
+
+    def insert(
+        self,
+        point: StreamPoint,
+        ctx: PointContext | None = None,
+    ) -> tuple[bool, PointContext]:
+        """Process an arriving point.
+
+        Returns ``(tracked, ctx)``.  ``tracked`` is the Algorithm 3 test
+        "exists (u, p) in A_l": True exactly when ``point`` became the
+        last point of some candidate group of this instance (either by
+        updating an existing group or by founding one).  ``ctx`` is the
+        point's geometry, possibly enriched with ``adj(p)`` hashes - a
+        hierarchy passes it down so the computation happens once per
+        arrival rather than once per level.
+        """
+        self.evict(point)
+        config = self._config
+        if ctx is None:
+            ctx = config.point_context(point.vector)
+
+        record = self._store.find_nearby(point.vector, ctx.cell_hash)
+        if record is not None:
+            record.last = point
+            record.count += 1
+            self._push_heap(record)
+            if self._track_members:
+                self._reservoir_for(record).offer(point, self._member_rng)
+            return True, ctx
+
+        ctx = config.with_adj(point.vector, ctx)
+        assert ctx.adj_hashes is not None
+        mask = self._rate - 1
+        if ctx.cell_hash & mask == 0:
+            accepted = True
+        elif any(value & mask == 0 for value in ctx.adj_hashes):
+            accepted = False
+        else:
+            return False, ctx
+
+        record = CandidateRecord(
+            representative=point,
+            cell=ctx.cell,
+            cell_hash=ctx.cell_hash,
+            adj_hashes=ctx.adj_hashes,
+            accepted=accepted,
+            last=point,
+        )
+        self._store.add(record)
+        self._push_heap(record)
+        if self._track_members:
+            self._reservoir_for(record).offer(point, self._member_rng)
+        return True, ctx
+
+    def _reservoir_for(self, record: CandidateRecord) -> WindowReservoir:
+        key = record.representative.index
+        reservoir = self._reservoirs.get(key)
+        if reservoir is None:
+            reservoir = WindowReservoir(self._window)
+            self._reservoirs[key] = reservoir
+        return reservoir
+
+    # ------------------------------------------------------------------ #
+    # hierarchy support (used by Algorithms 3-5)
+    # ------------------------------------------------------------------ #
+
+    def clear(self) -> None:
+        """Reset to the freshly created state, keeping the rate (Line 9)."""
+        self._store = CandidateStore(self._config)
+        self._heap.clear()
+        self._reservoirs.clear()
+
+    def adopt_record(self, record: CandidateRecord) -> None:
+        """Install a record coming from a Split/Merge, with heap tracking."""
+        self._store.add(record)
+        self._push_heap(record)
+
+    def remove_record(self, record: CandidateRecord) -> None:
+        """Detach a record (hierarchy reactivation path)."""
+        self._store.remove(record)
+        self._reservoirs.pop(record.representative.index, None)
+
+    def adopt_last_update(self, record: CandidateRecord) -> None:
+        """Refresh eviction tracking after a record's last point changed."""
+        self._push_heap(record)
+
+    def find_group(
+        self, vector: Sequence[float], cell_hash: int
+    ) -> CandidateRecord | None:
+        """Proximity lookup against this instance's representatives."""
+        return self._store.find_nearby(vector, cell_hash)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def sample(
+        self, latest: StreamPoint, rng: random.Random | None = None
+    ) -> StreamPoint:
+        """A uniformly random accepted group's last point, post-eviction."""
+        self.evict(latest)
+        accepted = self._store.accepted_records()
+        if not accepted:
+            raise EmptySampleError("no accepted group intersects the window")
+        rng = rng if rng is not None else random.Random()
+        return rng.choice(accepted).last
+
+    def sample_member(
+        self, latest: StreamPoint, rng: random.Random | None = None
+    ) -> StreamPoint:
+        """A uniformly random window member of a random accepted group."""
+        if not self._track_members:
+            raise ParameterError("sampler was built with track_members=False")
+        self.evict(latest)
+        accepted = self._store.accepted_records()
+        if not accepted:
+            raise EmptySampleError("no accepted group intersects the window")
+        rng = rng if rng is not None else random.Random()
+        record = rng.choice(accepted)
+        return self._reservoirs[record.representative.index].member(latest)
+
+    def space_words(self) -> int:
+        """Current footprint in words (records + reservoirs + scalars)."""
+        words = self._store.space_words(track_members=False) + 3
+        for reservoir in self._reservoirs.values():
+            words += reservoir.space_words()
+        return words

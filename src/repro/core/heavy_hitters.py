@@ -1,0 +1,222 @@
+"""Robust heavy hitters: frequent *elements* under near-duplication.
+
+The related work (Zhang, SPAA 2015) studies heavy hitters in the same
+noisy data model, in the distributed setting; this module provides the
+streaming counterpart as a natural companion to the samplers: find the
+groups contributing more than a ``phi`` fraction of the stream, treating
+near-duplicates as one element.
+
+Algorithm: Misra-Gries / SpaceSaving over *group representatives*.  The
+counter table is keyed by representatives; an arriving point increments
+the counter of the group it belongs to (proximity probe via the same
+cell-bucket trick the samplers use).  When the table overflows, the
+classic SpaceSaving eviction replaces the minimum-count entry.  Standard
+guarantee transfers: with ``k = ceil(1/epsilon)`` counters, every group
+with true count > (epsilon * m) is reported, and reported counts
+overestimate by at most m/k - with the Section 3 caveat that on general
+(non-separated) data "group" means greedy-partition group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.base import SamplerConfig, coerce_point
+from repro.errors import ParameterError
+from repro.streams.point import StreamPoint
+
+
+@dataclass
+class _Counter:
+    representative: StreamPoint
+    cell_hash: int
+    adj_hashes: tuple[int, ...]
+    count: int
+    error: int  # SpaceSaving overestimation bound carried by this entry
+
+
+@dataclass(frozen=True, slots=True)
+class HeavyHitter:
+    """One reported heavy group.
+
+    Attributes
+    ----------
+    representative:
+        The group's first tracked point.
+    count:
+        Estimated number of stream points in the group (overestimate by
+        at most ``error``).
+    error:
+        Maximum overestimation inherited from SpaceSaving evictions.
+    """
+
+    representative: StreamPoint
+    count: int
+    error: int
+
+    @property
+    def guaranteed_count(self) -> int:
+        """Lower bound on the group's true frequency."""
+        return self.count - self.error
+
+
+class RobustHeavyHitters:
+    """SpaceSaving over near-duplicate groups.
+
+    Parameters
+    ----------
+    alpha, dim:
+        Noisy data model geometry.
+    epsilon:
+        Frequency resolution: counts are accurate to ``epsilon * m`` using
+        ``ceil(1/epsilon)`` counters.
+    seed:
+        Seed for the grid (proximity bucketing only - no subsampling here).
+
+    Examples
+    --------
+    >>> hh = RobustHeavyHitters(0.5, 1, epsilon=0.25, seed=0)
+    >>> for v in [(0.0,), (0.1,), (0.05,), (9.0,)]:
+    ...     hh.insert(v)
+    >>> top = hh.heavy_hitters(phi=0.5)
+    >>> len(top), top[0].count
+    (1, 3)
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        dim: int,
+        *,
+        epsilon: float = 0.01,
+        seed: int | None = None,
+    ) -> None:
+        if not 0 < epsilon <= 1:
+            raise ParameterError(f"epsilon must be in (0, 1], got {epsilon}")
+        self._config = SamplerConfig.create(alpha, dim, seed=seed)
+        self._capacity = max(1, int(1.0 / epsilon + 0.5))
+        self._counters: dict[int, _Counter] = {}
+        self._buckets: dict[int, list[int]] = {}
+        self._count = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of simultaneously tracked groups."""
+        return self._capacity
+
+    @property
+    def points_seen(self) -> int:
+        """Stream length so far."""
+        return self._count
+
+    @property
+    def num_tracked(self) -> int:
+        """Currently tracked groups."""
+        return len(self._counters)
+
+    def _find(self, vector, cell_hash: int) -> _Counter | None:
+        from repro.geometry.distance import within_distance
+
+        alpha = self._config.alpha
+        for key in self._buckets.get(cell_hash, ()):
+            counter = self._counters[key]
+            if within_distance(counter.representative.vector, vector, alpha):
+                return counter
+        return None
+
+    def _attach(self, key: int, counter: _Counter) -> None:
+        self._counters[key] = counter
+        for value in set(counter.adj_hashes):
+            self._buckets.setdefault(value, []).append(key)
+
+    def _detach(self, key: int) -> _Counter:
+        counter = self._counters.pop(key)
+        for value in set(counter.adj_hashes):
+            bucket = self._buckets[value]
+            bucket.remove(key)
+            if not bucket:
+                del self._buckets[value]
+        return counter
+
+    def insert(self, point: StreamPoint | Sequence[float]) -> None:
+        """Count one arriving point into its group."""
+        p = coerce_point(point, self._count)
+        if p.dim != self._config.dim:
+            raise ParameterError(
+                f"point has dimension {p.dim}, expected {self._config.dim}"
+            )
+        self._count += 1
+        ctx = self._config.point_context(p.vector)
+        counter = self._find(p.vector, ctx.cell_hash)
+        if counter is not None:
+            counter.count += 1
+            return
+
+        adj_hashes = self._config.adj_hashes(p.vector)
+        if len(self._counters) < self._capacity:
+            self._attach(
+                p.index,
+                _Counter(
+                    representative=p,
+                    cell_hash=ctx.cell_hash,
+                    adj_hashes=adj_hashes,
+                    count=1,
+                    error=0,
+                ),
+            )
+            return
+
+        # SpaceSaving eviction: the new group inherits the minimum count.
+        victim_key = min(
+            self._counters, key=lambda k: self._counters[k].count
+        )
+        victim = self._detach(victim_key)
+        self._attach(
+            p.index,
+            _Counter(
+                representative=p,
+                cell_hash=ctx.cell_hash,
+                adj_hashes=adj_hashes,
+                count=victim.count + 1,
+                error=victim.count,
+            ),
+        )
+
+    def extend(self, points: Iterable[StreamPoint | Sequence[float]]) -> None:
+        """Count a sequence of points."""
+        for point in points:
+            self.insert(point)
+
+    def heavy_hitters(self, phi: float) -> list[HeavyHitter]:
+        """Groups with estimated frequency above ``phi * m``, sorted.
+
+        Every group whose true frequency exceeds ``phi * m`` appears
+        (SpaceSaving guarantee, given ``phi >= epsilon``); reported counts
+        overestimate by at most each entry's ``error``.
+        """
+        if not 0 < phi <= 1:
+            raise ParameterError(f"phi must be in (0, 1], got {phi}")
+        threshold = phi * self._count
+        hits = [
+            HeavyHitter(c.representative, c.count, c.error)
+            for c in self._counters.values()
+            if c.count > threshold
+        ]
+        hits.sort(key=lambda h: h.count, reverse=True)
+        return hits
+
+    def estimated_count(self, vector: Sequence[float]) -> int:
+        """Estimated frequency of the group containing ``vector`` (0 when
+        untracked)."""
+        cell_hash = self._config.point_context(tuple(vector)).cell_hash
+        counter = self._find(tuple(float(x) for x in vector), cell_hash)
+        return counter.count if counter is not None else 0
+
+    def space_words(self) -> int:
+        """Footprint in words."""
+        words = 3
+        dim = self._config.dim
+        for counter in self._counters.values():
+            words += dim + 4 + len(counter.adj_hashes)
+        return words

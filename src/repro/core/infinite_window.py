@@ -1,0 +1,279 @@
+"""Algorithm 1: robust l0-sampling in the infinite window (Section 2.1).
+
+The sampler maintains, for each *candidate group* (a group whose first
+point landed in or next to a sampled grid cell), the group's first point as
+its representative; representatives whose own cell is sampled form the
+accept set ``S_acc``, the others the reject set ``S_rej``.  When the accept
+set outgrows ``kappa_0 * log m`` the cell sample rate is halved in place
+(``R <- 2R``), which is consistent because sampling decisions are nested
+across rates (Fact 1(b)).  A query returns a uniformly random point of
+``S_acc``, which Theorem 2.4 shows is a robust l0-sample with probability
+``1 - 1/m`` using O(log m) words.
+
+Section 2.3 extensions implemented here:
+
+* ``sample_member`` - return a uniformly random *member* of the sampled
+  group rather than its fixed representative, via reservoir counters.
+* ``estimate_f0`` - ``|S_acc| * R``, the Section 5 estimator (see
+  :mod:`repro.core.f0_infinite` for the full median-of-copies wrapper).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.core.base import (
+    DEFAULT_KAPPA0,
+    CandidateRecord,
+    CandidateStore,
+    SamplerConfig,
+    _ThresholdPolicy,
+    coerce_point,
+)
+from repro.errors import EmptySampleError, ParameterError
+from repro.streams.point import StreamPoint
+
+
+class RobustL0SamplerIW:
+    """Robust distinct sampler for the standard streaming model.
+
+    Parameters
+    ----------
+    alpha:
+        Distance threshold: points within ``alpha`` are near-duplicates.
+    dim:
+        Dimensionality of the points.
+    kappa0:
+        The constant of the ``kappa_0 * log m`` accept-set threshold.
+    expected_stream_length:
+        Optional a-priori bound on the stream length ``m``; fixes the
+        threshold up front as in the paper.  When omitted the threshold
+        grows with the points seen.
+    seed:
+        Seed for the grid offset and the sampling hash.
+    grid_side:
+        Override the grid side length (see
+        :func:`repro.core.base.default_grid_side` for the default policy).
+    kwise:
+        Use a k-wise independent polynomial hash instead of the default
+        mixer (theory-faithful mode).
+    track_members:
+        Maintain reservoir samples so :meth:`sample_member` can return a
+        uniformly random group member (Section 2.3).
+    accept_capacity:
+        Fixed accept-set capacity overriding the ``kappa_0 * log m`` rule;
+        Section 5's F0 estimator sets this to ``kappa_B / eps^2``.
+
+    Examples
+    --------
+    >>> sampler = RobustL0SamplerIW(alpha=0.5, dim=2, seed=7)
+    >>> for v in [(0.0, 0.0), (0.1, 0.0), (10.0, 10.0)]:
+    ...     sampler.insert(v)
+    >>> sampler.num_candidate_groups >= 1
+    True
+    >>> point = sampler.sample(rng=random.Random(1))
+    >>> point.vector in {(0.0, 0.0), (10.0, 10.0)}
+    True
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        dim: int,
+        *,
+        kappa0: float = DEFAULT_KAPPA0,
+        expected_stream_length: int | None = None,
+        seed: int | None = None,
+        grid_side: float | None = None,
+        kwise: int | None = None,
+        track_members: bool = False,
+        config: SamplerConfig | None = None,
+        accept_capacity: int | None = None,
+    ) -> None:
+        if kappa0 <= 0:
+            raise ParameterError(f"kappa0 must be positive, got {kappa0}")
+        self._config = config if config is not None else SamplerConfig.create(
+            alpha, dim, seed=seed, grid_side=grid_side, kwise=kwise
+        )
+        if self._config.dim != dim:
+            raise ParameterError("config dimension does not match dim")
+        self._store = CandidateStore(self._config)
+        self._policy = _ThresholdPolicy(
+            kappa0, expected_stream_length, fixed=accept_capacity
+        )
+        self._rate_denominator = 1
+        self._track_members = track_members
+        self._count = 0
+        self._member_rng = random.Random(
+            None if seed is None else seed ^ 0x5EED
+        )
+        self._peak_words = 0
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def alpha(self) -> float:
+        """The near-duplicate distance threshold."""
+        return self._config.alpha
+
+    @property
+    def dim(self) -> int:
+        """Point dimensionality."""
+        return self._config.dim
+
+    @property
+    def config(self) -> SamplerConfig:
+        """Grid/hash bundle (shared with derived samplers)."""
+        return self._config
+
+    @property
+    def rate_denominator(self) -> int:
+        """Current ``R``: cells are sampled with probability ``1/R``."""
+        return self._rate_denominator
+
+    @property
+    def points_seen(self) -> int:
+        """Number of stream points inserted so far."""
+        return self._count
+
+    @property
+    def accept_size(self) -> int:
+        """``|S_acc|``."""
+        return self._store.accepted_count
+
+    @property
+    def reject_size(self) -> int:
+        """``|S_rej|``."""
+        return self._store.rejected_count
+
+    @property
+    def num_candidate_groups(self) -> int:
+        """Number of tracked (candidate) groups."""
+        return len(self._store)
+
+    @property
+    def peak_space_words(self) -> int:
+        """Largest footprint observed (the paper's pSpace measure)."""
+        return self._peak_words
+
+    # ------------------------------------------------------------------ #
+    # streaming
+    # ------------------------------------------------------------------ #
+
+    def insert(self, point: StreamPoint | Sequence[float]) -> None:
+        """Process one arriving stream point (the body of Algorithm 1)."""
+        p = coerce_point(point, self._count)
+        if p.dim != self._config.dim:
+            raise ParameterError(
+                f"point has dimension {p.dim}, sampler expects {self._config.dim}"
+            )
+        self._count += 1
+        self._policy.observe()
+
+        config = self._config
+        ctx = config.point_context(p.vector)
+        existing = self._store.find_nearby(p.vector, ctx.cell_hash)
+        if existing is not None:
+            # Line 4: p is not the first point of its candidate group.
+            existing.count += 1
+            existing.last = p
+            if self._track_members and (
+                self._member_rng.random() < 1.0 / existing.count
+            ):
+                existing.member = p
+            return
+
+        adj_hashes = config.adj_hashes(p.vector)
+        mask = self._rate_denominator - 1
+        if ctx.cell_hash & mask == 0:
+            accepted = True
+        elif any(value & mask == 0 for value in adj_hashes):
+            accepted = False
+        else:
+            return  # the group is ignored at the current rate
+
+        record = CandidateRecord(
+            representative=p,
+            cell=ctx.cell,
+            cell_hash=ctx.cell_hash,
+            adj_hashes=adj_hashes,
+            accepted=accepted,
+            last=p,
+            member=p if self._track_members else None,
+        )
+        self._store.add(record)
+
+        while self._store.accepted_count > self._policy.threshold():
+            self._rate_denominator *= 2
+            self._store.resample(self._rate_denominator)
+
+        # The footprint only changes when the record set changes, which is
+        # exactly this code path - keeping the peak update here keeps the
+        # common "known group" path O(1).
+        words = self.space_words()
+        if words > self._peak_words:
+            self._peak_words = words
+
+    def extend(self, points: Iterable[StreamPoint | Sequence[float]]) -> None:
+        """Insert a sequence of points."""
+        for point in points:
+            self.insert(point)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def sample(self, rng: random.Random | None = None) -> StreamPoint:
+        """Return a robust l0-sample: a random representative of ``S_acc``.
+
+        Raises
+        ------
+        EmptySampleError
+            If no group is currently accepted (empty stream, or the
+            probability-``1/m`` failure event of Lemma 2.5).
+        """
+        accepted = self._store.accepted_records()
+        if not accepted:
+            raise EmptySampleError(
+                "accept set is empty; no robust sample available"
+            )
+        rng = rng if rng is not None else random.Random()
+        return rng.choice(accepted).representative
+
+    def sample_member(self, rng: random.Random | None = None) -> StreamPoint:
+        """Return a uniformly random *member* of a random group (S 2.3).
+
+        Requires ``track_members=True``.
+        """
+        if not self._track_members:
+            raise ParameterError(
+                "sampler was built with track_members=False"
+            )
+        accepted = self._store.accepted_records()
+        if not accepted:
+            raise EmptySampleError(
+                "accept set is empty; no robust sample available"
+            )
+        rng = rng if rng is not None else random.Random()
+        record = rng.choice(accepted)
+        assert record.member is not None
+        return record.member
+
+    def accepted_representatives(self) -> list[StreamPoint]:
+        """The representatives of all accepted groups (for F0 estimation)."""
+        return [r.representative for r in self._store.accepted_records()]
+
+    def rejected_representatives(self) -> list[StreamPoint]:
+        """The representatives of all rejected groups."""
+        return [r.representative for r in self._store.rejected_records()]
+
+    def estimate_f0(self) -> float:
+        """Point estimate ``|S_acc| * R`` of the number of groups (S 5)."""
+        return float(self._store.accepted_count * self._rate_denominator)
+
+    def space_words(self) -> int:
+        """Current memory footprint in words (records + scalars)."""
+        return self._store.space_words(track_members=self._track_members) + 4

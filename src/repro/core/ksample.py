@@ -1,0 +1,183 @@
+"""Sampling k distinct groups with or without replacement (Section 2.3).
+
+* **With replacement**: k independent copies of the single-sample
+  algorithm, one sample from each.
+* **Without replacement**: a single instance whose accept-set threshold is
+  raised to ``kappa_0 * k * log m``; with probability ``1 - 1/m`` the
+  accept set then always holds at least ``k`` groups, and a uniform
+  k-subset of it is a without-replacement sample of the groups.
+
+Both flavours work for the infinite window and for sliding windows.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.core.base import DEFAULT_KAPPA0
+from repro.core.infinite_window import RobustL0SamplerIW
+from repro.core.sliding_window import RobustL0SamplerSW
+from repro.errors import EmptySampleError, ParameterError
+from repro.streams.point import StreamPoint
+from repro.streams.windows import WindowSpec
+
+
+class KDistinctSampler:
+    """Draw k robust distinct samples from a noisy stream.
+
+    Parameters
+    ----------
+    alpha, dim:
+        As in the single-sample algorithms.
+    k:
+        Number of samples per query (>= 1).
+    replacement:
+        True -> k independent single-samplers (samples may repeat groups);
+        False -> one sampler with a k-times larger accept threshold and a
+        uniform k-subset drawn at query time (all k samples come from
+        distinct groups).
+    window:
+        ``None`` for the infinite window, otherwise a sliding-window spec
+        (the Section 2.3 remark applies the same threshold change to
+        Algorithm 3).
+    seed, kappa0, expected_stream_length:
+        Forwarded to the underlying sampler(s).
+
+    Examples
+    --------
+    >>> ks = KDistinctSampler(0.5, 1, k=2, replacement=False, seed=5)
+    >>> for v in [(0.0,), (10.0,), (20.0,), (0.1,)]:
+    ...     ks.insert(v)
+    >>> groups = {p.vector[0] // 10 for p in ks.sample(rng=random.Random(0))}
+    >>> len(groups)
+    2
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        dim: int,
+        k: int,
+        *,
+        replacement: bool = False,
+        window: WindowSpec | None = None,
+        window_capacity: int | None = None,
+        seed: int | None = None,
+        kappa0: float = DEFAULT_KAPPA0,
+        expected_stream_length: int | None = None,
+    ) -> None:
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        self._k = k
+        self._replacement = replacement
+        self._window = window
+        base_seed = seed if seed is not None else random.Random().randrange(2**62)
+
+        def build(instance_seed: int, kappa: float):
+            if window is None:
+                return RobustL0SamplerIW(
+                    alpha,
+                    dim,
+                    kappa0=kappa,
+                    expected_stream_length=expected_stream_length,
+                    seed=instance_seed,
+                )
+            return RobustL0SamplerSW(
+                alpha,
+                dim,
+                window,
+                window_capacity=window_capacity,
+                kappa0=kappa,
+                expected_stream_length=expected_stream_length,
+                seed=instance_seed,
+            )
+
+        if replacement:
+            self._samplers = [build(base_seed + i, kappa0) for i in range(k)]
+        else:
+            # The Section 2.3 threshold boost: kappa_0 * k * log m.
+            self._samplers = [build(base_seed, kappa0 * k)]
+
+    @property
+    def k(self) -> int:
+        """Number of samples returned per query."""
+        return self._k
+
+    @property
+    def replacement(self) -> bool:
+        """Whether sampling is with replacement."""
+        return self._replacement
+
+    def insert(self, point: StreamPoint | Sequence[float]) -> None:
+        """Feed one point to every underlying sampler."""
+        if isinstance(point, StreamPoint):
+            for sampler in self._samplers:
+                sampler.insert(point)
+        else:
+            # Materialise a shared StreamPoint so all copies agree on the
+            # arrival index.
+            index = self._samplers[0].points_seen
+            shared = StreamPoint(tuple(float(x) for x in point), index)
+            for sampler in self._samplers:
+                sampler.insert(shared)
+
+    def extend(self, points: Iterable[StreamPoint | Sequence[float]]) -> None:
+        """Insert a sequence of points."""
+        for point in points:
+            self.insert(point)
+
+    def sample(self, rng: random.Random | None = None) -> list[StreamPoint]:
+        """Return the k samples.
+
+        Raises
+        ------
+        EmptySampleError
+            When fewer than the required samples are available (empty
+            stream, or - without replacement - the negligible event that
+            the enlarged accept set undershoots ``k``).
+        """
+        rng = rng if rng is not None else random.Random()
+        if self._replacement:
+            return [sampler.sample(rng) for sampler in self._samplers]
+
+        sampler = self._samplers[0]
+        if isinstance(sampler, RobustL0SamplerIW):
+            pool = [r.representative for r in sampler._store.accepted_records()]
+        else:
+            pool = self._sliding_pool(sampler, rng)
+        if len(pool) < self._k:
+            raise EmptySampleError(
+                f"only {len(pool)} groups available, need {self._k}"
+            )
+        return rng.sample(pool, self._k)
+
+    @staticmethod
+    def _sliding_pool(
+        sampler: RobustL0SamplerSW, rng: random.Random
+    ) -> list[StreamPoint]:
+        """Rate-unified pool of accepted last-points across levels."""
+        if sampler._latest is None:
+            return []
+        latest = sampler._latest
+        active = []
+        for index in range(sampler.num_levels):
+            instance = sampler.level(index)
+            instance.evict(latest)
+            records = instance.accepted_records()
+            if records:
+                active.append((index, records))
+        if not active:
+            return []
+        coarsest = sampler.level(active[-1][0]).rate_denominator
+        pool = []
+        for index, records in active:
+            keep = sampler.level(index).rate_denominator / coarsest
+            for record in records:
+                if keep >= 1.0 or rng.random() < keep:
+                    pool.append(record.last)
+        return pool
+
+    def space_words(self) -> int:
+        """Total footprint across the underlying samplers."""
+        return sum(sampler.space_words() for sampler in self._samplers)

@@ -1,0 +1,126 @@
+"""Random-member-of-group sampling (Section 2.3).
+
+The base samplers return a *fixed* representative of the sampled group.
+Section 2.3 explains how to return a uniformly random member instead:
+
+* infinite window: classical reservoir sampling (Vitter 1985) with a
+  per-group counter - :class:`ReservoirMember`;
+* sliding window: a priority-based scheme in the spirit of Babcock, Datar
+  and Motwani (SODA 2002) / Braverman et al. (PODS 2009):
+  :class:`WindowReservoir` assigns each point an i.i.d. uniform priority
+  and keeps the points not dominated by any later point; the maximum-
+  priority unexpired point is then uniform over the window's members of
+  the group, and the expected kept-set size is O(log w).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import EmptySampleError
+from repro.streams.point import StreamPoint
+from repro.streams.windows import WindowSpec
+
+
+class ReservoirMember:
+    """Uniform sample over all points offered so far (infinite window).
+
+    >>> rng = random.Random(0)
+    >>> res = ReservoirMember()
+    >>> for i in range(100):
+    ...     res.offer(StreamPoint((float(i),), i), rng)
+    >>> res.count
+    100
+    >>> isinstance(res.member(), StreamPoint)
+    True
+    """
+
+    __slots__ = ("_member", "_count")
+
+    def __init__(self) -> None:
+        self._member: StreamPoint | None = None
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of points offered."""
+        return self._count
+
+    def offer(self, point: StreamPoint, rng: random.Random) -> None:
+        """Present one point; it replaces the sample with prob ``1/count``."""
+        self._count += 1
+        if self._member is None or rng.random() < 1.0 / self._count:
+            self._member = point
+
+    def member(self) -> StreamPoint:
+        """The current uniform sample."""
+        if self._member is None:
+            raise EmptySampleError("reservoir is empty")
+        return self._member
+
+    def space_words(self) -> int:
+        """Footprint in words (stored point + counter)."""
+        if self._member is None:
+            return 1
+        return len(self._member.vector) + 3
+
+
+class WindowReservoir:
+    """Uniform sample over the *unexpired* points offered (sliding window).
+
+    Keeps the sequence of offered points that are not dominated by a later
+    point of higher priority; priorities are i.i.d. uniform, so the stored
+    priorities are strictly decreasing in arrival order and the head of the
+    surviving (unexpired) portion is a uniform sample of the window.
+
+    >>> rng = random.Random(0)
+    >>> from repro.streams.windows import SequenceWindow
+    >>> res = WindowReservoir(SequenceWindow(10))
+    >>> pts = [StreamPoint((float(i),), i) for i in range(50)]
+    >>> for p in pts:
+    ...     res.offer(p, rng)
+    >>> sample = res.member(latest=pts[-1])
+    >>> sample.index > 39
+    True
+    """
+
+    __slots__ = ("_window", "_entries")
+
+    def __init__(self, window: WindowSpec) -> None:
+        self._window = window
+        # (priority, point), arrival order == decreasing priority order.
+        self._entries: list[tuple[float, StreamPoint]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def offer(self, point: StreamPoint, rng: random.Random) -> None:
+        """Present one point with a fresh random priority."""
+        priority = rng.random()
+        entries = self._entries
+        while entries and entries[-1][0] <= priority:
+            entries.pop()
+        entries.append((priority, point))
+
+    def _evict(self, latest: StreamPoint) -> None:
+        window = self._window
+        entries = self._entries
+        drop = 0
+        while drop < len(entries) and window.expired(entries[drop][1], latest):
+            drop += 1
+        if drop:
+            del entries[:drop]
+
+    def member(self, latest: StreamPoint) -> StreamPoint:
+        """Uniform sample among unexpired offered points."""
+        self._evict(latest)
+        if not self._entries:
+            raise EmptySampleError("window reservoir holds no live points")
+        return self._entries[0][1]
+
+    def space_words(self) -> int:
+        """Footprint in words (kept points + priorities)."""
+        if not self._entries:
+            return 1
+        dim = len(self._entries[0][1].vector)
+        return len(self._entries) * (dim + 3)

@@ -1,0 +1,396 @@
+"""Algorithms 3-5: space-efficient robust l0-sampling over sliding windows.
+
+The hierarchy keeps ``L + 1`` instances of Algorithm 2 with sample rates
+``1, 1/2, ..., 1/2^L`` over a dynamic partition of the window into
+subwindows (Definition 2.9): level ``l`` covers an older slice of the
+window at a coarser rate.  New groups enter at level 0 (rate 1 - every
+cell is sampled, so "ALG_0 includes every point", cf. Lemma 2.10); when a
+level's accept set outgrows ``kappa_0 * log m`` its older prefix is
+*promoted*: `Split` re-derives the prefix's accept/reject status at the
+doubled rate and `Merge` folds it into the level above, possibly
+cascading (Lemma 2.8 bounds the cascade past the top level by 1/m^2).
+
+A query resamples each level's accepted last-points down to the coarsest
+active rate ``1/R_c`` and picks uniformly (Theorem 2.7: the result is a
+robust l0-sample of the window using O(log w log m) words).  Uniformity
+rests on two invariants: every live group is tracked at exactly one
+level, and a group tracked at level ``l`` is accepted iff its
+representative's cell is sampled at rate ``1/R_l`` - so each group's
+inclusion probability is ``(1/R_l) * (R_l / R_c) = 1/R_c`` regardless of
+which level it occupies.
+
+Deviations from the paper's pseudocode (typos and an inconsistency
+resolved; see DESIGN.md section 3 for the full discussion):
+
+* the paper's insertion loop stops at the first level where the point is
+  tracked *at all*, which lets a brand-new group be trapped as "rejected"
+  at a high level; such a group is invisible to every accept set, which
+  empirically starves the sampler and contradicts Fact 4 / Lemma 2.10.
+  Here the top-down descent is used only to locate the group's existing
+  record; genuinely new groups are inserted at level 0, and a rejected
+  record that receives fresh activity is reassigned to level 0 (its
+  subwindow is now the newest one; its representative is preserved);
+* ``Split`` re-derives accept/reject status of the promoted points under
+  the doubled rate exactly as Algorithm 1's resampling step does (the
+  literal pseudocode would always promote an empty reject set);
+* the query iterates levels ``0..c`` (not ``1..c``) and only over accepted
+  groups' last-points;
+* ``Merge`` deduplicates representatives of the same group.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Sequence
+
+from repro.core.base import (
+    DEFAULT_KAPPA0,
+    CandidateRecord,
+    SamplerConfig,
+    _ThresholdPolicy,
+    coerce_point,
+)
+from repro.core.fixed_rate import FixedRateSlidingSampler
+from repro.errors import EmptySampleError, LevelOverflowError, ParameterError
+from repro.streams.point import StreamPoint
+from repro.streams.windows import SequenceWindow, WindowSpec
+
+
+class RobustL0SamplerSW:
+    """Robust distinct sampler for sliding windows (Algorithm 3).
+
+    Works for both sequence-based and time-based windows; only the
+    expiration rule differs (encapsulated in ``window``).
+
+    Parameters
+    ----------
+    alpha:
+        Near-duplicate distance threshold.
+    dim:
+        Point dimensionality.
+    window:
+        A :class:`~repro.streams.windows.SequenceWindow` or
+        :class:`~repro.streams.windows.TimeWindow`.
+    window_capacity:
+        Upper bound on the number of points a window can contain; sets the
+        number of levels ``L = ceil(log2(capacity))``.  Defaults to the
+        window size for sequence-based windows; required for time-based
+        windows (where the point count is not implied by the duration).
+    kappa0, expected_stream_length, seed, grid_side, kwise:
+        As in :class:`~repro.core.infinite_window.RobustL0SamplerIW`.
+
+    Examples
+    --------
+    >>> sw = RobustL0SamplerSW(0.5, 1, SequenceWindow(4), seed=3)
+    >>> for i in range(12):
+    ...     sw.insert((float(i * 10),))
+    >>> sw.sample(rng=random.Random(0)).vector[0] >= 80.0
+    True
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        dim: int,
+        window: WindowSpec,
+        *,
+        window_capacity: int | None = None,
+        kappa0: float = DEFAULT_KAPPA0,
+        expected_stream_length: int | None = None,
+        seed: int | None = None,
+        grid_side: float | None = None,
+        kwise: int | None = None,
+        config: SamplerConfig | None = None,
+    ) -> None:
+        if window_capacity is None:
+            if isinstance(window, SequenceWindow):
+                window_capacity = int(window.size)
+            else:
+                raise ParameterError(
+                    "window_capacity is required for time-based windows "
+                    "(the duration does not bound the point count)"
+                )
+        if window_capacity < 1:
+            raise ParameterError(
+                f"window_capacity must be >= 1, got {window_capacity}"
+            )
+        self._config = config if config is not None else SamplerConfig.create(
+            alpha, dim, seed=seed, grid_side=grid_side, kwise=kwise
+        )
+        self._window = window
+        self._policy = _ThresholdPolicy(kappa0, expected_stream_length)
+        self._max_level = max(1, math.ceil(math.log2(max(window_capacity, 2))))
+        self._levels = [
+            FixedRateSlidingSampler(self._config, 2**level, window)
+            for level in range(self._max_level + 1)
+        ]
+        self._latest: StreamPoint | None = None
+        self._count = 0
+        self._peak_words = 0
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def alpha(self) -> float:
+        """The near-duplicate distance threshold."""
+        return self._config.alpha
+
+    @property
+    def dim(self) -> int:
+        """Point dimensionality."""
+        return self._config.dim
+
+    @property
+    def window(self) -> WindowSpec:
+        """The window specification."""
+        return self._window
+
+    @property
+    def num_levels(self) -> int:
+        """Number of hierarchy levels (``L + 1``)."""
+        return len(self._levels)
+
+    @property
+    def points_seen(self) -> int:
+        """Number of stream points inserted."""
+        return self._count
+
+    @property
+    def peak_space_words(self) -> int:
+        """Largest footprint observed across the run."""
+        return self._peak_words
+
+    def level(self, index: int) -> FixedRateSlidingSampler:
+        """Access one Algorithm 2 instance (mostly for tests/inspection)."""
+        return self._levels[index]
+
+    # ------------------------------------------------------------------ #
+    # streaming
+    # ------------------------------------------------------------------ #
+
+    def insert(self, point: StreamPoint | Sequence[float]) -> None:
+        """Process one arriving stream point (Lines 4-18 of Algorithm 3)."""
+        p = coerce_point(point, self._count)
+        if p.dim != self._config.dim:
+            raise ParameterError(
+                f"point has dimension {p.dim}, sampler expects {self._config.dim}"
+            )
+        if self._latest is not None and (
+            self._window.expiry_key(p) < self._window.expiry_key(self._latest)
+        ):
+            raise ParameterError(
+                "stream points must arrive in non-decreasing window order"
+            )
+        self._count += 1
+        self._policy.observe()
+        self._latest = p
+
+        ctx = self._config.point_context(p.vector)
+        base = self._levels[0]
+        for level in range(self._max_level, -1, -1):
+            instance = self._levels[level]
+            instance.evict(p)
+            record = instance.find_group(p.vector, ctx.cell_hash)
+            if record is None:
+                continue
+            record.last = p
+            record.count += 1
+            if record.accepted or level == 0:
+                instance.adopt_last_update(record)
+            else:
+                # A rejected group with fresh activity belongs to the
+                # newest subwindow: move it (representative preserved) to
+                # level 0, whose rate 1 accepts everything.
+                instance.remove_record(record)
+                record.accepted = True
+                base.adopt_record(record)
+                if base.accepted_count > self._policy.threshold():
+                    self._cascade(0)
+            break
+        else:
+            # A genuinely new group enters at level 0 (Lemma 2.10: ALG_0
+            # tracks every representative since R_0 = 1).
+            tracked, ctx = base.insert(p, ctx)
+            assert tracked, "level 0 samples every cell (R=1)"
+            if base.accepted_count > self._policy.threshold():
+                self._cascade(0)
+
+        # Peak-space tracking is sampled (every 16th arrival) - summing the
+        # footprint of every level on every insert would dominate runtime.
+        if self._count & 0xF == 0:
+            words = self.space_words()
+            if words > self._peak_words:
+                self._peak_words = words
+
+    def extend(self, points: Iterable[StreamPoint | Sequence[float]]) -> None:
+        """Insert a sequence of points."""
+        for point in points:
+            self.insert(point)
+
+    # ------------------------------------------------------------------ #
+    # Split / Merge (Algorithms 4 and 5)
+    # ------------------------------------------------------------------ #
+
+    def _cascade(self, start_level: int) -> None:
+        """Restore the accept-set invariant by promoting prefixes upward."""
+        level = start_level
+        threshold = self._policy.threshold()
+        while self._levels[level].accepted_count > threshold:
+            if level + 1 > self._max_level:
+                raise LevelOverflowError(
+                    "sliding-window hierarchy overflow (Algorithm 3 Line 17); "
+                    "this is the probability <= 1/m^2 failure event of "
+                    "Lemma 2.8 - increase window_capacity or kappa0"
+                )
+            promoted = self._split(level)
+            self._merge(promoted, level + 1)
+            level += 1
+
+    def _split(self, level: int) -> list[CandidateRecord]:
+        """Algorithm 4: carve off the promotable prefix of ``level``.
+
+        Returns the records of the prefix *re-derived at the doubled rate*
+        (already filtered to accepted/rejected; dropped points discarded).
+        The remaining suffix stays at ``level`` with its status unchanged.
+        """
+        instance = self._levels[level]
+        doubled_mask = instance.rate_denominator * 2 - 1
+
+        accepted = sorted(
+            instance.accepted_records(), key=lambda r: r.representative.index
+        )
+        survivors = [
+            r for r in accepted if r.cell_hash & doubled_mask == 0
+        ]
+        if survivors:
+            boundary = survivors[-1].representative.index
+        elif len(accepted) > 1:
+            # Negligible-probability corner (see DESIGN.md): keep the last
+            # accepted point at this level so Fact 3 survives.
+            boundary = accepted[-2].representative.index
+        else:
+            boundary = accepted[-1].representative.index - 1
+
+        all_records = list(instance.records())
+        prefix = [
+            r for r in all_records if r.representative.index <= boundary
+        ]
+        suffix = [r for r in all_records if r.representative.index > boundary]
+
+        # Rebuild the level with the suffix (rate unchanged, Algorithm 4's
+        # ALG_b) ...
+        instance.clear()
+        for record in suffix:
+            instance.adopt_record(record)
+
+        # ... and re-derive the prefix at the doubled rate (ALG_a).
+        promoted: list[CandidateRecord] = []
+        for record in prefix:
+            if record.cell_hash & doubled_mask == 0:
+                record.accepted = True
+            elif any(
+                value & doubled_mask == 0 for value in record.adj_hashes
+            ):
+                record.accepted = False
+            else:
+                continue
+            promoted.append(record)
+        return promoted
+
+    def _merge(self, promoted: list[CandidateRecord], level: int) -> None:
+        """Algorithm 5: fold promoted records into the level above.
+
+        Deduplicates representatives of the same group: when the target
+        level already tracks a group within ``alpha`` of a promoted
+        representative, the existing record absorbs the promoted one's
+        last-point and count.
+        """
+        target = self._levels[level]
+        for record in promoted:
+            existing = target.find_group(
+                record.representative.vector, record.cell_hash
+            )
+            if existing is not None:
+                if (
+                    self._window.expiry_key(record.last)
+                    > self._window.expiry_key(existing.last)
+                ):
+                    existing.last = record.last
+                    target.adopt_last_update(existing)
+                existing.count += record.count
+            else:
+                target.adopt_record(record)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def sample(self, rng: random.Random | None = None) -> StreamPoint:
+        """Return a robust l0-sample of the current window (Lines 19-23).
+
+        Each accepted group at level ``l`` is kept with probability
+        ``R_l / R_c`` (``c`` the deepest non-empty level) so every group in
+        the window survives with probability ``1/R_c``; the returned point
+        is the group's last (most recent) point.
+        """
+        if self._latest is None:
+            raise EmptySampleError("no points inserted yet")
+        rng = rng if rng is not None else random.Random()
+        latest = self._latest
+
+        active: list[tuple[int, list[CandidateRecord]]] = []
+        for index, instance in enumerate(self._levels):
+            instance.evict(latest)
+            records = instance.accepted_records()
+            if records:
+                active.append((index, records))
+        if not active:
+            raise EmptySampleError("the sliding window contains no points")
+
+        deepest = active[-1][0]
+        coarsest = self._levels[deepest].rate_denominator
+        pool: list[StreamPoint] = []
+        for index, records in active:
+            keep_probability = self._levels[index].rate_denominator / coarsest
+            for record in records:
+                if keep_probability >= 1.0 or rng.random() < keep_probability:
+                    pool.append(record.last)
+        # Level c participates with probability 1, so the pool is never
+        # empty (Lemma 2.10).
+        return rng.choice(pool)
+
+    def estimate_f0(self) -> float:
+        """Estimate the number of groups in the window (Section 5).
+
+        Horvitz-Thompson form: a group tracked at level ``l`` is accepted
+        with probability ``1/R_l`` (invariant I2), so each accepted record
+        stands for ``R_l`` groups and ``sum_l |S_acc_l| * R_l`` is an
+        unbiased estimate of the window's group count.  The paper's
+        FM-style level statistic is exposed by
+        :class:`~repro.core.f0_sliding.RobustF0EstimatorSW`'s ``mode="fm"``.
+        """
+        if self._latest is None:
+            raise EmptySampleError("no points inserted yet")
+        total = 0.0
+        for instance in self._levels:
+            instance.evict(self._latest)
+            total += instance.accepted_count * instance.rate_denominator
+        return total
+
+    def deepest_active_level(self) -> int | None:
+        """Largest level index with a non-empty (unexpired) accept set."""
+        if self._latest is None:
+            return None
+        deepest = None
+        for index, instance in enumerate(self._levels):
+            instance.evict(self._latest)
+            if instance.accepted_count:
+                deepest = index
+        return deepest
+
+    def space_words(self) -> int:
+        """Current footprint across all levels."""
+        return sum(level.space_words() for level in self._levels) + 4

@@ -1,0 +1,41 @@
+"""Dataset generators reproducing Section 6.1 of the paper.
+
+Real UCI downloads are unavailable offline, so Yacht and Seeds are
+replaced by synthetic stand-ins with the same cardinality, dimensionality
+and cluster structure (see DESIGN.md, "Substitutions").  The two
+near-duplicate transformations (uniform counts and power-law counts) are
+implemented exactly as described.
+"""
+
+from repro.datasets.catalog import LabeledDataset, paper_datasets
+from repro.datasets.near_duplicates import (
+    add_near_duplicates,
+    power_law_counts,
+    rescale_min_distance,
+    uniform_counts,
+)
+from repro.datasets.synthetic import (
+    gaussian_clusters,
+    overlapping_chain,
+    random_points,
+    well_separated_clusters,
+)
+from repro.datasets.uci_like import seeds_like, yacht_like
+from repro.datasets.validation import dataset_sparsity, validate_sparse
+
+__all__ = [
+    "LabeledDataset",
+    "paper_datasets",
+    "random_points",
+    "gaussian_clusters",
+    "well_separated_clusters",
+    "overlapping_chain",
+    "yacht_like",
+    "seeds_like",
+    "rescale_min_distance",
+    "add_near_duplicates",
+    "uniform_counts",
+    "power_law_counts",
+    "dataset_sparsity",
+    "validate_sparse",
+]

@@ -1,0 +1,158 @@
+"""The paper's two near-duplicate transformations (Section 6.1).
+
+Given a base dataset, the paper first rescales it so the minimum pairwise
+distance is 1, then, around each base point ``x_i``, adds ``k_i``
+near-duplicates:
+
+1. draw ``z`` with each coordinate uniform in ``(0, 1)``;
+2. draw a length ``l`` uniform in ``(0, 1 / (2 * d**1.5))`` and rescale
+   ``z`` to length ``l``;
+3. emit ``y = x_i + z_hat``.
+
+In the first transformation ``k_i`` is uniform in ``{1, ..., 100}``; in the
+second (power-law) the points are randomly ordered and the i-th point
+(1-based) receives ``ceil(n / i)`` duplicates.
+
+Each base point plus its duplicates forms a group of diameter less than
+``1 / d**1.5``, while distinct groups stay at distance at least
+``1 - 1 / d**1.5`` apart, so the result is well-separated with threshold
+``alpha = 1 / d**1.5``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Sequence
+
+from repro.errors import ParameterError
+from repro.geometry.distance import squared_distance
+
+Vector = tuple[float, ...]
+
+
+def rescale_min_distance(
+    vectors: Sequence[Sequence[float]], *, target: float = 1.0
+) -> list[Vector]:
+    """Scale the dataset so the minimum pairwise distance equals ``target``.
+
+    Quadratic scan; the paper's base sets have at most 500 points.
+
+    >>> rescale_min_distance([(0.0,), (0.5,), (2.0,)])
+    [(0.0,), (1.0,), (4.0,)]
+    """
+    n = len(vectors)
+    if n < 2:
+        return [tuple(float(x) for x in v) for v in vectors]
+    min_sq = math.inf
+    for i in range(n):
+        vi = vectors[i]
+        for j in range(i + 1, n):
+            min_sq = min(min_sq, squared_distance(vi, vectors[j]))
+    if min_sq == 0.0:
+        raise ParameterError(
+            "dataset contains exact duplicates; minimum distance rescaling "
+            "is undefined (deduplicate the base set first)"
+        )
+    scale = target / math.sqrt(min_sq)
+    return [tuple(float(x) * scale for x in v) for v in vectors]
+
+
+def _near_duplicate(
+    center: Sequence[float], max_length: float, rng: random.Random
+) -> Vector:
+    """One noisy copy of ``center`` per the paper's three-step recipe."""
+    dim = len(center)
+    z = [rng.random() for _ in range(dim)]
+    norm = math.sqrt(sum(x * x for x in z))
+    if norm == 0.0:  # pragma: no cover - probability zero
+        z[0] = 1.0
+        norm = 1.0
+    length = rng.uniform(0.0, max_length)
+    return tuple(c + length * x / norm for c, x in zip(center, z))
+
+
+def uniform_counts(
+    n: int, *, rng: random.Random, max_copies: int = 100
+) -> list[int]:
+    """Duplicate counts for the first transformation: ``k_i ~ U{1..100}``."""
+    return [rng.randint(1, max_copies) for _ in range(n)]
+
+
+def power_law_counts(n: int, *, rng: random.Random) -> list[int]:
+    """Duplicate counts for the power-law transformation.
+
+    The paper randomly orders the points and gives the i-th (1-based) point
+    ``ceil(n * i**-1)`` duplicates; this returns those counts already
+    permuted back to the dataset's original point order.
+    """
+    order = list(range(n))
+    rng.shuffle(order)
+    counts = [0] * n
+    for rank, point_index in enumerate(order, start=1):
+        counts[point_index] = math.ceil(n / rank)
+    return counts
+
+
+def add_near_duplicates(
+    base_vectors: Sequence[Sequence[float]],
+    *,
+    rng: random.Random,
+    counts: Sequence[int] | Callable[[int], Sequence[int]] | None = None,
+    rescale: bool = True,
+) -> tuple[list[Vector], list[int], float]:
+    """Apply the paper's near-duplicate transformation.
+
+    Parameters
+    ----------
+    base_vectors:
+        The clean dataset; each of its points becomes a group seed.
+    rng:
+        Randomness source for counts, directions and lengths.
+    counts:
+        Per-point duplicate counts, or a callable ``n -> counts``.  Defaults
+        to the uniform ``U{1..100}`` scheme.
+    rescale:
+        Whether to first rescale to minimum pairwise distance 1 (the paper
+        always does; disable only for pre-scaled data).
+
+    Returns
+    -------
+    ``(vectors, labels, alpha)`` where ``labels[i]`` is the group (base
+    point) of ``vectors[i]`` and ``alpha = 1 / d**1.5`` is the separation
+    threshold the resulting dataset is guaranteed to satisfy.  Base points
+    are included, each followed by its duplicates (shuffle before
+    streaming, as the paper does).
+    """
+    base = (
+        rescale_min_distance(base_vectors)
+        if rescale
+        else [tuple(float(x) for x in v) for v in base_vectors]
+    )
+    n = len(base)
+    if n == 0:
+        return [], [], 0.0
+    dim = len(base[0])
+    if counts is None:
+        count_list = uniform_counts(n, rng=rng)
+    elif callable(counts):
+        count_list = list(counts(n))
+    else:
+        count_list = list(counts)
+    if len(count_list) != n:
+        raise ParameterError(
+            f"counts has length {len(count_list)}, expected {n}"
+        )
+
+    max_length = 1.0 / (2.0 * dim**1.5)
+    alpha = 1.0 / dim**1.5
+
+    vectors: list[Vector] = []
+    labels: list[int] = []
+    for group, (center, k) in enumerate(zip(base, count_list)):
+        vectors.append(center)
+        labels.append(group)
+        for _ in range(k):
+            vectors.append(_near_duplicate(center, max_length, rng))
+            labels.append(group)
+    return vectors, labels, alpha

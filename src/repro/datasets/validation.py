@@ -1,0 +1,87 @@
+"""Checking the sparsity assumptions (Definitions 1.1-1.2).
+
+Used by tests and by users who want to verify that a chosen ``alpha`` makes
+their dataset well-separated before trusting the uniformity guarantee of
+Theorem 2.4 (on general data the weaker Theorem 3.1 guarantee applies).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.partition.natural import connected_components_within, separation_gap
+
+Vector = Sequence[float]
+
+
+@dataclass(frozen=True, slots=True)
+class SparsityReport:
+    """Outcome of a sparsity analysis at a given ``alpha``.
+
+    Attributes
+    ----------
+    alpha:
+        The distance threshold analysed.
+    max_intra:
+        Largest distance between two points of the same group (the
+        effective alpha of Definition 1.1).
+    min_inter:
+        Smallest distance between points of different groups (the effective
+        beta); ``inf`` when there is a single group.
+    num_groups:
+        Number of groups in the transitive-closure partition.
+    """
+
+    alpha: float
+    max_intra: float
+    min_inter: float
+    num_groups: int
+
+    @property
+    def separation_ratio(self) -> float:
+        """``beta / alpha`` per Definition 1.1 (``inf`` when one group)."""
+        if self.max_intra == 0.0:
+            return math.inf
+        return self.min_inter / self.max_intra
+
+    @property
+    def well_separated(self) -> bool:
+        """Definition 1.2: the groups obey diameter alpha / gap > 2*alpha."""
+        return self.max_intra <= self.alpha and self.min_inter > 2.0 * self.alpha
+
+
+def dataset_sparsity(points: Sequence[Vector], alpha: float) -> SparsityReport:
+    """Analyse the dataset's sparsity at threshold ``alpha``.
+
+    >>> report = dataset_sparsity([(0.0,), (0.1,), (5.0,)], alpha=0.5)
+    >>> report.num_groups, report.well_separated
+    (2, True)
+    """
+    components = connected_components_within(points, alpha)
+    max_intra, min_inter = separation_gap(points, alpha)
+    return SparsityReport(
+        alpha=alpha,
+        max_intra=max_intra,
+        min_inter=min_inter,
+        num_groups=len(components),
+    )
+
+
+def validate_sparse(
+    points: Sequence[Vector],
+    alpha: float,
+    beta: float,
+) -> bool:
+    """Check Definition 1.1: every distance is <= alpha or > beta.
+
+    >>> validate_sparse([(0.0,), (0.2,), (3.0,)], alpha=0.5, beta=2.0)
+    True
+    >>> validate_sparse([(0.0,), (1.0,)], alpha=0.5, beta=2.0)
+    False
+    """
+    report = dataset_sparsity(points, alpha)
+    if report.max_intra > alpha:
+        return False
+    return report.min_inter > beta

@@ -1,0 +1,228 @@
+"""Coordinator/shard protocol for distributed robust sampling.
+
+Deployment model: ``k`` independent stream shards (e.g. per-datacenter
+feeds of the same logical event stream) each run a
+:class:`ShardSampler`; a coordinator periodically pulls their compact
+states and merges them into a single sampler over the union stream.
+
+Consistency argument: all shards share one ``SamplerConfig`` (same grid
+offset, same sampling hash), so a group's accept/reject status at rate
+``1/R`` is the same everywhere - it depends only on the representative's
+cell.  Merging therefore only has to (1) raise every shard to the maximum
+rate (resampling, exactly as Algorithm 1's Line 12 does), and (2)
+deduplicate groups observed by several shards, keeping the earliest
+representative (the union stream's first point of the group, up to
+points within alpha of each other straddling shards - the usual general-
+dataset relaxation of Section 3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.core.base import DEFAULT_KAPPA0, CandidateStore, SamplerConfig
+from repro.core.infinite_window import RobustL0SamplerIW
+from repro.errors import EmptySampleError, ParameterError
+from repro.streams.point import StreamPoint
+
+
+class ShardSampler(RobustL0SamplerIW):
+    """A shard's local robust sampler.
+
+    Identical to :class:`~repro.core.infinite_window.RobustL0SamplerIW`
+    except that it must be built from a shared config (enforced) and
+    carries a shard id for bookkeeping.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        config: SamplerConfig,
+        *,
+        kappa0: float = DEFAULT_KAPPA0,
+        expected_stream_length: int | None = None,
+    ) -> None:
+        super().__init__(
+            config.alpha,
+            config.dim,
+            kappa0=kappa0,
+            expected_stream_length=expected_stream_length,
+            config=config,
+        )
+        self._shard_id = shard_id
+
+    @property
+    def shard_id(self) -> int:
+        """This shard's identifier."""
+        return self._shard_id
+
+
+class DistributedRobustSampler:
+    """Coordinator over ``num_shards`` robust shard samplers.
+
+    Parameters
+    ----------
+    alpha, dim:
+        Geometry of the noisy data model.
+    num_shards:
+        Number of shard samplers to create.
+    seed:
+        Seed of the *shared* configuration (grid + hash).
+    kappa0, expected_stream_length:
+        Forwarded to every shard.
+
+    Examples
+    --------
+    >>> import random
+    >>> coordinator = DistributedRobustSampler(0.5, 1, num_shards=2, seed=3)
+    >>> coordinator.shard(0).insert((0.0,))
+    >>> coordinator.shard(1).insert((0.1,))   # same group, other shard
+    >>> coordinator.shard(1).insert((9.0,))
+    >>> merged = coordinator.merged_sampler()
+    >>> merged.num_candidate_groups
+    2
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        dim: int,
+        *,
+        num_shards: int,
+        seed: int | None = None,
+        kappa0: float = DEFAULT_KAPPA0,
+        expected_stream_length: int | None = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ParameterError(f"num_shards must be >= 1, got {num_shards}")
+        self._config = SamplerConfig.create(alpha, dim, seed=seed)
+        self._kappa0 = kappa0
+        self._expected = expected_stream_length
+        self._shards = [
+            ShardSampler(
+                i,
+                self._config,
+                kappa0=kappa0,
+                expected_stream_length=expected_stream_length,
+            )
+            for i in range(num_shards)
+        ]
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards."""
+        return len(self._shards)
+
+    @property
+    def config(self) -> SamplerConfig:
+        """The shared grid/hash configuration."""
+        return self._config
+
+    def shard(self, index: int) -> ShardSampler:
+        """Access one shard's sampler."""
+        return self._shards[index]
+
+    def route(self, point: StreamPoint | Sequence[float], shard: int) -> None:
+        """Deliver a point to a shard (convenience for simulations)."""
+        self._shards[shard].insert(point)
+
+    def scatter(
+        self,
+        points: Iterable[StreamPoint | Sequence[float]],
+        *,
+        rng: random.Random | None = None,
+    ) -> None:
+        """Distribute points across shards uniformly at random."""
+        rng = rng if rng is not None else random.Random()
+        for point in points:
+            self._shards[rng.randrange(len(self._shards))].insert(point)
+
+    # ------------------------------------------------------------------ #
+    # merge protocol
+    # ------------------------------------------------------------------ #
+
+    def merged_sampler(self) -> RobustL0SamplerIW:
+        """Merge all shard states into one sampler over the union stream.
+
+        Communication cost is the shards' sketch sizes (O(k log m) words
+        total), not the stream size.
+        """
+        target_rate = max(s.rate_denominator for s in self._shards)
+        merged = RobustL0SamplerIW(
+            self._config.alpha,
+            self._config.dim,
+            kappa0=self._kappa0,
+            expected_stream_length=self._expected,
+            config=self._config,
+        )
+        merged._rate_denominator = target_rate
+        store: CandidateStore = merged._store
+
+        total_seen = 0
+        num_shards = len(self._shards)
+        for shard in self._shards:
+            total_seen += shard.points_seen
+            # Bring the shard's view to the merged rate; decisions nest, so
+            # this only drops/demotes records, never invents them.
+            shard_records = sorted(
+                shard._store.records(),
+                key=lambda r: r.representative.index,
+            )
+            mask = target_rate - 1
+            for record in shard_records:
+                if record.cell_hash & mask == 0:
+                    accepted = True
+                elif any(v & mask == 0 for v in record.adj_hashes):
+                    accepted = False
+                else:
+                    continue
+                existing = store.find_nearby(
+                    record.representative.vector, record.cell_hash
+                )
+                if existing is not None:
+                    # Same group seen by several shards: keep the earlier
+                    # representative, pool the counts.
+                    existing.count += record.count
+                    continue
+                # Re-key representatives injectively: shard-local arrival
+                # indices overlap across shards, and the merged store keys
+                # records by that index.
+                rep = record.representative
+                global_rep = StreamPoint(
+                    rep.vector,
+                    rep.index * num_shards + shard.shard_id,
+                    rep.time,
+                )
+                clone = type(record)(
+                    representative=global_rep,
+                    cell=record.cell,
+                    cell_hash=record.cell_hash,
+                    adj_hashes=record.adj_hashes,
+                    accepted=accepted,
+                    last=record.last,
+                    count=record.count,
+                )
+                store.add(clone)
+        merged._count = total_seen
+        for _ in range(total_seen):
+            merged._policy.observe()
+        while store.accepted_count > merged._policy.threshold():
+            merged._rate_denominator *= 2
+            store.resample(merged._rate_denominator)
+        return merged
+
+    def sample(self, rng: random.Random | None = None) -> StreamPoint:
+        """One-shot distributed query: merge then sample."""
+        merged = self.merged_sampler()
+        if merged.accept_size == 0:
+            raise EmptySampleError("no shard holds an accepted group")
+        return merged.sample(rng)
+
+    def estimate_f0(self) -> float:
+        """Distributed robust F0: merge then apply the Section 5 estimate."""
+        return self.merged_sampler().estimate_f0()
+
+    def communication_words(self) -> int:
+        """Total words shipped to the coordinator in one merge."""
+        return sum(s.space_words() for s in self._shards)

@@ -1,0 +1,31 @@
+"""Exception types shared across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An argument is outside its documented domain."""
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """A point's dimensionality does not match the structure it is fed to."""
+
+
+class LevelOverflowError(ReproError, RuntimeError):
+    """The sliding-window hierarchy ran out of levels.
+
+    This corresponds to Algorithm 3 returning "error" (Line 17); the paper
+    shows it happens with probability at most 1/m^2 (Lemma 2.8).
+    """
+
+
+class EmptySampleError(ReproError, RuntimeError):
+    """A sample was requested but the sampler holds no points.
+
+    Raised when querying an empty stream, or in the (provably negligible)
+    event that every tracked point was subsampled away.
+    """

@@ -1,0 +1,24 @@
+"""Experiment harness regenerating every figure of the paper's Section 6.
+
+Each module exposes a ``run(...) -> ExperimentOutput`` function; the
+registry maps experiment ids (``fig5``-``fig15``, ``thm24``, ``thm27``,
+``thm31``, ``thm41``, ``sec5``, ``ablations``) to those functions.  Run
+from the command line::
+
+    python -m repro.experiments fig13 --profile quick
+    python -m repro.experiments all  --profile quick
+
+Every experiment accepts a ``profile`` ("quick" for CI-scale runs,
+"full" for paper-scale runs) and a ``seed``.  Outputs are plain-text
+tables whose rows mirror what the paper's figures plot; EXPERIMENTS.md
+records the measured values against the paper's.
+"""
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentOutput,
+    format_table,
+    run_experiment,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "ExperimentOutput", "format_table"]

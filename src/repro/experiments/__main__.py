@@ -1,0 +1,47 @@
+"""Command-line entry point: ``python -m repro.experiments <id> [...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run one or all experiments and print their tables."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (see --list)",
+    )
+    parser.add_argument(
+        "--profile",
+        default="standard",
+        choices=["quick", "standard", "full"],
+        help="workload scale (quick: CI, standard: laptop, full: paper)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    args = parser.parse_args(argv)
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        start = time.perf_counter()
+        output = run_experiment(
+            experiment_id, profile=args.profile, seed=args.seed
+        )
+        elapsed = time.perf_counter() - start
+        print(f"=== {experiment_id}: {EXPERIMENTS[experiment_id]} ===")
+        print(output.text)
+        print(f"[{experiment_id} finished in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

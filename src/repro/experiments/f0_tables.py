@@ -1,0 +1,177 @@
+"""Section 5: robust F0 estimation.
+
+* Infinite window: the robust estimator (accept threshold kappa_B/eps^2,
+  estimate |S_acc| * R, median of copies) against the true group count and
+  against noiseless sketches fed with oracle group identities (BJKST,
+  HyperLogLog) and fed with raw noisy points (showing why noiseless
+  sketches fail on near-duplicates).
+* Sliding window: the FM-style level estimator against the exact number
+  of groups in the window.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines.bjkst import BJKSTSketch
+from repro.baselines.hyperloglog import HyperLogLog
+from repro.core.f0_infinite import RobustF0EstimatorIW
+from repro.core.f0_sliding import RobustF0EstimatorSW
+from repro.core.fixed_rate import FixedRateSlidingSampler
+from repro.datasets.near_duplicates import add_near_duplicates
+from repro.datasets.synthetic import random_points
+from repro.experiments.registry import ExperimentOutput, format_table
+from repro.streams.point import StreamPoint
+from repro.streams.windows import SequenceWindow
+
+PROFILES = {
+    "quick": {"group_counts": [100, 300], "epsilon": 0.3, "copies": 5},
+    "standard": {"group_counts": [100, 300, 1000], "epsilon": 0.2, "copies": 9},
+    "full": {"group_counts": [100, 1000, 10000], "epsilon": 0.1, "copies": 15},
+}
+
+
+def _noisy_stream(num_groups: int, dim: int, seed: int, copies: int = 8):
+    rng = random.Random(seed)
+    base = random_points(num_groups, dim, rng=rng)
+    counts = [rng.randint(1, copies) for _ in range(num_groups)]
+    vectors, labels, alpha = add_near_duplicates(base, rng=rng, counts=counts)
+    order = list(range(len(vectors)))
+    rng.shuffle(order)
+    points = [StreamPoint(vectors[j], i) for i, j in enumerate(order)]
+    stream_labels = [labels[j] for j in order]
+    return points, stream_labels, alpha
+
+
+def run(
+    *,
+    profile: str = "standard",
+    seed: int = 0,
+    group_counts: list[int] | None = None,
+    epsilon: float | None = None,
+    copies: int | None = None,
+    dim: int = 5,
+) -> ExperimentOutput:
+    """Reproduce the Section 5 F0 estimators."""
+    settings = PROFILES[profile]
+    group_counts = group_counts if group_counts is not None else settings["group_counts"]
+    epsilon = epsilon if epsilon is not None else settings["epsilon"]
+    copies = copies if copies is not None else settings["copies"]
+
+    iw_rows = []
+    iw_data = []
+    for n in group_counts:
+        points, labels, alpha = _noisy_stream(n, dim, seed)
+        robust = RobustF0EstimatorIW(
+            alpha, dim, epsilon=epsilon, copies=copies, seed=seed
+        )
+        oracle = BJKSTSketch(epsilon=epsilon, seed=seed)
+        hll_oracle = HyperLogLog(bucket_bits=10, seed=seed)
+        raw = BJKSTSketch(epsilon=epsilon, seed=seed)
+        for p, label in zip(points, labels):
+            robust.insert(p)
+            oracle.insert(label)  # oracle: exact group identity
+            hll_oracle.insert(label)
+            raw.insert(p.vector)  # broken: raw noisy coordinates
+        estimate = robust.estimate()
+        iw_rows.append(
+            [
+                n,
+                len(points),
+                round(estimate, 1),
+                round(abs(estimate - n) / n, 3),
+                round(oracle.estimate(), 1),
+                round(hll_oracle.estimate(), 1),
+                round(raw.estimate(), 1),
+            ]
+        )
+        iw_data.append(
+            {
+                "groups": n,
+                "points": len(points),
+                "robust_estimate": estimate,
+                "robust_rel_error": abs(estimate - n) / n,
+                "bjkst_oracle": oracle.estimate(),
+                "hll_oracle": hll_oracle.estimate(),
+                "bjkst_on_raw_points": raw.estimate(),
+            }
+        )
+
+    # Sliding window.
+    sw_rows = []
+    sw_data = []
+    n = group_counts[0]
+    points, labels, alpha = _noisy_stream(n, dim, seed + 1)
+    for w in (len(points) // 4, len(points) // 2):
+        window = SequenceWindow(w)
+        estimator = RobustF0EstimatorSW(
+            alpha,
+            dim,
+            window,
+            copies=max(8, copies),
+            seed=seed,
+        )
+        from repro.core.base import SamplerConfig
+
+        tracker = FixedRateSlidingSampler(
+            SamplerConfig.create(alpha, dim, seed=seed), 1, window
+        )
+        for p in points:
+            estimator.insert(p)
+            tracker.insert(p)
+        tracker.evict(points[-1])
+        truth = tracker.accepted_count
+        estimate = estimator.estimate()
+        sw_rows.append(
+            [
+                w,
+                truth,
+                round(estimate, 1),
+                round(abs(estimate - truth) / truth, 3) if truth else "-",
+            ]
+        )
+        sw_data.append(
+            {
+                "window": w,
+                "true_window_groups": truth,
+                "estimate": estimate,
+                "rel_error": abs(estimate - truth) / truth if truth else None,
+            }
+        )
+
+    text = "\n\n".join(
+        [
+            format_table(
+                [
+                    "groups",
+                    "points",
+                    "robust est",
+                    "rel err",
+                    "BJKST(oracle)",
+                    "HLL(oracle)",
+                    "BJKST(raw pts)",
+                ],
+                iw_rows,
+                title=(
+                    "Section 5 (infinite window): robust F0 vs noiseless "
+                    "sketches\n(robust est tracks 'groups'; BJKST on raw "
+                    "points counts every near-duplicate - the failure the "
+                    "paper motivates)\n"
+                ),
+            ),
+            format_table(
+                ["window w", "true groups", "estimate", "rel err"],
+                sw_rows,
+                title=(
+                    "Section 5 (sliding window): FM-style level estimator\n"
+                    "(order-of-magnitude estimator, as in FM sketches)\n"
+                ),
+            ),
+        ]
+    )
+    return ExperimentOutput(
+        experiment_id="sec5",
+        title="Robust F0 estimation",
+        text=text,
+        data={"infinite": iw_data, "sliding": sw_data},
+    )

@@ -1,0 +1,102 @@
+"""Figures 5-12: empirical sampling distribution per dataset.
+
+The paper visualises, for each of the eight datasets, how often each group
+is returned over 200k-500k runs, observing distributions "very close to
+uniform".  This reproduction runs a configurable number of passes (the
+paper-scale counts are available via ``profile="full"`` but take hours in
+pure Python) and reports, per dataset:
+
+* stdDevNm and maxDevNm (the Figure 15 metrics derived from these runs),
+* the multinomial noise floor - the stdDevNm a *perfectly uniform*
+  sampler would show at this run count, and
+* a chi-square p-value, which is calibrated at any run count.
+
+"Reproduced" means: stdDevNm is statistically indistinguishable from the
+noise floor and the chi-square test does not reject uniformity.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.catalog import paper_datasets
+from repro.experiments.registry import ExperimentOutput, format_table
+from repro.metrics.trials import sampling_distribution
+
+#: Run counts per profile.  The paper uses 200k (Rand) / 500k (UCI) runs;
+#: "quick" keeps the statistical tests meaningful while finishing fast.
+PROFILES = {
+    "quick": {"runs": 400, "names": ["Seeds", "Yacht"]},
+    "standard": {"runs": 2000, "names": None},
+    "full": {"runs": 200_000, "names": None},
+}
+
+
+def run(
+    *,
+    profile: str = "standard",
+    seed: int = 0,
+    runs: int | None = None,
+    names: list[str] | None = None,
+) -> ExperimentOutput:
+    """Reproduce Figures 5-12 (empirical sampling distributions)."""
+    settings = PROFILES[profile]
+    runs = runs if runs is not None else settings["runs"]
+    names = names if names is not None else settings["names"]
+    datasets = paper_datasets(seed=seed, names=names)
+
+    rows = []
+    data = []
+    for name, dataset in datasets.items():
+        result = sampling_distribution(dataset, runs=runs, seed=seed)
+        report = result.report
+        rows.append(
+            [
+                name,
+                dataset.num_groups,
+                dataset.num_points,
+                runs,
+                round(report.std_dev_nm, 4),
+                round(report.noise_floor, 4),
+                round(report.max_dev_nm, 4),
+                round(report.p_value, 4),
+                "uniform" if report.is_consistent_with_uniform() else "BIASED",
+            ]
+        )
+        data.append(
+            {
+                "dataset": name,
+                "groups": dataset.num_groups,
+                "points": dataset.num_points,
+                "runs": runs,
+                "std_dev_nm": report.std_dev_nm,
+                "noise_floor": report.noise_floor,
+                "max_dev_nm": report.max_dev_nm,
+                "p_value": report.p_value,
+                "counts": list(result.counts),
+            }
+        )
+
+    text = format_table(
+        [
+            "dataset",
+            "groups",
+            "points",
+            "runs",
+            "stdDevNm",
+            "noiseFloor",
+            "maxDevNm",
+            "chi2 p",
+            "verdict",
+        ],
+        rows,
+        title=(
+            "Figures 5-12: empirical sampling distribution of Algorithm 1\n"
+            "(stdDevNm ~ noiseFloor and p >= 0.01 reproduce the paper's "
+            "'very close to uniform')\n"
+        ),
+    )
+    return ExperimentOutput(
+        experiment_id="fig5_12",
+        title="Empirical sampling distributions",
+        text=text,
+        data={"distributions": data},
+    )

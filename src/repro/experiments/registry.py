@@ -1,0 +1,114 @@
+"""Experiment registry and plain-text table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+@dataclass
+class ExperimentOutput:
+    """One experiment's result: a title, tables, and raw row data.
+
+    ``data`` maps a table name to its rows (list of dicts) so benchmarks
+    and tests can assert on values without parsing the rendered text.
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict[str, list[dict]] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    -  ---
+    1  2.5
+    """
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            magnitude = abs(value)
+            if magnitude >= 1000 or magnitude < 0.001:
+                return f"{value:.3e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip())
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))).rstrip())
+    return "\n".join(lines)
+
+
+def _load(experiment_id: str) -> Callable[..., ExperimentOutput]:
+    # Imported lazily so `python -m repro.experiments --list` stays instant
+    # and circular imports are impossible.
+    from repro.experiments import (
+        ablations,
+        f0_tables,
+        fig_deviation,
+        fig_distributions,
+        fig_space,
+        fig_time,
+        general_tables,
+        highdim_tables,
+        scaling,
+        sliding_tables,
+    )
+
+    table = {
+        "fig5_12": fig_distributions.run,
+        "fig13": fig_time.run,
+        "fig14": fig_space.run,
+        "fig15": fig_deviation.run,
+        "thm24": scaling.run,
+        "thm27": sliding_tables.run,
+        "thm31": general_tables.run,
+        "thm41": highdim_tables.run,
+        "sec5": f0_tables.run,
+        "ablations": ablations.run,
+    }
+    return table[experiment_id]
+
+
+#: Experiment ids in presentation order, with one-line descriptions.
+EXPERIMENTS: dict[str, str] = {
+    "fig5_12": "Figures 5-12: empirical sampling distributions (8 datasets)",
+    "fig13": "Figure 13: processing time per item (pTime)",
+    "fig14": "Figure 14: peak space usage (pSpace)",
+    "fig15": "Figure 15: maxDevNm and stdDevNm per dataset",
+    "thm24": "Theorem 2.4: O(log m) space/time scaling, infinite window",
+    "thm27": "Theorem 2.7: sliding-window uniformity and space",
+    "thm31": "Theorem 3.1: general (non-well-separated) datasets",
+    "thm41": "Theorem 4.1: high-dimensional sparse datasets (+ JL)",
+    "sec5": "Section 5: robust F0 estimation, infinite + sliding windows",
+    "ablations": "Ablations: adj(p) pruning, kappa0, hash family, naive bias",
+}
+
+
+def run_experiment(experiment_id: str, **options) -> ExperimentOutput:
+    """Run one experiment by id; options are forwarded to its ``run``."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    return _load(experiment_id)(**options)

@@ -1,0 +1,68 @@
+"""Euclidean distance helpers.
+
+Points are plain tuples of floats throughout the library (hashable, exact
+to compare, cheap at the dimensions the paper evaluates).  The streaming
+hot path only ever needs *threshold* tests ``d(u, v) <= alpha``, so
+:func:`within_distance` compares squared distances and aborts early once
+the running sum exceeds the threshold - in well-separated data most pairs
+fail on the first few coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import DimensionMismatchError
+
+Vector = Sequence[float]
+
+
+def _check_dims(u: Vector, v: Vector) -> None:
+    if len(u) != len(v):
+        raise DimensionMismatchError(
+            f"points have different dimensions: {len(u)} vs {len(v)}"
+        )
+
+
+def squared_distance(u: Vector, v: Vector) -> float:
+    """Return ``||u - v||^2``.
+
+    >>> squared_distance((0.0, 0.0), (3.0, 4.0))
+    25.0
+    """
+    _check_dims(u, v)
+    return sum((a - b) * (a - b) for a, b in zip(u, v))
+
+
+def distance(u: Vector, v: Vector) -> float:
+    """Return the Euclidean distance ``||u - v||``.
+
+    >>> distance((0.0, 0.0), (3.0, 4.0))
+    5.0
+    """
+    _check_dims(u, v)
+    return math.dist(u, v)
+
+
+def within_distance(u: Vector, v: Vector, threshold: float) -> bool:
+    """True when ``||u - v|| <= threshold``, with early abort.
+
+    The loop accumulates squared coordinate differences and stops as soon
+    as the partial sum already exceeds ``threshold**2``; this is the single
+    most frequent operation of every sampler (Line 4 of Algorithm 1).
+
+    >>> within_distance((0.0, 0.0), (3.0, 4.0), 5.0)
+    True
+    >>> within_distance((0.0, 0.0), (3.0, 4.0), 4.99)
+    False
+    """
+    _check_dims(u, v)
+    limit = threshold * threshold
+    acc = 0.0
+    for a, b in zip(u, v):
+        diff = a - b
+        acc += diff * diff
+        if acc > limit:
+            return False
+    return True

@@ -1,0 +1,22 @@
+"""Hash families used by the samplers.
+
+The paper assumes fully random hash functions and notes (Section 2.1) that
+Theta(log m)-wise independence suffices by Chernoff-Hoeffding bounds for
+limited independence.  This subpackage provides both:
+
+* :class:`~repro.hashing.kwise.KWiseHash` - a k-wise independent polynomial
+  hash over the Mersenne prime 2^61 - 1 (theory-faithful choice), and
+* :class:`~repro.hashing.mix.SplitMix64` - a fast 64-bit finalizer-style
+  mixer behaving like a fully random function in practice (default).
+
+Both are wrapped by :class:`~repro.hashing.sampling.SamplingHash`, which
+implements the paper's ``h_R(x) = h(x) mod R`` sub-sampling scheme with the
+nested property (Fact 1(b)): a key sampled at rate ``1/2R`` is also sampled
+at rate ``1/R``.
+"""
+
+from repro.hashing.kwise import KWiseHash
+from repro.hashing.mix import SplitMix64, splitmix64
+from repro.hashing.sampling import SamplingHash
+
+__all__ = ["KWiseHash", "SplitMix64", "splitmix64", "SamplingHash"]

@@ -1,0 +1,98 @@
+"""k-wise independent polynomial hashing over the Mersenne prime 2^61 - 1.
+
+The paper (Section 2.1) notes that all analyses go through with
+Theta(log m)-wise independent hash functions via the Chernoff-Hoeffding
+bounds for limited independence of Schmidt, Siegel and Srinivasan (SIAM J.
+Discrete Math., 1995).  This module provides the standard construction: a
+degree-(k-1) polynomial with random coefficients evaluated over GF(p) for
+the Mersenne prime p = 2^61 - 1, which supports fast modular reduction.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ParameterError
+
+#: The Mersenne prime 2^61 - 1 used as the field size.
+MERSENNE_P = (1 << 61) - 1
+
+
+def _mod_mersenne(value: int) -> int:
+    """Reduce ``value`` modulo 2^61 - 1 without a division.
+
+    Works for any non-negative ``value`` < 2^122 (i.e. a product of two
+    field elements), which is all the polynomial evaluation ever needs.
+    """
+    value = (value & MERSENNE_P) + (value >> 61)
+    if value >= MERSENNE_P:
+        value -= MERSENNE_P
+    return value
+
+
+class KWiseHash:
+    """A k-wise independent hash function ``h : int -> [0, 2^61 - 1)``.
+
+    Evaluates a random polynomial of degree ``k - 1`` over GF(2^61 - 1) by
+    Horner's rule.  Any ``k`` distinct keys receive fully independent values.
+
+    Parameters
+    ----------
+    k:
+        Independence parameter (>= 2).  The paper needs Theta(log m);
+        ``k = 32`` covers any practically conceivable stream length.
+    seed:
+        Seed for drawing the polynomial's coefficients.
+
+    Examples
+    --------
+    >>> h = KWiseHash(k=4, seed=7)
+    >>> h(42) == h(42)
+    True
+    >>> 0 <= h(42) < MERSENNE_P
+    True
+    """
+
+    __slots__ = ("_coefficients", "_k")
+
+    def __init__(self, k: int = 32, seed: int = 0) -> None:
+        if k < 2:
+            raise ParameterError(f"independence k must be >= 2, got {k}")
+        rng = random.Random(seed)
+        # The leading coefficient is non-zero so the polynomial has true
+        # degree k-1; the remaining ones are arbitrary field elements.
+        leading = rng.randrange(1, MERSENNE_P)
+        rest = [rng.randrange(MERSENNE_P) for _ in range(k - 1)]
+        self._coefficients = tuple([leading] + rest)
+        self._k = k
+
+    @property
+    def k(self) -> int:
+        """The independence parameter."""
+        return self._k
+
+    @property
+    def coefficients(self) -> tuple[int, ...]:
+        """The polynomial's coefficients (for checkpoint/restore)."""
+        return self._coefficients
+
+    @classmethod
+    def from_coefficients(cls, coefficients: tuple[int, ...]) -> "KWiseHash":
+        """Rebuild a hash from stored coefficients."""
+        if len(coefficients) < 2:
+            raise ParameterError("need at least 2 coefficients")
+        instance = cls.__new__(cls)
+        instance._coefficients = tuple(int(c) % MERSENNE_P for c in coefficients)
+        instance._k = len(coefficients)
+        return instance
+
+    def __call__(self, key: int) -> int:
+        """Evaluate the polynomial at ``key`` (reduced into the field)."""
+        x = key % MERSENNE_P
+        acc = 0
+        for coefficient in self._coefficients:
+            acc = _mod_mersenne(acc * x + coefficient)
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KWiseHash(k={self._k})"

@@ -1,0 +1,17 @@
+"""High-dimensional Euclidean spaces (Section 4).
+
+For an ``(alpha, beta)``-sparse dataset with ``beta > d**1.5 * alpha`` the
+infinite-window and sliding-window samplers work with a grid of side
+``d * alpha`` (Lemma 4.2 bounds the reject set); Remark 2 weakens the
+sparsity requirement via Johnson-Lindenstrauss projection.
+"""
+
+from repro.highdim.jl import JohnsonLindenstrauss, jl_dimension
+from repro.highdim.sparse import HighDimSamplerIW, HighDimSamplerSW
+
+__all__ = [
+    "HighDimSamplerIW",
+    "HighDimSamplerSW",
+    "JohnsonLindenstrauss",
+    "jl_dimension",
+]

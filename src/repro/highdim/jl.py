@@ -1,0 +1,99 @@
+"""Johnson-Lindenstrauss projection (Remark 2 of Section 4).
+
+Theorem 4.1 needs ``beta > d**1.5 * alpha``.  Projecting to
+``k = O(log m)`` dimensions with a Gaussian random matrix preserves all
+pairwise distances within ``1 +- eps`` (w.h.p. over m points), so a
+dataset that is only ``(alpha, c * log(m)**1.5 * alpha)``-sparse in its
+native dimension becomes sparse *enough* after projection: the projected
+threshold ``alpha' = (1 + eps) * alpha`` and gap
+``beta' >= (1 - eps) * beta`` satisfy ``beta' > k**1.5 * alpha'``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+Vector = tuple[float, ...]
+
+
+def jl_dimension(num_points: int, epsilon: float = 0.5) -> int:
+    """Target dimension guaranteeing (1 +- eps) distance preservation.
+
+    Standard JL bound ``k = ceil(8 * ln(m) / eps^2)`` (the constant follows
+    the usual Gaussian-projection analysis).
+
+    >>> jl_dimension(1000, epsilon=0.5) >= 16
+    True
+    """
+    if num_points < 1:
+        raise ParameterError(f"num_points must be >= 1, got {num_points}")
+    if not 0 < epsilon < 1:
+        raise ParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+    return max(4, math.ceil(8.0 * math.log(max(num_points, 2)) / epsilon**2))
+
+
+class JohnsonLindenstrauss:
+    """A Gaussian random projection ``R^d -> R^k``.
+
+    Entries are i.i.d. ``N(0, 1/k)`` so squared norms are preserved in
+    expectation.  The matrix is drawn once at construction and applied to
+    every stream point - the streaming algorithms never need to revisit
+    earlier points.
+
+    Parameters
+    ----------
+    input_dim:
+        Native dimensionality ``d``.
+    output_dim:
+        Target dimensionality ``k`` (see :func:`jl_dimension`).
+    seed:
+        Seed for the matrix entries.
+
+    Examples
+    --------
+    >>> proj = JohnsonLindenstrauss(100, 16, seed=0)
+    >>> len(proj.project([1.0] * 100))
+    16
+    """
+
+    def __init__(self, input_dim: int, output_dim: int, *, seed: int | None = None) -> None:
+        if input_dim < 1 or output_dim < 1:
+            raise ParameterError("dimensions must be >= 1")
+        rng = np.random.default_rng(seed)
+        self._matrix = rng.normal(
+            0.0, 1.0 / math.sqrt(output_dim), size=(output_dim, input_dim)
+        )
+        self._input_dim = input_dim
+        self._output_dim = output_dim
+
+    @property
+    def input_dim(self) -> int:
+        """Native dimensionality."""
+        return self._input_dim
+
+    @property
+    def output_dim(self) -> int:
+        """Projected dimensionality."""
+        return self._output_dim
+
+    def project(self, vector: Sequence[float]) -> Vector:
+        """Project one point."""
+        if len(vector) != self._input_dim:
+            raise ParameterError(
+                f"vector has dimension {len(vector)}, expected {self._input_dim}"
+            )
+        projected = self._matrix @ np.asarray(vector, dtype=float)
+        return tuple(float(x) for x in projected)
+
+    def project_all(self, vectors: Sequence[Sequence[float]]) -> list[Vector]:
+        """Project a batch of points."""
+        if not vectors:
+            return []
+        array = np.asarray(vectors, dtype=float)
+        projected = array @ self._matrix.T
+        return [tuple(float(x) for x in row) for row in projected]

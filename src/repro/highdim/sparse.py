@@ -1,0 +1,144 @@
+"""Samplers for (alpha, beta)-sparse data in high dimension (Theorem 4.1).
+
+The only change relative to Section 2 is the grid: side length
+``d * alpha`` instead of ``alpha / sqrt(d)``.  Every cell still meets at
+most one group (the sparsity gives inter-group distance > d**1.5 * alpha,
+which exceeds the cell diameter d**1.5 * alpha only marginally - exactly
+the paper's setting), a group meets at most ``2^d`` cells in the worst
+case but only O(1) in expectation over the random grid shift (Lemma 4.2),
+and the DFS adjacency search prunes to those few cells.
+
+These classes are thin wrappers that pick the Section 4 grid, validate the
+sparsity promise, and optionally apply Johnson-Lindenstrauss projection
+first (Remark 2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.base import DEFAULT_KAPPA0, SamplerConfig
+from repro.core.infinite_window import RobustL0SamplerIW
+from repro.core.sliding_window import RobustL0SamplerSW
+from repro.errors import ParameterError
+from repro.highdim.jl import JohnsonLindenstrauss, jl_dimension
+from repro.streams.point import StreamPoint
+from repro.streams.windows import WindowSpec
+
+
+def _highdim_config(
+    alpha: float, dim: int, seed: int | None, kwise: int | None
+) -> SamplerConfig:
+    return SamplerConfig.create(
+        alpha, dim, seed=seed, grid_side=dim * alpha, kwise=kwise
+    )
+
+
+class HighDimSamplerIW(RobustL0SamplerIW):
+    """Infinite-window robust sampler configured per Section 4.
+
+    Requires the dataset to be ``(alpha, beta)``-sparse with
+    ``beta > dim**1.5 * alpha`` (use
+    :func:`repro.datasets.validation.validate_sparse` to check offline).
+
+    With ``project_to`` / ``num_points`` set, points are first projected
+    by Johnson-Lindenstrauss to ``O(log m)`` dimensions (Remark 2), which
+    weakens the sparsity requirement to
+    ``beta > c * log(m)**1.5 * alpha``.
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        dim: int,
+        *,
+        kappa0: float = DEFAULT_KAPPA0,
+        expected_stream_length: int | None = None,
+        seed: int | None = None,
+        kwise: int | None = None,
+        project_to: int | None = None,
+        num_points: int | None = None,
+        jl_epsilon: float = 0.5,
+    ) -> None:
+        self._projection: JohnsonLindenstrauss | None = None
+        effective_dim = dim
+        effective_alpha = alpha
+        if project_to is not None or num_points is not None:
+            if project_to is None:
+                assert num_points is not None
+                project_to = jl_dimension(num_points, jl_epsilon)
+            if project_to >= dim:
+                raise ParameterError(
+                    f"projection target {project_to} is not below dim {dim}"
+                )
+            jl_seed = None if seed is None else seed ^ 0x7A11
+            self._projection = JohnsonLindenstrauss(dim, project_to, seed=jl_seed)
+            effective_dim = project_to
+            # Distances may stretch by (1 + eps); widen alpha accordingly
+            # so near-duplicates stay within threshold after projection.
+            effective_alpha = alpha * (1.0 + jl_epsilon)
+        config = _highdim_config(effective_alpha, effective_dim, seed, kwise)
+        super().__init__(
+            effective_alpha,
+            effective_dim,
+            kappa0=kappa0,
+            expected_stream_length=expected_stream_length,
+            config=config,
+        )
+        self._native_dim = dim
+
+    @property
+    def native_dim(self) -> int:
+        """Dimensionality of the points as fed by the caller."""
+        return self._native_dim
+
+    @property
+    def projection(self) -> JohnsonLindenstrauss | None:
+        """The JL projection, if one is active."""
+        return self._projection
+
+    def insert(self, point: StreamPoint | Sequence[float]) -> None:
+        """Insert a native-dimension point (projecting when configured)."""
+        if self._projection is None:
+            super().insert(point)
+            return
+        if isinstance(point, StreamPoint):
+            projected = StreamPoint(
+                self._projection.project(point.vector), point.index, point.time
+            )
+        else:
+            projected = StreamPoint(
+                self._projection.project(point), self.points_seen
+            )
+        super().insert(projected)
+
+
+class HighDimSamplerSW(RobustL0SamplerSW):
+    """Sliding-window robust sampler configured per Section 4.
+
+    Corollary 4.3: O(d log w log m) words for (alpha, beta)-sparse data
+    with ``beta > dim**1.5 * alpha``.
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        dim: int,
+        window: WindowSpec,
+        *,
+        window_capacity: int | None = None,
+        kappa0: float = DEFAULT_KAPPA0,
+        expected_stream_length: int | None = None,
+        seed: int | None = None,
+        kwise: int | None = None,
+    ) -> None:
+        config = _highdim_config(alpha, dim, seed, kwise)
+        super().__init__(
+            alpha,
+            dim,
+            window,
+            window_capacity=window_capacity,
+            kappa0=kappa0,
+            expected_stream_length=expected_stream_length,
+            config=config,
+        )

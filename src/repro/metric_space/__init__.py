@@ -1,0 +1,45 @@
+"""Robust distinct sampling in general metric spaces via LSH.
+
+The paper's concluding remark: "the random grid we have used ... is a
+particular locality-sensitive hash function, and it is possible to
+generalize our algorithms to general metric spaces that are equipped with
+efficient locality-sensitive hash functions.  We leave this generalization
+as a future work."  This subpackage implements that generalisation:
+
+* :mod:`repro.metric_space.metrics` - distance functions beyond Euclidean
+  (cosine/angular, Jaccard over sets, Hamming over bit vectors);
+* :mod:`repro.metric_space.lsh` - the matching LSH families (random
+  hyperplanes / SimHash, MinHash, bit sampling), composed into banded
+  keys that play the role of grid cells;
+* :mod:`repro.metric_space.sampler` - :class:`RobustLSHSampler`, the
+  Algorithm 1 skeleton with LSH buckets instead of grid cells.
+
+The guarantee is necessarily weaker than the Euclidean case: an LSH
+bucket equals a grid cell only probabilistically, so near-duplicate
+detection combines the bucket lookup with an exact distance confirmation,
+and the "adjacent cells" role is played by multiple independent bands.
+"""
+
+from repro.metric_space.lsh import (
+    BandedLSH,
+    BitSamplingHash,
+    MinHash,
+    RandomHyperplaneHash,
+)
+from repro.metric_space.metrics import (
+    angular_distance,
+    hamming_distance,
+    jaccard_distance,
+)
+from repro.metric_space.sampler import RobustLSHSampler
+
+__all__ = [
+    "RobustLSHSampler",
+    "BandedLSH",
+    "RandomHyperplaneHash",
+    "MinHash",
+    "BitSamplingHash",
+    "angular_distance",
+    "jaccard_distance",
+    "hamming_distance",
+]

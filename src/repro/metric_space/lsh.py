@@ -1,0 +1,180 @@
+"""Locality-sensitive hash families and banding.
+
+An LSH family maps an item to a small token such that near items collide
+with high probability and far items with low probability.  ``BandedLSH``
+concatenates ``rows_per_band`` independent family members into one band
+key (AND-amplification: far collisions vanish) and keeps ``bands``
+independent such keys (OR-amplification: near misses vanish).  Band keys
+are the metric-space analogue of the paper's grid cells: the sampler
+subsamples band keys with the same nested ``h_R`` scheme it uses for cell
+identifiers.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import AbstractSet, Hashable, Protocol, Sequence
+
+from repro.errors import ParameterError
+from repro.hashing.mix import SplitMix64, splitmix64
+
+_MASK64 = (1 << 64) - 1
+
+
+class LSHFamily(Protocol):
+    """One member of an LSH family: item -> small hashable token."""
+
+    def token(self, item) -> Hashable:  # pragma: no cover - protocol
+        ...
+
+
+class RandomHyperplaneHash:
+    """SimHash for angular distance: sign of a random projection.
+
+    ``Pr[token(u) == token(v)] = 1 - angular_distance(u, v)``.
+    """
+
+    __slots__ = ("_normal",)
+
+    def __init__(self, dim: int, *, rng: random.Random) -> None:
+        if dim < 1:
+            raise ParameterError(f"dim must be >= 1, got {dim}")
+        self._normal = tuple(rng.gauss(0.0, 1.0) for _ in range(dim))
+
+    def token(self, item: Sequence[float]) -> int:
+        projection = sum(a * b for a, b in zip(self._normal, item))
+        return 1 if projection >= 0.0 else 0
+
+
+class MinHash:
+    """MinHash for Jaccard distance over sets.
+
+    ``Pr[token(a) == token(b)] = 1 - jaccard_distance(a, b)``.
+    """
+
+    __slots__ = ("_mix",)
+
+    def __init__(self, *, rng: random.Random) -> None:
+        self._mix = SplitMix64(rng.randrange(2**63))
+
+    def token(self, item: AbstractSet[Hashable]) -> int:
+        if not item:
+            return -1
+        return min(self._mix(hash(element) & _MASK64) for element in item)
+
+
+class BitSamplingHash:
+    """Bit sampling for Hamming distance: one random coordinate.
+
+    ``Pr[token(u) == token(v)] = 1 - hamming_distance(u, v)``.
+    """
+
+    __slots__ = ("_position",)
+
+    def __init__(self, dim: int, *, rng: random.Random) -> None:
+        if dim < 1:
+            raise ParameterError(f"dim must be >= 1, got {dim}")
+        self._position = rng.randrange(dim)
+
+    def token(self, item: Sequence[int]) -> int:
+        return item[self._position]
+
+
+class BandedLSH:
+    """AND/OR-amplified LSH: ``bands`` keys of ``rows_per_band`` tokens.
+
+    Parameters
+    ----------
+    family_factory:
+        Zero-argument callable returning a fresh family member (closing
+        over dimension/randomness as needed).
+    bands:
+        Number of independent band keys per item (the OR side); plays the
+        role of ``adj(p)``'s size in the Euclidean sampler.
+    rows_per_band:
+        Tokens concatenated per band key (the AND side).
+    seed:
+        Seed for the key mixer (band keys are reduced to 64-bit ints).
+
+    Examples
+    --------
+    >>> rng = random.Random(0)
+    >>> lsh = BandedLSH(lambda: RandomHyperplaneHash(3, rng=rng),
+    ...                 bands=4, rows_per_band=2, seed=1)
+    >>> keys = lsh.keys((1.0, 0.0, 0.0))
+    >>> len(keys)
+    4
+    """
+
+    def __init__(
+        self,
+        family_factory,
+        *,
+        bands: int,
+        rows_per_band: int,
+        seed: int = 0,
+    ) -> None:
+        if bands < 1 or rows_per_band < 1:
+            raise ParameterError("bands and rows_per_band must be >= 1")
+        self._members = [
+            [family_factory() for _ in range(rows_per_band)]
+            for _ in range(bands)
+        ]
+        self._seed = splitmix64(seed)
+
+    @property
+    def bands(self) -> int:
+        """Number of band keys per item."""
+        return len(self._members)
+
+    @property
+    def rows_per_band(self) -> int:
+        """Tokens per band key."""
+        return len(self._members[0])
+
+    def keys(self, item) -> tuple[int, ...]:
+        """The item's band keys (64-bit, band index folded in)."""
+        keys = []
+        for band_index, band in enumerate(self._members):
+            acc = splitmix64(self._seed ^ band_index)
+            for member in band:
+                acc = splitmix64(acc ^ (hash(member.token(item)) & _MASK64))
+            keys.append(acc)
+        return tuple(keys)
+
+    def collision_probability(self, distance: float) -> float:
+        """Probability that at least one band key collides.
+
+        For a family with ``Pr[token collision] = 1 - distance``:
+        ``1 - (1 - (1 - d)^rows)^bands``.
+        """
+        if not 0.0 <= distance <= 1.0:
+            raise ParameterError(f"distance must be in [0, 1], got {distance}")
+        per_band = (1.0 - distance) ** self.rows_per_band
+        return 1.0 - (1.0 - per_band) ** self.bands
+
+
+def design_banding(
+    near: float, far: float, *, near_recall: float = 0.95
+) -> tuple[int, int]:
+    """Suggest (bands, rows_per_band) separating two distance regimes.
+
+    Chooses the smallest ``rows`` whose far-collision probability per band
+    is below 5%, then enough bands to catch near items with probability at
+    least ``near_recall``.
+
+    >>> bands, rows = design_banding(near=0.1, far=0.6)
+    >>> bands >= 1 and rows >= 1
+    True
+    """
+    if not 0 <= near < far <= 1:
+        raise ParameterError("need 0 <= near < far <= 1")
+    rows = 1
+    while (1.0 - far) ** rows > 0.05 and rows < 64:
+        rows += 1
+    per_band_near = (1.0 - near) ** rows
+    if per_band_near >= 1.0:
+        return 1, rows
+    bands = max(1, math.ceil(math.log(1 - near_recall) / math.log(1 - per_band_near)))
+    return bands, rows

@@ -1,0 +1,62 @@
+"""Distance functions for non-Euclidean data.
+
+Each metric pairs with an LSH family in :mod:`repro.metric_space.lsh`:
+angular distance with random hyperplanes, Jaccard with MinHash, Hamming
+with bit sampling.  All distances are normalised to [0, 1] so thresholds
+compose uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Hashable, Sequence
+
+from repro.errors import DimensionMismatchError, ParameterError
+
+
+def angular_distance(u: Sequence[float], v: Sequence[float]) -> float:
+    """Angle between two vectors, normalised by pi (range [0, 1]).
+
+    >>> round(angular_distance((1.0, 0.0), (0.0, 1.0)), 4)
+    0.5
+    >>> angular_distance((1.0, 0.0), (2.0, 0.0))
+    0.0
+    """
+    if len(u) != len(v):
+        raise DimensionMismatchError(
+            f"vectors have different dimensions: {len(u)} vs {len(v)}"
+        )
+    dot = sum(a * b for a, b in zip(u, v))
+    norm_u = math.sqrt(sum(a * a for a in u))
+    norm_v = math.sqrt(sum(b * b for b in v))
+    if norm_u == 0.0 or norm_v == 0.0:
+        raise ParameterError("angular distance undefined for zero vectors")
+    cosine = max(-1.0, min(1.0, dot / (norm_u * norm_v)))
+    return math.acos(cosine) / math.pi
+
+
+def jaccard_distance(a: AbstractSet[Hashable], b: AbstractSet[Hashable]) -> float:
+    """``1 - |a & b| / |a | b|`` (range [0, 1]; 0 for two empty sets).
+
+    >>> jaccard_distance({1, 2, 3}, {2, 3, 4})
+    0.5
+    """
+    if not a and not b:
+        return 0.0
+    union = len(a | b)
+    return 1.0 - len(a & b) / union
+
+
+def hamming_distance(u: Sequence[int], v: Sequence[int]) -> float:
+    """Fraction of differing positions (range [0, 1]).
+
+    >>> hamming_distance((0, 1, 1, 0), (0, 1, 0, 0))
+    0.25
+    """
+    if len(u) != len(v):
+        raise DimensionMismatchError(
+            f"bit vectors have different lengths: {len(u)} vs {len(v)}"
+        )
+    if not u:
+        return 0.0
+    return sum(1 for a, b in zip(u, v) if a != b) / len(u)

@@ -1,0 +1,35 @@
+"""Measurement harness reproducing the paper's Section 6.1 metrics.
+
+* :mod:`repro.metrics.accuracy` - stdDevNm / maxDevNm (following the
+  Cormode-Firmani methodology the paper cites) plus a chi-square
+  uniformity test, which detects bias at any number of runs;
+* :mod:`repro.metrics.trials` - the repeated-run driver producing the
+  empirical sampling distributions of Figures 5-12;
+* :mod:`repro.metrics.timing` - per-item processing time (pTime);
+* :mod:`repro.metrics.space` - peak word-space tracking (pSpace).
+"""
+
+from repro.metrics.accuracy import (
+    DeviationReport,
+    chi_square_uniformity,
+    deviation_report,
+    max_dev_normalized,
+    multinomial_noise_floor,
+    std_dev_normalized,
+)
+from repro.metrics.space import measure_peak_space
+from repro.metrics.timing import measure_processing_time
+from repro.metrics.trials import DistributionResult, sampling_distribution
+
+__all__ = [
+    "std_dev_normalized",
+    "max_dev_normalized",
+    "chi_square_uniformity",
+    "multinomial_noise_floor",
+    "deviation_report",
+    "DeviationReport",
+    "sampling_distribution",
+    "DistributionResult",
+    "measure_processing_time",
+    "measure_peak_space",
+]

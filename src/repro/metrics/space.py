@@ -1,0 +1,87 @@
+"""Peak space usage in words (pSpace, Figure 14).
+
+Every sampler in this library exposes ``space_words()``; the measurement
+helper streams a dataset while tracking the maximum, reproducing the
+paper's "peak space usage throughout the streaming process; measured by
+word".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
+
+from repro.streams.point import StreamPoint
+
+
+class _SpaceAware(Protocol):
+    """Anything with insert(point) and space_words()."""
+
+    def insert(self, point: StreamPoint) -> None:  # pragma: no cover
+        ...
+
+    def space_words(self) -> int:  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class SpaceResult:
+    """Peak and final space of one streaming pass (averaged over passes)."""
+
+    mean_peak_words: float
+    max_peak_words: int
+    mean_final_words: float
+    passes: int
+
+
+def measure_peak_space(
+    make_sampler: Callable[[int], _SpaceAware],
+    streams: Callable[[int], Sequence[StreamPoint]],
+    *,
+    passes: int = 5,
+    probe_every: int = 16,
+) -> SpaceResult:
+    """Track ``space_words()`` while streaming; average peaks over passes.
+
+    ``probe_every`` controls how often the footprint is polled; samplers
+    that track their own peak (``peak_space_words``) are polled through
+    that instead for exactness.
+    """
+    if passes < 1:
+        raise ValueError(f"passes must be >= 1, got {passes}")
+    peaks = []
+    finals = []
+    for index in range(passes):
+        sampler = make_sampler(index)
+        peak = 0
+        for position, point in enumerate(streams(index)):
+            sampler.insert(point)
+            if position % probe_every == 0:
+                words = sampler.space_words()
+                if words > peak:
+                    peak = words
+        words = sampler.space_words()
+        if words > peak:
+            peak = words
+        tracked = getattr(sampler, "peak_space_words", None)
+        if tracked is not None and tracked > peak:
+            peak = tracked
+        peaks.append(peak)
+        finals.append(words)
+    return SpaceResult(
+        mean_peak_words=sum(peaks) / passes,
+        max_peak_words=max(peaks),
+        mean_final_words=sum(finals) / passes,
+        passes=passes,
+    )
+
+
+def dataset_stream_factory(dataset, base_seed: int = 0):
+    """Shuffled-stream factory matching the paper's measurement setup."""
+
+    def build(index: int) -> Sequence[StreamPoint]:
+        points, _ = dataset.shuffled_stream(random.Random(base_seed + index))
+        return points
+
+    return build

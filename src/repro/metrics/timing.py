@@ -1,0 +1,95 @@
+"""Per-item processing time (pTime, Figure 13).
+
+The paper measures single-thread processing time per item, averaged over
+100 full passes of the stream.  :func:`measure_processing_time` does the
+same with a configurable number of passes (a pure-Python reproduction is
+slower per item, so fewer passes suffice for stable averages).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.streams.point import StreamPoint
+
+
+@dataclass(frozen=True, slots=True)
+class TimingResult:
+    """Per-item processing time statistics.
+
+    Attributes
+    ----------
+    seconds_per_item:
+        Mean wall-clock seconds per inserted point.
+    total_seconds:
+        Total measured time across all passes.
+    passes:
+        Number of full stream passes measured.
+    items_per_pass:
+        Stream length.
+    """
+
+    seconds_per_item: float
+    total_seconds: float
+    passes: int
+    items_per_pass: int
+
+    @property
+    def micros_per_item(self) -> float:
+        """Convenience: microseconds per item."""
+        return self.seconds_per_item * 1e6
+
+
+def measure_processing_time(
+    make_sampler: Callable[[int], object],
+    streams: Callable[[int], Sequence[StreamPoint]],
+    *,
+    passes: int = 5,
+) -> TimingResult:
+    """Average per-item insert time over ``passes`` full stream passes.
+
+    Parameters
+    ----------
+    make_sampler:
+        Factory receiving the pass index (fresh sampler per pass, as in
+        the paper's protocol).
+    streams:
+        Factory receiving the pass index and returning that pass's stream
+        (typically a fresh shuffle).
+    passes:
+        Number of passes to average.
+    """
+    if passes < 1:
+        raise ValueError(f"passes must be >= 1, got {passes}")
+    total = 0.0
+    items = 0
+    for index in range(passes):
+        stream = streams(index)
+        sampler = make_sampler(index)
+        insert = sampler.insert  # type: ignore[attr-defined]
+        start = time.perf_counter()
+        for point in stream:
+            insert(point)
+        total += time.perf_counter() - start
+        items = len(stream)
+    per_item = total / (passes * items) if items else 0.0
+    return TimingResult(
+        seconds_per_item=per_item,
+        total_seconds=total,
+        passes=passes,
+        items_per_pass=items,
+    )
+
+
+def shuffled_stream_factory(dataset, base_seed: int = 0):
+    """Stream factory for :func:`measure_processing_time` from a catalog
+    dataset: pass ``i`` gets an independent shuffle."""
+
+    def build(index: int) -> Sequence[StreamPoint]:
+        points, _ = dataset.shuffled_stream(random.Random(base_seed + index))
+        return points
+
+    return build

@@ -1,0 +1,96 @@
+"""Repeated-run driver for the empirical sampling distributions.
+
+Reproduces the paper's Section 6.1 protocol: shuffle the dataset, stream
+it through a fresh sampler, query one sample at the end, and count how
+often each ground-truth group is returned across runs (Figures 5-12).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
+
+from repro.core.infinite_window import RobustL0SamplerIW
+from repro.datasets.catalog import LabeledDataset
+from repro.metrics.accuracy import DeviationReport, deviation_report
+from repro.streams.point import StreamPoint
+
+
+class _SingleSampleSampler(Protocol):
+    """Anything with insert(point) and sample(rng) -> StreamPoint."""
+
+    def insert(self, point: StreamPoint) -> None:  # pragma: no cover
+        ...
+
+    def sample(self, rng: random.Random) -> StreamPoint:  # pragma: no cover
+        ...
+
+
+SamplerFactory = Callable[[int], _SingleSampleSampler]
+
+
+@dataclass(frozen=True)
+class DistributionResult:
+    """Counts plus the derived deviation report for one experiment."""
+
+    dataset: str
+    counts: tuple[int, ...]
+    report: DeviationReport
+
+    @property
+    def frequencies(self) -> list[float]:
+        """Empirical sampling frequency per group."""
+        total = sum(self.counts)
+        return [c / total for c in self.counts]
+
+
+def default_factory(dataset: LabeledDataset) -> SamplerFactory:
+    """The paper's Algorithm 1 configured for ``dataset``."""
+
+    def build(seed: int) -> RobustL0SamplerIW:
+        return RobustL0SamplerIW(
+            dataset.alpha,
+            dataset.dim,
+            seed=seed,
+            expected_stream_length=dataset.num_points,
+        )
+
+    return build
+
+
+def sampling_distribution(
+    dataset: LabeledDataset,
+    *,
+    runs: int,
+    seed: int = 0,
+    factory: SamplerFactory | None = None,
+) -> DistributionResult:
+    """Run the Figures 5-12 protocol: ``runs`` independent stream passes.
+
+    Each run shuffles the dataset (fresh order), streams it through a
+    fresh sampler (fresh hash/grid randomness), then draws one sample and
+    attributes it to its ground-truth group.
+
+    >>> from repro.datasets.catalog import make_dataset  # doctest: +SKIP
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    factory = factory if factory is not None else default_factory(dataset)
+    counts = [0] * dataset.num_groups
+    query_rng = random.Random(seed ^ 0xC0FFEE)
+    for run in range(runs):
+        shuffle_rng = random.Random(seed * 2_000_003 + run * 2 + 1)
+        points, labels = dataset.shuffled_stream(shuffle_rng)
+        sampler = factory(seed * 1_000_003 + run)
+        label_of = {}
+        for point, label in zip(points, labels):
+            label_of[point.index] = label
+            sampler.insert(point)
+        sample = sampler.sample(query_rng)
+        counts[label_of[sample.index]] += 1
+    return DistributionResult(
+        dataset=dataset.name,
+        counts=tuple(counts),
+        report=deviation_report(counts),
+    )

@@ -1,0 +1,34 @@
+"""Ground-truth group partitions of point sets.
+
+The samplers never materialise partitions; these utilities exist to define
+*ground truth* for experiments and tests:
+
+* :func:`~repro.partition.natural.natural_partition` - the unique natural
+  partition of a well-separated dataset (Definition 1.3),
+* :func:`~repro.partition.greedy.greedy_partition` - the greedy ball-cover
+  process of Definition 3.2 (used by the Theorem 3.1 analysis),
+* :func:`~repro.partition.min_cardinality.min_cardinality_partition` - the
+  optimisation problem of Definition 1.4 (exact for small inputs).
+"""
+
+from repro.partition.greedy import greedy_partition
+from repro.partition.min_cardinality import (
+    min_cardinality_partition,
+    min_cardinality_size,
+)
+from repro.partition.natural import (
+    connected_components_within,
+    is_well_separated,
+    natural_partition,
+    separation_gap,
+)
+
+__all__ = [
+    "natural_partition",
+    "connected_components_within",
+    "is_well_separated",
+    "separation_gap",
+    "greedy_partition",
+    "min_cardinality_partition",
+    "min_cardinality_size",
+]

@@ -1,0 +1,127 @@
+"""The minimum-cardinality partition of Definition 1.4.
+
+``F0(S, alpha)`` for a general dataset is the smallest number of groups of
+diameter at most ``alpha`` covering ``S``.  This equals the minimum clique
+cover of the graph connecting points within ``alpha`` - equivalently the
+chromatic number of its complement - and is NP-hard in general, so:
+
+* for small inputs (default ``n <= 24``) an exact branch-and-bound search
+  is run (assign each point to a compatible existing group or open a new
+  one, pruning on the best solution found);
+* for larger inputs a greedy first-fit cover is returned together with the
+  guarantee of Lemma 3.3 that it is within a constant factor of optimal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.distance import within_distance
+
+Vector = Sequence[float]
+
+#: Inputs up to this size use the exact exponential search by default.
+EXACT_LIMIT = 24
+
+
+def _compatibility(points: Sequence[Vector], alpha: float) -> list[list[bool]]:
+    """Adjacency matrix of the "within alpha" graph."""
+    n = len(points)
+    compatible = [[False] * n for _ in range(n)]
+    for i in range(n):
+        compatible[i][i] = True
+        for j in range(i + 1, n):
+            ok = within_distance(points[i], points[j], alpha)
+            compatible[i][j] = ok
+            compatible[j][i] = ok
+    return compatible
+
+
+def _greedy_cover(
+    points: Sequence[Vector], compatible: list[list[bool]]
+) -> list[list[int]]:
+    """First-fit clique cover: put each point into the first group whose
+    members are all within alpha, else open a new group."""
+    groups: list[list[int]] = []
+    for i in range(len(points)):
+        row = compatible[i]
+        for group in groups:
+            if all(row[j] for j in group):
+                group.append(i)
+                break
+        else:
+            groups.append([i])
+    return groups
+
+
+def _exact_cover(
+    n: int, compatible: list[list[bool]], upper_bound: int
+) -> list[list[int]]:
+    """Branch-and-bound exact minimum clique cover.
+
+    Classic graph-colouring style search on the complement graph: points
+    are assigned in index order either to an existing compatible group or
+    to a fresh group, pruning branches that cannot beat the best solution.
+    """
+    best: list[list[int]] = []
+    best_size = upper_bound + 1
+
+    groups: list[list[int]] = []
+
+    def recurse(i: int) -> None:
+        nonlocal best, best_size
+        if len(groups) >= best_size:
+            return
+        if i == n:
+            best = [list(g) for g in groups]
+            best_size = len(groups)
+            return
+        row = compatible[i]
+        for group in groups:
+            if all(row[j] for j in group):
+                group.append(i)
+                recurse(i + 1)
+                group.pop()
+        if len(groups) + 1 < best_size:
+            groups.append([i])
+            recurse(i + 1)
+            groups.pop()
+
+    recurse(0)
+    return best
+
+
+def min_cardinality_partition(
+    points: Sequence[Vector],
+    alpha: float,
+    *,
+    exact_limit: int = EXACT_LIMIT,
+) -> list[list[int]]:
+    """Return a minimum-cardinality partition into diameter-alpha groups.
+
+    Exact when ``len(points) <= exact_limit``; otherwise the greedy
+    first-fit cover (a constant-factor approximation by Lemma 3.3).
+
+    >>> min_cardinality_partition([(0.0,), (0.6,), (1.2,)], alpha=1.0)
+    [[0, 1], [2]]
+    """
+    n = len(points)
+    if n == 0:
+        return []
+    compatible = _compatibility(points, alpha)
+    greedy = _greedy_cover(points, compatible)
+    if n > exact_limit:
+        return greedy
+    exact = _exact_cover(n, compatible, upper_bound=len(greedy))
+    return exact if exact else greedy
+
+
+def min_cardinality_size(
+    points: Sequence[Vector], alpha: float, *, exact_limit: int = EXACT_LIMIT
+) -> int:
+    """Return ``F0(S, alpha)`` per Definition 1.4 (exact for small inputs).
+
+    >>> min_cardinality_size([(0.0,), (0.6,), (1.2,)], alpha=1.0)
+    2
+    """
+    return len(min_cardinality_partition(points, alpha, exact_limit=exact_limit))

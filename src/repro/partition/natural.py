@@ -1,0 +1,116 @@
+"""The natural partition of a well-separated dataset (Definitions 1.1-1.3).
+
+A dataset is ``(alpha, beta)``-sparse when every pairwise distance is
+either at most ``alpha`` or greater than ``beta``; it is *well-separated*
+when the separation ratio ``beta / alpha`` exceeds 2.  For such data the
+transitive closure of "within alpha" yields a unique partition into groups
+of diameter at most ``alpha`` with inter-group distance above ``2 * alpha``
+- the paper's natural partition, whose size is the robust ``F0``.
+
+These routines are quadratic in the number of points; they provide ground
+truth for experiments and tests, not streaming functionality.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.distance import distance, within_distance
+
+Vector = Sequence[float]
+
+
+class _UnionFind:
+    """Minimal union-find over indices 0..n-1 with path compression."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, i: int) -> int:
+        root = i
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[i] != root:
+            self.parent[i], i = root, self.parent[i]
+        return root
+
+    def union(self, i: int, j: int) -> None:
+        ri, rj = self.find(i), self.find(j)
+        if ri != rj:
+            self.parent[rj] = ri
+
+
+def connected_components_within(
+    points: Sequence[Vector], alpha: float
+) -> list[list[int]]:
+    """Group point *indices* by the transitive closure of ``d <= alpha``.
+
+    Components are returned in order of their smallest member index, which
+    for a stream means "order of first arrival".
+
+    >>> connected_components_within([(0.0,), (0.1,), (5.0,)], alpha=0.5)
+    [[0, 1], [2]]
+    """
+    n = len(points)
+    uf = _UnionFind(n)
+    for i in range(n):
+        pi = points[i]
+        for j in range(i + 1, n):
+            if within_distance(pi, points[j], alpha):
+                uf.union(i, j)
+    components: dict[int, list[int]] = {}
+    for i in range(n):
+        components.setdefault(uf.find(i), []).append(i)
+    return sorted(components.values(), key=lambda member: member[0])
+
+
+def natural_partition(points: Sequence[Vector], alpha: float) -> list[list[int]]:
+    """Return the natural partition of a well-separated dataset.
+
+    For well-separated data the connected components of the "within alpha"
+    graph are exactly the natural groups.  The function does not verify
+    separation (use :func:`is_well_separated`); on non-separated data it
+    still returns the components, which then may have diameter > alpha.
+    """
+    return connected_components_within(points, alpha)
+
+
+def separation_gap(points: Sequence[Vector], alpha: float) -> tuple[float, float]:
+    """Return ``(max intra distance, min inter distance)`` w.r.t. ``alpha``.
+
+    "Intra" means within a connected component of the within-alpha graph,
+    "inter" across components.  ``min inter`` is ``inf`` when there is a
+    single component.  Quadratic; for validation only.
+    """
+    components = connected_components_within(points, alpha)
+    label = {}
+    for g, members in enumerate(components):
+        for i in members:
+            label[i] = g
+    max_intra = 0.0
+    min_inter = float("inf")
+    n = len(points)
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = distance(points[i], points[j])
+            if label[i] == label[j]:
+                max_intra = max(max_intra, d)
+            else:
+                min_inter = min(min_inter, d)
+    return max_intra, min_inter
+
+
+def is_well_separated(
+    points: Sequence[Vector], alpha: float, *, ratio: float = 2.0
+) -> bool:
+    """Check Definition 1.2: groups of diameter <= alpha, gaps > ratio*alpha.
+
+    >>> is_well_separated([(0.0,), (0.1,), (5.0,)], alpha=0.5)
+    True
+    >>> is_well_separated([(0.0,), (0.4,), (0.8,)], alpha=0.5)
+    False
+    """
+    if not points:
+        return True
+    max_intra, min_inter = separation_gap(points, alpha)
+    return max_intra <= alpha and min_inter > ratio * alpha

@@ -1,0 +1,35 @@
+"""Stream model: points, arrival order, and sliding-window semantics.
+
+The paper's computational model (Section 1) feeds points one at a time; a
+point carries its coordinates, an arrival index and (for the time-based
+sliding window) an arrival timestamp.  Both sliding-window flavours are
+expressed through a single :class:`~repro.streams.windows.WindowSpec`
+abstraction so the samplers are written once and work for either.
+"""
+
+from repro.streams.point import StreamPoint, as_stream
+from repro.streams.sources import (
+    interleave_streams,
+    replay,
+    shuffled,
+    with_poisson_times,
+)
+from repro.streams.windows import (
+    InfiniteWindow,
+    SequenceWindow,
+    TimeWindow,
+    WindowSpec,
+)
+
+__all__ = [
+    "StreamPoint",
+    "as_stream",
+    "WindowSpec",
+    "InfiniteWindow",
+    "SequenceWindow",
+    "TimeWindow",
+    "shuffled",
+    "replay",
+    "interleave_streams",
+    "with_poisson_times",
+]

@@ -1,0 +1,81 @@
+"""The unit of streaming input: an immutable point with arrival metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class StreamPoint:
+    """A point of the stream.
+
+    Attributes
+    ----------
+    vector:
+        Coordinates in R^d, stored as a tuple so points are hashable and
+        comparisons are exact.
+    index:
+        0-based arrival position in the stream; drives the sequence-based
+        sliding window and identifies "the first point of a group".
+    time:
+        Arrival timestamp; drives the time-based sliding window.  Defaults
+        to the arrival index (so sequence- and time-based windows coincide
+        unless explicit timestamps are supplied).
+    """
+
+    vector: tuple[float, ...]
+    index: int
+    time: float = field(default=-1.0)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.vector, tuple):
+            object.__setattr__(self, "vector", tuple(float(x) for x in self.vector))
+        if self.time < 0:
+            object.__setattr__(self, "time", float(self.index))
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the point."""
+        return len(self.vector)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.vector)
+
+    def __len__(self) -> int:
+        return len(self.vector)
+
+
+def as_stream(
+    vectors: Iterable[Sequence[float]],
+    *,
+    times: Iterable[float] | None = None,
+    start_index: int = 0,
+) -> Iterator[StreamPoint]:
+    """Wrap raw coordinate sequences into :class:`StreamPoint` objects.
+
+    Parameters
+    ----------
+    vectors:
+        Iterable of coordinate sequences.
+    times:
+        Optional iterable of timestamps, consumed in lockstep with
+        ``vectors``.  When omitted, each point's time equals its index.
+    start_index:
+        Index assigned to the first point (useful when concatenating).
+
+    Examples
+    --------
+    >>> pts = list(as_stream([(0.0, 0.0), (1.0, 1.0)]))
+    >>> pts[1].index, pts[1].time
+    (1, 1.0)
+    """
+    if times is None:
+        for i, vector in enumerate(vectors, start=start_index):
+            yield StreamPoint(tuple(float(x) for x in vector), i)
+    else:
+        time_iter = iter(times)
+        for i, vector in enumerate(vectors, start=start_index):
+            yield StreamPoint(
+                tuple(float(x) for x in vector), i, float(next(time_iter))
+            )

@@ -1,0 +1,95 @@
+"""Stream construction utilities.
+
+The paper randomly shuffles every dataset before feeding it as a stream
+(Section 6.1); :func:`shuffled` does exactly that while re-assigning fresh
+arrival indices.  The other helpers build richer streams for the examples
+and the sliding-window experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Iterable, Iterator, Sequence
+
+from repro.streams.point import StreamPoint, as_stream
+
+
+def shuffled(
+    vectors: Sequence[Sequence[float]],
+    *,
+    rng: random.Random | None = None,
+) -> list[StreamPoint]:
+    """Return the vectors in random order wrapped as a stream.
+
+    Arrival indices are assigned *after* shuffling, so the result is a
+    valid stream (indices 0..n-1 in order).
+
+    >>> pts = shuffled([(0.0,), (1.0,), (2.0,)], rng=random.Random(0))
+    >>> [p.index for p in pts]
+    [0, 1, 2]
+    """
+    rng = rng if rng is not None else random.Random()
+    order = list(vectors)
+    rng.shuffle(order)
+    return list(as_stream(order))
+
+
+def replay(points: Iterable[StreamPoint]) -> Iterator[StreamPoint]:
+    """Re-emit existing stream points with re-normalised arrival indices.
+
+    Useful when concatenating or filtering streams: downstream samplers
+    assume indices are consecutive from 0.
+    """
+    for i, point in enumerate(points):
+        yield StreamPoint(point.vector, i, point.time)
+
+
+def with_poisson_times(
+    vectors: Iterable[Sequence[float]],
+    *,
+    rate: float,
+    rng: random.Random | None = None,
+) -> Iterator[StreamPoint]:
+    """Assign Poisson-process arrival timestamps (exponential gaps).
+
+    Drives the time-based sliding-window experiments, where wall-clock
+    arrival patterns differ from arrival counts.
+
+    Parameters
+    ----------
+    rate:
+        Expected number of arrivals per unit time (> 0).
+    """
+    if rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate}")
+    rng = rng if rng is not None else random.Random()
+    now = 0.0
+    for i, vector in enumerate(vectors):
+        now += rng.expovariate(rate)
+        yield StreamPoint(tuple(float(x) for x in vector), i, now)
+
+
+def interleave_streams(
+    streams: Sequence[Sequence[StreamPoint]],
+    *,
+    rng: random.Random | None = None,
+) -> list[StreamPoint]:
+    """Merge several streams into one, ordering by timestamp.
+
+    Ties are broken randomly; arrival indices are re-assigned.  Models the
+    distributed-streams motivation (several feeds of near-duplicate items
+    merged at an aggregator).
+    """
+    rng = rng if rng is not None else random.Random()
+    keyed = [
+        (point.time, rng.random(), point)
+        for stream in streams
+        for point in stream
+    ]
+    heapq.heapify(keyed)
+    merged = []
+    while keyed:
+        _, _, point = heapq.heappop(keyed)
+        merged.append(point)
+    return list(replay(merged))

@@ -1,0 +1,134 @@
+"""Sliding-window semantics (Section 1, "Computational Models").
+
+The paper defines two flavours:
+
+* **sequence-based**: the window holds the last ``w`` points
+  ``p_{l-w+1}, ..., p_l``;
+* **time-based**: the window holds the points received during the last
+  ``w`` time steps ``t - w + 1, ..., t``.
+
+The algorithms are identical in both cases; "the only difference is that
+the definitions of the expiration of a point are different" - which is
+exactly what :class:`WindowSpec` abstracts.  Expiry is always judged
+relative to the *latest* point received (the window's right edge).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ParameterError
+from repro.streams.point import StreamPoint
+
+
+class WindowSpec(ABC):
+    """Decides whether a point is still inside the current window."""
+
+    @abstractmethod
+    def in_window(self, point: StreamPoint, latest: StreamPoint) -> bool:
+        """True when ``point`` has not expired given the latest arrival."""
+
+    def expired(self, point: StreamPoint, latest: StreamPoint) -> bool:
+        """Convenience negation of :meth:`in_window`."""
+        return not self.in_window(point, latest)
+
+    @abstractmethod
+    def expiry_key(self, point: StreamPoint) -> float:
+        """Monotone key: points expire in increasing order of this key.
+
+        Enables heap-based lazy eviction: among tracked points, the one
+        with the smallest key always expires first.
+        """
+
+    @property
+    @abstractmethod
+    def size(self) -> float:
+        """Nominal window size ``w`` (``inf`` for the infinite window)."""
+
+
+class InfiniteWindow(WindowSpec):
+    """The standard streaming model: nothing ever expires.
+
+    >>> spec = InfiniteWindow()
+    >>> spec.in_window(StreamPoint((0.0,), 0), StreamPoint((1.0,), 10 ** 9))
+    True
+    """
+
+    def in_window(self, point: StreamPoint, latest: StreamPoint) -> bool:
+        return True
+
+    def expiry_key(self, point: StreamPoint) -> float:
+        return 0.0
+
+    @property
+    def size(self) -> float:
+        return float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "InfiniteWindow()"
+
+
+class SequenceWindow(WindowSpec):
+    """The window of the ``w`` most recent points.
+
+    A point with arrival index ``i`` is inside the window of the latest
+    point ``l`` iff ``i > l - w``.
+
+    >>> spec = SequenceWindow(3)
+    >>> latest = StreamPoint((0.0,), 10)
+    >>> spec.in_window(StreamPoint((0.0,), 8), latest)
+    True
+    >>> spec.in_window(StreamPoint((0.0,), 7), latest)
+    False
+    """
+
+    def __init__(self, w: int) -> None:
+        if w < 1:
+            raise ParameterError(f"window size must be >= 1, got {w}")
+        self._w = int(w)
+
+    def in_window(self, point: StreamPoint, latest: StreamPoint) -> bool:
+        return point.index > latest.index - self._w
+
+    def expiry_key(self, point: StreamPoint) -> float:
+        return float(point.index)
+
+    @property
+    def size(self) -> float:
+        return float(self._w)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SequenceWindow({self._w})"
+
+
+class TimeWindow(WindowSpec):
+    """The window of points that arrived in the last ``w`` time units.
+
+    A point with timestamp ``s`` is inside the window of the latest point
+    at time ``t`` iff ``s > t - w``.
+
+    >>> spec = TimeWindow(5.0)
+    >>> latest = StreamPoint((0.0,), 99, 100.0)
+    >>> spec.in_window(StreamPoint((0.0,), 1, 95.5), latest)
+    True
+    >>> spec.in_window(StreamPoint((0.0,), 1, 95.0), latest)
+    False
+    """
+
+    def __init__(self, w: float) -> None:
+        if w <= 0:
+            raise ParameterError(f"window duration must be positive, got {w}")
+        self._w = float(w)
+
+    def in_window(self, point: StreamPoint, latest: StreamPoint) -> bool:
+        return point.time > latest.time - self._w
+
+    def expiry_key(self, point: StreamPoint) -> float:
+        return point.time
+
+    @property
+    def size(self) -> float:
+        return self._w
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TimeWindow({self._w})"

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.base import SamplerConfig
+from repro.datasets.near_duplicates import add_near_duplicates
+from repro.datasets.synthetic import random_points, well_separated_clusters
+from repro.streams.point import StreamPoint
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic Random instance."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def small_separated():
+    """A tiny well-separated dataset: (points, labels, alpha), dim 2."""
+    points, labels, alpha = well_separated_clusters(
+        6, 5, 2, rng=random.Random(7)
+    )
+    return points, labels, alpha
+
+
+@pytest.fixture
+def noisy_stream():
+    """A paper-style noisy stream: (stream points, labels, alpha), dim 5."""
+    gen = random.Random(99)
+    base = random_points(30, 5, rng=gen)
+    counts = [gen.randint(1, 6) for _ in range(30)]
+    vectors, labels, alpha = add_near_duplicates(base, rng=gen, counts=counts)
+    order = list(range(len(vectors)))
+    gen.shuffle(order)
+    points = [StreamPoint(vectors[j], i) for i, j in enumerate(order)]
+    stream_labels = [labels[j] for j in order]
+    return points, stream_labels, alpha
+
+
+@pytest.fixture
+def config_2d() -> SamplerConfig:
+    """A small deterministic 2-D sampler configuration."""
+    return SamplerConfig.create(alpha=1.0, dim=2, seed=3)
+
+
+def stream_of(vectors) -> list[StreamPoint]:
+    """Wrap raw vectors as a stream (helper usable by all test modules)."""
+    return [StreamPoint(tuple(map(float, v)), i) for i, v in enumerate(vectors)]

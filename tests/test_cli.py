@@ -1,0 +1,143 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+import json
+import random
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    rng = random.Random(0)
+    lines = []
+    for g in range(10):
+        for _ in range(4):
+            lines.append(f"{20.0 * g + rng.uniform(0, 0.4)},{0.0}")
+    rng.shuffle(lines)
+    path = tmp_path / "points.csv"
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+class TestSampleCommand:
+    def test_single_sample(self, csv_file):
+        out = io.StringIO()
+        code = main(
+            ["sample", "--alpha", "1.0", "--seed", "3", csv_file], out=out
+        )
+        assert code == 0
+        lines = out.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        x, y = (float(v) for v in lines[0].split(","))
+        assert y == 0.0 and 0.0 <= x <= 200.0
+
+    def test_k_without_replacement(self, csv_file):
+        out = io.StringIO()
+        code = main(
+            [
+                "sample", "--alpha", "1.0", "--k", "3", "--seed", "1",
+                csv_file,
+            ],
+            out=out,
+        )
+        assert code == 0
+        groups = {
+            round(float(line.split(",")[0]) // 20.0)
+            for line in out.getvalue().strip().splitlines()
+        }
+        assert len(groups) == 3
+
+    def test_window_mode(self, csv_file):
+        out = io.StringIO()
+        code = main(
+            [
+                "sample", "--alpha", "1.0", "--window", "5", "--seed", "2",
+                csv_file,
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert out.getvalue().strip()
+
+    def test_empty_input(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(SystemExit):
+            main(["sample", "--alpha", "1.0", str(empty)], out=io.StringIO())
+
+    def test_bad_line_reports_position(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("1.0,2.0\nnot-a-number\n")
+        with pytest.raises(SystemExit, match="line 2"):
+            main(["sample", "--alpha", "1.0", str(bad)], out=io.StringIO())
+
+
+class TestCountCommand:
+    def test_exact_small_count(self, csv_file):
+        out = io.StringIO()
+        code = main(
+            [
+                "count", "--alpha", "1.0", "--epsilon", "0.5", "--seed", "0",
+                csv_file,
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert float(out.getvalue()) == 10.0
+
+
+class TestHeavyCommand:
+    def test_heavy_reports_big_group(self, tmp_path):
+        rng = random.Random(1)
+        lines = [f"{rng.uniform(0, 0.3)}" for _ in range(30)]
+        lines += [f"{50.0 * g}" for g in range(1, 8)]
+        rng.shuffle(lines)
+        path = tmp_path / "one_d.csv"
+        path.write_text("\n".join(lines) + "\n")
+        out = io.StringIO()
+        code = main(
+            [
+                "heavy", "--alpha", "1.0", "--phi", "0.5",
+                "--epsilon", "0.2", str(path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        rows = out.getvalue().strip().splitlines()
+        assert len(rows) == 1
+        count, error, coords = rows[0].split("\t")
+        assert int(count) >= 30
+        assert abs(float(coords)) < 1.0
+
+
+class TestFormats:
+    def test_jsonl_input(self, tmp_path):
+        path = tmp_path / "points.jsonl"
+        rows = [[0.1, 0.0], [0.2, 0.0], [30.0, 0.0]]
+        path.write_text("\n".join(json.dumps(r) for r in rows) + "\n")
+        out = io.StringIO()
+        code = main(
+            [
+                "count", "--alpha", "1.0", "--format", "jsonl",
+                "--epsilon", "0.5", str(path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert float(out.getvalue()) == 2.0
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "points.csv"
+        path.write_text("# header\n\n1.0,0.0\n9.0,0.0\n")
+        out = io.StringIO()
+        code = main(
+            ["count", "--alpha", "1.0", "--epsilon", "0.5", str(path)],
+            out=out,
+        )
+        assert code == 0
+        assert float(out.getvalue()) == 2.0

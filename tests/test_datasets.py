@@ -1,0 +1,245 @@
+"""Tests for repro.datasets: generators, transforms, validation, catalog."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.catalog import make_dataset, paper_datasets
+from repro.datasets.near_duplicates import (
+    add_near_duplicates,
+    power_law_counts,
+    rescale_min_distance,
+    uniform_counts,
+)
+from repro.datasets.synthetic import (
+    gaussian_clusters,
+    overlapping_chain,
+    random_points,
+    sparse_high_dim,
+    well_separated_clusters,
+)
+from repro.datasets.uci_like import seeds_like, yacht_like
+from repro.datasets.validation import dataset_sparsity, validate_sparse
+from repro.errors import ParameterError
+from repro.geometry.distance import distance
+from repro.partition.natural import is_well_separated
+
+
+class TestSynthetic:
+    def test_random_points_shape(self):
+        pts = random_points(10, 4, rng=random.Random(0))
+        assert len(pts) == 10
+        assert all(len(p) == 4 for p in pts)
+        assert all(0 <= x <= 1 for p in pts for x in p)
+
+    def test_random_points_negative_n(self):
+        with pytest.raises(ParameterError):
+            random_points(-1, 2)
+
+    def test_gaussian_clusters_labels(self):
+        pts, labels = gaussian_clusters(30, 3, 3, rng=random.Random(1))
+        assert len(pts) == len(labels) == 30
+        assert set(labels) == {0, 1, 2}
+
+    def test_well_separated_requires_margin(self):
+        with pytest.raises(ParameterError):
+            well_separated_clusters(3, 2, 2, separation=2.5)
+
+    def test_well_separated_actually_separated(self):
+        pts, labels, alpha = well_separated_clusters(
+            5, 6, 3, rng=random.Random(2)
+        )
+        assert is_well_separated(pts, alpha)
+
+    def test_overlapping_chain_not_separated(self):
+        pts, alpha = overlapping_chain(8, 2, rng=random.Random(3))
+        assert not is_well_separated(pts, alpha)
+
+    def test_sparse_high_dim_meets_theorem_41(self):
+        dim = 8
+        pts, labels, alpha = sparse_high_dim(5, 3, dim, rng=random.Random(4))
+        beta = dim**1.5 * alpha
+        assert validate_sparse(pts, alpha, beta)
+
+
+class TestUciLike:
+    def test_yacht_shape(self):
+        pts = yacht_like(rng=random.Random(0))
+        assert len(pts) == 308
+        assert all(len(p) == 7 for p in pts)
+
+    def test_seeds_shape(self):
+        pts = seeds_like(rng=random.Random(0))
+        assert len(pts) == 210
+        assert all(len(p) == 8 for p in pts)
+
+    def test_no_exact_duplicates(self):
+        for maker in (yacht_like, seeds_like):
+            pts = maker(rng=random.Random(1))
+            assert len(set(pts)) == len(pts)
+
+
+class TestRescale:
+    def test_min_distance_becomes_one(self):
+        scaled = rescale_min_distance([(0.0,), (0.5,), (2.0,)])
+        min_d = min(
+            distance(scaled[i], scaled[j])
+            for i in range(3)
+            for j in range(i + 1, 3)
+        )
+        assert min_d == pytest.approx(1.0)
+
+    def test_rejects_exact_duplicates(self):
+        with pytest.raises(ParameterError):
+            rescale_min_distance([(0.0,), (0.0,)])
+
+    def test_short_inputs_pass_through(self):
+        assert rescale_min_distance([(1.0, 2.0)]) == [(1.0, 2.0)]
+        assert rescale_min_distance([]) == []
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=2,
+            max_size=8,
+            unique=True,
+        )
+    )
+    @settings(max_examples=60)
+    def test_property_min_distance_one(self, grid_xs):
+        # Distinct lattice values avoid degenerate subnormal gaps that
+        # underflow the squared distance.
+        xs = [x / 7.3 for x in grid_xs]
+        scaled = rescale_min_distance([(x,) for x in xs])
+        n = len(scaled)
+        min_d = min(
+            distance(scaled[i], scaled[j])
+            for i in range(n)
+            for j in range(i + 1, n)
+        )
+        assert min_d == pytest.approx(1.0, rel=1e-9)
+
+
+class TestNearDuplicates:
+    def test_counts_schemes(self):
+        rng = random.Random(0)
+        uniform = uniform_counts(50, rng=rng)
+        assert all(1 <= k <= 100 for k in uniform)
+        power = power_law_counts(50, rng=rng)
+        assert sorted(power, reverse=True)[0] == 50  # ceil(n/1)
+        assert min(power) == 1  # ceil(n/n)
+
+    def test_power_law_multiset(self):
+        power = power_law_counts(20, rng=random.Random(1))
+        expected = sorted(math.ceil(20 / i) for i in range(1, 21))
+        assert sorted(power) == expected
+
+    def test_transform_well_separated(self):
+        rng = random.Random(2)
+        base = random_points(20, 5, rng=rng)
+        vectors, labels, alpha = add_near_duplicates(
+            base, rng=rng, counts=[3] * 20
+        )
+        assert len(vectors) == 20 * 4
+        assert alpha == pytest.approx(1.0 / 5**1.5)
+        assert is_well_separated(vectors, alpha)
+
+    def test_labels_match_geometry(self):
+        rng = random.Random(3)
+        base = random_points(10, 5, rng=rng)
+        vectors, labels, alpha = add_near_duplicates(
+            base, rng=rng, counts=[2] * 10
+        )
+        # Same label -> within alpha; different label -> far apart.
+        for i in range(0, len(vectors), 7):
+            for j in range(0, len(vectors), 11):
+                d = distance(vectors[i], vectors[j])
+                if labels[i] == labels[j]:
+                    assert d <= alpha + 1e-9
+                else:
+                    assert d > 2 * alpha
+
+    def test_counts_validation(self):
+        with pytest.raises(ParameterError):
+            add_near_duplicates(
+                [(0.0, 1.0), (5.0, 5.0)], rng=random.Random(0), counts=[1]
+            )
+
+    def test_empty_base(self):
+        vectors, labels, alpha = add_near_duplicates([], rng=random.Random(0))
+        assert vectors == [] and labels == [] and alpha == 0.0
+
+
+class TestCatalog:
+    def test_make_dataset_deterministic(self):
+        a = make_dataset("Seeds", seed=5)
+        b = make_dataset("Seeds", seed=5)
+        assert a.vectors == b.vectors
+        assert a.labels == b.labels
+
+    def test_make_dataset_unknown(self):
+        with pytest.raises(KeyError):
+            make_dataset("Nope")
+
+    def test_power_law_variant_name(self):
+        ds = make_dataset("Yacht", seed=1, power_law=True)
+        assert ds.name == "Yacht-pl"
+
+    def test_paper_datasets_all_eight(self):
+        catalog = paper_datasets(seed=0)
+        assert sorted(catalog) == [
+            "Rand20",
+            "Rand20-pl",
+            "Rand5",
+            "Rand5-pl",
+            "Seeds",
+            "Seeds-pl",
+            "Yacht",
+            "Yacht-pl",
+        ]
+
+    def test_group_counts_match_base_sizes(self):
+        catalog = paper_datasets(seed=0, names=["Seeds", "Yacht"])
+        assert catalog["Seeds"].num_groups == 210
+        assert catalog["Yacht"].num_groups == 308
+
+    def test_shuffled_stream_alignment(self):
+        ds = make_dataset("Seeds", seed=2)
+        points, labels = ds.shuffled_stream(random.Random(0))
+        assert len(points) == len(labels) == ds.num_points
+        assert [p.index for p in points] == list(range(ds.num_points))
+        # Vector multiset preserved.
+        assert sorted(p.vector for p in points) == sorted(ds.vectors)
+
+    def test_dataset_is_well_separated_sampled_check(self):
+        # Full O(n^2) check is too slow; verify on a subsample of groups.
+        ds = make_dataset("Seeds", seed=3)
+        keep_groups = set(range(0, ds.num_groups, 30))
+        sub = [
+            (v, l)
+            for v, l in zip(ds.vectors, ds.labels)
+            if l in keep_groups
+        ]
+        vectors = [v for v, _ in sub]
+        assert is_well_separated(vectors, ds.alpha)
+
+
+class TestSparsityReport:
+    def test_report_fields(self):
+        report = dataset_sparsity([(0.0,), (0.1,), (5.0,)], 0.5)
+        assert report.num_groups == 2
+        assert report.well_separated
+        assert report.separation_ratio > 2
+
+    def test_validate_sparse(self):
+        assert validate_sparse([(0.0,), (0.2,), (3.0,)], alpha=0.5, beta=2.0)
+        assert not validate_sparse([(0.0,), (1.0,)], alpha=0.5, beta=2.0)
+
+    def test_single_group_ratio_infinite(self):
+        report = dataset_sparsity([(0.0,)], 0.5)
+        assert report.separation_ratio == float("inf")

@@ -1,0 +1,120 @@
+"""Tests for the distributed robust sampler."""
+
+from __future__ import annotations
+
+import collections
+import random
+
+import pytest
+
+from repro.distributed.coordinator import DistributedRobustSampler
+from repro.errors import EmptySampleError, ParameterError
+from repro.metrics.accuracy import chi_square_uniformity
+
+
+def feed(coordinator, num_groups, copies=3, seed=0):
+    rng = random.Random(seed)
+    stream = []
+    for g in range(num_groups):
+        for _ in range(copies):
+            stream.append((25.0 * g + rng.uniform(0, 0.4),))
+    rng.shuffle(stream)
+    coordinator.scatter(stream, rng=rng)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            DistributedRobustSampler(1.0, 1, num_shards=0)
+
+    def test_shards_share_config(self):
+        coordinator = DistributedRobustSampler(1.0, 2, num_shards=3, seed=1)
+        configs = {id(coordinator.shard(i).config) for i in range(3)}
+        assert len(configs) == 1
+
+
+class TestMergeSemantics:
+    def test_empty_merge(self):
+        coordinator = DistributedRobustSampler(1.0, 1, num_shards=2, seed=0)
+        with pytest.raises(EmptySampleError):
+            coordinator.sample()
+
+    def test_cross_shard_group_deduplicated(self):
+        coordinator = DistributedRobustSampler(1.0, 1, num_shards=2, seed=2)
+        coordinator.route((0.0,), shard=0)
+        coordinator.route((0.2,), shard=1)  # same group, other shard
+        coordinator.route((50.0,), shard=1)
+        merged = coordinator.merged_sampler()
+        assert merged.num_candidate_groups == 2
+
+    def test_merge_counts_pooled(self):
+        coordinator = DistributedRobustSampler(1.0, 1, num_shards=2, seed=3)
+        for _ in range(4):
+            coordinator.route((0.0,), shard=0)
+        for _ in range(5):
+            coordinator.route((0.1,), shard=1)
+        merged = coordinator.merged_sampler()
+        record = next(iter(merged._store.records()))
+        assert record.count == 9
+
+    def test_merge_matches_group_count(self):
+        coordinator = DistributedRobustSampler(
+            1.0, 1, num_shards=4, seed=4, expected_stream_length=400
+        )
+        feed(coordinator, 80, seed=4)
+        merged = coordinator.merged_sampler()
+        estimate = merged.estimate_f0()
+        assert 30 <= estimate <= 200  # true 80
+
+    def test_merge_respects_rate_invariant(self):
+        coordinator = DistributedRobustSampler(
+            1.0, 1, num_shards=3, seed=5, expected_stream_length=900
+        )
+        feed(coordinator, 300, seed=5)
+        merged = coordinator.merged_sampler()
+        mask = merged.rate_denominator - 1
+        for record in merged._store.accepted_records():
+            assert record.cell_hash & mask == 0
+
+    def test_merged_accept_capacity(self):
+        coordinator = DistributedRobustSampler(
+            1.0, 1, num_shards=3, seed=6, expected_stream_length=900
+        )
+        feed(coordinator, 300, seed=6)
+        merged = coordinator.merged_sampler()
+        assert merged.accept_size <= merged._policy.threshold()
+
+    def test_communication_is_sketch_sized(self):
+        coordinator = DistributedRobustSampler(
+            1.0, 1, num_shards=3, seed=7, expected_stream_length=5000
+        )
+        feed(coordinator, 500, copies=10, seed=7)
+        # Stream is 5000 points x 3 words; shipping the sketches must cost
+        # a small fraction of shipping the data.
+        stream_words = 5000 * 3
+        assert coordinator.communication_words() < stream_words / 4
+
+
+class TestDistributedUniformity:
+    def test_uniform_over_union_groups(self):
+        num_groups = 6
+        counts = collections.Counter()
+        runs = 300
+        for run in range(runs):
+            coordinator = DistributedRobustSampler(
+                1.0, 1, num_shards=3, seed=run
+            )
+            feed(coordinator, num_groups, seed=run)
+            sample = coordinator.sample(random.Random(run ^ 0x123))
+            counts[round(sample.vector[0] // 25.0)] += 1
+        dense = [counts.get(g, 0) for g in range(num_groups)]
+        _, p_value = chi_square_uniformity(dense)
+        assert p_value > 1e-4, dense
+
+    def test_single_shard_equivalent_to_local(self):
+        coordinator = DistributedRobustSampler(1.0, 1, num_shards=1, seed=9)
+        feed(coordinator, 30, seed=9)
+        merged = coordinator.merged_sampler()
+        local = coordinator.shard(0)
+        assert merged.num_candidate_groups == local.num_candidate_groups
+        assert merged.accept_size == local.accept_size

@@ -1,0 +1,53 @@
+"""Run the library's deterministic doctests as part of the suite.
+
+Only modules whose examples are seed-deterministic are included; modules
+whose docstring examples involve fresh randomness document behaviour
+rather than assert it and are exercised by their dedicated test modules.
+
+Modules are resolved through importlib: attribute access like
+``repro.geometry.distance`` can be shadowed by same-named re-exports in
+package ``__init__`` files (the ``distance`` function hides the
+``distance`` module).
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+
+import pytest
+
+MODULE_NAMES = [
+    "repro.hashing.mix",
+    "repro.hashing.kwise",
+    "repro.hashing.sampling",
+    "repro.geometry.distance",
+    "repro.geometry.grid",
+    "repro.geometry.adjacency",
+    "repro.streams.point",
+    "repro.streams.windows",
+    "repro.streams.sources",
+    "repro.partition.natural",
+    "repro.partition.greedy",
+    "repro.partition.min_cardinality",
+    "repro.datasets.synthetic",
+    "repro.datasets.uci_like",
+    "repro.datasets.near_duplicates",
+    "repro.metrics.accuracy",
+    "repro.baselines.fm",
+    "repro.baselines.loglog",
+    "repro.baselines.hyperloglog",
+    "repro.baselines.bjkst",
+    "repro.highdim.jl",
+    "repro.metric_space.metrics",
+    "repro.metric_space.lsh",
+    "repro.experiments.registry",
+    "repro.persist",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULE_NAMES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    result = doctest.testmod(module)
+    assert result.failed == 0, f"{result.failed} doctest failures"

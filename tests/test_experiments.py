@@ -1,0 +1,137 @@
+"""Smoke tests for the experiment harness (quick profiles)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    format_table,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        assert {
+            "fig5_12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "thm24",
+            "thm27",
+            "thm31",
+            "thm41",
+            "sec5",
+            "ablations",
+        } == set(EXPERIMENTS)
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            run_experiment("nope")
+
+    def test_format_table_alignment(self):
+        text = format_table(["col", "x"], [["a", 1], ["bbbb", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("col")
+        assert len(lines) == 4
+
+
+class TestQuickRuns:
+    """Each experiment must run end-to-end at a tiny scale and produce
+    structurally valid output."""
+
+    def test_fig13_time(self):
+        out = run_experiment("fig13", profile="quick", seed=0)
+        rows = out.data["ptime"]
+        assert len(rows) == 4  # two base datasets x two variants
+        assert all(r["micros_per_item"] > 0 for r in rows)
+
+    def test_fig14_space(self):
+        out = run_experiment("fig14", profile="quick", seed=0)
+        rows = out.data["pspace"]
+        # At the paper's dataset sizes (210-500 groups, comparable to the
+        # kappa0*log m threshold) the robust sampler need not beat exact
+        # storage; it must stay within a small constant of it and far
+        # below the stream length.  The asymptotic win is asserted by
+        # test_thm24_scaling.
+        for r in rows:
+            assert 0 < r["robust_peak_words"] < 8 * r["exact_peak_words"]
+
+    def test_thm24_scaling(self):
+        out = run_experiment("thm24", profile="quick", seed=0)
+        rows = out.data["scaling"]
+        assert rows[-1]["stream_length"] > rows[0]["stream_length"]
+        # Peak space must grow far slower than the stream.
+        growth_space = rows[-1]["peak_words"] / rows[0]["peak_words"]
+        growth_stream = rows[-1]["stream_length"] / rows[0]["stream_length"]
+        assert growth_space < growth_stream
+
+    def test_thm31_general(self):
+        out = run_experiment("thm31", profile="quick", seed=0)
+        row = out.data["general"][0]
+        assert row["n_greedy"] <= row["n_opt"]
+        assert 0 < row["min_normalised_probability"]
+        assert row["max_normalised_probability"] < 25
+
+    def test_sec5_f0(self):
+        out = run_experiment("sec5", profile="quick", seed=0)
+        for row in out.data["infinite"]:
+            assert row["robust_rel_error"] < 0.5
+            # BJKST on raw noisy points massively overcounts.
+            assert row["bjkst_on_raw_points"] > 3 * row["groups"]
+
+    def test_fig5_12_distributions_tiny(self):
+        out = run_experiment(
+            "fig5_12", profile="quick", seed=0, runs=60, names=["Seeds"]
+        )
+        rows = out.data["distributions"]
+        assert {r["dataset"] for r in rows} == {"Seeds", "Seeds-pl"}
+        for r in rows:
+            assert sum(r["counts"]) == 60
+
+    def test_fig15_deviation_tiny(self):
+        out = run_experiment(
+            "fig15", profile="quick", seed=0, runs=60, names=["Seeds"]
+        )
+        for r in out.data["deviation"]:
+            assert r["std_dev_nm"] >= 0
+            assert r["p_value"] >= 0
+
+    def test_thm41_highdim_tiny(self):
+        out = run_experiment(
+            "thm41",
+            profile="quick",
+            seed=0,
+            runs=40,
+            dims=[8],
+            num_groups=10,
+        )
+        rows = out.data["highdim"]
+        assert rows and rows[0]["peak_words"] > 0
+
+    def test_thm27_sliding_tiny(self):
+        out = run_experiment(
+            "thm27",
+            profile="quick",
+            seed=0,
+            runs=40,
+            num_groups=15,
+            window=40,
+        )
+        for row in out.data["uniformity"]:
+            assert row["out_of_window_samples"] == 0
+        space = out.data["space"]
+        assert space[-1]["levels"] >= space[0]["levels"]
+
+    def test_ablations_tiny(self):
+        out = run_experiment(
+            "ablations", profile="quick", seed=0, runs=60, num_groups=12
+        )
+        adj = out.data["adj_pruning"]
+        assert all(row["speedup"] > 1 for row in adj[1:])
+        bias = {row["sampler"]: row for row in out.data["naive_bias"]}
+        assert (
+            bias["naive reservoir"]["largest_group_overweight"]
+            > 2 * bias["robust l0"]["largest_group_overweight"]
+        )

@@ -1,0 +1,38 @@
+"""Tests for the ``python -m repro.experiments`` entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestMain:
+    def test_runs_single_experiment(self, capsys):
+        code = main(["thm24", "--profile", "quick", "--seed", "1"])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "Theorem 2.4" in captured
+        assert "finished in" in captured
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            main(["thm24", "--profile", "gigantic"])
+
+    def test_seed_changes_output_data(self):
+        from repro.experiments.registry import run_experiment
+
+        a = run_experiment("thm24", profile="quick", seed=1)
+        b = run_experiment("thm24", profile="quick", seed=2)
+        assert a.data != b.data
+
+    def test_seed_reproducible(self):
+        from repro.experiments.registry import run_experiment
+
+        a = run_experiment("thm31", profile="quick", seed=5, runs=30)
+        b = run_experiment("thm31", profile="quick", seed=5, runs=30)
+        assert a.data == b.data

@@ -1,0 +1,126 @@
+"""Tests for the Section 5 robust F0 estimators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.f0_infinite import RobustF0EstimatorIW
+from repro.core.f0_sliding import RobustF0EstimatorSW
+from repro.errors import ParameterError
+from repro.streams.windows import SequenceWindow
+
+
+def feed_groups(estimator, num_groups, copies=3, seed=0, spacing=25.0):
+    rng = random.Random(seed)
+    stream = []
+    for g in range(num_groups):
+        for _ in range(copies):
+            stream.append((spacing * g + rng.uniform(0, 0.5),))
+    rng.shuffle(stream)
+    estimator.extend(stream)
+
+
+class TestInfiniteWindow:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            RobustF0EstimatorIW(1.0, 1, epsilon=0.0)
+        with pytest.raises(ParameterError):
+            RobustF0EstimatorIW(1.0, 1, copies=0)
+
+    def test_small_exact_regime(self):
+        # While |S_acc| < capacity, R stays 1 and the estimate is exact.
+        est = RobustF0EstimatorIW(1.0, 1, epsilon=0.5, copies=3, seed=0)
+        feed_groups(est, 10)
+        assert est.estimate() == 10.0
+
+    def test_duplicates_do_not_inflate(self):
+        est = RobustF0EstimatorIW(1.0, 1, epsilon=0.5, copies=3, seed=1)
+        feed_groups(est, 10, copies=30)
+        assert est.estimate() == 10.0
+
+    def test_subsampled_regime_accuracy(self):
+        est = RobustF0EstimatorIW(1.0, 1, epsilon=0.2, copies=9, seed=2)
+        feed_groups(est, 600, copies=2, seed=2)
+        estimate = est.estimate()
+        assert abs(estimate - 600) / 600 < 0.35
+
+    def test_copy_estimates_length(self):
+        est = RobustF0EstimatorIW(1.0, 1, copies=5, seed=3)
+        feed_groups(est, 20)
+        assert len(est.copy_estimates()) == 5
+
+    def test_median_robust_to_outlier_copies(self):
+        est = RobustF0EstimatorIW(1.0, 1, epsilon=0.3, copies=9, seed=4)
+        feed_groups(est, 300, seed=4)
+        copies = sorted(est.copy_estimates())
+        assert copies[0] <= est.estimate() <= copies[-1]
+
+    def test_space_bounded_by_capacity(self):
+        est = RobustF0EstimatorIW(1.0, 1, epsilon=0.3, copies=3, seed=5)
+        feed_groups(est, 500, seed=5)
+        # Each copy stores O(capacity) records of O(1) words.
+        capacity = max(4, int(8 / 0.09))
+        assert est.space_words() < 3 * capacity * 40
+
+
+class TestSlidingWindow:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            RobustF0EstimatorSW(
+                1.0, 1, SequenceWindow(8), copies=0
+            )
+        with pytest.raises(ParameterError):
+            RobustF0EstimatorSW(
+                1.0, 1, SequenceWindow(8), mode="bogus"
+            )
+
+    def test_levels_grow_with_population(self):
+        small = RobustF0EstimatorSW(
+            1.0, 1, SequenceWindow(512), copies=6, seed=0
+        )
+        feed_groups(small, 8, copies=1)
+        big = RobustF0EstimatorSW(
+            1.0, 1, SequenceWindow(512), copies=6, seed=0
+        )
+        feed_groups(big, 400, copies=1)
+        assert sum(big.copy_levels()) > sum(small.copy_levels())
+
+    def test_estimate_order_of_magnitude(self):
+        est = RobustF0EstimatorSW(
+            1.0, 1, SequenceWindow(512), copies=10, seed=1
+        )
+        feed_groups(est, 300, copies=1, seed=1)
+        estimate = est.estimate()
+        assert 30 <= estimate <= 3000
+
+    def test_hll_mode(self):
+        est = RobustF0EstimatorSW(
+            1.0, 1, SequenceWindow(128), copies=6, mode="hll", seed=2
+        )
+        feed_groups(est, 100, copies=1, seed=2)
+        assert est.estimate() > 0
+
+    def test_window_restricts_count(self):
+        # Same stream, smaller window -> smaller estimate.
+        big = RobustF0EstimatorSW(
+            1.0, 1, SequenceWindow(1024), copies=8, seed=3
+        )
+        small = RobustF0EstimatorSW(
+            1.0,
+            1,
+            SequenceWindow(16),
+            copies=8,
+            seed=3,
+        )
+        feed_groups(big, 500, copies=1, seed=3)
+        feed_groups(small, 500, copies=1, seed=3)
+        assert small.estimate() < big.estimate()
+
+    def test_space_words(self):
+        est = RobustF0EstimatorSW(
+            1.0, 1, SequenceWindow(64), copies=4, seed=4
+        )
+        feed_groups(est, 50, copies=1)
+        assert est.space_words() > 0

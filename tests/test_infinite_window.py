@@ -1,0 +1,255 @@
+"""Tests for Algorithm 1 (RobustL0SamplerIW)."""
+
+from __future__ import annotations
+
+import collections
+import random
+
+import pytest
+
+from repro.core.infinite_window import RobustL0SamplerIW
+from repro.errors import EmptySampleError, ParameterError
+from repro.geometry.distance import distance
+from repro.metrics.accuracy import chi_square_uniformity
+from repro.streams.point import StreamPoint
+
+
+class TestBasics:
+    def test_empty_sample_raises(self):
+        sampler = RobustL0SamplerIW(1.0, 2, seed=0)
+        with pytest.raises(EmptySampleError):
+            sampler.sample()
+
+    def test_single_point(self):
+        sampler = RobustL0SamplerIW(1.0, 2, seed=0)
+        sampler.insert((3.0, 4.0))
+        assert sampler.sample().vector == (3.0, 4.0)
+
+    def test_first_point_always_accepted_at_rate_one(self):
+        # R starts at 1, so the very first point lands in S_acc.
+        for seed in range(20):
+            sampler = RobustL0SamplerIW(1.0, 2, seed=seed)
+            sampler.insert((0.0, 0.0))
+            assert sampler.accept_size == 1
+
+    def test_dimension_check(self):
+        sampler = RobustL0SamplerIW(1.0, 2, seed=0)
+        with pytest.raises(ParameterError):
+            sampler.insert((1.0,))
+
+    def test_kappa_validation(self):
+        with pytest.raises(ParameterError):
+            RobustL0SamplerIW(1.0, 2, kappa0=0)
+
+    def test_points_seen(self):
+        sampler = RobustL0SamplerIW(1.0, 2, seed=0)
+        sampler.extend([(0.0, 0.0), (5.0, 5.0)])
+        assert sampler.points_seen == 2
+
+    def test_accepts_stream_points_and_raw(self):
+        sampler = RobustL0SamplerIW(1.0, 2, seed=0)
+        sampler.insert(StreamPoint((0.0, 0.0), 0))
+        sampler.insert((9.0, 9.0))
+        assert sampler.points_seen == 2
+
+
+class TestRepresentativeSemantics:
+    def test_duplicates_do_not_add_records(self):
+        sampler = RobustL0SamplerIW(1.0, 2, seed=1)
+        sampler.insert((0.0, 0.0))
+        before = sampler.num_candidate_groups
+        for _ in range(20):
+            sampler.insert((0.05, 0.05))
+        assert sampler.num_candidate_groups == before
+
+    def test_representative_is_first_point(self):
+        sampler = RobustL0SamplerIW(1.0, 2, seed=1)
+        sampler.insert((0.0, 0.0))
+        sampler.insert((0.1, 0.1))
+        reps = sampler.accepted_representatives()
+        assert reps and reps[0].vector == (0.0, 0.0)
+
+    def test_sample_is_a_representative(self):
+        rng = random.Random(0)
+        sampler = RobustL0SamplerIW(1.0, 2, seed=2)
+        groups = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)]
+        firsts = set()
+        for g in groups:
+            firsts.add(g)
+            sampler.insert(g)
+            for _ in range(5):
+                sampler.insert((g[0] + rng.uniform(0, 0.3), g[1]))
+        for _ in range(20):
+            assert sampler.sample(rng).vector in firsts
+
+    def test_group_counts_tracked(self):
+        sampler = RobustL0SamplerIW(1.0, 2, seed=3, track_members=True)
+        sampler.insert((0.0, 0.0))
+        for _ in range(9):
+            sampler.insert((0.1, 0.1))
+        records = sampler._store.accepted_records()
+        assert records[0].count == 10
+
+
+class TestRateAdaptation:
+    def _run(self, num_groups, seed, **kwargs):
+        rng = random.Random(seed)
+        sampler = RobustL0SamplerIW(
+            1.0, 2, seed=seed, expected_stream_length=num_groups, **kwargs
+        )
+        for i in range(num_groups):
+            # Far-apart groups on a coarse lattice.
+            sampler.insert((20.0 * (i % 100), 20.0 * (i // 100)))
+        return sampler
+
+    def test_rate_grows_with_groups(self):
+        sampler = self._run(600, seed=4)
+        assert sampler.rate_denominator > 1
+
+    def test_accept_bound_invariant(self):
+        sampler = self._run(600, seed=5)
+        # Post-insert invariant: |S_acc| <= threshold.
+        assert sampler.accept_size <= sampler._policy.threshold()
+
+    def test_accept_set_definition_after_doubling(self):
+        sampler = self._run(600, seed=6)
+        mask = sampler.rate_denominator - 1
+        for record in sampler._store.accepted_records():
+            assert record.cell_hash & mask == 0
+        for record in sampler._store.rejected_records():
+            assert record.cell_hash & mask != 0
+            assert any(v & mask == 0 for v in record.adj_hashes)
+
+    def test_accept_capacity_override(self):
+        sampler = self._run(600, seed=7, accept_capacity=10)
+        assert sampler.accept_size <= 10
+
+    def test_nonempty_accept_set_high_probability(self):
+        # Lemma 2.5: S_acc stays non-empty.
+        for seed in range(30):
+            sampler = self._run(300, seed=seed)
+            assert sampler.accept_size > 0
+
+
+class TestUniformity:
+    def test_uniform_over_groups(self):
+        """Theorem 2.4: each group sampled with probability ~1/n."""
+        num_groups = 8
+        centers = [(12.0 * i, 0.0) for i in range(num_groups)]
+        runs = 600
+        counts = collections.Counter()
+        query_rng = random.Random(42)
+        for run in range(runs):
+            rng = random.Random(run)
+            sampler = RobustL0SamplerIW(1.0, 2, seed=run)
+            stream = []
+            for g, c in enumerate(centers):
+                for _ in range(rng.randint(1, 6)):
+                    stream.append((g, (c[0] + rng.uniform(0, 0.4), c[1])))
+            rng.shuffle(stream)
+            for _, v in stream:
+                sampler.insert(v)
+            sample = sampler.sample(query_rng)
+            group = min(
+                range(num_groups),
+                key=lambda g: distance(centers[g], sample.vector),
+            )
+            counts[group] += 1
+        dense = [counts.get(g, 0) for g in range(num_groups)]
+        _, p_value = chi_square_uniformity(dense)
+        assert p_value > 1e-4, dense
+
+    def test_heavy_group_not_overweighted(self):
+        """The paper's core claim: duplicate-heavy groups stay at 1/n."""
+        runs = 400
+        heavy_hits = 0
+        query_rng = random.Random(7)
+        for run in range(runs):
+            rng = random.Random(run)
+            sampler = RobustL0SamplerIW(1.0, 2, seed=run ^ 0xABC)
+            stream = [(0, (0.0 + rng.uniform(0, 0.3), 0.0)) for _ in range(60)]
+            stream += [(1, (15.0, 0.0))]
+            stream += [(2, (30.0, 0.0))]
+            rng.shuffle(stream)
+            for _, v in stream:
+                sampler.insert(v)
+            sample = sampler.sample(query_rng)
+            if sample.vector[0] < 7.0:
+                heavy_hits += 1
+        # Uniform target: 1/3 of runs. Naive sampling would give ~97%.
+        assert 0.2 < heavy_hits / runs < 0.5
+
+
+class TestMembers:
+    def test_member_requires_flag(self):
+        sampler = RobustL0SamplerIW(1.0, 2, seed=0)
+        sampler.insert((0.0, 0.0))
+        with pytest.raises(ParameterError):
+            sampler.sample_member()
+
+    def test_member_uniform_within_group(self):
+        runs = 500
+        hits = collections.Counter()
+        for run in range(runs):
+            sampler = RobustL0SamplerIW(
+                1.0, 2, seed=run, track_members=True
+            )
+            for i in range(5):
+                sampler.insert((0.1 * i, 0.0))
+            member = sampler.sample_member(random.Random(run))
+            hits[member.vector] += 1
+        # All five points of the single group should appear ~uniformly.
+        assert len(hits) == 5
+        _, p_value = chi_square_uniformity(list(hits.values()))
+        assert p_value > 1e-4
+
+
+class TestRejectSetBound:
+    def test_lemma_2_6_reject_set_within_constant_of_accept(self):
+        """Lemma 2.6 / Lemma 4.2: |S_rej| = O(|S_acc|) with the constant
+        driven by |adj(p)|; at the default side d*alpha the expected
+        |adj| is small, so a generous factor of 10 must hold."""
+        for seed in range(5):
+            sampler = RobustL0SamplerIW(
+                1.0, 3, seed=seed, expected_stream_length=2000
+            )
+            rng = random.Random(seed)
+            for _ in range(2000):
+                sampler.insert(
+                    (
+                        30.0 * rng.randrange(40),
+                        30.0 * rng.randrange(40),
+                        30.0 * rng.randrange(40),
+                    )
+                )
+            assert sampler.reject_size <= max(10, 10 * sampler.accept_size)
+
+
+class TestSpaceAndEstimate:
+    def test_space_words_grows_then_bounded(self):
+        sampler = RobustL0SamplerIW(
+            1.0, 2, seed=9, expected_stream_length=500
+        )
+        for i in range(500):
+            sampler.insert((25.0 * (i % 50), 25.0 * (i // 50)))
+        assert 0 < sampler.space_words() <= sampler.peak_space_words
+
+    def test_estimate_f0_order_of_magnitude(self):
+        sampler = RobustL0SamplerIW(
+            1.0, 2, seed=10, expected_stream_length=400, kappa0=16
+        )
+        for i in range(400):
+            sampler.insert((25.0 * (i % 40), 25.0 * (i // 40)))
+        estimate = sampler.estimate_f0()
+        assert 100 <= estimate <= 1600  # true 400
+
+    def test_deterministic_given_seed(self):
+        def run():
+            sampler = RobustL0SamplerIW(1.0, 2, seed=11)
+            for i in range(100):
+                sampler.insert((10.0 * i, 0.0))
+            return sorted(
+                p.index for p in sampler.accepted_representatives()
+            )
+
+        assert run() == run()

@@ -1,0 +1,110 @@
+"""Property-based oracle tests for Algorithm 1 (infinite window)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.infinite_window import RobustL0SamplerIW
+from repro.streams.point import StreamPoint
+
+STREAMS = st.lists(st.integers(min_value=0, max_value=19), min_size=1, max_size=80)
+SEEDS = st.integers(min_value=0, max_value=10_000)
+
+
+def build_points(groups: list[int], jitter_seed: int) -> list[StreamPoint]:
+    rng = random.Random(jitter_seed)
+    return [
+        StreamPoint((20.0 * g + rng.uniform(0.0, 0.5),), i)
+        for i, g in enumerate(groups)
+    ]
+
+
+class TestAlgorithm1Oracle:
+    @given(STREAMS, SEEDS)
+    @settings(max_examples=120, deadline=None)
+    def test_definition_2_2_invariant(self, groups, seed):
+        """S_acc and S_rej always match Definition 2.2 exactly.
+
+        ``accept_capacity=4`` forces the rate to double repeatedly so the
+        resampling path (Line 12 of Algorithm 1) is exercised, not just
+        the R=1 regime.
+        """
+        points = build_points(groups, seed)
+        sampler = RobustL0SamplerIW(
+            1.0,
+            1,
+            seed=seed,
+            expected_stream_length=len(points),
+            accept_capacity=4,
+        )
+        for p in points:
+            sampler.insert(p)
+        mask = sampler.rate_denominator - 1
+        for record in sampler._store.accepted_records():
+            assert record.cell_hash & mask == 0
+        for record in sampler._store.rejected_records():
+            assert record.cell_hash & mask != 0
+            assert any(v & mask == 0 for v in record.adj_hashes)
+
+    @given(STREAMS, SEEDS)
+    @settings(max_examples=120, deadline=None)
+    def test_representative_is_group_first_point(self, groups, seed):
+        """At rate 1 (threshold above the group count) every group is a
+        candidate from its first point, so representatives must be exact
+        first arrivals.  (At higher rates a group ignored at birth may be
+        tracked later from a different point - allowed by the paper.)"""
+        points = build_points(groups, seed)
+        sampler = RobustL0SamplerIW(
+            1.0, 1, seed=seed, expected_stream_length=len(points)
+        )
+        first_arrival: dict[int, int] = {}
+        for g, p in zip(groups, points):
+            first_arrival.setdefault(g, p.index)
+            sampler.insert(p)
+        for record in sampler._store.records():
+            group = round(record.representative.vector[0] // 20.0)
+            assert record.representative.index == first_arrival[group]
+
+    @given(STREAMS, SEEDS)
+    @settings(max_examples=120, deadline=None)
+    def test_sample_is_a_seen_group(self, groups, seed):
+        points = build_points(groups, seed)
+        sampler = RobustL0SamplerIW(
+            1.0, 1, seed=seed, expected_stream_length=len(points)
+        )
+        for p in points:
+            sampler.insert(p)
+        sample = sampler.sample(random.Random(seed))
+        assert round(sample.vector[0] // 20.0) in set(groups)
+
+    @given(STREAMS, SEEDS)
+    @settings(max_examples=60, deadline=None)
+    def test_accept_set_never_empty(self, groups, seed):
+        """Lemma 2.5 at property-test scale: |S_acc| > 0 at every step."""
+        points = build_points(groups, seed)
+        sampler = RobustL0SamplerIW(
+            1.0, 1, seed=seed, expected_stream_length=len(points)
+        )
+        for p in points:
+            sampler.insert(p)
+            assert sampler.accept_size > 0
+
+    @given(STREAMS, SEEDS)
+    @settings(max_examples=60, deadline=None)
+    def test_group_counts_are_exact(self, groups, seed):
+        """Tracked candidate groups count their points exactly (valid in
+        the rate-1 regime where tracking starts at the first point)."""
+        points = build_points(groups, seed)
+        sampler = RobustL0SamplerIW(
+            1.0, 1, seed=seed, expected_stream_length=len(points)
+        )
+        true_counts: dict[int, int] = {}
+        for g, p in zip(groups, points):
+            true_counts[g] = true_counts.get(g, 0) + 1
+            sampler.insert(p)
+        for record in sampler._store.records():
+            group = round(record.representative.vector[0] // 20.0)
+            assert record.count == true_counts[group]

@@ -1,0 +1,174 @@
+"""End-to-end integration tests across the library's layers."""
+
+from __future__ import annotations
+
+import collections
+import random
+
+import pytest
+
+from repro import (
+    KDistinctSampler,
+    RobustF0EstimatorIW,
+    RobustL0SamplerIW,
+    RobustL0SamplerSW,
+    SequenceWindow,
+)
+from repro.baselines.exact import ExactDistinctSampler
+from repro.datasets.catalog import make_dataset
+from repro.metrics.accuracy import deviation_report
+
+
+class TestPaperPipeline:
+    """The full Section 6 pipeline on a real catalog dataset."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_dataset("Seeds", seed=1)
+
+    def test_stream_pass_and_sample(self, dataset):
+        points, labels = dataset.shuffled_stream(random.Random(0))
+        sampler = RobustL0SamplerIW(
+            dataset.alpha,
+            dataset.dim,
+            seed=0,
+            expected_stream_length=dataset.num_points,
+        )
+        label_of = {}
+        for p, l in zip(points, labels):
+            label_of[p.index] = l
+            sampler.insert(p)
+        sample = sampler.sample(random.Random(1))
+        assert label_of[sample.index] in set(labels)
+        # Space stays far below storing the stream.
+        stream_words = dataset.num_points * (dataset.dim + 2)
+        assert sampler.peak_space_words < stream_words / 4
+
+    def test_sample_is_group_first_arrival(self, dataset):
+        points, labels = dataset.shuffled_stream(random.Random(3))
+        sampler = RobustL0SamplerIW(
+            dataset.alpha,
+            dataset.dim,
+            seed=3,
+            expected_stream_length=dataset.num_points,
+        )
+        first_arrival = {}
+        for p, l in zip(points, labels):
+            first_arrival.setdefault(l, p.index)
+            sampler.insert(p)
+        label_of = {p.index: l for p, l in zip(points, labels)}
+        for _ in range(5):
+            sample = sampler.sample(random.Random(7))
+            assert sample.index == first_arrival[label_of[sample.index]]
+
+    def test_f0_estimator_on_catalog_data(self, dataset):
+        estimator = RobustF0EstimatorIW(
+            dataset.alpha, dataset.dim, epsilon=0.3, copies=3, seed=5
+        )
+        points, _ = dataset.shuffled_stream(random.Random(5))
+        for p in points:
+            estimator.insert(p)
+        estimate = estimator.estimate()
+        assert abs(estimate - dataset.num_groups) / dataset.num_groups < 0.5
+
+    def test_exact_baseline_agrees_with_ground_truth(self, dataset):
+        points, _ = dataset.shuffled_stream(random.Random(6))
+        exact = ExactDistinctSampler(dataset.alpha, dataset.dim, seed=6)
+        for p in points:
+            exact.insert(p)
+        assert exact.num_groups == dataset.num_groups
+
+
+class TestCrossSamplerConsistency:
+    """Different samplers on the same stream must agree on semantics."""
+
+    def _stream(self, seed, num_groups=40):
+        rng = random.Random(seed)
+        stream = []
+        for g in range(num_groups):
+            for _ in range(rng.randint(1, 4)):
+                stream.append((25.0 * g + rng.uniform(0, 0.5),))
+        rng.shuffle(stream)
+        return stream
+
+    def test_sw_with_giant_window_matches_iw_semantics(self):
+        """A sliding window larger than the stream behaves like the
+        infinite window: the sampled group set is the full group set."""
+        stream = self._stream(0)
+        sw = RobustL0SamplerSW(
+            1.0, 1, SequenceWindow(10 * len(stream)), seed=1
+        )
+        iw = RobustL0SamplerIW(1.0, 1, seed=1)
+        for v in stream:
+            sw.insert(v)
+            iw.insert(v)
+        groups_sw = collections.Counter()
+        groups_iw = collections.Counter()
+        rng = random.Random(2)
+        for _ in range(60):
+            groups_sw[round(sw.sample(rng).vector[0] // 25.0)] += 1
+            groups_iw[round(iw.sample(rng).vector[0] // 25.0)] += 1
+        # Both samplers hit many distinct groups across queries.
+        assert len(groups_sw) > 5
+        assert len(groups_iw) > 5
+
+    def test_ksampler_matches_single_sampler_distribution(self):
+        counts = collections.Counter()
+        runs = 300
+        for run in range(runs):
+            ks = KDistinctSampler(
+                1.0, 1, k=1, replacement=True, seed=run
+            )
+            rng = random.Random(run)
+            stream = self._stream(run, num_groups=5)
+            for v in stream:
+                ks.insert(v)
+            counts[round(ks.sample(rng)[0].vector[0] // 25.0)] += 1
+        report = deviation_report(
+            [counts.get(g, 0) for g in range(5)]
+        )
+        assert report.is_consistent_with_uniform(p_threshold=1e-4)
+
+
+class TestAdversarialStreams:
+    def test_all_points_identical_location(self):
+        sampler = RobustL0SamplerIW(1.0, 2, seed=0)
+        for _ in range(500):
+            sampler.insert((5.0, 5.0))
+        assert sampler.num_candidate_groups == 1
+        assert sampler.sample().vector == (5.0, 5.0)
+
+    def test_points_on_cell_boundaries(self):
+        # Points deliberately placed on integer lattice positions stress
+        # the grid's floor arithmetic.
+        sampler = RobustL0SamplerIW(1.0, 2, seed=1)
+        for i in range(10):
+            for j in range(10):
+                sampler.insert((4.0 * i, 4.0 * j))
+        assert sampler.sample(random.Random(0)) is not None
+
+    def test_sorted_then_reversed_stream_same_groups(self):
+        values = [(7.0 * g,) for g in range(50)]
+        forward = RobustL0SamplerIW(1.0, 1, seed=2)
+        backward = RobustL0SamplerIW(1.0, 1, seed=2)
+        for v in values:
+            forward.insert(v)
+        for v in reversed(values):
+            backward.insert(v)
+        # Same geometry, same hash seed: the accepted group *locations*
+        # must coincide even though arrival orders differ.
+        fw = {round(p.vector[0]) for p in forward.accepted_representatives()}
+        bw = {round(p.vector[0]) for p in backward.accepted_representatives()}
+        assert fw == bw
+
+    def test_tiny_alpha_every_point_distinct(self):
+        sampler = RobustL0SamplerIW(1e-6, 1, seed=3, expected_stream_length=200)
+        for i in range(200):
+            sampler.insert((float(i),))
+        assert sampler.estimate_f0() > 50
+
+    def test_huge_alpha_single_group(self):
+        sampler = RobustL0SamplerIW(1e6, 1, seed=4)
+        for i in range(200):
+            sampler.insert((float(i),))
+        assert sampler.num_candidate_groups == 1

@@ -1,0 +1,116 @@
+"""Tests for k-sampling with/without replacement (Section 2.3)."""
+
+from __future__ import annotations
+
+import collections
+import random
+
+import pytest
+
+from repro.core.ksample import KDistinctSampler
+from repro.errors import EmptySampleError, ParameterError
+from repro.streams.windows import SequenceWindow
+
+
+def feed_groups(sampler, num_groups, copies=3, seed=0):
+    rng = random.Random(seed)
+    stream = []
+    for g in range(num_groups):
+        for _ in range(copies):
+            stream.append((20.0 * g + rng.uniform(0, 0.5),))
+    rng.shuffle(stream)
+    for v in stream:
+        sampler.insert(v)
+
+
+def group_of(point):
+    return round(point.vector[0] // 20.0)
+
+
+class TestValidation:
+    def test_k_positive(self):
+        with pytest.raises(ParameterError):
+            KDistinctSampler(1.0, 1, k=0)
+
+    def test_properties(self):
+        ks = KDistinctSampler(1.0, 1, k=3, replacement=True, seed=0)
+        assert ks.k == 3
+        assert ks.replacement
+
+
+class TestWithoutReplacement:
+    def test_samples_are_distinct_groups(self):
+        ks = KDistinctSampler(1.0, 1, k=4, replacement=False, seed=1)
+        feed_groups(ks, 12)
+        rng = random.Random(0)
+        for _ in range(10):
+            groups = [group_of(p) for p in ks.sample(rng)]
+            assert len(set(groups)) == 4
+
+    def test_insufficient_groups_raises(self):
+        ks = KDistinctSampler(1.0, 1, k=5, replacement=False, seed=2)
+        feed_groups(ks, 2)
+        with pytest.raises(EmptySampleError):
+            ks.sample(random.Random(0))
+
+    def test_threshold_boost_keeps_enough_samples(self):
+        # With the kappa0*k threshold the accept set holds >= k groups.
+        ks = KDistinctSampler(
+            1.0, 1, k=6, replacement=False, seed=3, expected_stream_length=600
+        )
+        feed_groups(ks, 150, copies=2, seed=3)
+        assert len(ks.sample(random.Random(1))) == 6
+
+    def test_coverage_over_runs(self):
+        # Over many runs all groups should appear.
+        seen = set()
+        for seed in range(40):
+            ks = KDistinctSampler(1.0, 1, k=2, replacement=False, seed=seed)
+            feed_groups(ks, 8, seed=seed)
+            seen.update(group_of(p) for p in ks.sample(random.Random(seed)))
+        assert seen == set(range(8))
+
+
+class TestWithReplacement:
+    def test_returns_k_samples(self):
+        ks = KDistinctSampler(1.0, 1, k=3, replacement=True, seed=4)
+        feed_groups(ks, 10)
+        assert len(ks.sample(random.Random(0))) == 3
+
+    def test_repeats_possible(self):
+        # With 2 groups and k=4, pigeonhole forces repeats.
+        ks = KDistinctSampler(1.0, 1, k=4, replacement=True, seed=5)
+        feed_groups(ks, 2)
+        groups = [group_of(p) for p in ks.sample(random.Random(0))]
+        assert len(set(groups)) <= 2
+
+    def test_copies_are_independent(self):
+        tallies = collections.Counter()
+        for seed in range(60):
+            ks = KDistinctSampler(1.0, 1, k=2, replacement=True, seed=seed)
+            feed_groups(ks, 4, seed=seed)
+            a, b = (group_of(p) for p in ks.sample(random.Random(seed)))
+            tallies[(a == b)] += 1
+        # With 4 groups, P[match] ~ 1/4; both outcomes must occur.
+        assert tallies[True] > 0 and tallies[False] > 0
+
+
+class TestSlidingWindowMode:
+    def test_window_samples_recent_groups(self):
+        ks = KDistinctSampler(
+            1.0,
+            1,
+            k=2,
+            replacement=False,
+            window=SequenceWindow(6),
+            seed=6,
+        )
+        for g in range(20):
+            ks.insert((20.0 * g,))
+        groups = {group_of(p) for p in ks.sample(random.Random(0))}
+        assert all(g >= 14 for g in groups)
+
+    def test_space_words(self):
+        ks = KDistinctSampler(1.0, 1, k=2, replacement=True, seed=7)
+        feed_groups(ks, 5)
+        assert ks.space_words() > 0

@@ -1,0 +1,269 @@
+"""Tests for the LSH generalisation (paper's concluding remark)."""
+
+from __future__ import annotations
+
+import collections
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    DimensionMismatchError,
+    EmptySampleError,
+    ParameterError,
+)
+from repro.metric_space.lsh import (
+    BandedLSH,
+    BitSamplingHash,
+    MinHash,
+    RandomHyperplaneHash,
+    design_banding,
+)
+from repro.metric_space.metrics import (
+    angular_distance,
+    hamming_distance,
+    jaccard_distance,
+)
+from repro.metric_space.sampler import RobustLSHSampler
+from repro.metrics.accuracy import chi_square_uniformity
+
+
+class TestMetrics:
+    def test_angular_basics(self):
+        assert angular_distance((1.0, 0.0), (0.0, 1.0)) == pytest.approx(0.5)
+        assert angular_distance((1.0, 0.0), (3.0, 0.0)) == pytest.approx(0.0)
+        assert angular_distance((1.0, 0.0), (-1.0, 0.0)) == pytest.approx(1.0)
+
+    def test_angular_zero_vector(self):
+        with pytest.raises(ParameterError):
+            angular_distance((0.0, 0.0), (1.0, 0.0))
+
+    def test_angular_dim_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            angular_distance((1.0,), (1.0, 0.0))
+
+    def test_jaccard_basics(self):
+        assert jaccard_distance({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+        assert jaccard_distance(set(), set()) == 0.0
+        assert jaccard_distance({1}, {2}) == 1.0
+
+    def test_hamming_basics(self):
+        assert hamming_distance((0, 1, 1, 0), (0, 1, 0, 0)) == 0.25
+        assert hamming_distance((), ()) == 0.0
+
+    @given(
+        st.sets(st.integers(0, 50), max_size=10),
+        st.sets(st.integers(0, 50), max_size=10),
+    )
+    @settings(max_examples=100)
+    def test_jaccard_is_metric_range(self, a, b):
+        d = jaccard_distance(a, b)
+        assert 0.0 <= d <= 1.0
+        assert jaccard_distance(a, a) == 0.0
+        assert d == jaccard_distance(b, a)
+
+
+class TestLSHFamilies:
+    def test_hyperplane_collision_tracks_angle(self):
+        rng = random.Random(0)
+        near_u, near_v = (1.0, 0.0, 0.0), (0.99, 0.05, 0.0)
+        far_u, far_v = (1.0, 0.0, 0.0), (-1.0, 0.1, 0.0)
+        near_hits = far_hits = 0
+        trials = 400
+        for _ in range(trials):
+            h = RandomHyperplaneHash(3, rng=rng)
+            near_hits += h.token(near_u) == h.token(near_v)
+            far_hits += h.token(far_u) == h.token(far_v)
+        assert near_hits / trials > 0.9
+        assert far_hits / trials < 0.15
+
+    def test_minhash_collision_tracks_jaccard(self):
+        rng = random.Random(1)
+        a, b = frozenset(range(20)), frozenset(range(10, 30))  # J-dist 2/3
+        hits = 0
+        trials = 600
+        for _ in range(trials):
+            h = MinHash(rng=rng)
+            hits += h.token(a) == h.token(b)
+        assert 0.23 < hits / trials < 0.45  # expect ~1/3
+
+    def test_minhash_empty_set(self):
+        h = MinHash(rng=random.Random(2))
+        assert h.token(frozenset()) == -1
+
+    def test_bit_sampling(self):
+        rng = random.Random(3)
+        h = BitSamplingHash(4, rng=rng)
+        assert h.token((0, 1, 0, 1)) in (0, 1)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            RandomHyperplaneHash(0, rng=random.Random(0))
+        with pytest.raises(ParameterError):
+            BitSamplingHash(0, rng=random.Random(0))
+
+
+class TestBandedLSH:
+    def _make(self, bands=6, rows=2):
+        rng = random.Random(5)
+        return BandedLSH(
+            lambda: MinHash(rng=rng), bands=bands, rows_per_band=rows, seed=2
+        )
+
+    def test_key_count(self):
+        lsh = self._make()
+        assert len(lsh.keys(frozenset({1, 2}))) == 6
+        assert lsh.bands == 6
+        assert lsh.rows_per_band == 2
+
+    def test_keys_deterministic(self):
+        lsh = self._make()
+        item = frozenset({1, 2, 3})
+        assert lsh.keys(item) == lsh.keys(item)
+
+    def test_identical_items_share_all_keys(self):
+        lsh = self._make()
+        assert lsh.keys(frozenset({7, 8})) == lsh.keys(frozenset({8, 7}))
+
+    def test_collision_probability_monotone(self):
+        lsh = self._make()
+        probs = [lsh.collision_probability(d / 10) for d in range(11)]
+        assert probs[0] == 1.0
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_collision_probability_validation(self):
+        with pytest.raises(ParameterError):
+            self._make().collision_probability(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            BandedLSH(lambda: None, bands=0, rows_per_band=1)
+
+    def test_design_banding(self):
+        bands, rows = design_banding(near=0.1, far=0.6)
+        rng = random.Random(7)
+        lsh = BandedLSH(
+            lambda: MinHash(rng=rng), bands=bands, rows_per_band=rows
+        )
+        assert lsh.collision_probability(0.1) >= 0.9
+        assert lsh.collision_probability(0.6) < lsh.collision_probability(0.1)
+
+    def test_design_banding_validation(self):
+        with pytest.raises(ParameterError):
+            design_banding(near=0.7, far=0.6)
+
+
+def _mutate(base, rng, universe=5000, flips=1):
+    mutated = set(base)
+    for _ in range(flips):
+        mutated.discard(rng.choice(sorted(mutated)))
+        mutated.add(rng.randrange(universe, universe * 2))
+    return frozenset(mutated)
+
+
+class TestRobustLSHSampler:
+    def _sampler(self, seed=1, bands=10, rows=3):
+        rng = random.Random(seed)
+        lsh = BandedLSH(
+            lambda: MinHash(rng=rng), bands=bands, rows_per_band=rows, seed=seed
+        )
+        return RobustLSHSampler(lsh, jaccard_distance, alpha=0.3, seed=seed)
+
+    def test_alpha_validation(self):
+        rng = random.Random(0)
+        lsh = BandedLSH(lambda: MinHash(rng=rng), bands=2, rows_per_band=1)
+        with pytest.raises(ParameterError):
+            RobustLSHSampler(lsh, jaccard_distance, alpha=0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptySampleError):
+            self._sampler().sample()
+
+    def test_near_duplicates_collapse(self):
+        sampler = self._sampler()
+        rng = random.Random(2)
+        base = frozenset(rng.sample(range(5000), 25))
+        sampler.insert(base)
+        for _ in range(10):
+            sampler.insert(_mutate(base, rng))
+        assert sampler.num_candidate_groups == 1
+
+    def test_distinct_sets_tracked_separately(self):
+        sampler = self._sampler()
+        rng = random.Random(3)
+        for _ in range(20):
+            sampler.insert(frozenset(rng.sample(range(100_000), 25)))
+        assert sampler.num_candidate_groups >= 18  # LSH misses are rare
+
+    def test_estimate_f0(self):
+        sampler = self._sampler()
+        rng = random.Random(4)
+        for _ in range(40):
+            base = frozenset(rng.sample(range(100_000), 25))
+            sampler.insert(base)
+            sampler.insert(_mutate(base, rng))
+        estimate = sampler.estimate_f0()
+        assert 20 <= estimate <= 80
+
+    def test_uniform_over_groups(self):
+        counts = collections.Counter()
+        runs = 300
+        gen = random.Random(6)
+        bases = [frozenset(gen.sample(range(100_000), 25)) for _ in range(6)]
+        for run in range(runs):
+            sampler = self._sampler(seed=run)
+            rng = random.Random(run)
+            stream = []
+            for g, base in enumerate(bases):
+                stream.append((g, base))
+                for _ in range(rng.randint(0, 4)):
+                    stream.append((g, _mutate(base, rng)))
+            rng.shuffle(stream)
+            items = {}
+            for g, item in stream:
+                items[item] = g
+                sampler.insert(item)
+            counts[items[sampler.sample(random.Random(run ^ 0x77))]] += 1
+        dense = [counts.get(g, 0) for g in range(6)]
+        _, p_value = chi_square_uniformity(dense)
+        assert p_value > 1e-4, dense
+
+    def test_rate_adapts(self):
+        sampler = self._sampler(seed=9)
+        rng = random.Random(9)
+        for _ in range(600):
+            sampler.insert(frozenset(rng.sample(range(10**6), 25)))
+        assert sampler.rate_denominator > 1
+        assert sampler.accept_size <= sampler._policy.threshold()
+
+    def test_member_sampling(self):
+        sampler = self._sampler(seed=10)
+        rng = random.Random(10)
+        base = frozenset(rng.sample(range(5000), 25))
+        sampler.insert(base)
+        member = sampler.sample_member(random.Random(0))
+        assert member == base
+
+    def test_space_words_positive(self):
+        sampler = self._sampler(seed=11)
+        sampler.insert(frozenset({1, 2, 3}))
+        assert sampler.space_words() > 0
+
+    def test_angular_mode(self):
+        rng = random.Random(12)
+        lsh = BandedLSH(
+            lambda: RandomHyperplaneHash(8, rng=rng),
+            bands=12,
+            rows_per_band=4,
+            seed=12,
+        )
+        sampler = RobustLSHSampler(lsh, angular_distance, alpha=0.05, seed=12)
+        base = tuple(rng.gauss(0, 1) for _ in range(8))
+        sampler.insert(base)
+        jitter = tuple(x + rng.gauss(0, 0.01) for x in base)
+        sampler.insert(jitter)
+        far = tuple(-x for x in base)
+        sampler.insert(far)
+        assert sampler.num_candidate_groups == 2

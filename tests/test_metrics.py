@@ -1,0 +1,135 @@
+"""Tests for repro.metrics: accuracy, trials, timing, space."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.infinite_window import RobustL0SamplerIW
+from repro.datasets.catalog import make_dataset
+from repro.metrics.accuracy import (
+    chi_square_uniformity,
+    deviation_report,
+    max_dev_normalized,
+    multinomial_noise_floor,
+    std_dev_normalized,
+)
+from repro.metrics.space import dataset_stream_factory, measure_peak_space
+from repro.metrics.timing import measure_processing_time, shuffled_stream_factory
+from repro.metrics.trials import sampling_distribution
+
+
+class TestAccuracyFormulas:
+    def test_uniform_counts_zero_deviation(self):
+        assert std_dev_normalized([10, 10, 10]) == 0.0
+        assert max_dev_normalized([10, 10, 10]) == 0.0
+
+    def test_known_values(self):
+        # freqs 1/6, 2/6, 3/6; target 1/3.
+        assert max_dev_normalized([5, 10, 15]) == pytest.approx(0.5)
+
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            std_dev_normalized([0, 0])
+
+    def test_noise_floor_formula(self):
+        assert multinomial_noise_floor(101, 100) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            multinomial_noise_floor(0, 5)
+
+    def test_chi_square_detects_bias(self):
+        _, p_uniform = chi_square_uniformity([100, 105, 95, 100])
+        _, p_biased = chi_square_uniformity([400, 0, 0, 0])
+        assert p_uniform > 0.01
+        assert p_biased < 1e-6
+
+    def test_chi_square_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity([5])
+
+    def test_uniform_sampler_matches_floor(self):
+        rng = random.Random(0)
+        n, runs = 20, 4000
+        counts = [0] * n
+        for _ in range(runs):
+            counts[rng.randrange(n)] += 1
+        report = deviation_report(counts)
+        assert 0.5 < report.excess_over_floor < 1.6
+        assert report.is_consistent_with_uniform()
+
+    def test_report_from_mapping(self):
+        report = deviation_report({0: 50, 2: 50}, num_groups=3)
+        assert report.num_groups == 3
+        assert report.num_runs == 100
+        assert not report.is_consistent_with_uniform()
+
+    def test_mapping_requires_num_groups(self):
+        with pytest.raises(ValueError):
+            deviation_report({0: 5})
+
+
+class TestTrials:
+    def test_distribution_counts_sum_to_runs(self):
+        dataset = make_dataset("Seeds", seed=0)
+        # Shrink: use a small synthetic stand-in for speed.
+        result = sampling_distribution(dataset, runs=3, seed=0)
+        assert sum(result.counts) == 3
+        assert len(result.counts) == dataset.num_groups
+        assert result.dataset == "Seeds"
+
+    def test_runs_validation(self):
+        dataset = make_dataset("Seeds", seed=0)
+        with pytest.raises(ValueError):
+            sampling_distribution(dataset, runs=0)
+
+    def test_frequencies_sum_to_one(self):
+        dataset = make_dataset("Seeds", seed=0)
+        result = sampling_distribution(dataset, runs=4, seed=1)
+        assert sum(result.frequencies) == pytest.approx(1.0)
+
+
+class TestTimingAndSpace:
+    def _dataset(self):
+        return make_dataset("Seeds", seed=0)
+
+    def test_timing_result_fields(self):
+        dataset = self._dataset()
+
+        def make_sampler(i):
+            return RobustL0SamplerIW(
+                dataset.alpha, dataset.dim, seed=i,
+                expected_stream_length=dataset.num_points,
+            )
+
+        result = measure_processing_time(
+            make_sampler, shuffled_stream_factory(dataset), passes=1
+        )
+        assert result.seconds_per_item > 0
+        assert result.micros_per_item == pytest.approx(
+            result.seconds_per_item * 1e6
+        )
+        assert result.items_per_pass == dataset.num_points
+
+    def test_timing_validation(self):
+        with pytest.raises(ValueError):
+            measure_processing_time(lambda i: None, lambda i: [], passes=0)
+
+    def test_space_result_fields(self):
+        dataset = self._dataset()
+
+        def make_sampler(i):
+            return RobustL0SamplerIW(
+                dataset.alpha, dataset.dim, seed=i,
+                expected_stream_length=dataset.num_points,
+            )
+
+        result = measure_peak_space(
+            make_sampler, dataset_stream_factory(dataset), passes=1
+        )
+        assert result.max_peak_words >= result.mean_final_words > 0
+        assert result.mean_peak_words <= result.max_peak_words
+
+    def test_space_validation(self):
+        with pytest.raises(ValueError):
+            measure_peak_space(lambda i: None, lambda i: [], passes=0)

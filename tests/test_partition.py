@@ -1,0 +1,152 @@
+"""Tests for repro.partition: natural, greedy, minimum-cardinality."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import well_separated_clusters
+from repro.partition.greedy import greedy_partition
+from repro.partition.min_cardinality import (
+    min_cardinality_partition,
+    min_cardinality_size,
+)
+from repro.partition.natural import (
+    connected_components_within,
+    is_well_separated,
+    natural_partition,
+    separation_gap,
+)
+
+POINTS_1D = st.lists(
+    st.floats(min_value=0, max_value=50, allow_nan=False),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestNaturalPartition:
+    def test_simple_components(self):
+        parts = connected_components_within([(0.0,), (0.1,), (5.0,)], 0.5)
+        assert parts == [[0, 1], [2]]
+
+    def test_chain_transitivity(self):
+        # 0 - 0.4 - 0.8: 0 and 0.8 are linked through 0.4.
+        parts = connected_components_within([(0.0,), (0.4,), (0.8,)], 0.5)
+        assert parts == [[0, 1, 2]]
+
+    def test_order_of_first_arrival(self):
+        parts = connected_components_within([(5.0,), (0.0,), (5.1,)], 0.5)
+        assert parts[0] == [0, 2]
+
+    def test_empty(self):
+        assert connected_components_within([], 1.0) == []
+
+    def test_separation_gap(self):
+        max_intra, min_inter = separation_gap([(0.0,), (0.1,), (5.0,)], 0.5)
+        assert max_intra == pytest.approx(0.1)
+        assert min_inter == pytest.approx(4.9)
+
+    def test_single_group_gap_infinite(self):
+        _, min_inter = separation_gap([(0.0,), (0.1,)], 0.5)
+        assert min_inter == float("inf")
+
+    def test_is_well_separated(self):
+        assert is_well_separated([(0.0,), (0.1,), (5.0,)], 0.5)
+        assert not is_well_separated([(0.0,), (0.4,), (0.9,)], 0.5)
+
+    def test_generator_produces_well_separated(self):
+        points, labels, alpha = well_separated_clusters(
+            5, 4, 3, rng=random.Random(1)
+        )
+        assert is_well_separated(points, alpha)
+        parts = natural_partition(points, alpha)
+        assert len(parts) == 5
+        # Natural partition must match the generator's labels.
+        for members in parts:
+            assert len({labels[i] for i in members}) == 1
+
+
+class TestGreedyPartition:
+    def test_arrival_order(self):
+        groups = greedy_partition([(0.0,), (0.9,), (1.8,)], 1.0)
+        assert groups == [[0, 1], [2]]
+
+    def test_explicit_order(self):
+        groups = greedy_partition([(0.0,), (0.9,), (1.8,)], 1.0, order=[1, 0, 2])
+        # Seeding at 0.9 absorbs both neighbours.
+        assert groups == [[1, 0, 2]]
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            greedy_partition([(0.0,)], 1.0, order=[1])
+
+    def test_covers_all_points(self):
+        rng = random.Random(2)
+        points = [(rng.uniform(0, 10),) for _ in range(40)]
+        groups = greedy_partition(points, 1.0)
+        flat = sorted(i for g in groups for i in g)
+        assert flat == list(range(40))
+
+    def test_group_radius_bound(self):
+        rng = random.Random(3)
+        points = [(rng.uniform(0, 5), rng.uniform(0, 5)) for _ in range(30)]
+        for group in greedy_partition(points, 1.0):
+            seed_point = points[group[0]]
+            for i in group:
+                dist_sq = sum(
+                    (a - b) ** 2 for a, b in zip(seed_point, points[i])
+                )
+                assert dist_sq <= 1.0 + 1e-9
+
+
+class TestMinCardinality:
+    def test_exact_small(self):
+        assert min_cardinality_size([(0.0,), (0.6,), (1.2,)], 1.0) == 2
+
+    def test_partition_valid(self):
+        points = [(0.0,), (0.5,), (1.0,), (3.0,)]
+        partition = min_cardinality_partition(points, 1.0)
+        flat = sorted(i for g in partition for i in g)
+        assert flat == list(range(4))
+        for group in partition:
+            for i in group:
+                for j in group:
+                    assert abs(points[i][0] - points[j][0]) <= 1.0 + 1e-9
+
+    def test_empty(self):
+        assert min_cardinality_partition([], 1.0) == []
+
+    def test_well_separated_equals_natural(self):
+        points, _, alpha = well_separated_clusters(4, 3, 2, rng=random.Random(5))
+        natural = natural_partition(points, alpha)
+        assert min_cardinality_size(points, alpha) == len(natural)
+
+    @given(POINTS_1D)
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_at_most_opt_property(self, xs):
+        """Lemma 3.3 (first half): n_greedy <= n_opt.
+
+        Greedy balls have radius alpha (diameter up to 2*alpha) while
+        optimal groups have diameter alpha, so greedy can only be coarser.
+        """
+        points = [(x,) for x in xs]
+        n_opt = min_cardinality_size(points, 1.0, exact_limit=10)
+        n_gdy = len(greedy_partition(points, 1.0))
+        assert n_gdy <= n_opt
+
+    @given(POINTS_1D)
+    @settings(max_examples=60, deadline=None)
+    def test_opt_within_constant_of_greedy_property(self, xs):
+        """Lemma 3.3 (second half) in 1-D: n_opt <= 3 * n_greedy.
+
+        A greedy ball spans at most 2*alpha so it meets at most 3 optimal
+        diameter-alpha groups on a line.
+        """
+        points = [(x,) for x in xs]
+        n_opt = min_cardinality_size(points, 1.0, exact_limit=10)
+        n_gdy = len(greedy_partition(points, 1.0))
+        assert n_opt <= 3 * n_gdy

@@ -1,0 +1,112 @@
+"""Tests for repro.core.reservoir (Section 2.3 member sampling)."""
+
+from __future__ import annotations
+
+import collections
+import random
+
+import pytest
+
+from repro.core.reservoir import ReservoirMember, WindowReservoir
+from repro.errors import EmptySampleError
+from repro.metrics.accuracy import chi_square_uniformity
+from repro.streams.point import StreamPoint
+from repro.streams.windows import SequenceWindow
+
+
+def pts(n):
+    return [StreamPoint((float(i),), i) for i in range(n)]
+
+
+class TestReservoirMember:
+    def test_empty_raises(self):
+        with pytest.raises(EmptySampleError):
+            ReservoirMember().member()
+
+    def test_single_item(self):
+        res = ReservoirMember()
+        res.offer(StreamPoint((7.0,), 0), random.Random(0))
+        assert res.member().vector == (7.0,)
+        assert res.count == 1
+
+    def test_uniform_over_offers(self):
+        counts = collections.Counter()
+        for seed in range(600):
+            rng = random.Random(seed)
+            res = ReservoirMember()
+            for p in pts(5):
+                res.offer(p, rng)
+            counts[res.member().index] += 1
+        _, p_value = chi_square_uniformity(
+            [counts.get(i, 0) for i in range(5)]
+        )
+        assert p_value > 1e-4
+
+    def test_space_words(self):
+        res = ReservoirMember()
+        assert res.space_words() == 1
+        res.offer(StreamPoint((1.0, 2.0), 0), random.Random(0))
+        assert res.space_words() == 5
+
+
+class TestWindowReservoir:
+    def test_empty_raises(self):
+        res = WindowReservoir(SequenceWindow(5))
+        with pytest.raises(EmptySampleError):
+            res.member(StreamPoint((0.0,), 10))
+
+    def test_only_unexpired_returned(self):
+        res = WindowReservoir(SequenceWindow(10))
+        stream = pts(50)
+        rng = random.Random(1)
+        for p in stream:
+            res.offer(p, rng)
+        member = res.member(stream[-1])
+        assert member.index > 39
+
+    def test_kept_set_is_logarithmic(self):
+        res = WindowReservoir(SequenceWindow(1000))
+        rng = random.Random(2)
+        for p in pts(1000):
+            res.offer(p, rng)
+        # Expected kept size is the number of right-to-left maxima:
+        # harmonic(1000) ~ 7.5; allow generous slack.
+        assert len(res) < 40
+
+    def test_priorities_strictly_decreasing(self):
+        res = WindowReservoir(SequenceWindow(100))
+        rng = random.Random(3)
+        for p in pts(200):
+            res.offer(p, rng)
+        priorities = [priority for priority, _ in res._entries]
+        assert all(a > b for a, b in zip(priorities, priorities[1:]))
+
+    def test_uniform_over_window(self):
+        window = SequenceWindow(8)
+        counts = collections.Counter()
+        stream = pts(24)
+        for seed in range(800):
+            rng = random.Random(seed)
+            res = WindowReservoir(window)
+            for p in stream:
+                res.offer(p, rng)
+            counts[res.member(stream[-1]).index] += 1
+        dense = [counts.get(i, 0) for i in range(16, 24)]
+        assert sum(dense) == 800  # nothing outside the window
+        _, p_value = chi_square_uniformity(dense)
+        assert p_value > 1e-4
+
+    def test_eviction_removes_expired_entries(self):
+        res = WindowReservoir(SequenceWindow(5))
+        rng = random.Random(4)
+        stream = pts(30)
+        for p in stream:
+            res.offer(p, rng)
+        res.member(stream[-1])
+        assert all(p.index > 24 for _, p in res._entries)
+
+    def test_space_words(self):
+        res = WindowReservoir(SequenceWindow(5))
+        assert res.space_words() == 1
+        res.offer(StreamPoint((1.0,), 0), random.Random(0))
+        assert res.space_words() > 1

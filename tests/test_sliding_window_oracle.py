@@ -1,0 +1,134 @@
+"""Property-based oracle tests for the sliding-window hierarchy.
+
+Hypothesis drives random well-separated streams and window sizes; every
+query of the hierarchy is checked against a brute-force oracle computed
+from the raw window contents.  This is the deepest-risk component of the
+reproduction (see DESIGN.md section 3 on the Algorithm 3 repair), so it
+gets adversarial coverage beyond the deterministic unit tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sliding_window import RobustL0SamplerSW
+from repro.streams.point import StreamPoint
+from repro.streams.windows import SequenceWindow, TimeWindow
+
+# A stream is a list of group ids; group g lives at coordinate 20*g, so
+# any alpha in (1, 19) keeps the data well-separated.
+STREAMS = st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=60)
+WINDOWS = st.integers(min_value=1, max_value=40)
+SEEDS = st.integers(min_value=0, max_value=10_000)
+
+
+def build_points(groups: list[int], jitter_seed: int) -> list[StreamPoint]:
+    rng = random.Random(jitter_seed)
+    return [
+        StreamPoint((20.0 * g + rng.uniform(0.0, 0.5),), i)
+        for i, g in enumerate(groups)
+    ]
+
+
+def window_groups(groups: list[int], w: int) -> set[int]:
+    """Oracle: the distinct groups among the last w arrivals."""
+    return set(groups[-w:])
+
+
+class TestSequenceWindowOracle:
+    @given(STREAMS, WINDOWS, SEEDS)
+    @settings(max_examples=120, deadline=None)
+    def test_sample_group_is_in_window(self, groups, w, seed):
+        points = build_points(groups, seed)
+        sampler = RobustL0SamplerSW(
+            1.0, 1, SequenceWindow(w), seed=seed, expected_stream_length=len(points)
+        )
+        rng = random.Random(seed ^ 0xABCD)
+        for i, p in enumerate(points):
+            sampler.insert(p)
+            sample = sampler.sample(rng)
+            live = window_groups(groups[: i + 1], w)
+            assert round(sample.vector[0] // 20.0) in live
+
+    @given(STREAMS, WINDOWS, SEEDS)
+    @settings(max_examples=60, deadline=None)
+    def test_single_tracking_invariant(self, groups, w, seed):
+        points = build_points(groups, seed)
+        sampler = RobustL0SamplerSW(
+            1.0, 1, SequenceWindow(w), seed=seed, expected_stream_length=len(points)
+        )
+        for p in points:
+            sampler.insert(p)
+        seen: set[int] = set()
+        for level in range(sampler.num_levels):
+            for record in sampler.level(level).records():
+                group = round(record.representative.vector[0] // 20.0)
+                assert group not in seen
+                seen.add(group)
+
+    @given(STREAMS, WINDOWS, SEEDS)
+    @settings(max_examples=60, deadline=None)
+    def test_accept_status_matches_rate(self, groups, w, seed):
+        points = build_points(groups, seed)
+        sampler = RobustL0SamplerSW(
+            1.0, 1, SequenceWindow(w), seed=seed, expected_stream_length=len(points)
+        )
+        for p in points:
+            sampler.insert(p)
+        for level in range(sampler.num_levels):
+            mask = sampler.level(level).rate_denominator - 1
+            for record in sampler.level(level).records():
+                assert record.accepted == (record.cell_hash & mask == 0)
+
+    @given(STREAMS, WINDOWS, SEEDS)
+    @settings(max_examples=60, deadline=None)
+    def test_f0_estimate_never_negative_and_zero_only_when_empty(
+        self, groups, w, seed
+    ):
+        points = build_points(groups, seed)
+        sampler = RobustL0SamplerSW(
+            1.0, 1, SequenceWindow(w), seed=seed, expected_stream_length=len(points)
+        )
+        for p in points:
+            sampler.insert(p)
+        assert sampler.estimate_f0() >= 1.0  # the window is never empty here
+
+
+class TestTimeWindowOracle:
+    @given(
+        STREAMS,
+        st.integers(min_value=1, max_value=30),
+        SEEDS,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_sample_group_is_in_time_window(self, groups, duration, seed):
+        rng = random.Random(seed)
+        # Irregular timestamps: strictly increasing with random gaps.
+        now = 0.0
+        points = []
+        for i, g in enumerate(groups):
+            now += rng.uniform(0.1, 3.0)
+            points.append(
+                StreamPoint((20.0 * g + rng.uniform(0.0, 0.5),), i, now)
+            )
+        sampler = RobustL0SamplerSW(
+            1.0,
+            1,
+            TimeWindow(float(duration)),
+            window_capacity=len(points),
+            seed=seed,
+            expected_stream_length=len(points),
+        )
+        query_rng = random.Random(seed ^ 0xEF)
+        for i, p in enumerate(points):
+            sampler.insert(p)
+            live = {
+                groups[j]
+                for j in range(i + 1)
+                if points[j].time > p.time - duration
+            }
+            sample = sampler.sample(query_rng)
+            assert round(sample.vector[0] // 20.0) in live

@@ -1,0 +1,137 @@
+"""Tests for repro.streams: points, windows, sources."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.streams.point import StreamPoint, as_stream
+from repro.streams.sources import (
+    interleave_streams,
+    replay,
+    shuffled,
+    with_poisson_times,
+)
+from repro.streams.windows import InfiniteWindow, SequenceWindow, TimeWindow
+
+
+class TestStreamPoint:
+    def test_time_defaults_to_index(self):
+        p = StreamPoint((1.0,), 5)
+        assert p.time == 5.0
+
+    def test_explicit_time(self):
+        p = StreamPoint((1.0,), 5, 99.5)
+        assert p.time == 99.5
+
+    def test_vector_coerced_to_tuple(self):
+        p = StreamPoint([1, 2], 0)  # type: ignore[arg-type]
+        assert p.vector == (1.0, 2.0)
+        assert isinstance(p.vector, tuple)
+
+    def test_dim_len_iter(self):
+        p = StreamPoint((1.0, 2.0, 3.0), 0)
+        assert p.dim == len(p) == 3
+        assert list(p) == [1.0, 2.0, 3.0]
+
+    def test_hashable_and_frozen(self):
+        p = StreamPoint((1.0,), 0)
+        assert hash(p) == hash(StreamPoint((1.0,), 0))
+        with pytest.raises(AttributeError):
+            p.index = 3  # type: ignore[misc]
+
+
+class TestAsStream:
+    def test_indices_sequential(self):
+        pts = list(as_stream([(0.0,), (1.0,), (2.0,)]))
+        assert [p.index for p in pts] == [0, 1, 2]
+
+    def test_with_times(self):
+        pts = list(as_stream([(0.0,), (1.0,)], times=[2.5, 7.5]))
+        assert [p.time for p in pts] == [2.5, 7.5]
+
+    def test_start_index(self):
+        pts = list(as_stream([(0.0,)], start_index=10))
+        assert pts[0].index == 10
+
+
+class TestWindows:
+    def test_infinite_never_expires(self):
+        spec = InfiniteWindow()
+        old = StreamPoint((0.0,), 0)
+        new = StreamPoint((0.0,), 10**9)
+        assert spec.in_window(old, new)
+        assert spec.size == float("inf")
+
+    def test_sequence_window_boundary(self):
+        spec = SequenceWindow(3)
+        latest = StreamPoint((0.0,), 10)
+        assert spec.in_window(StreamPoint((0.0,), 8), latest)
+        assert not spec.in_window(StreamPoint((0.0,), 7), latest)
+
+    def test_sequence_window_size_one(self):
+        spec = SequenceWindow(1)
+        latest = StreamPoint((0.0,), 4)
+        assert spec.in_window(latest, latest)
+        assert not spec.in_window(StreamPoint((0.0,), 3), latest)
+
+    def test_time_window_boundary(self):
+        spec = TimeWindow(5.0)
+        latest = StreamPoint((0.0,), 99, 100.0)
+        assert spec.in_window(StreamPoint((0.0,), 0, 95.5), latest)
+        assert not spec.in_window(StreamPoint((0.0,), 0, 95.0), latest)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ParameterError):
+            SequenceWindow(0)
+        with pytest.raises(ParameterError):
+            TimeWindow(0.0)
+
+    def test_expiry_keys_monotone(self):
+        seq = SequenceWindow(5)
+        tim = TimeWindow(5.0)
+        a = StreamPoint((0.0,), 1, 10.0)
+        b = StreamPoint((0.0,), 2, 20.0)
+        assert seq.expiry_key(a) < seq.expiry_key(b)
+        assert tim.expiry_key(a) < tim.expiry_key(b)
+
+    def test_expired_is_negation(self):
+        spec = SequenceWindow(2)
+        latest = StreamPoint((0.0,), 5)
+        inside = StreamPoint((0.0,), 4)
+        assert spec.in_window(inside, latest) != spec.expired(inside, latest)
+
+
+class TestSources:
+    def test_shuffled_reindexes(self):
+        pts = shuffled([(0.0,), (1.0,), (2.0,)], rng=random.Random(0))
+        assert [p.index for p in pts] == [0, 1, 2]
+        assert {p.vector[0] for p in pts} == {0.0, 1.0, 2.0}
+
+    def test_replay_renumbers(self):
+        pts = [StreamPoint((0.0,), 7), StreamPoint((1.0,), 9)]
+        out = list(replay(pts))
+        assert [p.index for p in out] == [0, 1]
+        assert out[0].time == 7.0  # original time preserved
+
+    def test_poisson_times_increase(self):
+        pts = list(
+            with_poisson_times([(0.0,)] * 50, rate=2.0, rng=random.Random(1))
+        )
+        times = [p.time for p in pts]
+        assert all(b > a for a, b in zip(times, times[1:]))
+        # Expected duration ~ 50/2 = 25.
+        assert 5 < times[-1] < 100
+
+    def test_poisson_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            list(with_poisson_times([(0.0,)], rate=0.0))
+
+    def test_interleave_orders_by_time(self):
+        a = list(as_stream([(0.0,), (1.0,)], times=[1.0, 5.0]))
+        b = list(as_stream([(2.0,)], times=[3.0]))
+        merged = interleave_streams([a, b], rng=random.Random(0))
+        assert [p.time for p in merged] == [1.0, 3.0, 5.0]
+        assert [p.index for p in merged] == [0, 1, 2]
