@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""Throughput benchmark: batched vs per-point ingestion.
+
+Measures points/sec of ``insert`` loops against ``process_many`` chunks
+for the infinite-window sampler (the acceptance gate: >= 3x at 10^5
+points), the sliding-window hierarchy, and the sharded
+:class:`~repro.engine.pipeline.BatchPipeline` - and, on every run,
+verifies the state-equivalence contract by comparing
+:func:`~repro.engine.equivalence.state_fingerprint` of the batch-fed and
+point-fed samplers.
+
+Not collected by pytest (``bench_`` prefix); run directly::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py            # full
+    PYTHONPATH=src python benchmarks/bench_throughput.py --smoke    # CI
+
+``--smoke`` runs a few thousand points: it exercises the whole batch
+path and the equivalence checks but skips the speedup assertion (CI
+machines are too noisy to gate on a timing ratio).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # running as a script
+    _SRC = Path(__file__).resolve().parents[1] / "src"
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.core.infinite_window import RobustL0SamplerIW
+from repro.core.sliding_window import RobustL0SamplerSW
+from repro.engine.batching import chunked
+from repro.engine.equivalence import state_fingerprint
+from repro.engine.pipeline import BatchPipeline
+from repro.streams.windows import SequenceWindow
+
+
+def make_stream(
+    n: int, groups: int, dim: int, seed: int
+) -> list[tuple[float, ...]]:
+    """A noisy stream: ``groups`` tight clusters on a 25-spaced lattice."""
+    rng = random.Random(seed)
+    points = []
+    for _ in range(n):
+        g = rng.randrange(groups)
+        base = [25.0 * (g % 100), 25.0 * (g // 100)]
+        point = tuple(
+            (base[axis] if axis < 2 else 0.0) + rng.uniform(0.0, 0.4)
+            for axis in range(dim)
+        )
+        points.append(point)
+    return points
+
+
+def _rate(n: int, elapsed: float) -> float:
+    return n / elapsed if elapsed > 0 else float("inf")
+
+
+def bench_infinite(points, batch_size: int, seed: int):
+    """Per-point vs batch on the infinite-window sampler."""
+    per = RobustL0SamplerIW(alpha=1.0, dim=len(points[0]), seed=seed)
+    start = time.perf_counter()
+    insert = per.insert
+    for p in points:
+        insert(p)
+    per_elapsed = time.perf_counter() - start
+
+    bat = RobustL0SamplerIW(alpha=1.0, dim=len(points[0]), seed=seed)
+    start = time.perf_counter()
+    for chunk in chunked(points, batch_size):
+        bat.process_many(chunk)
+    bat_elapsed = time.perf_counter() - start
+
+    assert state_fingerprint(per) == state_fingerprint(bat), (
+        "state-equivalence violation on the infinite-window sampler"
+    )
+    return _rate(len(points), per_elapsed), _rate(len(points), bat_elapsed)
+
+
+def bench_sliding(points, batch_size: int, seed: int, window: int):
+    """Per-point vs batch on the sliding-window hierarchy."""
+    spec = SequenceWindow(window)
+    dim = len(points[0])
+    per = RobustL0SamplerSW(1.0, dim, spec, seed=seed)
+    start = time.perf_counter()
+    insert = per.insert
+    for p in points:
+        insert(p)
+    per_elapsed = time.perf_counter() - start
+
+    bat = RobustL0SamplerSW(1.0, dim, spec, seed=seed)
+    start = time.perf_counter()
+    for chunk in chunked(points, batch_size):
+        bat.process_many(chunk)
+    bat_elapsed = time.perf_counter() - start
+
+    assert state_fingerprint(per) == state_fingerprint(bat), (
+        "state-equivalence violation on the sliding-window sampler"
+    )
+    return _rate(len(points), per_elapsed), _rate(len(points), bat_elapsed)
+
+
+def bench_pipeline(points, batch_size: int, seed: int, shards: int):
+    """Sharded batch ingestion throughput (no per-point twin)."""
+    pipeline = BatchPipeline(
+        1.0,
+        len(points[0]),
+        num_shards=shards,
+        batch_size=batch_size,
+        seed=seed,
+    )
+    start = time.perf_counter()
+    pipeline.extend(points)
+    elapsed = time.perf_counter() - start
+    merged = pipeline.merge()
+    return _rate(len(points), elapsed), merged.num_candidate_groups
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--points", type=int, default=100_000)
+    parser.add_argument("--groups", type=int, default=2000)
+    parser.add_argument("--dim", type=int, default=2)
+    parser.add_argument("--window", type=int, default=2000)
+    parser.add_argument("--batch-size", type=int, default=4096)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="a few thousand points, equivalence checks only "
+        "(no speedup assertion) - the CI mode",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=3.0,
+        help="fail unless batch/per-point >= this on the infinite-window "
+        "sampler (ignored with --smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    n = 4000 if args.smoke else args.points
+    groups = min(args.groups, max(8, n // 50))
+    points = make_stream(n, groups, args.dim, args.seed)
+
+    per_iw, bat_iw = bench_infinite(points, args.batch_size, args.seed)
+    speedup_iw = bat_iw / per_iw
+    print(
+        f"infinite-window  n={n}  per-point {per_iw:12,.0f} pts/s   "
+        f"batch {bat_iw:12,.0f} pts/s   speedup {speedup_iw:5.2f}x"
+    )
+
+    per_sw, bat_sw = bench_sliding(
+        points, args.batch_size, args.seed, args.window
+    )
+    print(
+        f"sliding-window   n={n}  per-point {per_sw:12,.0f} pts/s   "
+        f"batch {bat_sw:12,.0f} pts/s   speedup {bat_sw / per_sw:5.2f}x"
+    )
+
+    pipe_rate, merged_groups = bench_pipeline(
+        points, args.batch_size, args.seed, args.shards
+    )
+    print(
+        f"batch pipeline   n={n}  {args.shards} shards "
+        f"{pipe_rate:12,.0f} pts/s   merged groups {merged_groups}"
+    )
+
+    print("state equivalence: OK (batch == per-point fingerprints)")
+    if not args.smoke and speedup_iw < args.min_speedup:
+        print(
+            f"FAIL: infinite-window speedup {speedup_iw:.2f}x is below "
+            f"the required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,12 +19,16 @@ See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
 reproduction of the paper's evaluation figures.
 """
 
+from repro.core.base import DEFAULT_BATCH_SIZE, StreamSampler
 from repro.core.f0_infinite import RobustF0EstimatorIW
 from repro.core.f0_sliding import RobustF0EstimatorSW
 from repro.core.fixed_rate import FixedRateSlidingSampler
 from repro.core.infinite_window import RobustL0SamplerIW
 from repro.core.ksample import KDistinctSampler
 from repro.core.sliding_window import RobustL0SamplerSW
+from repro.engine.batching import chunked
+from repro.engine.equivalence import state_fingerprint
+from repro.engine.pipeline import BatchPipeline
 from repro.errors import (
     EmptySampleError,
     LevelOverflowError,
@@ -41,6 +45,11 @@ __all__ = [
     "RobustL0SamplerSW",
     "FixedRateSlidingSampler",
     "KDistinctSampler",
+    "StreamSampler",
+    "BatchPipeline",
+    "DEFAULT_BATCH_SIZE",
+    "chunked",
+    "state_fingerprint",
     "RobustF0EstimatorIW",
     "RobustF0EstimatorSW",
     "StreamPoint",

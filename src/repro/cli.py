@@ -17,16 +17,24 @@ Examples
     python -m repro.cli count  --alpha 0.5 --epsilon 0.1 data.csv
     python -m repro.cli heavy  --alpha 0.5 --phi 0.05 data.csv
     cat data.csv | python -m repro.cli sample --alpha 0.5 -
+
+Ingestion always runs through the batched engine (``--batch-size``
+points at a time; see :mod:`repro.engine`); batching is state-equivalent
+to per-point ingestion, so it only affects throughput.  ``--seed`` makes
+a run bit-reproducible: one master generator derives the sampler
+construction seed and the query randomness (see ``_derived_rngs``).
 """
 
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import random
 import sys
 from typing import Iterator, Sequence, TextIO
 
+from repro.core.base import DEFAULT_BATCH_SIZE
 from repro.core.f0_infinite import RobustF0EstimatorIW
 from repro.core.heavy_hitters import RobustHeavyHitters
 from repro.core.ksample import KDistinctSampler
@@ -67,7 +75,30 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--format", choices=["csv", "jsonl"], default="csv",
         help="input format (default csv)",
     )
-    parser.add_argument("--seed", type=int, default=None, help="random seed")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="random seed; one seeded generator drives sampler "
+        "construction and query randomness, so runs with the same seed "
+        "and input are bit-reproducible (regardless of --batch-size)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
+        help="points per ingestion batch (state-equivalent to per-point "
+        f"ingestion, just faster; default {DEFAULT_BATCH_SIZE})",
+    )
+
+
+def _derived_rngs(args) -> tuple[int, random.Random]:
+    """One master generator -> (sampler seed, query rng).
+
+    Threading every source of randomness through a single seeded
+    ``random.Random`` makes whole CLI runs reproducible end to end; the
+    differential CLI tests rely on it.
+    """
+    master = random.Random(args.seed)
+    sampler_seed = master.randrange(2**62)
+    query_rng = random.Random(master.randrange(2**62))
+    return sampler_seed, query_rng
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -116,19 +147,19 @@ def _run_sample(args, points: Iterator[Sequence[float]], out: TextIO) -> None:
         raise SystemExit("input contains no points")
     dim = len(first)
     window = SequenceWindow(args.window) if args.window else None
+    sampler_seed, query_rng = _derived_rngs(args)
     sampler = KDistinctSampler(
         args.alpha,
         dim,
         k=args.k,
         replacement=args.replacement,
         window=window,
-        seed=args.seed,
+        seed=sampler_seed,
     )
-    sampler.insert(first)
-    for point in points:
-        sampler.insert(point)
-    rng = random.Random(args.seed)
-    for point in sampler.sample(rng):
+    sampler.extend(
+        itertools.chain([first], points), batch_size=args.batch_size
+    )
+    for point in sampler.sample(query_rng):
         out.write(",".join(repr(x) for x in point.vector) + "\n")
 
 
@@ -136,16 +167,17 @@ def _run_count(args, points: Iterator[Sequence[float]], out: TextIO) -> None:
     first = next(points, None)
     if first is None:
         raise SystemExit("input contains no points")
+    sampler_seed, _ = _derived_rngs(args)
     estimator = RobustF0EstimatorIW(
         args.alpha,
         len(first),
         epsilon=args.epsilon,
         copies=args.copies,
-        seed=args.seed,
+        seed=sampler_seed,
     )
-    estimator.insert(first)
-    for point in points:
-        estimator.insert(point)
+    estimator.extend(
+        itertools.chain([first], points), batch_size=args.batch_size
+    )
     out.write(f"{estimator.estimate():.1f}\n")
 
 
@@ -153,12 +185,13 @@ def _run_heavy(args, points: Iterator[Sequence[float]], out: TextIO) -> None:
     first = next(points, None)
     if first is None:
         raise SystemExit("input contains no points")
+    sampler_seed, _ = _derived_rngs(args)
     hitters = RobustHeavyHitters(
-        args.alpha, len(first), epsilon=args.epsilon, seed=args.seed
+        args.alpha, len(first), epsilon=args.epsilon, seed=sampler_seed
     )
-    hitters.insert(first)
-    for point in points:
-        hitters.insert(point)
+    hitters.extend(
+        itertools.chain([first], points), batch_size=args.batch_size
+    )
     for hit in hitters.heavy_hitters(args.phi):
         coords = ",".join(repr(x) for x in hit.representative.vector)
         out.write(f"{hit.count}\t{hit.error}\t{coords}\n")

@@ -34,7 +34,8 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from itertools import islice
+from typing import Iterable, Iterator, Sequence
 
 from repro.errors import ParameterError
 from repro.geometry.adjacency import collect_adjacent
@@ -54,6 +55,102 @@ DEFAULT_KAPPA0 = 4
 #: (|adj(p)| <= 25 at dim 2, exactly the paper's Section 2 setting; by
 #: dim 4 the conservative neighbourhood already spans hundreds of cells).
 _SMALL_DIM = 2
+
+#: Chunk size used by :meth:`StreamSampler.extend` when slicing an
+#: arbitrary iterable into batches for :meth:`StreamSampler.process_many`.
+#: Large enough to amortise the per-batch setup, small enough that a
+#: batch of dim-2 points stays well inside the L2 cache.
+DEFAULT_BATCH_SIZE = 1024
+
+#: Cap on the shared cell-hash memo of a :class:`SamplerConfig`.  The memo
+#: is a pure cache (hash values are deterministic), so clearing it is
+#: always safe; the cap only bounds memory on adversarial streams that
+#: touch millions of distinct cells.
+_CELL_MEMO_LIMIT = 1 << 20
+
+
+def chunked(items, size: int):
+    """Slice any iterable into consecutive lists of at most ``size`` items.
+
+    Order-preserving; the final chunk may be shorter (the "uneven tail").
+    Works on one-shot iterators, so it can sit directly on a file reader
+    or a socket without materialising the stream.  Re-exported as
+    :func:`repro.engine.batching.chunked` (this is the leaf definition -
+    the engine package imports the core, not vice versa).
+
+    >>> list(chunked(range(7), 3))
+    [[0, 1, 2], [3, 4, 5], [6]]
+    >>> list(chunked([], 3))
+    []
+    """
+    if size < 1:
+        raise ParameterError(f"chunk size must be >= 1, got {size}")
+    iterator = iter(items)
+    while True:
+        chunk = list(islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+class StreamSampler:
+    """Ingestion interface shared by every sampler in the library.
+
+    Subclasses implement :meth:`insert` (one point) and may override
+    :meth:`process_many` (one batch) with a specialised hot path.  The
+    batched-ingestion contract, enforced by ``tests/test_engine.py``:
+
+        ``process_many(batch)`` must leave the sampler in a state
+        identical to ``for p in batch: insert(p)`` - same records, same
+        rates, same counters, same RNG states - for every batch size,
+        including singleton and empty batches.
+
+    Equivalently: batching is an *implementation detail of throughput*,
+    never observable in sampler output.  The default ``process_many``
+    realises the contract trivially by looping over :meth:`insert`;
+    :meth:`extend` slices any iterable into chunks of
+    :data:`DEFAULT_BATCH_SIZE` so every bulk caller automatically rides
+    the batch path of samplers that specialise it.
+    """
+
+    def insert(self, point: StreamPoint | Sequence[float]) -> None:
+        """Process one arriving stream point."""
+        raise NotImplementedError
+
+    def process_many(
+        self, points: Iterable[StreamPoint | Sequence[float]]
+    ) -> int:
+        """Process a batch of points; returns the number processed.
+
+        Default fallback: per-point dispatch.  Subclasses override this
+        with an inlined loop that computes the per-arrival geometry once
+        per batch chunk (see the contract in the class docstring).
+        """
+        insert = self.insert
+        processed = 0
+        for point in points:
+            insert(point)
+            processed += 1
+        return processed
+
+    def extend(
+        self,
+        points: Iterable[StreamPoint | Sequence[float]],
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> int:
+        """Insert a sequence of points through the batched path.
+
+        Returns the number of points inserted.
+        """
+        if batch_size < 1:
+            raise ParameterError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        total = 0
+        for chunk in chunked(points, batch_size):
+            total += self.process_many(chunk)
+        return total
 
 
 def default_grid_side(alpha: float, dim: int) -> float:
@@ -114,6 +211,20 @@ class SamplerConfig:
     dim: int
     grid: Grid
     hash: SamplingHash
+    #: Shared cell -> base-hash memo.  A pure cache: hash values are a
+    #: deterministic function of the cell, so the memo never influences
+    #: sampler state - it only lets the batched ingestion paths (and every
+    #: hierarchy level / shard sharing this config) skip re-hashing cells
+    #: they have already seen.  Excluded from equality and repr.
+    cell_hash_memo: dict[Cell, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    #: Shared cell -> conservative neighbourhood memo (see
+    #: :meth:`conservative_neighborhood`).  A pure cache like
+    #: :attr:`cell_hash_memo`.
+    conservative_memo: dict[Cell, tuple] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @classmethod
     def create(
@@ -122,6 +233,7 @@ class SamplerConfig:
         dim: int,
         *,
         seed: int | None = None,
+        rng: random.Random | None = None,
         grid_side: float | None = None,
         kwise: int | None = None,
     ) -> "SamplerConfig":
@@ -135,7 +247,12 @@ class SamplerConfig:
             Ambient dimension.
         seed:
             Seed for both the grid offset and the sampling hash.  ``None``
-            draws fresh randomness.
+            draws fresh randomness.  Ignored when ``rng`` is given.
+        rng:
+            Explicit source of randomness, as an alternative to ``seed``:
+            library callers that already own one seeded generator can
+            thread it through every construction instead of scattering
+            integer seeds.
         grid_side:
             Override for the grid side length (see :func:`default_grid_side`).
         kwise:
@@ -147,7 +264,8 @@ class SamplerConfig:
             raise ParameterError(f"alpha must be positive, got {alpha}")
         if dim < 1:
             raise ParameterError(f"dim must be >= 1, got {dim}")
-        rng = random.Random(seed)
+        if rng is None:
+            rng = random.Random(seed)
         side = grid_side if grid_side is not None else default_grid_side(alpha, dim)
         grid = Grid(side=side, dim=dim, rng=rng)
         hash_seed = rng.randrange(2**63)
@@ -161,19 +279,60 @@ class SamplerConfig:
         """Base-hash value of a cell (before the ``mod R`` reduction)."""
         return self.hash.value(self.grid.cell_id(cell))
 
+    def cell_hashes(self, cells: Sequence[Cell]) -> list[int]:
+        """Base-hash values of a batch of cells (batched base hash)."""
+        cell_id = self.grid.cell_id
+        return self.hash.value_many([cell_id(cell) for cell in cells])
+
+    def conservative_neighborhood(
+        self, cell: Cell
+    ) -> tuple[tuple[tuple[float, ...], int], ...]:
+        """Cells possibly within ``alpha`` of *any* point of ``cell``.
+
+        Returns ``((lower_corner, base_hash), ...)`` for every cell whose
+        minimum distance to ``cell``'s region is at most ``alpha`` (by the
+        triangle inequality: within ``alpha + half-diagonal`` of the cell
+        centre; the radius carries a relative epsilon so floating-point
+        drift can only *over*-include).  This is the batched ingestion
+        paths' ignore filter: a point of ``cell`` whose own cell is
+        unsampled and that is farther than ``alpha`` from every *sampled*
+        cell of this superset has no sampled cell in ``adj(p)`` and can be
+        dropped without enumerating ``adj(p)`` at all.  Memoised per cell
+        (mask-independent), shared across levels and shards.
+        """
+        memo = self.conservative_memo
+        entry = memo.get(cell)
+        if entry is None:
+            grid = self.grid
+            side = grid.side
+            corner = grid.lower_corner(cell)
+            center = tuple(c + side * 0.5 for c in corner)
+            half_diagonal = side * math.sqrt(self.dim) * 0.5
+            radius = (self.alpha + half_diagonal) * (1.0 + 1e-9)
+            cells = collect_adjacent(grid, center, radius)
+            hashes = self.cell_hashes(cells)
+            entry = tuple(
+                (grid.lower_corner(c), h) for c, h in zip(cells, hashes)
+            )
+            if len(memo) >= _CELL_MEMO_LIMIT:
+                memo.clear()
+            memo[cell] = entry
+        return entry
+
     def point_context(self, vector: Sequence[float]) -> PointContext:
         """The cheap part of an arrival's geometry (no adjacency yet)."""
         cell = self.grid.cell_of(vector)
         return PointContext(cell=cell, cell_hash=self.cell_hash(cell))
 
     def adj_hashes(self, vector: Sequence[float]) -> tuple[int, ...]:
-        """Hash values of every cell of ``adj(vector)`` (DFS pruned)."""
-        grid = self.grid
-        value = self.hash.value
-        cell_id = grid.cell_id
+        """Hash values of every cell of ``adj(vector)`` (DFS pruned).
+
+        The whole neighbourhood is hashed in one batched base-hash call
+        (``adj(p)`` spans up to 25 cells at dim 2), amortising the
+        evaluator overhead across the cells.
+        """
         return tuple(
-            value(cell_id(cell))
-            for cell in collect_adjacent(grid, vector, self.alpha)
+            self.cell_hashes(collect_adjacent(self.grid, vector, self.alpha))
         )
 
     def with_adj(self, vector: Sequence[float], ctx: PointContext) -> PointContext:
@@ -361,11 +520,81 @@ class CandidateStore:
                 self.remove(record)
 
     def space_words(self, *, track_members: bool = False) -> int:
-        """Total footprint of the store in words."""
-        return sum(
-            record.space_words(track_members=track_members)
-            for record in self._records.values()
-        )
+        """Total footprint of the store in words.
+
+        Inlines :meth:`CandidateRecord.space_words` - this sum runs on
+        every record-set change (peak tracking), so the per-record method
+        dispatch is worth avoiding.  Kept value-identical to the method.
+        """
+        total = 0
+        for record in self._records.values():
+            dim = len(record.representative.vector)
+            words = dim + 5 + len(record.adj_hashes)
+            if record.last is not record.representative:
+                words += dim + 2
+            if track_members and record.member is not None:
+                words += dim + 2
+            total += words
+        return total
+
+
+def feed_copies(copies: Sequence, chunk: Sequence[StreamPoint]) -> None:
+    """Feed a materialised chunk to independent sampler copies.
+
+    Preserves per-point error semantics across copies: per-point
+    ingestion gives every copy the same prefix before an invalid point
+    raises, so if the first copy rejects a point mid-chunk, the other
+    copies receive exactly the prefix it ingested before the error is
+    re-raised.  (The rejection is deterministic per point - dimension or
+    window-order checks - so the other copies accept that prefix.)
+    """
+    first = copies[0]
+    before = first.points_seen
+    try:
+        first.process_many(chunk)
+    except BaseException:
+        prefix = first.points_seen - before
+        for copy in copies[1:]:
+            copy.process_many(chunk[:prefix])
+        raise
+    for copy in copies[1:]:
+        copy.process_many(chunk)
+
+
+def materialize_and_feed(
+    copies: Sequence, points: Iterable[StreamPoint | Sequence[float]]
+) -> int:
+    """Shared batch path of the multi-copy wrappers (k-sample, F0).
+
+    Raw coordinates are materialised once into :class:`StreamPoint`
+    objects - all copies must agree on arrival indices, exactly as the
+    wrappers' per-point ``insert`` arranges - then every copy ingests
+    the shared chunk through its own specialised path.  Copies are
+    independent, so chunk-at-a-time feeding leaves the same final state
+    as point-interleaved feeding; error semantics also match per-point
+    ingestion: if materialisation rejects a coordinate (non-numeric) or
+    a copy rejects a point (dimension, window order), every copy ends up
+    with exactly the valid prefix before the error propagates.
+
+    Returns the number of points ingested.
+    """
+    index = copies[0].points_seen
+    chunk: list[StreamPoint] = []
+    append = chunk.append
+    try:
+        for point in points:
+            if isinstance(point, StreamPoint):
+                append(point)
+            else:
+                append(StreamPoint(tuple(float(x) for x in point), index))
+            index += 1
+    except BaseException:
+        # Per-point ingestion would have fed the valid prefix to every
+        # copy before hitting the bad coordinate; match that exactly.
+        feed_copies(copies, chunk)
+        raise
+    feed_copies(copies, chunk)
+    return len(chunk)
 
 
 def coerce_point(
@@ -401,6 +630,15 @@ class _ThresholdPolicy:
     def observe(self) -> None:
         """Record one arrival (drives the growing-m fallback)."""
         self._seen += 1
+
+    def observe_many(self, count: int) -> None:
+        """Record ``count`` arrivals in one step (the batched paths)."""
+        self._seen += count
+
+    @property
+    def seen(self) -> int:
+        """Number of arrivals observed so far."""
+        return self._seen
 
     def threshold(self) -> int:
         """Current accept-set capacity."""

@@ -13,6 +13,7 @@ import math
 import statistics
 from typing import Iterable, Sequence
 
+from repro.core.base import StreamSampler, materialize_and_feed
 from repro.core.infinite_window import RobustL0SamplerIW
 from repro.errors import ParameterError
 from repro.streams.point import StreamPoint
@@ -24,7 +25,7 @@ from repro.streams.point import StreamPoint
 DEFAULT_KAPPA_B = 8.0
 
 
-class RobustF0EstimatorIW:
+class RobustF0EstimatorIW(StreamSampler):
     """(1 + eps)-approximation of the robust number of distinct elements.
 
     Parameters
@@ -99,10 +100,15 @@ class RobustF0EstimatorIW:
         for copy in self._copies:
             copy.insert(point)
 
-    def extend(self, points: Iterable[StreamPoint | Sequence[float]]) -> None:
-        """Insert a sequence of points."""
-        for point in points:
-            self.insert(point)
+    def process_many(
+        self, points: Iterable[StreamPoint | Sequence[float]]
+    ) -> int:
+        """Batched :meth:`insert`: materialise once, feed every copy.
+
+        See :func:`~repro.core.base.materialize_and_feed` - the copies
+        stay in lockstep even when a mid-chunk point is invalid.
+        """
+        return materialize_and_feed(self._copies, points)
 
     def copy_estimates(self) -> list[float]:
         """Per-copy point estimates ``|S_acc| * R``."""

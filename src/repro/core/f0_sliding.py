@@ -24,7 +24,7 @@ from __future__ import annotations
 import statistics
 from typing import Iterable, Literal, Sequence
 
-from repro.core.base import DEFAULT_KAPPA0
+from repro.core.base import DEFAULT_KAPPA0, StreamSampler, materialize_and_feed
 from repro.core.sliding_window import RobustL0SamplerSW
 from repro.errors import ParameterError
 from repro.streams.point import StreamPoint
@@ -34,7 +34,7 @@ from repro.streams.windows import WindowSpec
 FM_PHI = 1.0 / 0.77351
 
 
-class RobustF0EstimatorSW:
+class RobustF0EstimatorSW(StreamSampler):
     """Approximate the number of robust distinct elements in the window.
 
     Parameters
@@ -104,10 +104,15 @@ class RobustF0EstimatorSW:
         for copy in self._copies:
             copy.insert(point)
 
-    def extend(self, points: Iterable[StreamPoint | Sequence[float]]) -> None:
-        """Insert a sequence of points."""
-        for point in points:
-            self.insert(point)
+    def process_many(
+        self, points: Iterable[StreamPoint | Sequence[float]]
+    ) -> int:
+        """Batched :meth:`insert`: materialise once, feed every copy.
+
+        See :func:`~repro.core.base.materialize_and_feed` - the copies
+        stay in lockstep even when a mid-chunk point is invalid.
+        """
+        return materialize_and_feed(self._copies, points)
 
     def copy_levels(self) -> list[int]:
         """Deepest active level per copy (0 when the window is empty)."""

@@ -18,21 +18,23 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.base import (
     CandidateRecord,
     CandidateStore,
     PointContext,
     SamplerConfig,
+    StreamSampler,
+    _CELL_MEMO_LIMIT,
 )
 from repro.core.reservoir import WindowReservoir
-from repro.errors import EmptySampleError, ParameterError
+from repro.errors import DimensionMismatchError, EmptySampleError, ParameterError
 from repro.streams.point import StreamPoint
 from repro.streams.windows import WindowSpec
 
 
-class FixedRateSlidingSampler:
+class FixedRateSlidingSampler(StreamSampler):
     """One Algorithm 2 instance: fixed rate ``1/R`` over a sliding window.
 
     Parameters
@@ -47,6 +49,10 @@ class FixedRateSlidingSampler:
     track_members:
         Maintain per-group :class:`~repro.core.reservoir.WindowReservoir`
         samples so :meth:`sample_member` works (Section 2.3).
+    member_seed:
+        Seed for the member-tracking randomness (reservoir priorities);
+        ``None`` draws fresh randomness.  Seeding it makes runs - and the
+        batch/per-point differential tests - reproducible.
     """
 
     def __init__(
@@ -56,6 +62,7 @@ class FixedRateSlidingSampler:
         window: WindowSpec,
         *,
         track_members: bool = False,
+        member_seed: int | None = None,
     ) -> None:
         if rate_denominator < 1 or rate_denominator & (rate_denominator - 1):
             raise ParameterError(
@@ -70,7 +77,7 @@ class FixedRateSlidingSampler:
         self._heap: list[tuple[float, int, CandidateRecord, StreamPoint]] = []
         self._tiebreak = itertools.count()
         self._reservoirs: dict[int, WindowReservoir] = {}
-        self._member_rng = random.Random()
+        self._member_rng = random.Random(member_seed)
 
     # ------------------------------------------------------------------ #
     # properties
@@ -133,18 +140,24 @@ class FixedRateSlidingSampler:
         """Drop groups whose last point expired (Lines 1-3 of Algorithm 2).
 
         Stale heap entries (the record was updated or already removed) are
-        discarded lazily; amortised O(log n) per tracked update.
+        discarded lazily; amortised O(log n) per tracked update.  The
+        window's :meth:`~repro.streams.windows.WindowSpec.eviction_cutoff`
+        pre-filters live entries by their heap key, so the common
+        nothing-expires case costs one comparison past the stale check.
         """
         heap = self._heap
+        if not heap:
+            return
         store = self._store
         window = self._window
+        cutoff = window.eviction_cutoff(latest)
         while heap:
-            _, _, record, last_ref = heap[0]
+            key, _, record, last_ref = heap[0]
             current = store.get(record.representative.index)
             if current is not record or record.last is not last_ref:
                 heapq.heappop(heap)
                 continue
-            if window.in_window(record.last, latest):
+            if key > cutoff or window.in_window(record.last, latest):
                 break
             heapq.heappop(heap)
             store.remove(record)
@@ -210,6 +223,137 @@ class FixedRateSlidingSampler:
             reservoir = WindowReservoir(self._window)
             self._reservoirs[key] = reservoir
         return reservoir
+
+    def process_many(self, points: Iterable[StreamPoint]) -> int:
+        """Batched :meth:`insert`; state-equivalent (including the heap).
+
+        Inlines eviction, the cell/hash computation (through the config's
+        shared memo) and the bucket probe.  The eviction loop replicates
+        :meth:`evict` operation-for-operation so the lazy heap - stale
+        entries included - ends up identical to the per-point path's.
+        Points must be :class:`StreamPoint` instances, as for
+        :meth:`insert`.
+        """
+        config = self._config
+        dim = config.dim
+        grid = config.grid
+        side = grid.side
+        offset = grid.offset
+        memo = config.cell_hash_memo
+        memo_get = memo.get
+        cell_id = grid.cell_id
+        hash_value = config.hash.value
+        window = self._window
+        expiry_key = window.expiry_key
+        in_window = window.in_window
+        eviction_cutoff = window.eviction_cutoff
+        heap = self._heap
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        store = self._store
+        records_get = store._records.get
+        buckets_get = store._buckets.get
+        reservoirs = self._reservoirs
+        track = self._track_members
+        member_rng = self._member_rng
+        tiebreak = self._tiebreak
+        rate_mask = self._rate - 1
+        alpha_sq = config.alpha * config.alpha
+        if dim == 1:
+            off0 = offset[0]
+            off1 = 0.0
+        elif dim == 2:
+            off0, off1 = offset
+        else:
+            off0 = off1 = 0.0
+        processed = 0
+        for p in points:
+            # Inline evict(p) - identical operations, identical heap
+            # state.  Runs before dimension validation, exactly as
+            # insert() evicts before point_context() can raise.
+            if heap:
+                cutoff = eviction_cutoff(p)
+                while heap:
+                    key, _, record, last_ref = heap[0]
+                    if (
+                        records_get(record.representative.index) is not record
+                        or record.last is not last_ref
+                    ):
+                        heappop(heap)
+                        continue
+                    if key > cutoff or in_window(record.last, p):
+                        break
+                    heappop(heap)
+                    store.remove(record)
+                    reservoirs.pop(record.representative.index, None)
+
+            vector = p.vector
+            if len(vector) != dim:
+                raise DimensionMismatchError(
+                    f"point has {len(vector)} coordinates, grid expects {dim}"
+                )
+            processed += 1
+
+            if dim == 2:
+                cell = (
+                    int((vector[0] - off0) // side),
+                    int((vector[1] - off1) // side),
+                )
+            elif dim == 1:
+                cell = (int((vector[0] - off0) // side),)
+            else:
+                cell = tuple(
+                    int((x - o) // side) for x, o in zip(vector, offset)
+                )
+            cell_hash = memo_get(cell)
+            if cell_hash is None:
+                cell_hash = hash_value(cell_id(cell))
+                if len(memo) >= _CELL_MEMO_LIMIT:
+                    memo.clear()
+                memo[cell] = cell_hash
+
+            bucket = buckets_get(cell_hash)
+            existing = None
+            if bucket:
+                for record in bucket:
+                    acc = 0.0
+                    for a, b in zip(record.representative.vector, vector):
+                        diff = a - b
+                        acc += diff * diff
+                        if acc > alpha_sq:
+                            break
+                    else:
+                        existing = record
+                        break
+            if existing is not None:
+                existing.last = p
+                existing.count += 1
+                heappush(heap, (expiry_key(p), next(tiebreak), existing, p))
+                if track:
+                    self._reservoir_for(existing).offer(p, member_rng)
+                continue
+
+            # First point of a candidate group: same code as insert().
+            adj_hashes = config.adj_hashes(vector)
+            if cell_hash & rate_mask == 0:
+                accepted = True
+            elif any(value & rate_mask == 0 for value in adj_hashes):
+                accepted = False
+            else:
+                continue
+            record = CandidateRecord(
+                representative=p,
+                cell=cell,
+                cell_hash=cell_hash,
+                adj_hashes=adj_hashes,
+                accepted=accepted,
+                last=p,
+            )
+            store.add(record)
+            heappush(heap, (expiry_key(p), next(tiebreak), record, p))
+            if track:
+                self._reservoir_for(record).offer(p, member_rng)
+        return processed
 
     # ------------------------------------------------------------------ #
     # hierarchy support (used by Algorithms 3-5)

@@ -22,7 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.core.base import SamplerConfig, coerce_point
+from repro.core.base import (
+    SamplerConfig,
+    StreamSampler,
+    _CELL_MEMO_LIMIT,
+    coerce_point,
+)
 from repro.errors import ParameterError
 from repro.streams.point import StreamPoint
 
@@ -61,7 +66,7 @@ class HeavyHitter:
         return self.count - self.error
 
 
-class RobustHeavyHitters:
+class RobustHeavyHitters(StreamSampler):
     """SpaceSaving over near-duplicate groups.
 
     Parameters
@@ -139,27 +144,15 @@ class RobustHeavyHitters:
                 del self._buckets[value]
         return counter
 
-    def insert(self, point: StreamPoint | Sequence[float]) -> None:
-        """Count one arriving point into its group."""
-        p = coerce_point(point, self._count)
-        if p.dim != self._config.dim:
-            raise ParameterError(
-                f"point has dimension {p.dim}, expected {self._config.dim}"
-            )
-        self._count += 1
-        ctx = self._config.point_context(p.vector)
-        counter = self._find(p.vector, ctx.cell_hash)
-        if counter is not None:
-            counter.count += 1
-            return
-
+    def _admit(self, p: StreamPoint, cell_hash: int) -> None:
+        """Install a new group's counter (SpaceSaving admission)."""
         adj_hashes = self._config.adj_hashes(p.vector)
         if len(self._counters) < self._capacity:
             self._attach(
                 p.index,
                 _Counter(
                     representative=p,
-                    cell_hash=ctx.cell_hash,
+                    cell_hash=cell_hash,
                     adj_hashes=adj_hashes,
                     count=1,
                     error=0,
@@ -176,17 +169,88 @@ class RobustHeavyHitters:
             p.index,
             _Counter(
                 representative=p,
-                cell_hash=ctx.cell_hash,
+                cell_hash=cell_hash,
                 adj_hashes=adj_hashes,
                 count=victim.count + 1,
                 error=victim.count,
             ),
         )
 
-    def extend(self, points: Iterable[StreamPoint | Sequence[float]]) -> None:
-        """Count a sequence of points."""
-        for point in points:
-            self.insert(point)
+    def insert(self, point: StreamPoint | Sequence[float]) -> None:
+        """Count one arriving point into its group."""
+        p = coerce_point(point, self._count)
+        if p.dim != self._config.dim:
+            raise ParameterError(
+                f"point has dimension {p.dim}, expected {self._config.dim}"
+            )
+        self._count += 1
+        ctx = self._config.point_context(p.vector)
+        counter = self._find(p.vector, ctx.cell_hash)
+        if counter is not None:
+            counter.count += 1
+            return
+        self._admit(p, ctx.cell_hash)
+
+    def process_many(
+        self, points: Iterable[StreamPoint | Sequence[float]]
+    ) -> int:
+        """Batched :meth:`insert` with the counting fast path inlined."""
+        config = self._config
+        dim = config.dim
+        grid = config.grid
+        side = grid.side
+        offset = grid.offset
+        memo = config.cell_hash_memo
+        memo_get = memo.get
+        cell_id = grid.cell_id
+        hash_value = config.hash.value
+        counters = self._counters
+        buckets_get = self._buckets.get
+        alpha_sq = config.alpha * config.alpha
+        count = self._count
+        processed = 0
+        try:
+            for point in points:
+                if isinstance(point, StreamPoint):
+                    p = point
+                    vector = p.vector
+                else:
+                    vector = tuple(float(x) for x in point)
+                    p = StreamPoint(vector, count)
+                if len(vector) != dim:
+                    raise ParameterError(
+                        f"point has dimension {len(vector)}, expected {dim}"
+                    )
+                count += 1
+                processed += 1
+                cell = tuple(
+                    int((x - o) // side) for x, o in zip(vector, offset)
+                )
+                cell_hash = memo_get(cell)
+                if cell_hash is None:
+                    cell_hash = hash_value(cell_id(cell))
+                    if len(memo) >= _CELL_MEMO_LIMIT:
+                        memo.clear()
+                    memo[cell] = cell_hash
+                found = None
+                for key in buckets_get(cell_hash, ()):
+                    counter = counters[key]
+                    acc = 0.0
+                    for a, b in zip(counter.representative.vector, vector):
+                        diff = a - b
+                        acc += diff * diff
+                        if acc > alpha_sq:
+                            break
+                    else:
+                        found = counter
+                        break
+                if found is not None:
+                    found.count += 1
+                    continue
+                self._admit(p, cell_hash)
+        finally:
+            self._count = count
+        return processed
 
     def heavy_hitters(self, phi: float) -> list[HeavyHitter]:
         """Groups with estimated frequency above ``phi * m``, sorted.

@@ -15,7 +15,7 @@ from __future__ import annotations
 import random
 from typing import Iterable, Sequence
 
-from repro.core.base import DEFAULT_KAPPA0
+from repro.core.base import DEFAULT_KAPPA0, StreamSampler, materialize_and_feed
 from repro.core.infinite_window import RobustL0SamplerIW
 from repro.core.sliding_window import RobustL0SamplerSW
 from repro.errors import EmptySampleError, ParameterError
@@ -23,7 +23,7 @@ from repro.streams.point import StreamPoint
 from repro.streams.windows import WindowSpec
 
 
-class KDistinctSampler:
+class KDistinctSampler(StreamSampler):
     """Draw k robust distinct samples from a noisy stream.
 
     Parameters
@@ -122,10 +122,17 @@ class KDistinctSampler:
             for sampler in self._samplers:
                 sampler.insert(shared)
 
-    def extend(self, points: Iterable[StreamPoint | Sequence[float]]) -> None:
-        """Insert a sequence of points."""
-        for point in points:
-            self.insert(point)
+    def process_many(
+        self, points: Iterable[StreamPoint | Sequence[float]]
+    ) -> int:
+        """Batched :meth:`insert`: one shared materialisation, k batch runs.
+
+        See :func:`~repro.core.base.materialize_and_feed`: one shared
+        materialisation, then every underlying sampler ingests the chunk
+        through its own specialised path, with per-point error semantics
+        preserved (every copy holds the valid prefix on failure).
+        """
+        return materialize_and_feed(self._samplers, points)
 
     def sample(self, rng: random.Random | None = None) -> list[StreamPoint]:
         """Return the k samples.

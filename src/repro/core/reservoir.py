@@ -16,6 +16,7 @@ Section 2.3 explains how to return a uniformly random member instead:
 from __future__ import annotations
 
 import random
+from typing import Iterable
 
 from repro.errors import EmptySampleError
 from repro.streams.point import StreamPoint
@@ -51,6 +52,31 @@ class ReservoirMember:
         self._count += 1
         if self._member is None or rng.random() < 1.0 / self._count:
             self._member = point
+
+    def offer_many(
+        self, points: Iterable[StreamPoint], rng: random.Random
+    ) -> None:
+        """Present a batch; draws the same RNG sequence as repeated offers.
+
+        The short-circuit on the first offer (no random draw while the
+        reservoir is empty) is preserved so the batch path is
+        state-equivalent to per-point offering.
+
+        For standalone reservoir users.  The samplers' batch paths keep
+        per-point ``offer`` calls: consecutive stream points generally
+        belong to *different* groups' reservoirs, and the equivalence
+        contract pins RNG draws to arrival order, so there is no
+        same-reservoir run to batch there.
+        """
+        count = self._count
+        member = self._member
+        rng_random = rng.random
+        for point in points:
+            count += 1
+            if member is None or rng_random() < 1.0 / count:
+                member = point
+        self._count = count
+        self._member = member
 
     def member(self) -> StreamPoint:
         """The current uniform sample."""
@@ -101,6 +127,27 @@ class WindowReservoir:
         while entries and entries[-1][0] <= priority:
             entries.pop()
         entries.append((priority, point))
+
+    def offer_many(
+        self, points: Iterable[StreamPoint], rng: random.Random
+    ) -> None:
+        """Present a batch of points; equivalent to repeated :meth:`offer`.
+
+        One priority is drawn per point in arrival order, so the RNG
+        stream - and hence the kept set - matches per-point offering.
+        For standalone reservoir users (see
+        :meth:`ReservoirMember.offer_many` on why the samplers' batch
+        paths stay per-point here).
+        """
+        entries = self._entries
+        append = entries.append
+        pop = entries.pop
+        rng_random = rng.random
+        for point in points:
+            priority = rng_random()
+            while entries and entries[-1][0] <= priority:
+                pop()
+            append((priority, point))
 
     def _evict(self, latest: StreamPoint) -> None:
         window = self._window

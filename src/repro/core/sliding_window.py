@@ -44,10 +44,14 @@ import math
 import random
 from typing import Iterable, Sequence
 
+import heapq
+
 from repro.core.base import (
     DEFAULT_KAPPA0,
     CandidateRecord,
     SamplerConfig,
+    StreamSampler,
+    _CELL_MEMO_LIMIT,
     _ThresholdPolicy,
     coerce_point,
 )
@@ -57,7 +61,7 @@ from repro.streams.point import StreamPoint
 from repro.streams.windows import SequenceWindow, WindowSpec
 
 
-class RobustL0SamplerSW:
+class RobustL0SamplerSW(StreamSampler):
     """Robust distinct sampler for sliding windows (Algorithm 3).
 
     Works for both sequence-based and time-based windows; only the
@@ -225,10 +229,227 @@ class RobustL0SamplerSW:
             if words > self._peak_words:
                 self._peak_words = words
 
-    def extend(self, points: Iterable[StreamPoint | Sequence[float]]) -> None:
-        """Insert a sequence of points."""
-        for point in points:
-            self.insert(point)
+    def _level_hot_state(self) -> list[tuple]:
+        """Per-level bindings for the batched walk.
+
+        Must be re-derived after any cascade: ``Split`` rebuilds a level
+        via :meth:`~repro.core.fixed_rate.FixedRateSlidingSampler.clear`,
+        which swaps the level's :class:`~repro.core.base.CandidateStore`
+        for a fresh one.
+        """
+        return [
+            (
+                instance,
+                instance._store,
+                instance._store._records.get,
+                instance._store._buckets.get,
+                instance._heap,
+                instance._reservoirs,
+                instance._tiebreak,
+            )
+            for instance in self._levels
+        ]
+
+    def process_many(
+        self, points: Iterable[StreamPoint | Sequence[float]]
+    ) -> int:
+        """Batched :meth:`insert` over the whole hierarchy.
+
+        The per-arrival geometry (cell, cell hash through the config's
+        shared memo) is computed once per point and reused by every level
+        of the top-down walk, and each level's eviction + proximity probe
+        runs inline - replicating :meth:`insert` operation-for-operation,
+        so the resulting state (including each level's lazy heap) is
+        identical to per-point ingestion.
+        """
+        config = self._config
+        dim = config.dim
+        grid = config.grid
+        side = grid.side
+        offset = grid.offset
+        memo = config.cell_hash_memo
+        memo_get = memo.get
+        cell_id = grid.cell_id
+        hash_value = config.hash.value
+        window = self._window
+        expiry_key = window.expiry_key
+        in_window = window.in_window
+        eviction_cutoff = window.eviction_cutoff
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        policy = self._policy
+        base = self._levels[0]
+        max_level = self._max_level
+        alpha_sq = config.alpha * config.alpha
+        count = self._count
+        latest = self._latest
+        pending = 0  # arrivals not yet flushed into the threshold policy
+        state = self._level_hot_state()
+        processed = 0
+        if dim == 1:
+            off0 = offset[0]
+            off1 = 0.0
+        elif dim == 2:
+            off0, off1 = offset
+        else:
+            off0 = off1 = 0.0
+        try:
+            for point in points:
+                if isinstance(point, StreamPoint):
+                    p = point
+                    vector = p.vector
+                else:
+                    vector = tuple(float(x) for x in point)
+                    p = StreamPoint(vector, count)
+                if len(vector) != dim:
+                    raise ParameterError(
+                        f"point has dimension {len(vector)}, "
+                        f"sampler expects {dim}"
+                    )
+                if latest is not None and expiry_key(p) < expiry_key(latest):
+                    raise ParameterError(
+                        "stream points must arrive in non-decreasing "
+                        "window order"
+                    )
+                count += 1
+                pending += 1
+                processed += 1
+                latest = p
+
+                if dim == 2:
+                    cell = (
+                        int((vector[0] - off0) // side),
+                        int((vector[1] - off1) // side),
+                    )
+                elif dim == 1:
+                    cell = (int((vector[0] - off0) // side),)
+                else:
+                    cell = tuple(
+                        int((x - o) // side) for x, o in zip(vector, offset)
+                    )
+                cell_hash = memo_get(cell)
+                if cell_hash is None:
+                    cell_hash = hash_value(cell_id(cell))
+                    if len(memo) >= _CELL_MEMO_LIMIT:
+                        memo.clear()
+                    memo[cell] = cell_hash
+
+                cutoff = eviction_cutoff(p)
+                for level in range(max_level, -1, -1):
+                    (
+                        instance,
+                        store,
+                        records_get,
+                        buckets_get,
+                        heap,
+                        reservoirs,
+                        tiebreak,
+                    ) = state[level]
+
+                    # Inline evict(p), identical operations to the method.
+                    while heap:
+                        key, _, record, last_ref = heap[0]
+                        if (
+                            records_get(record.representative.index)
+                            is not record
+                            or record.last is not last_ref
+                        ):
+                            heappop(heap)
+                            continue
+                        if key > cutoff or in_window(record.last, p):
+                            break
+                        heappop(heap)
+                        store.remove(record)
+                        reservoirs.pop(record.representative.index, None)
+
+                    # Inline find_group(p.vector, cell_hash).
+                    bucket = buckets_get(cell_hash)
+                    found = None
+                    if bucket:
+                        for record in bucket:
+                            acc = 0.0
+                            for a, b in zip(
+                                record.representative.vector, vector
+                            ):
+                                diff = a - b
+                                acc += diff * diff
+                                if acc > alpha_sq:
+                                    break
+                            else:
+                                found = record
+                                break
+                    if found is None:
+                        continue
+                    found.last = p
+                    found.count += 1
+                    if found.accepted or level == 0:
+                        heappush(
+                            heap, (expiry_key(p), next(tiebreak), found, p)
+                        )
+                    else:
+                        # Rejected group with fresh activity: move it to
+                        # level 0 (representative preserved).
+                        instance.remove_record(found)
+                        found.accepted = True
+                        base.adopt_record(found)
+                        policy.observe_many(pending)
+                        pending = 0
+                        if base.accepted_count > policy.threshold():
+                            self._count = count
+                            self._latest = latest
+                            self._cascade(0)
+                            state = self._level_hot_state()
+                    break
+                else:
+                    # A genuinely new group enters at level 0, inlined:
+                    # the walk already evicted level 0 and missed its
+                    # buckets (insert() re-runs both, provably no-ops),
+                    # and R_0 = 1 accepts every cell, so the record is
+                    # created directly (Lemma 2.10).
+                    self._count = count
+                    self._latest = latest
+                    policy.observe_many(pending)
+                    pending = 0
+                    record = CandidateRecord(
+                        representative=p,
+                        cell=cell,
+                        cell_hash=cell_hash,
+                        adj_hashes=config.adj_hashes(vector),
+                        accepted=True,
+                        last=p,
+                    )
+                    (
+                        _,
+                        store0,
+                        _,
+                        _,
+                        heap0,
+                        _,
+                        tiebreak0,
+                    ) = state[0]
+                    store0.add(record)
+                    heappush(
+                        heap0, (expiry_key(p), next(tiebreak0), record, p)
+                    )
+                    if base._track_members:
+                        base._reservoir_for(record).offer(
+                            p, base._member_rng
+                        )
+                    if base.accepted_count > policy.threshold():
+                        self._cascade(0)
+                        state = self._level_hot_state()
+
+                if count & 0xF == 0:
+                    self._count = count
+                    self._latest = latest
+                    words = self.space_words()
+                    if words > self._peak_words:
+                        self._peak_words = words
+        finally:
+            self._count = count
+            self._latest = latest
+            policy.observe_many(pending)
+        return processed
 
     # ------------------------------------------------------------------ #
     # Split / Merge (Algorithms 4 and 5)

@@ -127,6 +127,14 @@ class DistributedRobustSampler:
         """Deliver a point to a shard (convenience for simulations)."""
         self._shards[shard].insert(point)
 
+    def route_many(
+        self,
+        points: Iterable[StreamPoint | Sequence[float]],
+        shard: int,
+    ) -> int:
+        """Deliver a batch to a shard through its batched ingestion path."""
+        return self._shards[shard].process_many(points)
+
     def scatter(
         self,
         points: Iterable[StreamPoint | Sequence[float]],
@@ -205,8 +213,7 @@ class DistributedRobustSampler:
                 )
                 store.add(clone)
         merged._count = total_seen
-        for _ in range(total_seen):
-            merged._policy.observe()
+        merged._policy.observe_many(total_seen)
         while store.accepted_count > merged._policy.threshold():
             merged._rate_denominator *= 2
             store.resample(merged._rate_denominator)

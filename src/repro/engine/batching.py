@@ -1,0 +1,13 @@
+"""Chunking utilities for the batched ingestion engine.
+
+:func:`chunked` is defined in :mod:`repro.core.base` (the leaf module -
+:meth:`~repro.core.base.StreamSampler.extend` chunks with it, and the
+core cannot import the engine package without a cycle); this module is
+its engine-facing home.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import chunked
+
+__all__ = ["chunked"]

@@ -1,0 +1,168 @@
+"""Fan batched ingestion out over distributed shards and merge on query.
+
+:class:`BatchPipeline` is the scale-out face of the batch engine: it
+slices an incoming stream into chunks (:func:`repro.engine.batching.chunked`),
+deals the chunks round-robin across the shards of a
+:class:`~repro.distributed.coordinator.DistributedRobustSampler`, and
+answers queries from the coordinator's sketch-sized merge.  Because all
+shards share one :class:`~repro.core.base.SamplerConfig` (same grid
+offset, same sampling hash) the merged sampler is a faithful sampler of
+the *union* stream - the oracle test in ``tests/test_distributed.py``
+checks the merge output against a single sampler fed the interleaved
+union directly.
+
+Round-robin chunk dealing is deterministic: the same stream and
+``batch_size`` always produce the same shard assignment, which together
+with an explicit ``seed`` makes whole pipeline runs reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.core.base import DEFAULT_BATCH_SIZE, DEFAULT_KAPPA0, SamplerConfig
+from repro.core.infinite_window import RobustL0SamplerIW
+from repro.distributed.coordinator import DistributedRobustSampler, ShardSampler
+from repro.engine.batching import chunked
+from repro.errors import ParameterError
+from repro.streams.point import StreamPoint
+
+
+class BatchPipeline:
+    """Batched ingestion across ``num_shards`` robust shard samplers.
+
+    Parameters
+    ----------
+    alpha, dim:
+        Geometry of the noisy data model.
+    num_shards:
+        Number of shard samplers fed round-robin.
+    batch_size:
+        Chunk size used by :meth:`extend`.
+    seed:
+        Seed of the shared configuration; also accepts ``rng`` - an
+        explicit generator - for library callers threading one source
+        of randomness through a whole run.
+    kappa0, expected_stream_length:
+        Forwarded to every shard.
+
+    Examples
+    --------
+    >>> pipeline = BatchPipeline(1.0, 1, num_shards=3, seed=11,
+    ...                          batch_size=4)
+    >>> pipeline.extend([(25.0 * (i % 5),) for i in range(40)])
+    40
+    >>> merged = pipeline.merge()
+    >>> merged.num_candidate_groups
+    5
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        dim: int,
+        *,
+        num_shards: int,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+        kappa0: float = DEFAULT_KAPPA0,
+        expected_stream_length: int | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ParameterError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        if rng is not None:
+            seed = rng.randrange(2**62)
+        self._coordinator = DistributedRobustSampler(
+            alpha,
+            dim,
+            num_shards=num_shards,
+            seed=seed,
+            kappa0=kappa0,
+            expected_stream_length=expected_stream_length,
+        )
+        self._batch_size = batch_size
+        self._next_shard = 0
+        self._points_seen = 0
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shard samplers."""
+        return self._coordinator.num_shards
+
+    @property
+    def batch_size(self) -> int:
+        """Chunk size used when slicing streams."""
+        return self._batch_size
+
+    @property
+    def config(self) -> SamplerConfig:
+        """The configuration shared by all shards (and by the merge)."""
+        return self._coordinator.config
+
+    @property
+    def points_seen(self) -> int:
+        """Total points ingested across all shards."""
+        return self._points_seen
+
+    @property
+    def coordinator(self) -> DistributedRobustSampler:
+        """The underlying coordinator (shard access, communication cost)."""
+        return self._coordinator
+
+    def shard(self, index: int) -> ShardSampler:
+        """Access one shard's sampler."""
+        return self._coordinator.shard(index)
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self, batch: Iterable[StreamPoint | Sequence[float]]
+    ) -> int:
+        """Ingest one batch into the next shard (round-robin).
+
+        Returns the number of points ingested.
+        """
+        shard = self._next_shard
+        self._next_shard = (shard + 1) % self._coordinator.num_shards
+        processed = self._coordinator.route_many(batch, shard)
+        self._points_seen += processed
+        return processed
+
+    def extend(
+        self, points: Iterable[StreamPoint | Sequence[float]]
+    ) -> int:
+        """Slice a stream into batches and deal them across the shards."""
+        total = 0
+        for chunk in chunked(points, self._batch_size):
+            total += self.submit(chunk)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # queries (via the coordinator's sketch-sized merge)
+    # ------------------------------------------------------------------ #
+
+    def merge(self) -> RobustL0SamplerIW:
+        """Merge all shard states into one sampler over the union stream."""
+        return self._coordinator.merged_sampler()
+
+    def sample(self, rng: random.Random | None = None) -> StreamPoint:
+        """One-shot distributed query: merge then sample."""
+        return self._coordinator.sample(rng)
+
+    def estimate_f0(self) -> float:
+        """Robust F0 estimate of the union stream."""
+        return self._coordinator.estimate_f0()
+
+    def communication_words(self) -> int:
+        """Words shipped to the coordinator by one merge."""
+        return self._coordinator.communication_words()

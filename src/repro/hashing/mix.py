@@ -10,6 +10,8 @@ alternative (limited-independence polynomial hashing) lives in
 
 from __future__ import annotations
 
+from typing import Iterable
+
 _MASK64 = (1 << 64) - 1
 _GAMMA = 0x9E3779B97F4A7C15
 
@@ -62,6 +64,28 @@ class SplitMix64:
         # simple xor-ed seed is distinguishable for structured key sets
         # (e.g. consecutive grid-cell IDs); two rounds are not.
         return splitmix64(splitmix64(key & _MASK64) ^ self._seed)
+
+    def many(self, keys: Iterable[int]) -> list[int]:
+        """Hash a batch of keys; equals ``[self(k) for k in keys]``.
+
+        Both mixing rounds run in one loop with the constants held in
+        locals, amortising the per-call overhead over the batch.
+        """
+        mask = _MASK64
+        gamma = _GAMMA
+        seed = self._seed
+        out = []
+        append = out.append
+        for key in keys:
+            z = ((key & mask) + gamma) & mask
+            z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & mask
+            z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & mask
+            z = ((z ^ (z >> 31)) ^ seed) & mask
+            z = (z + gamma) & mask
+            z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & mask
+            z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & mask
+            append((z ^ (z >> 31)) & mask)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SplitMix64(seed={self._seed:#x})"

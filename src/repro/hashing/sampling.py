@@ -10,7 +10,7 @@ hierarchy (Algorithm 3) promote points from level l to level l+1.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Callable, Iterable, Protocol
 
 from repro.errors import ParameterError
 from repro.hashing.mix import SplitMix64
@@ -68,6 +68,21 @@ class SamplingHash:
     def value(self, key: int) -> int:
         """Return the raw base-hash value of ``key``."""
         return self._base(key)
+
+    def value_many(self, keys: Iterable[int]) -> list[int]:
+        """Raw base-hash values of a batch of keys.
+
+        Delegates to the base hash's own batch evaluator when it has one
+        (:meth:`SplitMix64.many <repro.hashing.mix.SplitMix64.many>`,
+        :meth:`KWiseHash.many <repro.hashing.kwise.KWiseHash.many>`), which
+        amortises the per-call overhead; equals ``[self.value(k) for k in
+        keys]`` either way.
+        """
+        many = getattr(self._base, "many", None)
+        if many is not None:
+            return many(keys)
+        base = self._base
+        return [base(key) for key in keys]
 
     def residue(self, key: int, rate_denominator: int) -> int:
         """Return ``h(key) mod R`` (the paper's ``h_R(key)``)."""

@@ -40,6 +40,18 @@ class WindowSpec(ABC):
         with the smallest key always expires first.
         """
 
+    def eviction_cutoff(self, latest: StreamPoint) -> float:
+        """Expiry-key threshold: keys above it are certainly unexpired.
+
+        The batched eviction loops use this as a pre-filter: a heap entry
+        with ``expiry_key > eviction_cutoff(latest)`` is live without an
+        :meth:`in_window` call.  The conservative default (``+inf``) sends
+        every entry through the exact check; the built-in window flavours
+        override it with the exact threshold (a point is expired iff its
+        key is at most ``expiry_key(latest) - size``).
+        """
+        return float("inf")
+
     @property
     @abstractmethod
     def size(self) -> float:
@@ -59,6 +71,9 @@ class InfiniteWindow(WindowSpec):
 
     def expiry_key(self, point: StreamPoint) -> float:
         return 0.0
+
+    def eviction_cutoff(self, latest: StreamPoint) -> float:
+        return float("-inf")
 
     @property
     def size(self) -> float:
@@ -93,6 +108,9 @@ class SequenceWindow(WindowSpec):
     def expiry_key(self, point: StreamPoint) -> float:
         return float(point.index)
 
+    def eviction_cutoff(self, latest: StreamPoint) -> float:
+        return float(latest.index - self._w)
+
     @property
     def size(self) -> float:
         return float(self._w)
@@ -125,6 +143,9 @@ class TimeWindow(WindowSpec):
 
     def expiry_key(self, point: StreamPoint) -> float:
         return point.time
+
+    def eviction_cutoff(self, latest: StreamPoint) -> float:
+        return latest.time - self._w
 
     @property
     def size(self) -> float:

@@ -77,6 +77,55 @@ class TestSampleCommand:
             main(["sample", "--alpha", "1.0", str(bad)], out=io.StringIO())
 
 
+class TestReproducibilityAndBatching:
+    @staticmethod
+    def run_cli(argv):
+        out = io.StringIO()
+        assert main(argv, out=out) == 0
+        return out.getvalue()
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["sample", "--alpha", "1.0", "--k", "2", "--seed", "5"],
+            ["sample", "--alpha", "1.0", "--window", "20", "--seed", "5"],
+            ["count", "--alpha", "1.0", "--epsilon", "0.5", "--seed", "5"],
+            ["heavy", "--alpha", "1.0", "--phi", "0.1", "--seed", "5"],
+        ],
+    )
+    def test_same_seed_same_output(self, csv_file, argv):
+        first = self.run_cli(argv + [csv_file])
+        second = self.run_cli(argv + [csv_file])
+        assert first == second
+
+    @pytest.mark.parametrize("batch_size", ["1", "3", "1000"])
+    def test_batch_size_never_changes_output(self, csv_file, batch_size):
+        # Batching is a throughput knob, not a semantic one: every batch
+        # size must produce bit-identical output for a fixed seed.
+        base = self.run_cli(
+            ["sample", "--alpha", "1.0", "--k", "3", "--seed", "9", csv_file]
+        )
+        batched = self.run_cli(
+            [
+                "sample", "--alpha", "1.0", "--k", "3", "--seed", "9",
+                "--batch-size", batch_size, csv_file,
+            ]
+        )
+        assert batched == base
+
+    def test_count_batch_invariance(self, csv_file):
+        outputs = {
+            self.run_cli(
+                [
+                    "count", "--alpha", "1.0", "--epsilon", "0.5",
+                    "--seed", "4", "--batch-size", size, csv_file,
+                ]
+            )
+            for size in ("1", "7", "4096")
+        }
+        assert len(outputs) == 1
+
+
 class TestCountCommand:
     def test_exact_small_count(self, csv_file):
         out = io.StringIO()

@@ -161,6 +161,24 @@ class TestCandidateStore:
         self.store.add(record)
         assert self.store.space_words() > 0
 
+    def test_store_space_words_matches_per_record_formula(self):
+        # The store inlines CandidateRecord.space_words for speed; the
+        # two formulas must never drift apart.
+        for i, vector in enumerate([(0.0, 0.0), (9.0, 9.0), (30.0, 0.5)]):
+            record = make_record(self.config, vector, i)
+            if i == 1:
+                record.last = StreamPoint((9.1, 9.0), 7)
+            if i == 2:
+                record.member = StreamPoint((30.0, 0.6), 8)
+            self.store.add(record)
+        for track_members in (False, True):
+            assert self.store.space_words(
+                track_members=track_members
+            ) == sum(
+                record.space_words(track_members=track_members)
+                for record in self.store.records()
+            )
+
 
 class TestCoercePoint:
     def test_passthrough(self):

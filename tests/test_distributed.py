@@ -7,7 +7,9 @@ import random
 
 import pytest
 
+from repro.core.infinite_window import RobustL0SamplerIW
 from repro.distributed.coordinator import DistributedRobustSampler
+from repro.engine.pipeline import BatchPipeline
 from repro.errors import EmptySampleError, ParameterError
 from repro.metrics.accuracy import chi_square_uniformity
 
@@ -93,6 +95,89 @@ class TestMergeSemantics:
         # a small fraction of shipping the data.
         stream_words = 5000 * 3
         assert coordinator.communication_words() < stream_words / 4
+
+
+class TestBatchPipelineOracle:
+    """BatchPipeline shard-merge vs a single sampler over the union.
+
+    Both sides share one SamplerConfig, so group-level decisions (which
+    cells are sampled, who is accepted) are identical; the oracle checks
+    that dealing the interleaved union stream across shards in batches
+    and merging reproduces the single-sampler view of the same stream.
+    """
+
+    @staticmethod
+    def union_stream(num_groups, copies, seed):
+        rng = random.Random(seed)
+        stream = []
+        for g in range(num_groups):
+            for _ in range(copies):
+                stream.append((25.0 * g + rng.uniform(0, 0.4),))
+        rng.shuffle(stream)
+        return stream
+
+    def test_merge_matches_single_sampler_over_union(self):
+        num_groups = 20
+        stream = self.union_stream(num_groups, copies=15, seed=101)
+        pipeline = BatchPipeline(
+            1.0, 1, num_shards=3, batch_size=16, seed=103
+        )
+        pipeline.extend(stream)
+        # The single oracle sampler shares the pipeline's exact config.
+        single = RobustL0SamplerIW(1.0, 1, config=pipeline.config)
+        single.extend(stream)
+
+        merged = pipeline.merge()
+        assert merged.points_seen == single.points_seen == len(stream)
+        # Few groups -> nobody's rate ever halves, so the merge must see
+        # exactly the groups the single sampler sees.
+        assert merged.rate_denominator == single.rate_denominator == 1
+        assert merged.num_candidate_groups == single.num_candidate_groups
+        assert merged.accept_size == single.accept_size
+        assert merged.estimate_f0() == single.estimate_f0()
+
+        def group_ids(sampler):
+            return sorted(
+                round(r.vector[0] // 25.0)
+                for r in sampler.accepted_representatives()
+            )
+
+        assert group_ids(merged) == group_ids(single)
+        # Pooled per-group counts also agree with the union stream.
+        merged_counts = sorted(
+            record.count for record in merged._store.records()
+        )
+        single_counts = sorted(
+            record.count for record in single._store.records()
+        )
+        assert merged_counts == single_counts
+
+    def test_pipeline_round_robin_is_deterministic(self):
+        stream = self.union_stream(12, copies=6, seed=7)
+        runs = []
+        for _ in range(2):
+            pipeline = BatchPipeline(
+                1.0, 1, num_shards=4, batch_size=8, seed=11
+            )
+            pipeline.extend(stream)
+            runs.append(
+                [
+                    pipeline.shard(i).points_seen
+                    for i in range(pipeline.num_shards)
+                ]
+            )
+        assert runs[0] == runs[1]
+        assert sum(runs[0]) == len(stream)
+
+    def test_pipeline_sample_comes_from_union_group(self):
+        stream = self.union_stream(8, copies=10, seed=13)
+        pipeline = BatchPipeline(
+            1.0, 1, num_shards=2, batch_size=32, seed=17
+        )
+        pipeline.extend(stream)
+        sample = pipeline.sample(random.Random(19))
+        assert 0 <= round(sample.vector[0] // 25.0) <= 7
+        assert pipeline.communication_words() > 0
 
 
 class TestDistributedUniformity:

@@ -43,6 +43,8 @@ MODULE_NAMES = [
     "repro.metric_space.lsh",
     "repro.experiments.registry",
     "repro.persist",
+    "repro.core.base",
+    "repro.engine.pipeline",
 ]
 
 
