@@ -13,6 +13,7 @@ Run:  python examples/distributed_feeds.py
 
 import random
 
+from repro.api import L0InfiniteSpec
 from repro.distributed import DistributedRobustSampler
 
 DIM = 4
@@ -23,9 +24,14 @@ REGIONS = 3
 
 def main() -> None:
     rng = random.Random(5)
+    # One spec describes every shard; the coordinator derives the shared
+    # grid/hash from it so all regions' decisions are consistent.
     coordinator = DistributedRobustSampler(
-        ALPHA, DIM, num_shards=REGIONS, seed=42,
-        expected_stream_length=NUM_EVENTS * 6,
+        spec=L0InfiniteSpec(
+            alpha=ALPHA, dim=DIM, seed=42,
+            expected_stream_length=NUM_EVENTS * 6,
+        ),
+        num_shards=REGIONS,
     )
 
     # Each event: a ground-truth feature vector, observed 1-6 times,

@@ -13,7 +13,7 @@ Run:  python examples/document_lsh_sampling.py
 import collections
 import random
 
-from repro.core.heavy_hitters import RobustHeavyHitters
+from repro.api import HeavyHittersSpec, build
 from repro.metric_space import (
     BandedLSH,
     MinHash,
@@ -87,10 +87,10 @@ def main() -> None:
 
     # Which documents are re-posted most?  Robust heavy hitters over a
     # cheap numeric embedding (document id folded into 1-D for brevity).
-    hh = RobustHeavyHitters(0.5, 1, epsilon=0.05, seed=3)
-    for d, _ in stream:
-        hh.insert((float(d * 10),))
-    top = hh.heavy_hitters(phi=0.05)
+    hh = build("heavy-hitters", HeavyHittersSpec(
+        alpha=0.5, dim=1, epsilon=0.05, phi=0.05, seed=3))
+    hh.process_many((float(d * 10),) for d, _ in stream)
+    top = hh.query()
     print("\nmost re-posted documents (robust heavy hitters):")
     for hit in top[:5]:
         print(f"  doc {int(hit.representative.vector[0] // 10):3d}: "

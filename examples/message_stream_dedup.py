@@ -16,8 +16,7 @@ import collections
 import math
 import random
 
-from repro import KDistinctSampler, RobustL0SamplerIW
-from repro.baselines import NaiveReservoirSampler
+from repro.api import KSampleSpec, L0InfiniteSpec, NaiveReservoirSpec, build
 
 DIM = 8          # embedding dimension
 NUM_MESSAGES = 120
@@ -64,8 +63,9 @@ def main() -> None:
     trials = 400
     for trial in range(trials):
         stream = make_stream(messages, random.Random(trial))
-        robust = RobustL0SamplerIW(ALPHA, DIM, seed=trial)
-        naive = NaiveReservoirSampler(rng=random.Random(trial ^ 0xA0))
+        robust = build("l0-infinite", L0InfiniteSpec(
+            alpha=ALPHA, dim=DIM, seed=trial))
+        naive = build("naive-reservoir", NaiveReservoirSpec(seed=trial ^ 0xA0))
         ids = {}
         for index, (vector, message_id) in enumerate(stream):
             ids[index] = message_id
@@ -90,13 +90,15 @@ def main() -> None:
           f"{distinct_sampled}/{NUM_MESSAGES}")
 
     # Draw a labelled batch of 5 distinct messages, no repeats.
-    batch_sampler = KDistinctSampler(ALPHA, DIM, k=5, replacement=False, seed=7)
+    batch_sampler = KSampleSpec(
+        alpha=ALPHA, dim=DIM, k=5, replacement=False, seed=7
+    ).build()
     stream = make_stream(messages, random.Random(999))
     ids = {}
     for index, (vector, message_id) in enumerate(stream):
         ids[index] = message_id
         batch_sampler.insert(vector)
-    batch = batch_sampler.sample(rng)
+    batch = batch_sampler.query(rng)
     print(f"Batch of 5 distinct messages for labelling: "
           f"{sorted(ids[p.index] for p in batch)}")
 

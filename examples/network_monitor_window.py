@@ -13,7 +13,8 @@ Run:  python examples/network_monitor_window.py
 import collections
 import random
 
-from repro import RobustL0SamplerSW, TimeWindow
+from repro.api import L0SlidingSpec
+from repro.persist import summary_from_state, summary_to_state
 from repro.streams import with_poisson_times
 
 DIM = 6
@@ -53,14 +54,14 @@ def main() -> None:
     clients = client_fleet(rng, 40)
     vectors, owners = packet_vectors(clients, rng, 6000)
 
-    window = TimeWindow(WINDOW_SECONDS)
-    sampler = RobustL0SamplerSW(
-        ALPHA,
-        DIM,
-        window,
+    spec = L0SlidingSpec(
+        alpha=ALPHA,
+        dim=DIM,
+        window_seconds=WINDOW_SECONDS,
         window_capacity=int(WINDOW_SECONDS * PACKET_RATE * 2),
         seed=5,
     )
+    sampler = spec.build()
 
     stream = list(
         with_poisson_times(vectors, rate=PACKET_RATE, rng=random.Random(2))
@@ -68,20 +69,32 @@ def main() -> None:
     owner_of = {point.index: owners[i] for i, point in enumerate(stream)}
 
     spot_checks = collections.Counter()
-    for point in stream:
-        sampler.insert(point)
-        # Periodic spot-check: who is a random active client right now?
-        if point.index and point.index % 500 == 0:
-            picked = sampler.sample(rng)
-            spot_checks[owner_of[picked.index]] += 1
-            active_estimate = sampler.estimate_f0()
-            print(
-                f"t={point.time:7.1f}s  spot-check client "
-                f"#{owner_of[picked.index]:2d}   "
-                f"~{active_estimate:5.1f} distinct clients active "
-                f"(window={WINDOW_SECONDS:.0f}s, "
-                f"space={sampler.space_words()} words)"
-            )
+
+    def monitor(points):
+        for point in points:
+            sampler.insert(point)
+            # Periodic spot-check: who is a random active client now?
+            if point.index and point.index % 500 == 0:
+                picked = sampler.sample(rng)
+                spot_checks[owner_of[picked.index]] += 1
+                active_estimate = sampler.estimate_f0()
+                print(
+                    f"t={point.time:7.1f}s  spot-check client "
+                    f"#{owner_of[picked.index]:2d}   "
+                    f"~{active_estimate:5.1f} distinct clients active "
+                    f"(window={WINDOW_SECONDS:.0f}s, "
+                    f"space={sampler.space_words()} words)"
+                )
+
+    midpoint = len(stream) // 2
+    monitor(stream[:midpoint])
+    # Rolling deploy mid-stream: checkpoint the live hierarchy through the
+    # universal protocol, "restart", restore, and keep monitoring - the
+    # restored sampler makes decisions identical to the original's.
+    sampler = summary_from_state(summary_to_state(sampler))
+    print(f"--- checkpoint/restore at packet {midpoint} "
+          f"(envelope: {sampler.summary_key}) ---")
+    monitor(stream[midpoint:])
 
     chatty_share = spot_checks[0] / max(1, sum(spot_checks.values()))
     print(f"\nchatty client owns 50% of packets but "

@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py
 import collections
 import random
 
-from repro import RobustL0SamplerIW, SequenceWindow, RobustL0SamplerSW
+from repro.api import L0InfiniteSpec, L0SlidingSpec
 
 ALPHA = 0.5  # points within 0.5 of each other are the same entity
 
@@ -50,12 +50,12 @@ def main() -> None:
     rng = random.Random(7)
 
     # --- infinite window -------------------------------------------------
+    # Spec -> build -> extend -> query: the unified API surface.
     tally = collections.Counter()
     for trial in range(300):
-        sampler = RobustL0SamplerIW(alpha=ALPHA, dim=2, seed=trial)
-        for vector in build_stream(random.Random(trial)):
-            sampler.insert(vector)
-        tally[nearest_location(sampler.sample(rng).vector)] += 1
+        sampler = L0InfiniteSpec(alpha=ALPHA, dim=2, seed=trial).build()
+        sampler.extend(build_stream(random.Random(trial)))
+        tally[nearest_location(sampler.query(rng).vector)] += 1
 
     print("Robust distinct sampling over 300 independent runs:")
     for name, count in sorted(tally.items()):
@@ -64,12 +64,11 @@ def main() -> None:
 
     # --- sliding window ---------------------------------------------------
     # Only the last 100 sightings matter: the station dominates the tail.
-    sw = RobustL0SamplerSW(ALPHA, 2, SequenceWindow(100), seed=1)
+    sw = L0SlidingSpec(alpha=ALPHA, dim=2, window_size=100, seed=1).build()
     stream = build_stream(random.Random(99))
     stream += [(4.0 + rng.uniform(-0.1, 0.1), 9.0) for _ in range(120)]
-    for vector in stream:
-        sw.insert(vector)
-    sample = sw.sample(rng)
+    sw.extend(stream)
+    sample = sw.query(rng)
     print(f"\nSliding window (last 100 points) sample: "
           f"{nearest_location(sample.vector)} at {sample.vector}")
 

@@ -14,8 +14,8 @@ Run:  python examples/video_catalog_f0.py
 import math
 import random
 
-from repro import RobustF0EstimatorIW
-from repro.baselines import BJKSTSketch
+from repro.api import BJKSTSpec, F0InfiniteSpec, build
+from repro.persist import summary_from_state, summary_to_state
 
 DIM = 12        # fingerprint dimension
 NUM_VIDEOS = 400
@@ -44,11 +44,18 @@ def main() -> None:
     stream = upload_stream(rng)
     print(f"upload stream: {len(stream)} uploads of {NUM_VIDEOS} distinct videos\n")
 
-    robust = RobustF0EstimatorIW(ALPHA, DIM, epsilon=0.15, copies=9, seed=1)
-    bjkst_raw = BJKSTSketch(epsilon=0.15, seed=1)
-    for fingerprint in stream:
-        robust.insert(fingerprint)
-        bjkst_raw.insert(fingerprint)
+    robust = build("f0-infinite", F0InfiniteSpec(
+        alpha=ALPHA, dim=DIM, epsilon=0.15, copies=9, seed=1))
+    bjkst_raw = build("bjkst", BJKSTSpec(epsilon=0.15, seed=1))
+    midpoint = len(stream) // 2
+    robust.process_many(stream[:midpoint])
+    bjkst_raw.process_many(stream[:midpoint])
+    # Simulated redeploy: both summaries survive a checkpoint round-trip
+    # through the universal protocol and continue exactly where they were.
+    robust = summary_from_state(summary_to_state(robust))
+    bjkst_raw = summary_from_state(summary_to_state(bjkst_raw))
+    robust.process_many(stream[midpoint:])
+    bjkst_raw.process_many(stream[midpoint:])
 
     print(f"true distinct videos      : {NUM_VIDEOS}")
     print(f"raw upload count          : {len(stream)}  "

@@ -5,20 +5,39 @@ Streaming Data with Near-Duplicates" (PODS 2018): streaming l0-sampling
 and F0 estimation that treat all near-duplicate points (within distance
 ``alpha``) as one element, for infinite and sliding windows.
 
-Quickstart
-----------
+The unified API
+---------------
+Every summary - samplers, estimators, heavy hitters, baselines - is
+described by a typed spec and constructed through one registry
+(:mod:`repro.api`), and implements one protocol
+(:class:`repro.api.Summary`): ``process_many`` (batched ingestion),
+``query``, ``merge`` (where exact merging exists) and
+``to_state``/``from_state`` (the universal checkpoint protocol of
+:mod:`repro.persist`).
+
 >>> import random
->>> from repro import RobustL0SamplerIW
->>> sampler = RobustL0SamplerIW(alpha=0.5, dim=2, seed=42)
->>> for v in [(0.0, 0.0), (0.1, 0.1), (9.0, 9.0)]:  # two groups
-...     sampler.insert(v)
->>> sampler.sample(rng=random.Random(7)).dim
+>>> from repro.api import L0InfiniteSpec, build
+>>> spec = L0InfiniteSpec(alpha=0.5, dim=2, seed=42)
+>>> sampler = build("l0-infinite", spec)       # or spec.build()
+>>> sampler.process_many([(0.0, 0.0), (0.1, 0.1), (9.0, 9.0)])
+3
+>>> sampler.query(rng=random.Random(7)).dim
 2
 
-See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
-reproduction of the paper's evaluation figures.
+The direct constructors remain available (``RobustL0SamplerIW(...)``
+etc.); the registry builds exactly those classes.  ``repro.api.available()``
+lists every registered summary key, ``repro.persist.dump_summary`` /
+``load_summary`` checkpoint and restore any of them through a versioned
+envelope, and :class:`repro.engine.BatchPipeline` shards any stream over
+spec-constructed shard samplers merged through the protocol.
+
+See ``examples/`` for end-to-end scenarios, ``README.md`` for the
+registry table, and ``benchmarks/`` for the reproduction of the paper's
+evaluation figures.
 """
 
+from repro import api
+from repro.api import Summary, build
 from repro.core.base import DEFAULT_BATCH_SIZE, StreamSampler
 from repro.core.f0_infinite import RobustF0EstimatorIW
 from repro.core.f0_sliding import RobustF0EstimatorSW
@@ -30,17 +49,22 @@ from repro.engine.batching import chunked
 from repro.engine.equivalence import state_fingerprint
 from repro.engine.pipeline import BatchPipeline
 from repro.errors import (
+    CheckpointError,
     EmptySampleError,
     LevelOverflowError,
+    MergeUnsupportedError,
     ParameterError,
     ReproError,
 )
 from repro.streams.point import StreamPoint, as_stream
 from repro.streams.windows import InfiniteWindow, SequenceWindow, TimeWindow
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
+    "build",
+    "Summary",
     "RobustL0SamplerIW",
     "RobustL0SamplerSW",
     "FixedRateSlidingSampler",
@@ -61,5 +85,7 @@ __all__ = [
     "ParameterError",
     "EmptySampleError",
     "LevelOverflowError",
+    "MergeUnsupportedError",
+    "CheckpointError",
     "__version__",
 ]

@@ -1,0 +1,93 @@
+"""repro.api - the unified summary API.
+
+One coherent surface over every summary in the library:
+
+* **Typed specs** (:mod:`repro.api.specs`): frozen, validated dataclasses
+  describing what to build - geometry, accuracy, windows, seeds.
+* **Registry** (:mod:`repro.api.registry`): ``build(key, spec)``
+  constructs any sampler, estimator or baseline from its string key;
+  :func:`available` lists the keys, :func:`entries` their metadata.
+* **Protocol** (:mod:`repro.api.protocol`): every registered summary
+  implements :class:`Summary` - ``process_many`` / ``query`` / ``merge``
+  / ``to_state`` / ``from_state`` - so engines, shards, checkpoints and
+  CLIs compose with every summary instead of being wired per class.
+
+Quickstart
+----------
+>>> import random
+>>> from repro.api import L0InfiniteSpec, build
+>>> spec = L0InfiniteSpec(alpha=0.5, dim=2, seed=42)
+>>> sampler = build("l0-infinite", spec)      # or spec.build()
+>>> sampler.process_many([(0.0, 0.0), (0.1, 0.1), (9.0, 9.0)])
+3
+>>> sampler.query(rng=random.Random(7)).dim
+2
+
+Checkpointing goes through :mod:`repro.persist`::
+
+    from repro.persist import dump_summary, load_summary
+    dump_summary(sampler, "ckpt.json")   # versioned envelope
+    sampler = load_summary("ckpt.json")  # registry-dispatched restore
+"""
+
+from repro.api.protocol import Summary
+from repro.api.registry import (
+    SummaryEntry,
+    available,
+    build,
+    entries,
+    entry,
+    register_summary,
+    spec_class,
+    spec_from_state,
+    summary_class,
+)
+from repro.api.specs import (
+    BJKSTSpec,
+    ExactSpec,
+    F0InfiniteSpec,
+    F0SlidingSpec,
+    FMSpec,
+    HeavyHittersSpec,
+    HyperLogLogSpec,
+    KSampleSpec,
+    L0InfiniteSpec,
+    L0SlidingSpec,
+    LogLogSpec,
+    MinRankSpec,
+    NaiveReservoirSpec,
+    PipelineSpec,
+    PointSummarySpec,
+    SummarySpec,
+    WindowedSpec,
+)
+
+__all__ = [
+    "Summary",
+    "SummaryEntry",
+    "available",
+    "build",
+    "entries",
+    "entry",
+    "register_summary",
+    "spec_class",
+    "spec_from_state",
+    "summary_class",
+    "SummarySpec",
+    "PointSummarySpec",
+    "WindowedSpec",
+    "L0InfiniteSpec",
+    "L0SlidingSpec",
+    "KSampleSpec",
+    "F0InfiniteSpec",
+    "F0SlidingSpec",
+    "HeavyHittersSpec",
+    "PipelineSpec",
+    "ExactSpec",
+    "NaiveReservoirSpec",
+    "MinRankSpec",
+    "FMSpec",
+    "LogLogSpec",
+    "HyperLogLogSpec",
+    "BJKSTSpec",
+]

@@ -11,16 +11,16 @@ space baseline for the experiments.
 from __future__ import annotations
 
 import random
-from typing import Iterable, Sequence
+from typing import Sequence
 
-from repro.core.base import coerce_point
+from repro.core.base import StreamSampler, coerce_point
 from repro.errors import EmptySampleError, ParameterError
 from repro.geometry.distance import within_distance
 from repro.geometry.grid import Grid
 from repro.streams.point import StreamPoint
 
 
-class ExactDistinctSampler:
+class ExactDistinctSampler(StreamSampler):
     """One representative per group, found by exact proximity search.
 
     A grid of side ``alpha`` buckets representatives so lookups stay fast,
@@ -32,6 +32,9 @@ class ExactDistinctSampler:
     >>> sampler.num_groups
     2
     """
+
+    #: Registry key (see :mod:`repro.api.registry`).
+    summary_key = "exact"
 
     def __init__(self, alpha: float, dim: int, *, seed: int | None = None) -> None:
         if alpha <= 0:
@@ -98,11 +101,6 @@ class ExactDistinctSampler:
         self._buckets.setdefault(cell, []).append(p)
         self._representatives.append(p)
 
-    def extend(self, points: Iterable[StreamPoint | Sequence[float]]) -> None:
-        """Insert a sequence of points."""
-        for point in points:
-            self.insert(point)
-
     def sample(self, rng: random.Random | None = None) -> StreamPoint:
         """Uniformly random group representative."""
         if not self._representatives:
@@ -113,3 +111,89 @@ class ExactDistinctSampler:
     def space_words(self) -> int:
         """Footprint: every representative is stored (Omega(n))."""
         return len(self._representatives) * (self._dim + 2) + 3
+
+    # ------------------------------------------------------------------ #
+    # Summary protocol (see repro.api.protocol)
+    # ------------------------------------------------------------------ #
+
+    def query(self, rng: random.Random | None = None) -> StreamPoint:
+        """Protocol query: a uniformly random representative."""
+        return self.sample(rng)
+
+    def _absorb(self, point: StreamPoint) -> None:
+        """Install a foreign representative unless one is already nearby."""
+        cell = self._grid.cell_of(point.vector)
+        for neighbour in self._neighbour_cells(cell):
+            for rep in self._buckets.get(neighbour, ()):
+                if within_distance(rep.vector, point.vector, self._alpha):
+                    return
+        self._buckets.setdefault(cell, []).append(point)
+        self._representatives.append(point)
+
+    def merge(self, *others: "ExactDistinctSampler") -> "ExactDistinctSampler":
+        """Union of the group sets (greedy, self's representatives first).
+
+        Requires identical grids (same alpha/dim/offset - build the
+        inputs from one spec).  Groups straddling inputs are deduplicated
+        by proximity, keeping this sampler's representative.
+        """
+        from repro.api.protocol import check_merge_peers
+
+        check_merge_peers(self, others)
+        for other in others:
+            if (
+                other._alpha != self._alpha
+                or other._dim != self._dim
+                or other._grid.offset != self._grid.offset
+            ):
+                raise ParameterError(
+                    "cannot merge exact samplers with different grids"
+                )
+        merged = ExactDistinctSampler.__new__(ExactDistinctSampler)
+        merged._alpha = self._alpha
+        merged._dim = self._dim
+        merged._grid = self._grid
+        merged._buckets = {}
+        merged._representatives = []
+        merged._count = self._count + sum(o._count for o in others)
+        for source in (self, *others):
+            for rep in source._representatives:
+                merged._absorb(rep)
+        return merged
+
+    def to_state(self) -> dict:
+        """Serialise to a JSON-compatible dict (protocol checkpoint)."""
+        from repro.core import serialize
+
+        return {
+            "alpha": self._alpha,
+            "dim": self._dim,
+            "grid_offset": list(self._grid.offset),
+            "points_seen": self._count,
+            "representatives": [
+                serialize.point_to_state(p) for p in self._representatives
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ExactDistinctSampler":
+        """Restore a sampler from :meth:`to_state` output."""
+        from repro.core import serialize
+
+        sampler = cls.__new__(cls)
+        sampler._alpha = state["alpha"]
+        sampler._dim = state["dim"]
+        sampler._grid = Grid(
+            side=state["alpha"],
+            dim=state["dim"],
+            offset=tuple(state["grid_offset"]),
+        )
+        sampler._buckets = {}
+        sampler._representatives = []
+        sampler._count = state["points_seen"]
+        for point_state in state["representatives"]:
+            point = serialize.point_from_state(point_state)
+            cell = sampler._grid.cell_of(point.vector)
+            sampler._buckets.setdefault(cell, []).append(point)
+            sampler._representatives.append(point)
+        return sampler

@@ -11,13 +11,36 @@ count.  Averaging rho over independent copies tightens the estimate
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+from typing import Hashable
 
+from repro.core.base import StreamSampler
 from repro.errors import ParameterError
 from repro.hashing.mix import SplitMix64
 
 #: E[2^R] ~= PHI * F0 with PHI = 0.77351 (Flajolet & Martin 1985).
 FM_CORRECTION = 0.77351
+
+
+def item_key(item: Hashable) -> int:
+    """Process-stable integer identity of a sketch item.
+
+    The item sketches (FM, LogLog, HyperLogLog, BJKST) key every item by
+    an integer before mixing.  Builtin ``hash()`` is deterministic for
+    numbers and tuples of numbers - the library's point streams - but
+    randomised per process for ``str``/``bytes``, which would break the
+    checkpoint contract (a restored sketch must count the *same* items as
+    seen) and cross-process merges.  Strings and bytes therefore go
+    through a keyed-nothing BLAKE2b digest instead.
+    """
+    if isinstance(item, str):
+        item = item.encode("utf-8")
+    if isinstance(item, (bytes, bytearray)):
+        import hashlib
+
+        return int.from_bytes(
+            hashlib.blake2b(item, digest_size=8).digest(), "big"
+        )
+    return hash(item)
 
 
 def lowest_set_bit(value: int) -> int:
@@ -33,7 +56,7 @@ def lowest_set_bit(value: int) -> int:
     return (value & -value).bit_length() - 1
 
 
-class FMSketch:
+class FMSketch(StreamSampler):
     """Flajolet-Martin distinct counter with optional averaging copies.
 
     Each copy maintains the classic FM *bitmap* of observed rho values;
@@ -49,6 +72,9 @@ class FMSketch:
     True
     """
 
+    #: Registry key (see :mod:`repro.api.registry`).
+    summary_key = "fm"
+
     def __init__(self, *, copies: int = 16, seed: int = 0) -> None:
         if copies < 1:
             raise ParameterError(f"copies must be >= 1, got {copies}")
@@ -62,14 +88,9 @@ class FMSketch:
 
     def insert(self, item: Hashable) -> None:
         """Observe one item (duplicates are absorbed by the bitmap)."""
-        key = hash(item)
+        key = item_key(item)
         for i, h in enumerate(self._hashes):
             self._bitmaps[i] |= 1 << lowest_set_bit(h(key))
-
-    def extend(self, items: Iterable[Hashable]) -> None:
-        """Observe a sequence of items."""
-        for item in items:
-            self.insert(item)
 
     def _statistic(self, bitmap: int) -> int:
         """Index of the lowest unset bit of the bitmap."""
@@ -85,3 +106,48 @@ class FMSketch:
     def space_words(self) -> int:
         """One bitmap register per copy."""
         return len(self._bitmaps) + 1
+
+    # ------------------------------------------------------------------ #
+    # Summary protocol (see repro.api.protocol)
+    # ------------------------------------------------------------------ #
+
+    def query(self, rng=None) -> float:
+        """Protocol query: the corrected estimate (rng unused)."""
+        return self.estimate()
+
+    def merge(self, *others: "FMSketch") -> "FMSketch":
+        """OR the bitmaps (requires identical copy hashes, i.e. inputs
+        built from one spec); FM bitmaps are exactly union-mergeable."""
+        from repro.api.protocol import check_merge_peers
+
+        check_merge_peers(self, others)
+        seeds = [h.seed for h in self._hashes]
+        for other in others:
+            if [h.seed for h in other._hashes] != seeds:
+                raise ParameterError(
+                    "cannot merge FM sketches with different hash seeds"
+                )
+        merged = FMSketch(copies=len(seeds))
+        merged._hashes = [SplitMix64(s, premixed=True) for s in seeds]
+        merged._bitmaps = list(self._bitmaps)
+        for other in others:
+            for i, bitmap in enumerate(other._bitmaps):
+                merged._bitmaps[i] |= bitmap
+        return merged
+
+    def to_state(self) -> dict:
+        """Serialise to a JSON-compatible dict (protocol checkpoint)."""
+        return {
+            "hash_seeds": [h.seed for h in self._hashes],
+            "bitmaps": list(self._bitmaps),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FMSketch":
+        """Restore a sketch from :meth:`to_state` output."""
+        sketch = cls(copies=len(state["hash_seeds"]))
+        sketch._hashes = [
+            SplitMix64(seed, premixed=True) for seed in state["hash_seeds"]
+        ]
+        sketch._bitmaps = list(state["bitmaps"])
+        return sketch

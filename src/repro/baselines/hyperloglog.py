@@ -9,9 +9,11 @@ is the baseline for that comparison.
 from __future__ import annotations
 
 import math
-from typing import Hashable, Iterable
+from typing import Hashable
 
-from repro.baselines.fm import lowest_set_bit
+from repro.baselines.fm import item_key, lowest_set_bit
+from repro.baselines.registers import RegisterSketchSummary
+from repro.core.base import StreamSampler
 from repro.errors import ParameterError
 from repro.hashing.mix import SplitMix64
 
@@ -27,14 +29,17 @@ def _alpha(m: int) -> float:
     return 0.7213 / (1.0 + 1.079 / m)
 
 
-class HyperLogLog:
+class HyperLogLog(RegisterSketchSummary, StreamSampler):
     """HyperLogLog distinct counter with ``2^bucket_bits`` registers.
 
     >>> hll = HyperLogLog(bucket_bits=8, seed=2)
-    >>> hll.extend(range(10000))
+    >>> _ = hll.extend(range(10000))
     >>> 8000 <= hll.estimate() <= 12000
     True
     """
+
+    #: Registry key (see :mod:`repro.api.registry`).
+    summary_key = "hyperloglog"
 
     def __init__(self, *, bucket_bits: int = 8, seed: int = 0) -> None:
         if not 4 <= bucket_bits <= 16:
@@ -53,16 +58,11 @@ class HyperLogLog:
 
     def insert(self, item: Hashable) -> None:
         """Observe one item."""
-        value = self._hash(hash(item))
+        value = self._hash(item_key(item))
         bucket = value & (self._m - 1)
         rho = lowest_set_bit(value >> self._b) + 1
         if rho > self._registers[bucket]:
             self._registers[bucket] = rho
-
-    def extend(self, items: Iterable[Hashable]) -> None:
-        """Observe a sequence of items."""
-        for item in items:
-            self.insert(item)
 
     def estimate(self) -> float:
         """Harmonic-mean estimate with linear-counting correction."""
@@ -78,3 +78,5 @@ class HyperLogLog:
     def space_words(self) -> int:
         """One register per bucket."""
         return self._m + 1
+
+    # query/merge/to_state/from_state: see RegisterSketchSummary.

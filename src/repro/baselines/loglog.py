@@ -8,9 +8,11 @@ Included as an F0 baseline for the Section 5 comparison table.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+from typing import Hashable
 
-from repro.baselines.fm import lowest_set_bit
+from repro.baselines.fm import item_key, lowest_set_bit
+from repro.baselines.registers import RegisterSketchSummary
+from repro.core.base import StreamSampler
 from repro.errors import ParameterError
 from repro.hashing.mix import SplitMix64
 
@@ -18,14 +20,17 @@ from repro.hashing.mix import SplitMix64
 LOGLOG_ALPHA_INF = 0.39701
 
 
-class LogLogSketch:
+class LogLogSketch(RegisterSketchSummary, StreamSampler):
     """LogLog distinct counter with ``2^bucket_bits`` registers.
 
     >>> sketch = LogLogSketch(bucket_bits=6, seed=1)
-    >>> sketch.extend(range(5000))
+    >>> _ = sketch.extend(range(5000))
     >>> 1500 <= sketch.estimate() <= 15000
     True
     """
+
+    #: Registry key (see :mod:`repro.api.registry`).
+    summary_key = "loglog"
 
     def __init__(self, *, bucket_bits: int = 6, seed: int = 0) -> None:
         if not 2 <= bucket_bits <= 16:
@@ -44,16 +49,11 @@ class LogLogSketch:
 
     def insert(self, item: Hashable) -> None:
         """Observe one item."""
-        value = self._hash(hash(item))
+        value = self._hash(item_key(item))
         bucket = value & (self._m - 1)
         rho = lowest_set_bit(value >> self._b) + 1
         if rho > self._registers[bucket]:
             self._registers[bucket] = rho
-
-    def extend(self, items: Iterable[Hashable]) -> None:
-        """Observe a sequence of items."""
-        for item in items:
-            self.insert(item)
 
     def estimate(self) -> float:
         """``alpha_m * m * 2^mean(register)``."""
@@ -63,3 +63,5 @@ class LogLogSketch:
     def space_words(self) -> int:
         """One register per bucket."""
         return self._m + 1
+
+    # query/merge/to_state/from_state: see RegisterSketchSummary.

@@ -11,10 +11,11 @@ either on exact identities (oracle mode) or raw coordinates (broken mode).
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Iterable, Sequence
+from typing import Callable, Hashable, Sequence
 
-from repro.core.base import coerce_point
-from repro.errors import EmptySampleError
+from repro.baselines.fm import item_key
+from repro.core.base import StreamSampler, coerce_point
+from repro.errors import CheckpointError, EmptySampleError, ParameterError
 from repro.hashing.mix import SplitMix64
 from repro.streams.point import StreamPoint
 
@@ -24,7 +25,7 @@ def _default_key(point: StreamPoint) -> Hashable:
     return point.vector
 
 
-class MinRankL0Sampler:
+class MinRankL0Sampler(StreamSampler):
     """Keep the item whose hashed rank is minimal.
 
     Parameters
@@ -43,6 +44,9 @@ class MinRankL0Sampler:
     >>> sampler.distinct_seen
     2
     """
+
+    #: Registry key (see :mod:`repro.api.registry`).
+    summary_key = "minrank"
 
     def __init__(
         self,
@@ -74,15 +78,10 @@ class MinRankL0Sampler:
         self._count += 1
         identity = self._key(p)
         self._seen_keys.add(identity)
-        rank = self._hash(hash(identity))
+        rank = self._hash(item_key(identity))
         if self._best_rank is None or rank < self._best_rank:
             self._best_rank = rank
             self._best = p
-
-    def extend(self, points: Iterable[StreamPoint | Sequence[float]]) -> None:
-        """Insert a sequence of points."""
-        for point in points:
-            self.insert(point)
 
     def sample(self) -> StreamPoint:
         """The minimum-rank item: uniform over distinct identities."""
@@ -96,3 +95,78 @@ class MinRankL0Sampler:
         if self._best is None:
             return 2
         return len(self._best.vector) + 5
+
+    # ------------------------------------------------------------------ #
+    # Summary protocol (see repro.api.protocol)
+    # ------------------------------------------------------------------ #
+
+    def query(self, rng=None) -> StreamPoint:
+        """Protocol query: the minimum-rank sample (rng unused)."""
+        return self.sample()
+
+    def merge(self, *others: "MinRankL0Sampler") -> "MinRankL0Sampler":
+        """Keep the overall minimum rank (requires one shared hash seed,
+        i.e. inputs built from one spec, and the default identity key)."""
+        from repro.api.protocol import check_merge_peers
+
+        check_merge_peers(self, others)
+        summaries = (self, *others)
+        for other in others:
+            if other._hash.seed != self._hash.seed:
+                raise ParameterError(
+                    "cannot merge min-rank samplers with different seeds"
+                )
+            if other._key is not self._key:
+                raise ParameterError(
+                    "cannot merge min-rank samplers with different keys"
+                )
+        merged = MinRankL0Sampler(key=self._key)
+        merged._hash = SplitMix64(self._hash.seed, premixed=True)
+        for summary in summaries:
+            merged._count += summary._count
+            merged._seen_keys |= summary._seen_keys
+            if summary._best_rank is not None and (
+                merged._best_rank is None
+                or summary._best_rank < merged._best_rank
+            ):
+                merged._best_rank = summary._best_rank
+                merged._best = summary._best
+        return merged
+
+    def to_state(self) -> dict:
+        """Serialise to a JSON-compatible dict (default key only)."""
+        from repro.core import serialize
+
+        if self._key is not _default_key:
+            raise CheckpointError(
+                "cannot checkpoint a MinRankL0Sampler with a custom key "
+                "callable"
+            )
+        return {
+            "hash_seed": self._hash.seed,
+            "points_seen": self._count,
+            "best_rank": self._best_rank,
+            "best": (
+                serialize.point_to_state(self._best)
+                if self._best is not None
+                else None
+            ),
+            "seen_keys": sorted(list(key) for key in self._seen_keys),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MinRankL0Sampler":
+        """Restore a sampler from :meth:`to_state` output."""
+        from repro.core import serialize
+
+        sampler = cls()
+        sampler._hash = SplitMix64(state["hash_seed"], premixed=True)
+        sampler._count = state["points_seen"]
+        sampler._best_rank = state["best_rank"]
+        sampler._best = (
+            serialize.point_from_state(state["best"])
+            if state["best"] is not None
+            else None
+        )
+        sampler._seen_keys = {tuple(key) for key in state["seen_keys"]}
+        return sampler

@@ -1,0 +1,66 @@
+"""Shared Summary-protocol plumbing for register-array sketches.
+
+LogLog and HyperLogLog are both "route by the first ``b`` hash bits,
+keep the maximum rho per register" sketches; they differ only in how the
+registers are combined into an estimate.  Their protocol surface -
+``query``, exact max-merge, and the ``bucket_bits + hash_seed +
+registers`` checkpoint codec - is therefore identical and lives here
+once, as a mixin both classes inherit.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.hashing.mix import SplitMix64
+
+
+class RegisterSketchSummary:
+    """Protocol methods shared by the register-array sketches.
+
+    Host classes provide ``_b`` (bucket bits), ``_hash`` (a
+    :class:`~repro.hashing.mix.SplitMix64`), ``_registers`` (a list of
+    ints) and a ``bucket_bits=`` constructor; ``estimate()`` is the only
+    per-class behaviour.
+    """
+
+    def query(self, rng=None) -> float:
+        """Protocol query: the sketch's estimate (rng unused)."""
+        return self.estimate()
+
+    def merge(self, *others):
+        """Element-wise register maximum - the classic exact merge
+        (requires one shared hash seed and register count, i.e. inputs
+        built from one spec)."""
+        from repro.api.protocol import check_merge_peers
+
+        check_merge_peers(self, others)
+        for other in others:
+            if other._b != self._b or other._hash.seed != self._hash.seed:
+                raise ParameterError(
+                    f"cannot merge {type(self).__name__} sketches with "
+                    "different bucket_bits or seeds"
+                )
+        merged = type(self)(bucket_bits=self._b)
+        merged._hash = SplitMix64(self._hash.seed, premixed=True)
+        merged._registers = list(self._registers)
+        for other in others:
+            merged._registers = [
+                max(a, b) for a, b in zip(merged._registers, other._registers)
+            ]
+        return merged
+
+    def to_state(self) -> dict:
+        """Serialise to a JSON-compatible dict (protocol checkpoint)."""
+        return {
+            "bucket_bits": self._b,
+            "hash_seed": self._hash.seed,
+            "registers": list(self._registers),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict):
+        """Restore a sketch from :meth:`to_state` output."""
+        sketch = cls(bucket_bits=state["bucket_bits"])
+        sketch._hash = SplitMix64(state["hash_seed"], premixed=True)
+        sketch._registers = list(state["registers"])
+        return sketch

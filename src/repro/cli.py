@@ -8,6 +8,11 @@ library's summaries over it:
 * ``count``  - robust F0 estimate;
 * ``heavy``  - robust heavy hitters.
 
+Summaries are constructed through the unified API (:mod:`repro.api`):
+each command assembles a typed spec (``KSampleSpec``, ``F0InfiniteSpec``,
+``HeavyHittersSpec``) and builds it through the registry, so the CLI
+composes with every capability the specs expose.
+
 Examples
 --------
 ::
@@ -15,7 +20,7 @@ Examples
     python -m repro.cli sample --alpha 0.5 data.csv
     python -m repro.cli sample --alpha 0.5 --window 1000 --k 3 data.csv
     python -m repro.cli count  --alpha 0.5 --epsilon 0.1 data.csv
-    python -m repro.cli heavy  --alpha 0.5 --phi 0.05 data.csv
+    python -m repro.cli heavy  --alpha 0.5 --phi 0.05 --output json data.csv
     cat data.csv | python -m repro.cli sample --alpha 0.5 -
 
 Ingestion always runs through the batched engine (``--batch-size``
@@ -23,6 +28,19 @@ points at a time; see :mod:`repro.engine`); batching is state-equivalent
 to per-point ingestion, so it only affects throughput.  ``--seed`` makes
 a run bit-reproducible: one master generator derives the sampler
 construction seed and the query randomness (see ``_derived_rngs``).
+
+``--save-state FILE`` writes the summary's checkpoint envelope
+(:func:`repro.persist.dump_summary`) after ingestion; ``--resume FILE``
+starts from such a checkpoint instead of a fresh summary, ingests the
+input on top (which may be empty - pass ``/dev/null`` to just query),
+and continues with decisions identical to the uninterrupted run.
+
+``--output json`` emits one JSON object per result line so downstream
+tooling does not have to parse the bespoke text formats.
+
+All input errors - unparseable lines, empty input without ``--resume``,
+invalid parameters - are reported uniformly as ``error: ...`` on stderr
+with exit code 1.
 """
 
 from __future__ import annotations
@@ -34,12 +52,11 @@ import random
 import sys
 from typing import Iterator, Sequence, TextIO
 
+from repro.api import F0InfiniteSpec, HeavyHittersSpec, KSampleSpec, build
 from repro.core.base import DEFAULT_BATCH_SIZE
-from repro.core.f0_infinite import RobustF0EstimatorIW
-from repro.core.heavy_hitters import RobustHeavyHitters
-from repro.core.ksample import KDistinctSampler
 from repro.errors import ReproError
-from repro.streams.windows import SequenceWindow
+from repro.persist import dump_summary, load_summary
+from repro.streams.point import StreamPoint
 
 
 def _parse_lines(handle: TextIO, fmt: str) -> Iterator[tuple[float, ...]]:
@@ -54,7 +71,7 @@ def _parse_lines(handle: TextIO, fmt: str) -> Iterator[tuple[float, ...]]:
                 values = line.split(",")
             yield tuple(float(x) for x in values)
         except (ValueError, json.JSONDecodeError) as error:
-            raise SystemExit(
+            raise ReproError(
                 f"line {line_number}: cannot parse point ({error})"
             ) from error
 
@@ -76,6 +93,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="input format (default csv)",
     )
     parser.add_argument(
+        "--output", choices=["text", "json"], default="text",
+        help="result format: bespoke text lines (default) or one JSON "
+        "object per result line",
+    )
+    parser.add_argument(
         "--seed", type=int, default=None,
         help="random seed; one seeded generator drives sampler "
         "construction and query randomness, so runs with the same seed "
@@ -85,6 +107,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
         help="points per ingestion batch (state-equivalent to per-point "
         f"ingestion, just faster; default {DEFAULT_BATCH_SIZE})",
+    )
+    parser.add_argument(
+        "--save-state", metavar="FILE", default=None,
+        help="write a checkpoint envelope of the summary after ingestion",
+    )
+    parser.add_argument(
+        "--resume", metavar="FILE", default=None,
+        help="start from a checkpoint written by --save-state instead of "
+        "a fresh summary (construction flags are then taken from the "
+        "checkpoint; the input may be empty)",
     )
 
 
@@ -141,60 +173,126 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_sample(args, points: Iterator[Sequence[float]], out: TextIO) -> None:
+def _summary_for(
+    args, points: Iterator[Sequence[float]], expected_key: str
+):
+    """Resume or spec-construct the command's summary, then ingest.
+
+    Returns the summary after feeding it the (possibly empty-on-resume)
+    input through the batched engine.
+    """
     first = next(points, None)
-    if first is None:
-        raise SystemExit("input contains no points")
-    dim = len(first)
-    window = SequenceWindow(args.window) if args.window else None
-    sampler_seed, query_rng = _derived_rngs(args)
-    sampler = KDistinctSampler(
-        args.alpha,
-        dim,
-        k=args.k,
-        replacement=args.replacement,
-        window=window,
-        seed=sampler_seed,
+    if args.resume is not None:
+        try:
+            summary = load_summary(args.resume)
+        except (OSError, json.JSONDecodeError) as error:
+            raise ReproError(
+                f"cannot load checkpoint {args.resume}: {error}"
+            ) from error
+        key = getattr(type(summary), "summary_key", None)
+        if key != expected_key:
+            raise ReproError(
+                f"checkpoint holds a {key!r} summary; this command "
+                f"needs {expected_key!r}"
+            )
+    else:
+        if first is None:
+            raise ReproError("input contains no points")
+        sampler_seed, _ = _derived_rngs(args)
+        spec = _spec_for(args, dim=len(first), seed=sampler_seed)
+        summary = build(expected_key, spec)
+    if first is not None:
+        summary.extend(
+            itertools.chain([first], points), batch_size=args.batch_size
+        )
+    if args.save_state is not None:
+        try:
+            dump_summary(summary, args.save_state)
+        except OSError as error:
+            raise ReproError(
+                f"cannot write checkpoint {args.save_state}: {error}"
+            ) from error
+    return summary
+
+
+def _spec_for(args, *, dim: int, seed: int):
+    """The typed spec of the invoked command."""
+    if args.command == "sample":
+        return KSampleSpec(
+            alpha=args.alpha,
+            dim=dim,
+            seed=seed,
+            k=args.k,
+            replacement=args.replacement,
+            window_size=args.window,
+        )
+    if args.command == "count":
+        return F0InfiniteSpec(
+            alpha=args.alpha,
+            dim=dim,
+            seed=seed,
+            epsilon=args.epsilon,
+            copies=args.copies,
+        )
+    return HeavyHittersSpec(
+        alpha=args.alpha,
+        dim=dim,
+        seed=seed,
+        epsilon=args.epsilon,
+        phi=args.phi,
     )
-    sampler.extend(
-        itertools.chain([first], points), batch_size=args.batch_size
-    )
-    for point in sampler.sample(query_rng):
+
+
+def _emit_point(point: StreamPoint, args, out: TextIO) -> None:
+    if args.output == "json":
+        out.write(
+            json.dumps(
+                {
+                    "vector": list(point.vector),
+                    "index": point.index,
+                    "time": point.time,
+                }
+            )
+            + "\n"
+        )
+    else:
         out.write(",".join(repr(x) for x in point.vector) + "\n")
 
 
+def _run_sample(args, points: Iterator[Sequence[float]], out: TextIO) -> None:
+    _, query_rng = _derived_rngs(args)
+    sampler = _summary_for(args, points, "ksample")
+    for point in sampler.query(query_rng):
+        _emit_point(point, args, out)
+
+
 def _run_count(args, points: Iterator[Sequence[float]], out: TextIO) -> None:
-    first = next(points, None)
-    if first is None:
-        raise SystemExit("input contains no points")
-    sampler_seed, _ = _derived_rngs(args)
-    estimator = RobustF0EstimatorIW(
-        args.alpha,
-        len(first),
-        epsilon=args.epsilon,
-        copies=args.copies,
-        seed=sampler_seed,
-    )
-    estimator.extend(
-        itertools.chain([first], points), batch_size=args.batch_size
-    )
-    out.write(f"{estimator.estimate():.1f}\n")
+    estimator = _summary_for(args, points, "f0-infinite")
+    estimate = estimator.query()
+    if args.output == "json":
+        out.write(json.dumps({"estimate": estimate}) + "\n")
+    else:
+        out.write(f"{estimate:.1f}\n")
 
 
 def _run_heavy(args, points: Iterator[Sequence[float]], out: TextIO) -> None:
-    first = next(points, None)
-    if first is None:
-        raise SystemExit("input contains no points")
-    sampler_seed, _ = _derived_rngs(args)
-    hitters = RobustHeavyHitters(
-        args.alpha, len(first), epsilon=args.epsilon, seed=sampler_seed
-    )
-    hitters.extend(
-        itertools.chain([first], points), batch_size=args.batch_size
-    )
-    for hit in hitters.heavy_hitters(args.phi):
-        coords = ",".join(repr(x) for x in hit.representative.vector)
-        out.write(f"{hit.count}\t{hit.error}\t{coords}\n")
+    hitters = _summary_for(args, points, "heavy-hitters")
+    for hit in hitters.query(phi=args.phi):
+        if args.output == "json":
+            out.write(
+                json.dumps(
+                    {
+                        "count": hit.count,
+                        "error": hit.error,
+                        "guaranteed_count": hit.guaranteed_count,
+                        "vector": list(hit.representative.vector),
+                    }
+                )
+                + "\n"
+            )
+        else:
+            coords = ",".join(repr(x) for x in hit.representative.vector)
+            out.write(f"{hit.count}\t{hit.error}\t{coords}\n")
 
 
 def main(argv: list[str] | None = None, out: TextIO | None = None) -> int:

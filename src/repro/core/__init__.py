@@ -12,7 +12,12 @@ Public classes
 
 All samplers share the conventions of :mod:`repro.core.base`: points in
 R^d as float tuples, a random grid, one nested sampling hash, and explicit
-word-level space accounting.
+word-level space accounting.  Every class here also implements the
+:class:`repro.api.Summary` protocol (``process_many`` / ``query`` /
+``merge`` / ``to_state`` / ``from_state``) and is registered in
+:mod:`repro.api.registry`, so spec-driven construction, universal
+checkpointing (:mod:`repro.persist`) and protocol merging apply
+uniformly.
 """
 
 from repro.core.base import CandidateRecord, SamplerConfig, default_grid_side

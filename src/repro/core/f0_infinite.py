@@ -52,6 +52,9 @@ class RobustF0EstimatorIW(StreamSampler):
     True
     """
 
+    #: Registry key (see :mod:`repro.api.registry`).
+    summary_key = "f0-infinite"
+
     def __init__(
         self,
         alpha: float,
@@ -121,3 +124,49 @@ class RobustF0EstimatorIW(StreamSampler):
     def space_words(self) -> int:
         """Total footprint across copies."""
         return sum(copy.space_words() for copy in self._copies)
+
+    # ------------------------------------------------------------------ #
+    # Summary protocol (see repro.api.protocol)
+    # ------------------------------------------------------------------ #
+
+    def query(self, rng=None) -> float:
+        """Protocol query: the median-of-copies estimate (rng unused)."""
+        return self.estimate()
+
+    def merge(self, *others: "RobustF0EstimatorIW") -> "RobustF0EstimatorIW":
+        """Merge copy-wise: copy ``i`` of every input shares one config
+        (estimators built from one spec), so the underlying sampler merge
+        applies per copy and the median estimate covers the union."""
+        from repro.api.protocol import check_merge_peers
+
+        check_merge_peers(self, others)
+        for other in others:
+            if other.num_copies != self.num_copies:
+                raise ParameterError(
+                    "cannot merge estimators with different copy counts"
+                )
+        merged = RobustF0EstimatorIW.__new__(RobustF0EstimatorIW)
+        merged._epsilon = self._epsilon
+        merged._copies = [
+            copy.merge(*(other._copies[i] for other in others))
+            for i, copy in enumerate(self._copies)
+        ]
+        return merged
+
+    def to_state(self) -> dict:
+        """Serialise to a JSON-compatible dict (protocol checkpoint)."""
+        return {
+            "epsilon": self._epsilon,
+            "copies": [copy.to_state() for copy in self._copies],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RobustF0EstimatorIW":
+        """Restore an estimator from :meth:`to_state` output."""
+        estimator = cls.__new__(cls)
+        estimator._epsilon = state["epsilon"]
+        estimator._copies = [
+            RobustL0SamplerIW.from_state(copy_state)
+            for copy_state in state["copies"]
+        ]
+        return estimator

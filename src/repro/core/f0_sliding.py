@@ -52,6 +52,9 @@ class RobustF0EstimatorSW(StreamSampler):
         Base seed; copy ``i`` uses ``seed + i``.
     """
 
+    #: Registry key (see :mod:`repro.api.registry`).
+    summary_key = "f0-sliding"
+
     def __init__(
         self,
         alpha: float,
@@ -142,3 +145,40 @@ class RobustF0EstimatorSW(StreamSampler):
     def space_words(self) -> int:
         """Total footprint across copies."""
         return sum(copy.space_words() for copy in self._copies)
+
+    # ------------------------------------------------------------------ #
+    # Summary protocol (see repro.api.protocol)
+    # ------------------------------------------------------------------ #
+
+    def query(self, rng=None) -> float:
+        """Protocol query: the combined estimate (rng unused)."""
+        return self.estimate()
+
+    def merge(self, *others: "RobustF0EstimatorSW") -> "RobustF0EstimatorSW":
+        """Unsupported: the underlying sliding hierarchies cannot merge
+        (see :meth:`repro.core.sliding_window.RobustL0SamplerSW.merge`)."""
+        from repro.api.protocol import merge_unsupported
+
+        raise merge_unsupported(
+            self, "sliding-window hierarchies cannot be combined exactly"
+        )
+
+    def to_state(self) -> dict:
+        """Serialise to a JSON-compatible dict (protocol checkpoint)."""
+        return {
+            "mode": self._mode,
+            "calibration": self._calibration,
+            "copies": [copy.to_state() for copy in self._copies],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RobustF0EstimatorSW":
+        """Restore an estimator from :meth:`to_state` output."""
+        estimator = cls.__new__(cls)
+        estimator._mode = state["mode"]
+        estimator._calibration = state["calibration"]
+        estimator._copies = [
+            RobustL0SamplerSW.from_state(copy_state)
+            for copy_state in state["copies"]
+        ]
+        return estimator

@@ -420,3 +420,132 @@ class FixedRateSlidingSampler(StreamSampler):
         for reservoir in self._reservoirs.values():
             words += reservoir.space_words()
         return words
+
+    # ------------------------------------------------------------------ #
+    # checkpoint state (building block of the sliding-window protocol)
+    # ------------------------------------------------------------------ #
+
+    def to_state(self) -> dict:
+        """Serialise this level to a JSON-compatible dict.
+
+        The state is the level's *replayable window contents*: every
+        candidate record (representative + most recent in-window point +
+        per-group reservoir of window members) plus the lazy eviction
+        heap **verbatim** - stale entries, tiebreak counter position and
+        all - so a restored level evicts, updates and samples exactly as
+        the original would on the remainder of the stream.
+
+        Heap entries are stored with two linkage flags instead of object
+        references: ``linked`` (the referenced record is still the store's
+        record for that representative) and ``cur`` (the entry's last-point
+        is the record's current one).  ``from_state`` uses them to restore
+        the identity relationships the lazy-eviction staleness checks rely
+        on (``store.get(i) is record`` / ``record.last is last_ref``).
+
+        The shared :class:`~repro.core.base.SamplerConfig` and window are
+        *not* embedded; the owner (hierarchy or caller) restores them once
+        and passes them to :meth:`from_state`.
+        """
+        from repro.core import serialize
+
+        store = self._store
+        records = sorted(
+            store.records(), key=lambda r: r.representative.index
+        )
+        heap_state = []
+        for key, tiebreak, record, last_ref in self._heap:
+            current = store.get(record.representative.index)
+            heap_state.append(
+                {
+                    "k": key,
+                    "t": tiebreak,
+                    "r": record.representative.index,
+                    "p": serialize.point_to_state(last_ref),
+                    "linked": current is record,
+                    "cur": record.last is last_ref,
+                }
+            )
+        # Read the tiebreak position without perturbing the sequence: the
+        # counter object is consumed by one peek and replaced by an equal
+        # continuation (fingerprints never include the object itself).
+        position = next(self._tiebreak)
+        self._tiebreak = itertools.count(position)
+        return {
+            "rate_denominator": self._rate,
+            "track_members": self._track_members,
+            "member_rng": serialize.rng_to_state(self._member_rng),
+            "next_tiebreak": position,
+            "records": [serialize.record_to_state(r) for r in records],
+            "heap": heap_state,
+            "reservoirs": [
+                {
+                    "key": key,
+                    "entries": [
+                        [priority, serialize.point_to_state(point)]
+                        for priority, point in self._reservoirs[key]._entries
+                    ],
+                }
+                for key in sorted(self._reservoirs)
+            ],
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        *,
+        config: SamplerConfig,
+        window: WindowSpec,
+    ) -> "FixedRateSlidingSampler":
+        """Restore a level from :meth:`to_state` output.
+
+        ``config`` and ``window`` come from the owning hierarchy (every
+        level of one hierarchy must share them - sampling decisions have
+        to nest across rates, expiry must be judged consistently).
+        """
+        from repro.core import serialize
+        from repro.core.reservoir import WindowReservoir
+
+        sampler = cls(
+            config,
+            state["rate_denominator"],
+            window,
+            track_members=state["track_members"],
+        )
+        sampler._member_rng = serialize.rng_from_state(state["member_rng"])
+        sampler._tiebreak = itertools.count(state["next_tiebreak"])
+        records: dict[int, CandidateRecord] = {}
+        for record_state in state["records"]:
+            record = serialize.record_from_state(record_state)
+            records[record.representative.index] = record
+            sampler._store.add(record)
+        for entry in state["heap"]:
+            last = serialize.point_from_state(entry["p"])
+            record = records.get(entry["r"]) if entry["linked"] else None
+            if record is None:
+                # The referenced record left the store: fabricate a
+                # detached stand-in so the staleness check pops the entry
+                # exactly as it would have popped the original.
+                record = CandidateRecord(
+                    representative=StreamPoint(last.vector, entry["r"]),
+                    cell=(),
+                    cell_hash=0,
+                    adj_hashes=(),
+                    accepted=False,
+                    last=last,
+                )
+            elif entry["cur"]:
+                # Live entry: restore the identity record.last is last_ref.
+                last = record.last
+            # The saved list order *is* a valid heap arrangement (it was
+            # the live heap), so it is restored verbatim - heapifying
+            # could legally rearrange it and break fingerprint equality.
+            sampler._heap.append((entry["k"], entry["t"], record, last))
+        for reservoir_state in state["reservoirs"]:
+            reservoir = WindowReservoir(window)
+            reservoir._entries = [
+                (priority, serialize.point_from_state(point_state))
+                for priority, point_state in reservoir_state["entries"]
+            ]
+            sampler._reservoirs[reservoir_state["key"]] = reservoir
+        return sampler

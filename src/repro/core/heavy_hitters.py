@@ -78,6 +78,9 @@ class RobustHeavyHitters(StreamSampler):
         ``ceil(1/epsilon)`` counters.
     seed:
         Seed for the grid (proximity bucketing only - no subsampling here).
+    phi:
+        Default report threshold used by the protocol :meth:`query` when
+        none is passed explicitly.
 
     Examples
     --------
@@ -89,6 +92,9 @@ class RobustHeavyHitters(StreamSampler):
     (1, 3)
     """
 
+    #: Registry key (see :mod:`repro.api.registry`).
+    summary_key = "heavy-hitters"
+
     def __init__(
         self,
         alpha: float,
@@ -96,11 +102,18 @@ class RobustHeavyHitters(StreamSampler):
         *,
         epsilon: float = 0.01,
         seed: int | None = None,
+        phi: float = 0.05,
+        config: SamplerConfig | None = None,
     ) -> None:
         if not 0 < epsilon <= 1:
             raise ParameterError(f"epsilon must be in (0, 1], got {epsilon}")
-        self._config = SamplerConfig.create(alpha, dim, seed=seed)
+        if not 0 < phi <= 1:
+            raise ParameterError(f"phi must be in (0, 1], got {phi}")
+        self._config = config if config is not None else SamplerConfig.create(
+            alpha, dim, seed=seed
+        )
         self._capacity = max(1, int(1.0 / epsilon + 0.5))
+        self._default_phi = phi
         self._counters: dict[int, _Counter] = {}
         self._buckets: dict[int, list[int]] = {}
         self._count = 0
@@ -284,3 +297,136 @@ class RobustHeavyHitters(StreamSampler):
         for counter in self._counters.values():
             words += dim + 4 + len(counter.adj_hashes)
         return words
+
+    # ------------------------------------------------------------------ #
+    # Summary protocol (see repro.api.protocol)
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self, rng=None, *, phi: float | None = None
+    ) -> list[HeavyHitter]:
+        """Protocol query: the heavy hitters above ``phi`` (rng unused).
+
+        ``phi`` defaults to the instance's configured threshold.
+        """
+        return self.heavy_hitters(self._default_phi if phi is None else phi)
+
+    def merge(self, *others: "RobustHeavyHitters") -> "RobustHeavyHitters":
+        """SpaceSaving merge over groups (Agarwal et al. style).
+
+        Counters of the same group (proximity match under the shared
+        grid/hash) are pooled - counts and error bounds both add, so
+        pooled counts remain overestimates of the group's pooled true
+        frequency.  If the union overflows the capacity, the
+        smallest-count counters are dropped (they are precisely the
+        candidates that cannot be ``phi``-heavy in the union for any
+        ``phi >= epsilon``).  A group tracked by only some inputs may
+        additionally be *under*-counted by the untracking inputs' minimum
+        counter values - the usual mergeable-summaries caveat.
+        """
+        from repro.api.protocol import (
+            check_compatible_configs,
+            check_merge_peers,
+        )
+
+        check_merge_peers(self, others)
+        check_compatible_configs(self, others)
+        summaries = (self, *others)
+        for other in others:
+            if other._capacity != self._capacity:
+                raise ParameterError(
+                    "cannot merge heavy-hitter summaries with different "
+                    "capacities (epsilon)"
+                )
+        merged = RobustHeavyHitters(
+            self._config.alpha,
+            self._config.dim,
+            epsilon=1.0 / self._capacity,
+            phi=self._default_phi,
+            config=self._config,
+        )
+        merged._capacity = self._capacity
+        # Fresh negative keys: input-local keys overlap across inputs, and
+        # non-negative keys would collide with the arrival indices of
+        # points counted into the merged summary later (_admit keys new
+        # counters by p.index, which is always >= 0).
+        next_key = -1
+        for summary in summaries:
+            merged._count += summary._count
+            for counter in summary._counters.values():
+                existing = merged._find(
+                    counter.representative.vector, counter.cell_hash
+                )
+                if existing is not None:
+                    existing.count += counter.count
+                    existing.error += counter.error
+                    continue
+                merged._attach(
+                    next_key,
+                    _Counter(
+                        representative=counter.representative,
+                        cell_hash=counter.cell_hash,
+                        adj_hashes=counter.adj_hashes,
+                        count=counter.count,
+                        error=counter.error,
+                    ),
+                )
+                next_key -= 1
+        while len(merged._counters) > merged._capacity:
+            victim = min(
+                merged._counters, key=lambda k: merged._counters[k].count
+            )
+            merged._detach(victim)
+        return merged
+
+    def to_state(self) -> dict:
+        """Serialise to a JSON-compatible dict (protocol checkpoint)."""
+        from repro.core import serialize
+
+        return {
+            "config": serialize.config_to_state(self._config),
+            "capacity": self._capacity,
+            "phi": self._default_phi,
+            "points_seen": self._count,
+            "counters": [
+                {
+                    "key": key,
+                    "rep": serialize.point_to_state(counter.representative),
+                    "cell_hash": counter.cell_hash,
+                    "adj_hashes": list(counter.adj_hashes),
+                    "count": counter.count,
+                    "error": counter.error,
+                }
+                for key, counter in sorted(self._counters.items())
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RobustHeavyHitters":
+        """Restore a heavy-hitter summary from :meth:`to_state` output."""
+        from repro.core import serialize
+
+        config = serialize.config_from_state(state["config"])
+        summary = cls(
+            config.alpha,
+            config.dim,
+            epsilon=1.0 / state["capacity"],
+            phi=state["phi"],
+            config=config,
+        )
+        summary._capacity = state["capacity"]
+        summary._count = state["points_seen"]
+        for counter_state in state["counters"]:
+            summary._attach(
+                counter_state["key"],
+                _Counter(
+                    representative=serialize.point_from_state(
+                        counter_state["rep"]
+                    ),
+                    cell_hash=counter_state["cell_hash"],
+                    adj_hashes=tuple(counter_state["adj_hashes"]),
+                    count=counter_state["count"],
+                    error=counter_state["error"],
+                ),
+            )
+        return summary

@@ -21,7 +21,7 @@ Section 2.3 extensions implemented here:
 from __future__ import annotations
 
 import random
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.core.base import (
     DEFAULT_KAPPA0,
@@ -30,6 +30,7 @@ from repro.core.base import (
     SamplerConfig,
     StreamSampler,
     _CELL_MEMO_LIMIT,
+    _SMALL_DIM,
     _ThresholdPolicy,
     coerce_point,
 )
@@ -78,6 +79,9 @@ class RobustL0SamplerIW(StreamSampler):
     >>> point.vector in {(0.0, 0.0), (10.0, 10.0)}
     True
     """
+
+    #: Registry key (see :mod:`repro.api.registry`).
+    summary_key = "l0-infinite"
 
     def __init__(
         self,
@@ -267,6 +271,14 @@ class RobustL0SamplerIW(StreamSampler):
         nearby_memo = self._sampled_nearby
         nearby_get = nearby_memo.get
         conservative_neighborhood = config.conservative_neighborhood
+        # The ignore filter pays off only where the conservative
+        # neighbourhood is small (<= 25 cells at dim <= 2, the paper's
+        # Section 2 setting).  With the dim > 2 grid (side alpha * dim)
+        # the conservative radius spans multiple cells per axis and the
+        # neighbourhood is exponential in dim - enumerating it once would
+        # dwarf the work it saves - so high dimensions go straight to the
+        # exact path, exactly as insert() does.
+        use_ignore_filter = dim <= _SMALL_DIM
         if dim == 1:
             off0 = offset[0]
             off1 = 0.0
@@ -339,7 +351,7 @@ class RobustL0SamplerIW(StreamSampler):
                 # within alpha of a sampled cell - and the sampled cells
                 # of its conservative neighbourhood are few and memoised.
                 # The exact path below stays authoritative for the rest.
-                if cell_hash & mask != 0:
+                if use_ignore_filter and cell_hash & mask != 0:
                     corners = nearby_get(cell)
                     if corners is None:
                         corners = tuple(
@@ -462,3 +474,165 @@ class RobustL0SamplerIW(StreamSampler):
     def space_words(self) -> int:
         """Current memory footprint in words (records + scalars)."""
         return self._store.space_words(track_members=self._track_members) + 4
+
+    # ------------------------------------------------------------------ #
+    # Summary protocol (see repro.api.protocol)
+    # ------------------------------------------------------------------ #
+
+    def query(self, rng: random.Random | None = None) -> StreamPoint:
+        """Protocol query: one robust l0-sample (see :meth:`sample`)."""
+        return self.sample(rng)
+
+    def merge(self, *others: "RobustL0SamplerIW") -> "RobustL0SamplerIW":
+        """Combine samplers sharing one grid/hash into a union sampler.
+
+        This is the coordinator's merge protocol (consistency argument in
+        :mod:`repro.distributed.coordinator`): every input is first raised
+        to the maximum rate - decisions nest, so resampling only drops or
+        demotes records - then groups observed by several inputs are
+        deduplicated by proximity, keeping the earliest representative and
+        pooling the counts.  Representatives are re-keyed injectively
+        (input-local arrival indices overlap across inputs).
+
+        Returns a NEW :class:`RobustL0SamplerIW`; the inputs are not
+        modified.  The merged sampler remains a live summary: re-keyed
+        representatives receive fresh *negative* indices (marking them as
+        synthetic union representatives), so they can never collide with
+        the arrival indices of points ingested after the merge.  Member
+        tracking does not survive merging (a uniform member of a union
+        group cannot be derived from two independent reservoirs), so
+        ``track_members=True`` inputs are rejected.
+        """
+        from repro.api.protocol import (
+            check_compatible_configs,
+            check_merge_peers,
+            merge_unsupported,
+        )
+
+        check_merge_peers(self, others)
+        check_compatible_configs(self, others)
+        samplers: tuple[RobustL0SamplerIW, ...] = (self, *others)
+        if any(s._track_members for s in samplers):
+            raise merge_unsupported(
+                self, "member reservoirs cannot be combined exactly"
+            )
+
+        target_rate = max(s.rate_denominator for s in samplers)
+        policy = self._policy
+        merged = RobustL0SamplerIW(
+            self._config.alpha,
+            self._config.dim,
+            kappa0=policy.kappa0,
+            expected_stream_length=policy.expected_stream_length,
+            accept_capacity=policy.fixed,
+            config=self._config,
+        )
+        merged._rate_denominator = target_rate
+        store = merged._store
+        mask = target_rate - 1
+        total_seen = 0
+        # Re-keyed representatives get fresh negative indices: input-local
+        # arrival indices overlap across inputs (so they cannot be kept),
+        # and non-negative keys would eventually collide with the arrival
+        # indices of points inserted into the merged sampler later.
+        next_key = -1
+        for sampler in samplers:
+            total_seen += sampler.points_seen
+            sampler_records = sorted(
+                sampler._store.records(),
+                key=lambda r: r.representative.index,
+            )
+            for record in sampler_records:
+                if record.cell_hash & mask == 0:
+                    accepted = True
+                elif any(v & mask == 0 for v in record.adj_hashes):
+                    accepted = False
+                else:
+                    continue
+                existing = store.find_nearby(
+                    record.representative.vector, record.cell_hash
+                )
+                if existing is not None:
+                    # Same group seen by several inputs: keep the earlier
+                    # representative, pool the counts.
+                    existing.count += record.count
+                    continue
+                rep = record.representative
+                global_rep = StreamPoint(rep.vector, next_key, rep.time)
+                next_key -= 1
+                store.add(
+                    CandidateRecord(
+                        representative=global_rep,
+                        cell=record.cell,
+                        cell_hash=record.cell_hash,
+                        adj_hashes=record.adj_hashes,
+                        accepted=accepted,
+                        last=record.last,
+                        count=record.count,
+                    )
+                )
+        merged._count = total_seen
+        merged._policy.observe_many(total_seen)
+        while store.accepted_count > merged._policy.threshold():
+            merged._rate_denominator *= 2
+            store.resample(merged._rate_denominator)
+        return merged
+
+    def to_state(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dict (protocol checkpoint)."""
+        from repro.core import serialize
+
+        return {
+            "config": serialize.config_to_state(self._config),
+            "rate_denominator": self._rate_denominator,
+            "points_seen": self._count,
+            "peak_space_words": self._peak_words,
+            "track_members": self._track_members,
+            "member_rng": serialize.rng_to_state(self._member_rng),
+            "policy": serialize.policy_to_state(self._policy),
+            "records": [
+                serialize.record_to_state(record)
+                for record in self._store.records()
+            ],
+        }
+
+    @classmethod
+    def _construct_for_restore(
+        cls, state: dict[str, Any], config: SamplerConfig, policy
+    ) -> "RobustL0SamplerIW":
+        """Build the empty shell ``from_state`` fills (subclass hook)."""
+        return cls(
+            config.alpha,
+            config.dim,
+            kappa0=policy.kappa0,
+            expected_stream_length=policy.expected_stream_length,
+            accept_capacity=policy.fixed,
+            track_members=state["track_members"],
+            config=config,
+        )
+
+    @classmethod
+    def from_state(
+        cls, state: dict[str, Any], *, config: SamplerConfig | None = None
+    ) -> "RobustL0SamplerIW":
+        """Restore a sampler from :meth:`to_state` output.
+
+        The restored sampler continues the stream with decisions identical
+        to the original (same grid, hash, rate, candidate records and
+        member-RNG state); ``config`` lets a coordinator re-share one
+        configuration object across restored shards.
+        """
+        from repro.core import serialize
+
+        if config is None:
+            config = serialize.config_from_state(state["config"])
+        policy = serialize.policy_from_state(state["policy"])
+        sampler = cls._construct_for_restore(state, config, policy)
+        sampler._policy = policy
+        sampler._rate_denominator = state["rate_denominator"]
+        sampler._count = state["points_seen"]
+        sampler._peak_words = state["peak_space_words"]
+        sampler._member_rng = serialize.rng_from_state(state["member_rng"])
+        for record_state in state["records"]:
+            sampler._store.add(serialize.record_from_state(record_state))
+        return sampler

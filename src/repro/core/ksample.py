@@ -54,6 +54,9 @@ class KDistinctSampler(StreamSampler):
     2
     """
 
+    #: Registry key (see :mod:`repro.api.registry`).
+    summary_key = "ksample"
+
     def __init__(
         self,
         alpha: float,
@@ -188,3 +191,67 @@ class KDistinctSampler(StreamSampler):
     def space_words(self) -> int:
         """Total footprint across the underlying samplers."""
         return sum(sampler.space_words() for sampler in self._samplers)
+
+    # ------------------------------------------------------------------ #
+    # Summary protocol (see repro.api.protocol)
+    # ------------------------------------------------------------------ #
+
+    def query(self, rng: random.Random | None = None) -> list[StreamPoint]:
+        """Protocol query: the k samples (see :meth:`sample`)."""
+        return self.sample(rng)
+
+    def merge(self, *others: "KDistinctSampler") -> "KDistinctSampler":
+        """Merge by merging the underlying samplers pairwise.
+
+        Requires identical ``k``/``replacement`` and summaries built from
+        one spec (same seed), so that sampler ``i`` of every input shares
+        one grid/hash configuration.  Windowed k-samplers cannot merge
+        (the underlying sliding hierarchy cannot; see
+        :meth:`repro.core.sliding_window.RobustL0SamplerSW.merge`).
+        """
+        from repro.api.protocol import check_merge_peers
+
+        check_merge_peers(self, others)
+        for other in others:
+            if other._k != self._k or other._replacement != self._replacement:
+                raise ParameterError(
+                    "cannot merge k-samplers with different k/replacement"
+                )
+        merged = KDistinctSampler.__new__(KDistinctSampler)
+        merged._k = self._k
+        merged._replacement = self._replacement
+        merged._window = self._window
+        merged._samplers = [
+            sampler.merge(*(other._samplers[i] for other in others))
+            for i, sampler in enumerate(self._samplers)
+        ]
+        return merged
+
+    def to_state(self) -> dict:
+        """Serialise to a JSON-compatible dict (protocol checkpoint)."""
+        from repro.core import serialize
+
+        return {
+            "k": self._k,
+            "replacement": self._replacement,
+            "window": serialize.window_to_state(self._window),
+            "samplers": [s.to_state() for s in self._samplers],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "KDistinctSampler":
+        """Restore a k-sampler from :meth:`to_state` output."""
+        from repro.core import serialize
+
+        sampler = cls.__new__(cls)
+        sampler._k = state["k"]
+        sampler._replacement = state["replacement"]
+        sampler._window = serialize.window_from_state(state["window"])
+        underlying = RobustL0SamplerIW if sampler._window is None else (
+            RobustL0SamplerSW
+        )
+        sampler._samplers = [
+            underlying.from_state(sub_state)
+            for sub_state in state["samplers"]
+        ]
+        return sampler

@@ -1,0 +1,189 @@
+"""Shared codecs for the universal checkpoint protocol.
+
+Every summary implements ``to_state()`` / ``from_state(state)`` (the
+:class:`repro.api.Summary` protocol); the states are plain
+JSON-compatible trees.  This module holds the codecs the summaries share
+- points, RNG states, grid/hash configurations, candidate records,
+threshold policies and window specifications - so each summary's state
+methods stay a short description of *its own* fields.
+
+This is a leaf module: it imports only the geometry/hashing/stream
+primitives, never the samplers, so every core class (and
+:mod:`repro.persist`, the envelope layer) can use it without cycles.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.base import CandidateRecord, SamplerConfig, _ThresholdPolicy
+from repro.errors import CheckpointError
+from repro.geometry.grid import Grid
+from repro.hashing.kwise import KWiseHash
+from repro.hashing.mix import SplitMix64
+from repro.hashing.sampling import SamplingHash
+from repro.streams.point import StreamPoint
+from repro.streams.windows import (
+    InfiniteWindow,
+    SequenceWindow,
+    TimeWindow,
+    WindowSpec,
+)
+
+
+def point_to_state(point: StreamPoint) -> dict[str, Any]:
+    """Encode one stream point."""
+    return {"v": list(point.vector), "i": point.index, "t": point.time}
+
+
+def point_from_state(state: dict[str, Any]) -> StreamPoint:
+    """Decode one stream point."""
+    return StreamPoint(tuple(state["v"]), state["i"], state["t"])
+
+
+def rng_to_state(rng: random.Random) -> list[Any]:
+    """Encode a ``random.Random`` state as a JSON-compatible list.
+
+    ``getstate()`` returns ``(version, tuple_of_ints, gauss_next)``;
+    tuples become lists on the way out and are rebuilt on the way in.
+    """
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def rng_from_state(state: list[Any]) -> random.Random:
+    """Rebuild a ``random.Random`` from :func:`rng_to_state` output."""
+    rng = random.Random()
+    rng.setstate((state[0], tuple(state[1]), state[2]))
+    return rng
+
+
+def config_to_state(config: SamplerConfig) -> dict[str, Any]:
+    """Encode a sampler configuration (grid offset + exact hash state)."""
+    base = config.hash.base
+    if isinstance(base, SplitMix64):
+        hash_state: dict[str, Any] = {"kind": "splitmix64", "seed": base.seed}
+    elif isinstance(base, KWiseHash):
+        hash_state = {"kind": "kwise", "coefficients": list(base.coefficients)}
+    else:
+        raise CheckpointError(
+            f"cannot serialise hash of type {type(base).__name__}"
+        )
+    return {
+        "alpha": config.alpha,
+        "dim": config.dim,
+        "grid_side": config.grid.side,
+        "grid_offset": list(config.grid.offset),
+        "hash": hash_state,
+    }
+
+
+def config_from_state(state: dict[str, Any]) -> SamplerConfig:
+    """Decode a sampler configuration; the hash function is bit-exact."""
+    hash_state = state["hash"]
+    if hash_state["kind"] == "splitmix64":
+        base: Any = SplitMix64(hash_state["seed"], premixed=True)
+    elif hash_state["kind"] == "kwise":
+        base = KWiseHash.from_coefficients(tuple(hash_state["coefficients"]))
+    else:
+        raise CheckpointError(f"unknown hash kind {hash_state['kind']!r}")
+    grid = Grid(
+        side=state["grid_side"],
+        dim=state["dim"],
+        offset=tuple(state["grid_offset"]),
+    )
+    return SamplerConfig(
+        alpha=state["alpha"],
+        dim=state["dim"],
+        grid=grid,
+        hash=SamplingHash(base),
+    )
+
+
+def record_to_state(record: CandidateRecord) -> dict[str, Any]:
+    """Encode one candidate record (``last``/``member`` only if distinct)."""
+    state = {
+        "rep": point_to_state(record.representative),
+        "cell": list(record.cell),
+        "cell_hash": record.cell_hash,
+        "adj_hashes": list(record.adj_hashes),
+        "accepted": record.accepted,
+        "count": record.count,
+    }
+    if record.last is not record.representative:
+        state["last"] = point_to_state(record.last)
+    if record.member is not None:
+        state["member"] = point_to_state(record.member)
+    return state
+
+
+def record_from_state(state: dict[str, Any]) -> CandidateRecord:
+    """Decode one candidate record, preserving last-is-representative."""
+    representative = point_from_state(state["rep"])
+    last = (
+        point_from_state(state["last"]) if "last" in state else representative
+    )
+    member = point_from_state(state["member"]) if "member" in state else None
+    return CandidateRecord(
+        representative=representative,
+        cell=tuple(state["cell"]),
+        cell_hash=state["cell_hash"],
+        adj_hashes=tuple(state["adj_hashes"]),
+        accepted=state["accepted"],
+        last=last,
+        count=state["count"],
+        member=member,
+    )
+
+
+def policy_to_state(policy: _ThresholdPolicy) -> dict[str, Any]:
+    """Encode a threshold policy, including the arrivals observed."""
+    return {
+        "kappa0": policy.kappa0,
+        "expected_stream_length": policy.expected_stream_length,
+        "minimum": policy.minimum,
+        "fixed": policy.fixed,
+        "seen": policy.seen,
+    }
+
+
+def policy_from_state(state: dict[str, Any]) -> _ThresholdPolicy:
+    """Decode a threshold policy."""
+    policy = _ThresholdPolicy(
+        kappa0=state["kappa0"],
+        expected_stream_length=state["expected_stream_length"],
+        minimum=state.get("minimum", 4),
+        fixed=state["fixed"],
+    )
+    policy._seen = state["seen"]
+    return policy
+
+
+def window_to_state(window: WindowSpec | None) -> dict[str, Any] | None:
+    """Encode a window specification (``None`` passes through)."""
+    if window is None:
+        return None
+    if isinstance(window, InfiniteWindow):
+        return {"kind": "infinite"}
+    if isinstance(window, SequenceWindow):
+        return {"kind": "sequence", "size": int(window.size)}
+    if isinstance(window, TimeWindow):
+        return {"kind": "time", "size": window.size}
+    raise CheckpointError(
+        f"cannot serialise window of type {type(window).__name__}"
+    )
+
+
+def window_from_state(state: dict[str, Any] | None) -> WindowSpec | None:
+    """Decode a window specification."""
+    if state is None:
+        return None
+    kind = state["kind"]
+    if kind == "infinite":
+        return InfiniteWindow()
+    if kind == "sequence":
+        return SequenceWindow(state["size"])
+    if kind == "time":
+        return TimeWindow(state["size"])
+    raise CheckpointError(f"unknown window kind {kind!r}")

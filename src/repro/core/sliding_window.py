@@ -93,6 +93,9 @@ class RobustL0SamplerSW(StreamSampler):
     True
     """
 
+    #: Registry key (see :mod:`repro.api.registry`).
+    summary_key = "l0-sliding"
+
     def __init__(
         self,
         alpha: float,
@@ -615,3 +618,89 @@ class RobustL0SamplerSW(StreamSampler):
     def space_words(self) -> int:
         """Current footprint across all levels."""
         return sum(level.space_words() for level in self._levels) + 4
+
+    # ------------------------------------------------------------------ #
+    # Summary protocol (see repro.api.protocol)
+    # ------------------------------------------------------------------ #
+
+    def query(self, rng: random.Random | None = None) -> StreamPoint:
+        """Protocol query: a robust l0-sample of the current window."""
+        return self.sample(rng)
+
+    def merge(self, *others: "RobustL0SamplerSW") -> "RobustL0SamplerSW":
+        """Sliding hierarchies cannot be merged exactly.
+
+        A group's level assignment encodes *where in the interleaved
+        arrival order* its subwindow sits (Definition 2.9); two
+        independently grown hierarchies carry no consistent interleaving,
+        so there is no union hierarchy whose invariants (I1/I2) are
+        restorable from the two states alone.  Use per-stream sharding
+        with infinite-window samplers (:class:`repro.engine.BatchPipeline`)
+        when distributed merging is required.
+        """
+        from repro.api.protocol import merge_unsupported
+
+        raise merge_unsupported(
+            self, "level assignment depends on the interleaved arrival order"
+        )
+
+    def to_state(self) -> dict:
+        """Serialise the hierarchy to a JSON-compatible dict.
+
+        The state is the window's contents in replayable form - every
+        level's candidate records (representative, most recent in-window
+        point, reservoir members) and eviction heap, exactly as held -
+        plus the shared config, window specification and threshold
+        policy.  A restored hierarchy continues the stream with decisions
+        identical to the original's
+        (``repro.engine.state_fingerprint``-equal).
+        """
+        from repro.core import serialize
+
+        return {
+            "config": serialize.config_to_state(self._config),
+            "window": serialize.window_to_state(self._window),
+            "policy": serialize.policy_to_state(self._policy),
+            "max_level": self._max_level,
+            "points_seen": self._count,
+            "peak_space_words": self._peak_words,
+            "latest": (
+                serialize.point_to_state(self._latest)
+                if self._latest is not None
+                else None
+            ),
+            "levels": [level.to_state() for level in self._levels],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RobustL0SamplerSW":
+        """Restore a hierarchy from :meth:`to_state` output."""
+        from repro.core import serialize
+
+        from repro.errors import CheckpointError
+
+        config = serialize.config_from_state(state["config"])
+        window = serialize.window_from_state(state["window"])
+        if window is None:
+            raise CheckpointError(
+                "sliding-window checkpoint is missing its window spec"
+            )
+        sampler = cls.__new__(cls)
+        sampler._config = config
+        sampler._window = window
+        sampler._policy = serialize.policy_from_state(state["policy"])
+        sampler._max_level = state["max_level"]
+        sampler._levels = [
+            FixedRateSlidingSampler.from_state(
+                level_state, config=config, window=window
+            )
+            for level_state in state["levels"]
+        ]
+        sampler._latest = (
+            serialize.point_from_state(state["latest"])
+            if state["latest"] is not None
+            else None
+        )
+        sampler._count = state["points_seen"]
+        sampler._peak_words = state["peak_space_words"]
+        return sampler

@@ -8,7 +8,6 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Sequence
 
 import numpy as np
 

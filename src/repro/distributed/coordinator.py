@@ -8,31 +8,80 @@ states and merges them into a single sampler over the union stream.
 Consistency argument: all shards share one ``SamplerConfig`` (same grid
 offset, same sampling hash), so a group's accept/reject status at rate
 ``1/R`` is the same everywhere - it depends only on the representative's
-cell.  Merging therefore only has to (1) raise every shard to the maximum
-rate (resampling, exactly as Algorithm 1's Line 12 does), and (2)
-deduplicate groups observed by several shards, keeping the earliest
-representative (the union stream's first point of the group, up to
-points within alpha of each other straddling shards - the usual general-
-dataset relaxation of Section 3).
+cell.  The merge itself is the Summary protocol's
+:meth:`repro.core.infinite_window.RobustL0SamplerIW.merge`: raise every
+shard to the maximum rate (decisions nest), deduplicate groups observed
+by several shards by proximity, keep the earliest representative and
+pool the counts.
+
+Shards are **spec-constructed**: the coordinator holds one
+:class:`~repro.api.specs.L0InfiniteSpec` describing every shard, derives
+the shared config from it once, and builds each shard from the spec.
+The whole coordinator checkpoints through the same protocol
+(:meth:`to_state` / :meth:`from_state`), shards mid-stream included.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
-from repro.core.base import DEFAULT_KAPPA0, CandidateStore, SamplerConfig
+from repro.core.base import DEFAULT_KAPPA0, SamplerConfig
 from repro.core.infinite_window import RobustL0SamplerIW
 from repro.errors import EmptySampleError, ParameterError
 from repro.streams.point import StreamPoint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.api.specs import L0InfiniteSpec
+
+
+def _shard_spec(
+    alpha: float | None,
+    dim: int | None,
+    spec: "L0InfiniteSpec | None",
+    seed: int | None,
+    kappa0: float,
+    expected_stream_length: int | None,
+) -> "L0InfiniteSpec":
+    """Normalise the legacy ``(alpha, dim, ...)`` surface onto a spec.
+
+    The two surfaces are mutually exclusive: a spec given alongside any
+    legacy argument is an error rather than silently winning over it.
+    """
+    from repro.api.specs import L0InfiniteSpec
+
+    if spec is not None:
+        if (
+            alpha is not None
+            or dim is not None
+            or seed is not None
+            or kappa0 != DEFAULT_KAPPA0
+            or expected_stream_length is not None
+        ):
+            raise ParameterError(
+                "pass alpha/dim/seed/kappa0/expected_stream_length inside "
+                "the spec, not alongside it"
+            )
+        return spec
+    if alpha is None or dim is None:
+        raise ParameterError(
+            "either a spec or (alpha, dim) is required"
+        )
+    return L0InfiniteSpec(
+        alpha=alpha,
+        dim=dim,
+        seed=seed,
+        kappa0=kappa0,
+        expected_stream_length=expected_stream_length,
+    )
 
 
 class ShardSampler(RobustL0SamplerIW):
     """A shard's local robust sampler.
 
     Identical to :class:`~repro.core.infinite_window.RobustL0SamplerIW`
-    except that it must be built from a shared config (enforced) and
-    carries a shard id for bookkeeping.
+    except that it is built from the coordinator's spec plus the *shared*
+    config (enforced) and carries a shard id for bookkeeping.
     """
 
     def __init__(
@@ -40,9 +89,13 @@ class ShardSampler(RobustL0SamplerIW):
         shard_id: int,
         config: SamplerConfig,
         *,
+        spec: "L0InfiniteSpec | None" = None,
         kappa0: float = DEFAULT_KAPPA0,
         expected_stream_length: int | None = None,
     ) -> None:
+        if spec is not None:
+            kappa0 = spec.kappa0
+            expected_stream_length = spec.expected_stream_length
         super().__init__(
             config.alpha,
             config.dim,
@@ -57,6 +110,21 @@ class ShardSampler(RobustL0SamplerIW):
         """This shard's identifier."""
         return self._shard_id
 
+    def to_state(self) -> dict[str, Any]:
+        """Protocol state plus the shard id."""
+        state = super().to_state()
+        state["shard_id"] = self._shard_id
+        return state
+
+    @classmethod
+    def _construct_for_restore(cls, state, config, policy) -> "ShardSampler":
+        return cls(
+            state["shard_id"],
+            config,
+            kappa0=policy.kappa0,
+            expected_stream_length=policy.expected_stream_length,
+        )
+
 
 class DistributedRobustSampler:
     """Coordinator over ``num_shards`` robust shard samplers.
@@ -64,13 +132,15 @@ class DistributedRobustSampler:
     Parameters
     ----------
     alpha, dim:
-        Geometry of the noisy data model.
+        Geometry of the noisy data model (legacy surface; equivalently
+        pass ``spec``).
+    spec:
+        A :class:`~repro.api.specs.L0InfiniteSpec` describing every
+        shard; the shared config (grid + hash) is derived from it once.
     num_shards:
         Number of shard samplers to create.
-    seed:
-        Seed of the *shared* configuration (grid + hash).
-    kappa0, expected_stream_length:
-        Forwarded to every shard.
+    seed, kappa0, expected_stream_length:
+        Legacy-surface shorthands folded into the spec.
 
     Examples
     --------
@@ -86,9 +156,10 @@ class DistributedRobustSampler:
 
     def __init__(
         self,
-        alpha: float,
-        dim: int,
+        alpha: float | None = None,
+        dim: int | None = None,
         *,
+        spec: "L0InfiniteSpec | None" = None,
         num_shards: int,
         seed: int | None = None,
         kappa0: float = DEFAULT_KAPPA0,
@@ -96,16 +167,18 @@ class DistributedRobustSampler:
     ) -> None:
         if num_shards < 1:
             raise ParameterError(f"num_shards must be >= 1, got {num_shards}")
-        self._config = SamplerConfig.create(alpha, dim, seed=seed)
-        self._kappa0 = kappa0
-        self._expected = expected_stream_length
+        self._spec = _shard_spec(
+            alpha, dim, spec, seed, kappa0, expected_stream_length
+        )
+        self._config = SamplerConfig.create(
+            self._spec.alpha,
+            self._spec.dim,
+            seed=self._spec.seed,
+            grid_side=self._spec.grid_side,
+            kwise=self._spec.kwise,
+        )
         self._shards = [
-            ShardSampler(
-                i,
-                self._config,
-                kappa0=kappa0,
-                expected_stream_length=expected_stream_length,
-            )
+            ShardSampler(i, self._config, spec=self._spec)
             for i in range(num_shards)
         ]
 
@@ -118,6 +191,11 @@ class DistributedRobustSampler:
     def config(self) -> SamplerConfig:
         """The shared grid/hash configuration."""
         return self._config
+
+    @property
+    def spec(self) -> "L0InfiniteSpec":
+        """The spec every shard was constructed from."""
+        return self._spec
 
     def shard(self, index: int) -> ShardSampler:
         """Access one shard's sampler."""
@@ -153,71 +231,12 @@ class DistributedRobustSampler:
     def merged_sampler(self) -> RobustL0SamplerIW:
         """Merge all shard states into one sampler over the union stream.
 
+        Delegates to the Summary protocol's
+        :meth:`~repro.core.infinite_window.RobustL0SamplerIW.merge`.
         Communication cost is the shards' sketch sizes (O(k log m) words
         total), not the stream size.
         """
-        target_rate = max(s.rate_denominator for s in self._shards)
-        merged = RobustL0SamplerIW(
-            self._config.alpha,
-            self._config.dim,
-            kappa0=self._kappa0,
-            expected_stream_length=self._expected,
-            config=self._config,
-        )
-        merged._rate_denominator = target_rate
-        store: CandidateStore = merged._store
-
-        total_seen = 0
-        num_shards = len(self._shards)
-        for shard in self._shards:
-            total_seen += shard.points_seen
-            # Bring the shard's view to the merged rate; decisions nest, so
-            # this only drops/demotes records, never invents them.
-            shard_records = sorted(
-                shard._store.records(),
-                key=lambda r: r.representative.index,
-            )
-            mask = target_rate - 1
-            for record in shard_records:
-                if record.cell_hash & mask == 0:
-                    accepted = True
-                elif any(v & mask == 0 for v in record.adj_hashes):
-                    accepted = False
-                else:
-                    continue
-                existing = store.find_nearby(
-                    record.representative.vector, record.cell_hash
-                )
-                if existing is not None:
-                    # Same group seen by several shards: keep the earlier
-                    # representative, pool the counts.
-                    existing.count += record.count
-                    continue
-                # Re-key representatives injectively: shard-local arrival
-                # indices overlap across shards, and the merged store keys
-                # records by that index.
-                rep = record.representative
-                global_rep = StreamPoint(
-                    rep.vector,
-                    rep.index * num_shards + shard.shard_id,
-                    rep.time,
-                )
-                clone = type(record)(
-                    representative=global_rep,
-                    cell=record.cell,
-                    cell_hash=record.cell_hash,
-                    adj_hashes=record.adj_hashes,
-                    accepted=accepted,
-                    last=record.last,
-                    count=record.count,
-                )
-                store.add(clone)
-        merged._count = total_seen
-        merged._policy.observe_many(total_seen)
-        while store.accepted_count > merged._policy.threshold():
-            merged._rate_denominator *= 2
-            store.resample(merged._rate_denominator)
-        return merged
+        return self._shards[0].merge(*self._shards[1:])
 
     def sample(self, rng: random.Random | None = None) -> StreamPoint:
         """One-shot distributed query: merge then sample."""
@@ -233,3 +252,34 @@ class DistributedRobustSampler:
     def communication_words(self) -> int:
         """Total words shipped to the coordinator in one merge."""
         return sum(s.space_words() for s in self._shards)
+
+    # ------------------------------------------------------------------ #
+    # checkpoint state
+    # ------------------------------------------------------------------ #
+
+    def to_state(self) -> dict[str, Any]:
+        """Serialise spec, shared config and every shard (mid-stream OK)."""
+        from repro.core import serialize
+
+        return {
+            "spec": self._spec.to_state(),
+            "config": serialize.config_to_state(self._config),
+            "shards": [shard.to_state() for shard in self._shards],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "DistributedRobustSampler":
+        """Restore a coordinator; all shards re-share one config object."""
+        from repro.api.registry import spec_from_state
+        from repro.core import serialize
+
+        coordinator = cls.__new__(cls)
+        coordinator._spec = spec_from_state(state["spec"])
+        coordinator._config = serialize.config_from_state(state["config"])
+        coordinator._shards = [
+            ShardSampler.from_state(
+                shard_state, config=coordinator._config
+            )
+            for shard_state in state["shards"]
+        ]
+        return coordinator

@@ -70,7 +70,13 @@ across the shards of a
 :class:`~repro.distributed.coordinator.DistributedRobustSampler` (all
 sharing one config) and answers queries from the sketch-sized merge;
 ``tests/test_distributed.py`` checks the merge against a single sampler
-fed the interleaved union stream.
+fed the interleaved union stream.  The pipeline is part of the unified
+API (:mod:`repro.api`, key ``"batch-pipeline"``): shards are
+spec-constructed, the shard merge goes through the Summary protocol's
+:meth:`~repro.core.infinite_window.RobustL0SamplerIW.merge`, and the
+whole pipeline checkpoints mid-stream via ``to_state``/``from_state``
+(resumed runs are fingerprint-identical when the interruption falls on
+a chunk boundary - checkpoint between ``submit``/``extend`` calls).
 """
 
 from repro.core.base import DEFAULT_BATCH_SIZE, StreamSampler

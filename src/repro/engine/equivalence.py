@@ -33,6 +33,8 @@ from repro.core.infinite_window import RobustL0SamplerIW
 from repro.core.ksample import KDistinctSampler
 from repro.core.reservoir import ReservoirMember, WindowReservoir
 from repro.core.sliding_window import RobustL0SamplerSW
+from repro.distributed.coordinator import DistributedRobustSampler
+from repro.engine.pipeline import BatchPipeline
 from repro.errors import ParameterError
 from repro.streams.point import StreamPoint
 
@@ -181,6 +183,40 @@ def state_fingerprint(sampler: Any) -> tuple:
         return ("WindowReservoir", _window_reservoir(sampler))
     if isinstance(sampler, ReservoirMember):
         return ("ReservoirMember", _member_reservoir(sampler))
+    if isinstance(sampler, BatchPipeline):
+        return (
+            "BatchPipeline",
+            sampler.batch_size,
+            sampler._next_shard,
+            sampler.points_seen,
+            state_fingerprint(sampler.coordinator),
+        )
+    if isinstance(sampler, DistributedRobustSampler):
+        return (
+            "DistributedRobustSampler",
+            tuple(
+                state_fingerprint(sampler.shard(i))
+                for i in range(sampler.num_shards)
+            ),
+        )
+    # Any other Summary-protocol implementor (the noiseless baselines):
+    # its to_state() is by contract a complete capture of its
+    # decision-relevant state, so the frozen state tree is a fingerprint.
+    key = getattr(type(sampler), "summary_key", None)
+    to_state = getattr(sampler, "to_state", None)
+    if key is not None and to_state is not None:
+        return (key, _freeze(to_state()))
     raise ParameterError(
         f"no fingerprint defined for {type(sampler).__name__}"
     )
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert a JSON state tree into a hashable value."""
+    if isinstance(value, dict):
+        return tuple(
+            (key, _freeze(value[key])) for key in sorted(value)
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value

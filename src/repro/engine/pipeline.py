@@ -11,6 +11,14 @@ the *union* stream - the oracle test in ``tests/test_distributed.py``
 checks the merge output against a single sampler fed the interleaved
 union directly.
 
+The pipeline is registered in :mod:`repro.api.registry` under
+``"batch-pipeline"`` and is built from a
+:class:`~repro.api.specs.PipelineSpec`; shards are spec-constructed by
+the coordinator and the whole pipeline - shards mid-stream, round-robin
+cursor and all - checkpoints through the Summary protocol
+(:meth:`to_state` / :meth:`from_state`), so a long ingestion job can be
+stopped and resumed with fingerprint-identical results.
+
 Round-robin chunk dealing is deterministic: the same stream and
 ``batch_size`` always produce the same shard assignment, which together
 with an explicit ``seed`` makes whole pipeline runs reproducible.
@@ -19,7 +27,7 @@ with an explicit ``seed`` makes whole pipeline runs reproducible.
 from __future__ import annotations
 
 import random
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.core.base import DEFAULT_BATCH_SIZE, DEFAULT_KAPPA0, SamplerConfig
 from repro.core.infinite_window import RobustL0SamplerIW
@@ -28,6 +36,9 @@ from repro.engine.batching import chunked
 from repro.errors import ParameterError
 from repro.streams.point import StreamPoint
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.specs import PipelineSpec
+
 
 class BatchPipeline:
     """Batched ingestion across ``num_shards`` robust shard samplers.
@@ -35,7 +46,11 @@ class BatchPipeline:
     Parameters
     ----------
     alpha, dim:
-        Geometry of the noisy data model.
+        Geometry of the noisy data model (legacy surface; equivalently
+        pass ``spec``).
+    spec:
+        A :class:`~repro.api.specs.PipelineSpec` describing the whole
+        pipeline (geometry, shard count, batch size, seed).
     num_shards:
         Number of shard samplers fed round-robin.
     batch_size:
@@ -58,39 +73,86 @@ class BatchPipeline:
     5
     """
 
+    #: Registry key (see :mod:`repro.api.registry`).
+    summary_key = "batch-pipeline"
+
     def __init__(
         self,
-        alpha: float,
-        dim: int,
+        alpha: float | None = None,
+        dim: int | None = None,
         *,
-        num_shards: int,
-        batch_size: int = DEFAULT_BATCH_SIZE,
+        spec: "PipelineSpec | None" = None,
+        num_shards: int | None = None,
+        batch_size: int | None = None,
         seed: int | None = None,
         rng: random.Random | None = None,
         kappa0: float = DEFAULT_KAPPA0,
         expected_stream_length: int | None = None,
     ) -> None:
-        if batch_size < 1:
-            raise ParameterError(
-                f"batch_size must be >= 1, got {batch_size}"
+        from repro.api.specs import L0InfiniteSpec, PipelineSpec
+
+        if spec is None:
+            if rng is not None:
+                seed = rng.randrange(2**62)
+            if alpha is None or dim is None:
+                raise ParameterError(
+                    "either a spec or (alpha, dim) is required"
+                )
+            # Only non-None knobs are forwarded, so PipelineSpec's own
+            # defaults stay the single source of truth.
+            knobs = {
+                key: value
+                for key, value in (
+                    ("num_shards", num_shards),
+                    ("batch_size", batch_size),
+                )
+                if value is not None
+            }
+            spec = PipelineSpec(
+                alpha=alpha,
+                dim=dim,
+                seed=seed,
+                kappa0=kappa0,
+                expected_stream_length=expected_stream_length,
+                **knobs,
             )
-        if rng is not None:
-            seed = rng.randrange(2**62)
+        elif (
+            alpha is not None
+            or dim is not None
+            or num_shards is not None
+            or batch_size is not None
+            or seed is not None
+            or rng is not None
+            or kappa0 != DEFAULT_KAPPA0
+            or expected_stream_length is not None
+        ):
+            raise ParameterError(
+                "pass alpha/dim/num_shards/batch_size/seed/kappa0/"
+                "expected_stream_length inside the spec, not alongside it"
+            )
+        self._spec = spec
         self._coordinator = DistributedRobustSampler(
-            alpha,
-            dim,
-            num_shards=num_shards,
-            seed=seed,
-            kappa0=kappa0,
-            expected_stream_length=expected_stream_length,
+            spec=L0InfiniteSpec(
+                alpha=spec.alpha,
+                dim=spec.dim,
+                seed=spec.seed,
+                kappa0=spec.kappa0,
+                expected_stream_length=spec.expected_stream_length,
+            ),
+            num_shards=spec.num_shards,
         )
-        self._batch_size = batch_size
+        self._batch_size = spec.batch_size
         self._next_shard = 0
         self._points_seen = 0
 
     # ------------------------------------------------------------------ #
     # properties
     # ------------------------------------------------------------------ #
+
+    @property
+    def spec(self) -> "PipelineSpec":
+        """The spec this pipeline was constructed from."""
+        return self._spec
 
     @property
     def num_shards(self) -> int:
@@ -138,6 +200,17 @@ class BatchPipeline:
         self._points_seen += processed
         return processed
 
+    def process_many(
+        self, points: Iterable[StreamPoint | Sequence[float]]
+    ) -> int:
+        """Protocol ingestion: chunk by ``batch_size`` and deal round-robin.
+
+        Identical to :meth:`extend`, so protocol-generic callers get the
+        same sharded ingestion as native ones; :meth:`submit` remains the
+        explicit one-batch-to-one-shard primitive.
+        """
+        return self.extend(points)
+
     def extend(
         self, points: Iterable[StreamPoint | Sequence[float]]
     ) -> int:
@@ -151,9 +224,28 @@ class BatchPipeline:
     # queries (via the coordinator's sketch-sized merge)
     # ------------------------------------------------------------------ #
 
-    def merge(self) -> RobustL0SamplerIW:
-        """Merge all shard states into one sampler over the union stream."""
+    def merge(self, *others: "BatchPipeline") -> RobustL0SamplerIW:
+        """Merge all shard states into one sampler over the union stream.
+
+        Called with no arguments (the usual form) this is the pipeline's
+        shard merge, through the Summary protocol's sampler merge.
+        Merging two *pipelines* is intentionally unsupported - deal the
+        streams into one pipeline instead, or merge the pipelines'
+        :meth:`merge` outputs, which are plain samplers.
+        """
+        if others:
+            from repro.api.protocol import merge_unsupported
+
+            raise merge_unsupported(
+                self,
+                "merge() combines this pipeline's own shards; merge the "
+                "per-pipeline merged samplers instead",
+            )
         return self._coordinator.merged_sampler()
+
+    def query(self, rng: random.Random | None = None) -> StreamPoint:
+        """Protocol query: merge then sample (see :meth:`sample`)."""
+        return self.sample(rng)
 
     def sample(self, rng: random.Random | None = None) -> StreamPoint:
         """One-shot distributed query: merge then sample."""
@@ -166,3 +258,37 @@ class BatchPipeline:
     def communication_words(self) -> int:
         """Words shipped to the coordinator by one merge."""
         return self._coordinator.communication_words()
+
+    # ------------------------------------------------------------------ #
+    # checkpoint state
+    # ------------------------------------------------------------------ #
+
+    def to_state(self) -> dict[str, Any]:
+        """Serialise the pipeline mid-stream (shards + dealing cursor)."""
+        return {
+            "spec": self._spec.to_state(),
+            "batch_size": self._batch_size,
+            "next_shard": self._next_shard,
+            "points_seen": self._points_seen,
+            "coordinator": self._coordinator.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "BatchPipeline":
+        """Restore a pipeline from :meth:`to_state` output.
+
+        The restored pipeline continues dealing exactly where the
+        original stopped (same shard cursor, same shard states), so a
+        resumed run is fingerprint-identical to an uninterrupted one.
+        """
+        from repro.api.registry import spec_from_state
+
+        pipeline = cls.__new__(cls)
+        pipeline._spec = spec_from_state(state["spec"])
+        pipeline._batch_size = state["batch_size"]
+        pipeline._next_shard = state["next_shard"]
+        pipeline._points_seen = state["points_seen"]
+        pipeline._coordinator = DistributedRobustSampler.from_state(
+            state["coordinator"]
+        )
+        return pipeline

@@ -29,3 +29,23 @@ class EmptySampleError(ReproError, RuntimeError):
     Raised when querying an empty stream, or in the (provably negligible)
     event that every tracked point was subsampled away.
     """
+
+
+class MergeUnsupportedError(ReproError, RuntimeError):
+    """This summary does not support merging.
+
+    Raised by :meth:`repro.api.Summary.merge` implementations whose state
+    cannot be combined exactly (e.g. the sliding-window hierarchy, whose
+    level assignment depends on the full interleaved arrival order, not
+    just on the union of the two states).
+    """
+
+
+class CheckpointError(ReproError, ValueError):
+    """A checkpoint envelope cannot be written or restored.
+
+    Raised for unknown format versions, unregistered summary keys, and
+    summaries whose state is not serialisable (e.g. a
+    :class:`~repro.baselines.minrank.MinRankL0Sampler` with a custom
+    ``key`` callable).
+    """

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Protocol, Sequence
+from typing import Callable, Protocol
 
 from repro.core.infinite_window import RobustL0SamplerIW
 from repro.datasets.catalog import LabeledDataset

@@ -1,15 +1,34 @@
-"""Checkpoint/restore for the infinite-window sampler.
+"""Universal checkpoint/restore: the envelope layer of the Summary protocol.
 
 Streaming jobs run for days; a sketch that cannot be checkpointed has to
-restart from scratch on every deploy.  This module serialises a
-:class:`~repro.core.infinite_window.RobustL0SamplerIW` - configuration
-(grid offset, hash state), rate, and every candidate record - to a plain
-JSON-compatible dict and restores it bit-for-bit: the restored sampler
-makes byte-identical decisions on the remainder of the stream.
+restart from scratch on every deploy.  Every summary in the library
+implements ``to_state()`` / ``from_state(state)`` (the
+:class:`repro.api.Summary` protocol); this module wraps those states in a
+**versioned envelope** tagged with the summary's registry key::
 
-Only the infinite-window sampler is covered; sliding-window state is
-dominated by in-window points and is usually cheaper to rebuild by
-replaying the window.
+    {"format": "repro/summary", "version": 2,
+     "summary": "l0-sliding", "state": {...}}
+
+so :func:`summary_from_state` can dispatch the restore through
+:mod:`repro.api.registry` without being told the type.  Restores are
+exact: the restored summary makes decisions identical to the original on
+the remainder of the stream (``repro.engine.state_fingerprint``-equal
+for every core sampler - including the sliding-window hierarchy, whose
+state is captured as replayable window contents: each level's records,
+reservoirs and eviction heap verbatim).
+
+Version-1 checkpoints (the original infinite-window-only format) remain
+readable; writers emit version 2.
+
+>>> from repro.api import build
+>>> sampler = build("l0-infinite", alpha=1.0, dim=1, seed=3)
+>>> sampler.process_many([(0.0,), (9.0,)])
+2
+>>> envelope = summary_to_state(sampler)
+>>> envelope["version"], envelope["summary"]
+(2, 'l0-infinite')
+>>> summary_from_state(envelope).points_seen
+2
 """
 
 from __future__ import annotations
@@ -17,182 +36,171 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from repro.core.base import CandidateRecord, SamplerConfig
+from repro.core import serialize
 from repro.core.infinite_window import RobustL0SamplerIW
-from repro.errors import ParameterError
-from repro.geometry.grid import Grid
-from repro.hashing.kwise import KWiseHash
-from repro.hashing.mix import SplitMix64
-from repro.hashing.sampling import SamplingHash
-from repro.streams.point import StreamPoint
+from repro.errors import CheckpointError
 
-#: Schema version embedded in every checkpoint.
-FORMAT_VERSION = 1
+#: Current envelope schema version.
+FORMAT_VERSION = 2
+
+#: Envelope format tag.
+FORMAT_NAME = "repro/summary"
 
 
-def _point_to_state(point: StreamPoint) -> dict[str, Any]:
-    return {"v": list(point.vector), "i": point.index, "t": point.time}
-
-
-def _point_from_state(state: dict[str, Any]) -> StreamPoint:
-    return StreamPoint(tuple(state["v"]), state["i"], state["t"])
-
-
-def _config_to_state(config: SamplerConfig) -> dict[str, Any]:
-    base = config.hash.base
-    if isinstance(base, SplitMix64):
-        hash_state: dict[str, Any] = {"kind": "splitmix64", "seed": base.seed}
-    elif isinstance(base, KWiseHash):
-        hash_state = {"kind": "kwise", "coefficients": list(base.coefficients)}
-    else:
-        raise ParameterError(
-            f"cannot serialise hash of type {type(base).__name__}"
+def summary_to_state(summary: Any) -> dict[str, Any]:
+    """Wrap any summary's protocol state in a versioned envelope."""
+    key = getattr(type(summary), "summary_key", None)
+    to_state = getattr(summary, "to_state", None)
+    if key is None or to_state is None:
+        raise CheckpointError(
+            f"{type(summary).__name__} does not implement the Summary "
+            "checkpoint protocol (summary_key + to_state/from_state)"
         )
     return {
-        "alpha": config.alpha,
-        "dim": config.dim,
-        "grid_side": config.grid.side,
-        "grid_offset": list(config.grid.offset),
-        "hash": hash_state,
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "summary": key,
+        "state": to_state(),
     }
 
 
-def _config_from_state(state: dict[str, Any]) -> SamplerConfig:
-    hash_state = state["hash"]
-    if hash_state["kind"] == "splitmix64":
-        base = SplitMix64(hash_state["seed"], premixed=True)
-    elif hash_state["kind"] == "kwise":
-        base = KWiseHash.from_coefficients(tuple(hash_state["coefficients"]))
-    else:
-        raise ParameterError(f"unknown hash kind {hash_state['kind']!r}")
-    grid = Grid(
-        side=state["grid_side"],
-        dim=state["dim"],
-        offset=tuple(state["grid_offset"]),
-    )
-    return SamplerConfig(
-        alpha=state["alpha"],
-        dim=state["dim"],
-        grid=grid,
-        hash=SamplingHash(base),
-    )
+def summary_from_state(envelope: dict[str, Any]) -> Any:
+    """Restore any summary from a :func:`summary_to_state` envelope.
+
+    The restore is dispatched through the registry: the envelope's
+    ``summary`` key names the class whose ``from_state`` rebuilds the
+    instance.  Version-1 checkpoints (infinite-window sampler only) are
+    recognised and upgraded transparently.
+    """
+    from repro.api import registry
+
+    version = envelope.get("version")
+    if version == 1:
+        return _legacy_sampler_from_state(envelope)
+    if version != FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {version!r}"
+        )
+    key = envelope.get("summary")
+    if not isinstance(key, str):
+        raise CheckpointError("checkpoint envelope is missing a summary key")
+    state = envelope.get("state")
+    if not isinstance(state, dict):
+        raise CheckpointError(
+            "checkpoint envelope is missing its state payload"
+        )
+    cls = registry.summary_class(key)
+    return cls.from_state(state)
 
 
-def _record_to_state(record: CandidateRecord) -> dict[str, Any]:
-    state = {
-        "rep": _point_to_state(record.representative),
-        "cell": list(record.cell),
-        "cell_hash": record.cell_hash,
-        "adj_hashes": list(record.adj_hashes),
-        "accepted": record.accepted,
-        "count": record.count,
-    }
-    if record.last is not record.representative:
-        state["last"] = _point_to_state(record.last)
-    if record.member is not None:
-        state["member"] = _point_to_state(record.member)
-    return state
+def dump_summary(summary: Any, path: str) -> None:
+    """Write a summary checkpoint file.
 
-
-def _record_from_state(state: dict[str, Any]) -> CandidateRecord:
-    representative = _point_from_state(state["rep"])
-    last = (
-        _point_from_state(state["last"]) if "last" in state else representative
-    )
-    member = _point_from_state(state["member"]) if "member" in state else None
-    return CandidateRecord(
-        representative=representative,
-        cell=tuple(state["cell"]),
-        cell_hash=state["cell_hash"],
-        adj_hashes=tuple(state["adj_hashes"]),
-        accepted=state["accepted"],
-        last=last,
-        count=state["count"],
-        member=member,
-    )
-
-
-def sampler_to_state(sampler: RobustL0SamplerIW) -> dict[str, Any]:
-    """Serialise an infinite-window sampler to a JSON-compatible dict.
-
+    >>> import tempfile, os
     >>> sampler = RobustL0SamplerIW(1.0, 1, seed=3)
     >>> sampler.insert((0.0,))
-    >>> state = sampler_to_state(sampler)
-    >>> state["version"], state["rate_denominator"]
-    (1, 1)
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     dump_summary(sampler, os.path.join(d, "ckpt.json"))
+    ...     restored = load_summary(os.path.join(d, "ckpt.json"))
+    >>> restored.points_seen
+    1
     """
-    policy = sampler._policy
-    return {
-        "version": FORMAT_VERSION,
-        "config": _config_to_state(sampler.config),
-        "rate_denominator": sampler.rate_denominator,
-        "points_seen": sampler.points_seen,
-        "peak_space_words": sampler.peak_space_words,
-        "track_members": sampler._track_members,
-        "member_rng_state": repr(sampler._member_rng.getstate()),
-        "policy": {
-            "kappa0": policy.kappa0,
-            "expected_stream_length": policy.expected_stream_length,
-            "fixed": policy.fixed,
-            "seen": policy._seen,
-        },
-        "records": [
-            _record_to_state(record)
-            for record in sampler._store.records()
-        ],
-    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(summary_to_state(summary), handle)
 
 
-def sampler_from_state(state: dict[str, Any]) -> RobustL0SamplerIW:
-    """Restore a sampler from :func:`sampler_to_state` output.
+def load_summary(path: str) -> Any:
+    """Read a checkpoint file back into a live summary."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return summary_from_state(json.load(handle))
 
-    The restored sampler continues the stream with decisions identical to
-    the original (same grid, hash, rate and candidate records).
-    """
-    if state.get("version") != FORMAT_VERSION:
-        raise ParameterError(
-            f"unsupported checkpoint version {state.get('version')!r}"
-        )
-    config = _config_from_state(state["config"])
-    policy = state["policy"]
+
+# --------------------------------------------------------------------- #
+# legacy version-1 surface (infinite-window sampler only)
+# --------------------------------------------------------------------- #
+
+
+def _legacy_sampler_from_state(state: dict[str, Any]) -> RobustL0SamplerIW:
+    """Restore a version-1 checkpoint (flat, infinite-window only)."""
+    import ast
+
+    config = serialize.config_from_state(state["config"])
+    policy_state = state["policy"]
     sampler = RobustL0SamplerIW(
         config.alpha,
         config.dim,
-        kappa0=policy["kappa0"],
-        expected_stream_length=policy["expected_stream_length"],
-        accept_capacity=policy["fixed"],
+        kappa0=policy_state["kappa0"],
+        expected_stream_length=policy_state["expected_stream_length"],
+        accept_capacity=policy_state["fixed"],
         track_members=state["track_members"],
         config=config,
     )
     sampler._rate_denominator = state["rate_denominator"]
     sampler._count = state["points_seen"]
     sampler._peak_words = state["peak_space_words"]
-    sampler._policy._seen = policy["seen"]
-    import ast
-
-    sampler._member_rng.setstate(ast.literal_eval(state["member_rng_state"]))
+    sampler._policy._seen = policy_state["seen"]
+    sampler._member_rng.setstate(
+        ast.literal_eval(state["member_rng_state"])
+    )
     for record_state in state["records"]:
-        sampler._store.add(_record_from_state(record_state))
+        sampler._store.add(_legacy_record_from_state(record_state))
     return sampler
 
 
-def dump_sampler(sampler: RobustL0SamplerIW, path: str) -> None:
-    """Write a checkpoint file.
+def _legacy_record_from_state(state: dict[str, Any]):
+    # Version 1 used the same record layout as repro.core.serialize.
+    return serialize.record_from_state(state)
 
-    >>> import tempfile, os
+
+def sampler_to_state(sampler: RobustL0SamplerIW) -> dict[str, Any]:
+    """Serialise an infinite-window sampler (now a protocol envelope).
+
+    Kept as a compatibility alias for the original single-sampler API;
+    new code should use :func:`summary_to_state`.
+
     >>> sampler = RobustL0SamplerIW(1.0, 1, seed=3)
     >>> sampler.insert((0.0,))
-    >>> with tempfile.TemporaryDirectory() as d:
-    ...     dump_sampler(sampler, os.path.join(d, "ckpt.json"))
-    ...     restored = load_sampler(os.path.join(d, "ckpt.json"))
-    >>> restored.points_seen
-    1
+    >>> state = sampler_to_state(sampler)
+    >>> state["version"], state["state"]["rate_denominator"]
+    (2, 1)
     """
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(sampler_to_state(sampler), handle)
+    return summary_to_state(sampler)
+
+
+def sampler_from_state(state: dict[str, Any]) -> RobustL0SamplerIW:
+    """Restore an infinite-window sampler from version-1 or -2 state.
+
+    Compatibility alias; new code should use :func:`summary_from_state`.
+    """
+    restored = summary_from_state(state)
+    if not isinstance(restored, RobustL0SamplerIW):
+        raise CheckpointError(
+            "checkpoint does not hold an infinite-window sampler; use "
+            "load_summary/summary_from_state for other summaries"
+        )
+    return restored
+
+
+def dump_sampler(sampler: RobustL0SamplerIW, path: str) -> None:
+    """Compatibility alias for :func:`dump_summary`."""
+    dump_summary(sampler, path)
 
 
 def load_sampler(path: str) -> RobustL0SamplerIW:
-    """Read a checkpoint file back into a live sampler."""
+    """Compatibility alias: load a checkpoint holding an IW sampler."""
     with open(path, "r", encoding="utf-8") as handle:
         return sampler_from_state(json.load(handle))
+
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "dump_sampler",
+    "dump_summary",
+    "load_sampler",
+    "load_summary",
+    "sampler_from_state",
+    "sampler_to_state",
+    "summary_from_state",
+    "summary_to_state",
+]

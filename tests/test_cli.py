@@ -64,17 +64,26 @@ class TestSampleCommand:
         assert code == 0
         assert out.getvalue().strip()
 
-    def test_empty_input(self, tmp_path):
+    @pytest.mark.parametrize("command", ["sample", "count", "heavy"])
+    def test_empty_input(self, tmp_path, capsys, command):
+        # Every command reports empty input through the uniform error
+        # path: "error: ..." on stderr, exit code 1 - no bare SystemExit.
         empty = tmp_path / "empty.csv"
         empty.write_text("")
-        with pytest.raises(SystemExit):
-            main(["sample", "--alpha", "1.0", str(empty)], out=io.StringIO())
+        code = main(
+            [command, "--alpha", "1.0", str(empty)], out=io.StringIO()
+        )
+        assert code == 1
+        assert "error: input contains no points" in capsys.readouterr().err
 
-    def test_bad_line_reports_position(self, tmp_path):
+    def test_bad_line_reports_position(self, tmp_path, capsys):
         bad = tmp_path / "bad.csv"
         bad.write_text("1.0,2.0\nnot-a-number\n")
-        with pytest.raises(SystemExit, match="line 2"):
-            main(["sample", "--alpha", "1.0", str(bad)], out=io.StringIO())
+        code = main(["sample", "--alpha", "1.0", str(bad)], out=io.StringIO())
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "line 2" in err
 
 
 class TestReproducibilityAndBatching:
@@ -162,6 +171,144 @@ class TestHeavyCommand:
         count, error, coords = rows[0].split("\t")
         assert int(count) >= 30
         assert abs(float(coords)) < 1.0
+
+
+class TestJsonOutput:
+    """--output json: one JSON object per result line."""
+
+    def test_sample_json_lines(self, csv_file):
+        out = io.StringIO()
+        code = main(
+            [
+                "sample", "--alpha", "1.0", "--k", "3", "--seed", "1",
+                "--output", "json", csv_file,
+            ],
+            out=out,
+        )
+        assert code == 0
+        lines = out.getvalue().strip().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            record = json.loads(line)
+            assert set(record) == {"vector", "index", "time"}
+            assert len(record["vector"]) == 2
+
+    def test_json_matches_text_results(self, csv_file):
+        text_out, json_out = io.StringIO(), io.StringIO()
+        base = ["sample", "--alpha", "1.0", "--k", "2", "--seed", "5"]
+        assert main(base + [csv_file], out=text_out) == 0
+        assert main(base + ["--output", "json", csv_file], out=json_out) == 0
+        text_vectors = [
+            [float(x) for x in line.split(",")]
+            for line in text_out.getvalue().strip().splitlines()
+        ]
+        json_vectors = [
+            json.loads(line)["vector"]
+            for line in json_out.getvalue().strip().splitlines()
+        ]
+        assert json_vectors == text_vectors
+
+    def test_count_json(self, csv_file):
+        out = io.StringIO()
+        code = main(
+            [
+                "count", "--alpha", "1.0", "--epsilon", "0.5", "--seed", "0",
+                "--output", "json", csv_file,
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert json.loads(out.getvalue()) == {"estimate": 10.0}
+
+    def test_heavy_json(self, tmp_path):
+        rng = random.Random(1)
+        lines = [f"{rng.uniform(0, 0.3)}" for _ in range(30)]
+        lines += [f"{50.0 * g}" for g in range(1, 8)]
+        path = tmp_path / "one_d.csv"
+        path.write_text("\n".join(lines) + "\n")
+        out = io.StringIO()
+        code = main(
+            [
+                "heavy", "--alpha", "1.0", "--phi", "0.5",
+                "--epsilon", "0.2", "--output", "json", str(path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        rows = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert len(rows) == 1
+        assert rows[0]["count"] >= 30
+        assert set(rows[0]) == {
+            "count", "error", "guaranteed_count", "vector",
+        }
+
+
+class TestCheckpointResume:
+    """--save-state / --resume continue runs through repro.persist."""
+
+    def test_split_run_equals_full_run(self, tmp_path):
+        rng = random.Random(3)
+        lines = [
+            f"{20.0 * (i % 10) + rng.uniform(0, 0.4)},0.0" for i in range(40)
+        ]
+        full = tmp_path / "full.csv"
+        full.write_text("\n".join(lines) + "\n")
+        first = tmp_path / "first.csv"
+        first.write_text("\n".join(lines[:20]) + "\n")
+        second = tmp_path / "second.csv"
+        second.write_text("\n".join(lines[20:]) + "\n")
+        state = tmp_path / "state.json"
+
+        full_out = io.StringIO()
+        args = ["count", "--alpha", "1.0", "--epsilon", "0.5", "--seed", "7"]
+        assert main(args + [str(full)], out=full_out) == 0
+
+        assert main(
+            args + ["--save-state", str(state), str(first)],
+            out=io.StringIO(),
+        ) == 0
+        resumed_out = io.StringIO()
+        assert main(
+            args + ["--resume", str(state), str(second)], out=resumed_out
+        ) == 0
+        assert resumed_out.getvalue() == full_out.getvalue()
+
+    def test_resume_with_empty_input_queries_checkpoint(self, tmp_path):
+        data = tmp_path / "points.csv"
+        data.write_text("0.0,0.0\n30.0,0.0\n")
+        state = tmp_path / "state.json"
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        args = ["count", "--alpha", "1.0", "--epsilon", "0.5", "--seed", "2"]
+        first_out = io.StringIO()
+        assert main(
+            args + ["--save-state", str(state), str(data)], out=first_out
+        ) == 0
+        resumed_out = io.StringIO()
+        assert main(
+            args + ["--resume", str(state), str(empty)], out=resumed_out
+        ) == 0
+        assert resumed_out.getvalue() == first_out.getvalue()
+
+    def test_resume_type_mismatch_is_uniform_error(self, tmp_path, capsys):
+        data = tmp_path / "points.csv"
+        data.write_text("0.0\n9.0\n")
+        state = tmp_path / "state.json"
+        assert main(
+            [
+                "sample", "--alpha", "1.0", "--seed", "1",
+                "--save-state", str(state), str(data),
+            ],
+            out=io.StringIO(),
+        ) == 0
+        code = main(
+            [
+                "count", "--alpha", "1.0", "--resume", str(state), str(data),
+            ],
+            out=io.StringIO(),
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
 
 
 class TestFormats:

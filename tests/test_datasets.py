@@ -221,9 +221,9 @@ class TestCatalog:
         ds = make_dataset("Seeds", seed=3)
         keep_groups = set(range(0, ds.num_groups, 30))
         sub = [
-            (v, l)
-            for v, l in zip(ds.vectors, ds.labels)
-            if l in keep_groups
+            (v, label)
+            for v, label in zip(ds.vectors, ds.labels)
+            if label in keep_groups
         ]
         vectors = [v for v, _ in sub]
         assert is_well_separated(vectors, ds.alpha)

@@ -180,6 +180,81 @@ class TestBatchPipelineOracle:
         assert pipeline.communication_words() > 0
 
 
+class TestPipelineCheckpoint:
+    """BatchPipeline shards checkpoint/restore mid-stream, exactly."""
+
+    @staticmethod
+    def stream(n=480, seed=51):
+        rng = random.Random(seed)
+        return [(25.0 * rng.randrange(10) + rng.uniform(0, 0.4),) for _ in range(n)]
+
+    def test_mid_stream_checkpoint_is_fingerprint_identical(self):
+        import json
+
+        from repro.engine import state_fingerprint
+        from repro.persist import summary_from_state, summary_to_state
+
+        stream = self.stream()
+        kwargs = dict(num_shards=3, batch_size=32, seed=13)
+        uninterrupted = BatchPipeline(1.0, 1, **kwargs)
+        uninterrupted.extend(stream)
+
+        interrupted = BatchPipeline(1.0, 1, **kwargs)
+        interrupted.extend(stream[:320])  # chunk-aligned interruption
+        envelope = json.loads(json.dumps(summary_to_state(interrupted)))
+        assert envelope["summary"] == "batch-pipeline"
+        resumed = summary_from_state(envelope)
+        assert resumed.points_seen == 320
+        assert resumed._next_shard == interrupted._next_shard
+        resumed.extend(stream[320:])
+
+        assert state_fingerprint(resumed) == state_fingerprint(uninterrupted)
+        # The restored pipeline's merge answers match too.
+        assert resumed.estimate_f0() == uninterrupted.estimate_f0()
+
+    def test_restored_shards_share_one_config(self):
+        from repro.persist import summary_from_state, summary_to_state
+
+        pipeline = BatchPipeline(1.0, 1, num_shards=3, seed=5)
+        pipeline.extend(self.stream(100))
+        restored = summary_from_state(summary_to_state(pipeline))
+        configs = {
+            id(restored.shard(i).config) for i in range(restored.num_shards)
+        }
+        assert len(configs) == 1
+        assert restored.config is restored.shard(0).config
+
+    def test_spec_constructed_pipeline(self):
+        from repro.api import PipelineSpec, build
+
+        spec = PipelineSpec(
+            alpha=1.0, dim=1, seed=11, num_shards=3, batch_size=4
+        )
+        via_registry = build("batch-pipeline", spec)
+        via_ctor = BatchPipeline(spec=spec)
+        stream = self.stream(120)
+        via_registry.extend(stream)
+        via_ctor.extend(stream)
+        from repro.engine import state_fingerprint
+
+        assert state_fingerprint(via_registry) == state_fingerprint(via_ctor)
+
+    def test_coordinator_spec_construction(self):
+        from repro.api import L0InfiniteSpec
+
+        spec = L0InfiniteSpec(alpha=1.0, dim=1, seed=21)
+        coordinator = DistributedRobustSampler(spec=spec, num_shards=2)
+        assert coordinator.spec is spec
+        legacy = DistributedRobustSampler(1.0, 1, num_shards=2, seed=21)
+        feed(coordinator, 20, seed=3)
+        feed(legacy, 20, seed=3)
+        from repro.engine import state_fingerprint
+
+        assert state_fingerprint(
+            coordinator.merged_sampler()
+        ) == state_fingerprint(legacy.merged_sampler())
+
+
 class TestDistributedUniformity:
     def test_uniform_over_union_groups(self):
         num_groups = 6

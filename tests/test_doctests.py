@@ -45,6 +45,10 @@ MODULE_NAMES = [
     "repro.persist",
     "repro.core.base",
     "repro.engine.pipeline",
+    "repro.api",
+    "repro.api.specs",
+    "repro.api.registry",
+    "repro.distributed.coordinator",
 ]
 
 

@@ -99,8 +99,8 @@ class TestHighDimSamplerIW:
             points, labels, alpha = self._stream(10, num_groups, seed=run)
             sampler = HighDimSamplerIW(alpha, 10, seed=run ^ 0x99)
             label_of = {}
-            for p, l in zip(points, labels):
-                label_of[p.index] = l
+            for p, label in zip(points, labels):
+                label_of[p.index] = label
                 sampler.insert(p)
             counts[label_of[sampler.sample(query_rng).index]] += 1
         _, p_value = chi_square_uniformity(

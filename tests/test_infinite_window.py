@@ -93,7 +93,6 @@ class TestRepresentativeSemantics:
 
 class TestRateAdaptation:
     def _run(self, num_groups, seed, **kwargs):
-        rng = random.Random(seed)
         sampler = RobustL0SamplerIW(
             1.0, 2, seed=seed, expected_stream_length=num_groups, **kwargs
         )

@@ -35,8 +35,8 @@ class TestPaperPipeline:
             expected_stream_length=dataset.num_points,
         )
         label_of = {}
-        for p, l in zip(points, labels):
-            label_of[p.index] = l
+        for p, label in zip(points, labels):
+            label_of[p.index] = label
             sampler.insert(p)
         sample = sampler.sample(random.Random(1))
         assert label_of[sample.index] in set(labels)
@@ -53,10 +53,10 @@ class TestPaperPipeline:
             expected_stream_length=dataset.num_points,
         )
         first_arrival = {}
-        for p, l in zip(points, labels):
-            first_arrival.setdefault(l, p.index)
+        for p, label in zip(points, labels):
+            first_arrival.setdefault(label, p.index)
             sampler.insert(p)
-        label_of = {p.index: l for p, l in zip(points, labels)}
+        label_of = {p.index: label for p, label in zip(points, labels)}
         for _ in range(5):
             sample = sampler.sample(random.Random(7))
             assert sample.index == first_arrival[label_of[sample.index]]

@@ -1,4 +1,4 @@
-"""Tests for checkpoint/restore of the infinite-window sampler."""
+"""Tests for the universal checkpoint protocol (envelope + per-summary)."""
 
 from __future__ import annotations
 
@@ -7,20 +7,29 @@ import random
 
 import pytest
 
+from repro.api import available, build, entry
 from repro.core.infinite_window import RobustL0SamplerIW
-from repro.errors import ParameterError
+from repro.engine import state_fingerprint
+from repro.errors import CheckpointError
 from repro.persist import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
     dump_sampler,
+    dump_summary,
     load_sampler,
+    load_summary,
     sampler_from_state,
     sampler_to_state,
+    summary_from_state,
+    summary_to_state,
 )
 
 
-def build_stream(n=400, seed=0):
+def build_stream(n=400, seed=0, groups=120):
     rng = random.Random(seed)
     return [
-        (25.0 * rng.randrange(120) + rng.uniform(0, 0.4),) for _ in range(n)
+        (25.0 * rng.randrange(groups) + rng.uniform(0, 0.4),)
+        for _ in range(n)
     ]
 
 
@@ -36,22 +45,67 @@ def snapshot(sampler):
     }
 
 
-class TestRoundTrip:
-    def test_state_is_json_compatible(self):
+class TestEnvelope:
+    def test_envelope_shape(self):
         sampler = RobustL0SamplerIW(1.0, 1, seed=1)
         for v in build_stream(50):
             sampler.insert(v)
-        text = json.dumps(sampler_to_state(sampler))
-        assert json.loads(text)["points_seen"] == 50
+        envelope = summary_to_state(sampler)
+        assert envelope["format"] == FORMAT_NAME
+        assert envelope["version"] == FORMAT_VERSION
+        assert envelope["summary"] == "l0-infinite"
+        text = json.dumps(envelope)
+        assert json.loads(text)["state"]["points_seen"] == 50
 
+    def test_unknown_version_rejected(self):
+        sampler = RobustL0SamplerIW(1.0, 1, seed=7)
+        envelope = summary_to_state(sampler)
+        envelope["version"] = 999
+        with pytest.raises(CheckpointError):
+            summary_from_state(envelope)
+
+    def test_missing_summary_key_rejected(self):
+        sampler = RobustL0SamplerIW(1.0, 1, seed=7)
+        envelope = summary_to_state(sampler)
+        del envelope["summary"]
+        with pytest.raises(CheckpointError):
+            summary_from_state(envelope)
+
+    def test_non_protocol_object_rejected(self):
+        with pytest.raises(CheckpointError):
+            summary_to_state(object())
+
+    def test_legacy_v1_checkpoint_still_readable(self):
+        # A version-1 checkpoint as the original persist module wrote it.
+        sampler = RobustL0SamplerIW(1.0, 1, seed=11)
+        for v in build_stream(200, seed=11):
+            sampler.insert(v)
+        v2 = summary_to_state(sampler)["state"]
+        v1 = {
+            "version": 1,
+            "config": v2["config"],
+            "rate_denominator": v2["rate_denominator"],
+            "points_seen": v2["points_seen"],
+            "peak_space_words": v2["peak_space_words"],
+            "track_members": v2["track_members"],
+            "member_rng_state": repr(sampler._member_rng.getstate()),
+            "policy": dict(v2["policy"]),
+            "records": v2["records"],
+        }
+        restored = sampler_from_state(json.loads(json.dumps(v1)))
+        assert snapshot(restored) == snapshot(sampler)
+
+
+class TestInfiniteWindowRoundTrip:
     def test_round_trip_preserves_state(self):
         sampler = RobustL0SamplerIW(
             1.0, 1, seed=2, expected_stream_length=400
         )
         for v in build_stream(400, seed=2):
             sampler.insert(v)
-        restored = sampler_from_state(sampler_to_state(sampler))
+        restored = summary_from_state(summary_to_state(sampler))
         assert snapshot(restored) == snapshot(sampler)
+        assert state_fingerprint(restored) == state_fingerprint(sampler)
 
     def test_restored_sampler_continues_identically(self):
         stream = build_stream(600, seed=3)
@@ -60,24 +114,25 @@ class TestRoundTrip:
         for v in stream[:300]:
             full.insert(v)
             half.insert(v)
-        restored = sampler_from_state(sampler_to_state(half))
+        restored = summary_from_state(summary_to_state(half))
         for v in stream[300:]:
             full.insert(v)
             restored.insert(v)
-        assert snapshot(restored) == snapshot(full)
+        assert state_fingerprint(restored) == state_fingerprint(full)
 
     def test_round_trip_with_members(self):
         sampler = RobustL0SamplerIW(1.0, 1, seed=4, track_members=True)
         for v in build_stream(100, seed=4):
             sampler.insert(v)
-        restored = sampler_from_state(sampler_to_state(sampler))
+        restored = summary_from_state(summary_to_state(sampler))
         assert restored.sample_member(random.Random(0)) is not None
+        assert state_fingerprint(restored) == state_fingerprint(sampler)
 
     def test_round_trip_kwise_hash(self):
         sampler = RobustL0SamplerIW(1.0, 1, seed=5, kwise=8)
         for v in build_stream(100, seed=5):
             sampler.insert(v)
-        restored = sampler_from_state(sampler_to_state(sampler))
+        restored = summary_from_state(summary_to_state(sampler))
         assert snapshot(restored) == snapshot(sampler)
         # The hash functions must agree exactly.
         assert restored.config.cell_hash((7,)) == sampler.config.cell_hash((7,))
@@ -90,18 +145,105 @@ class TestRoundTrip:
         restored = load_sampler(str(path))
         assert snapshot(restored) == snapshot(sampler)
 
-    def test_version_check(self):
-        sampler = RobustL0SamplerIW(1.0, 1, seed=7)
-        state = sampler_to_state(sampler)
-        state["version"] = 999
-        with pytest.raises(ParameterError):
-            sampler_from_state(state)
+    def test_load_sampler_rejects_other_summaries(self, tmp_path):
+        sketch = build("fm", seed=1)
+        path = tmp_path / "fm.json"
+        dump_summary(sketch, str(path))
+        with pytest.raises(CheckpointError):
+            load_sampler(str(path))
+
+    def test_sampler_to_state_is_envelope_alias(self):
+        sampler = RobustL0SamplerIW(1.0, 1, seed=8)
+        assert sampler_to_state(sampler) == summary_to_state(sampler)
 
     def test_sample_distribution_unchanged_after_restore(self):
         sampler = RobustL0SamplerIW(1.0, 1, seed=8)
         for g in range(10):
             sampler.insert((30.0 * g,))
-        restored = sampler_from_state(sampler_to_state(sampler))
+        restored = summary_from_state(summary_to_state(sampler))
         rng_a, rng_b = random.Random(9), random.Random(9)
         for _ in range(20):
             assert sampler.sample(rng_a).vector == restored.sample(rng_b).vector
+
+
+# ------------------------------------------------------------------ #
+# checkpoint -> resume equivalence for EVERY registered summary
+# ------------------------------------------------------------------ #
+
+#: Per-key spec kwargs used by the resume matrix.  Streams are 1-D noisy
+#: group streams; the item sketches hash the coordinate tuples.
+RESUME_SPECS = {
+    "l0-infinite": dict(alpha=1.0, dim=1, seed=5),
+    "l0-sliding": dict(alpha=1.0, dim=1, seed=5, window_size=64),
+    "ksample": dict(alpha=1.0, dim=1, seed=5, k=2),
+    "f0-infinite": dict(alpha=1.0, dim=1, seed=5, copies=3, epsilon=0.5),
+    "f0-sliding": dict(
+        alpha=1.0, dim=1, seed=5, window_size=64, copies=2
+    ),
+    "heavy-hitters": dict(alpha=1.0, dim=1, seed=5, epsilon=0.1),
+    "batch-pipeline": dict(
+        alpha=1.0, dim=1, seed=5, num_shards=3, batch_size=25
+    ),
+    "exact": dict(alpha=1.0, dim=1, seed=5),
+    "naive-reservoir": dict(seed=5),
+    "minrank": dict(seed=5),
+    "fm": dict(seed=5),
+    "loglog": dict(seed=5),
+    "hyperloglog": dict(seed=5),
+    "bjkst": dict(seed=5),
+}
+
+
+def _ingest(summary, key, points):
+    # process_many is uniform across the registry (the pipeline chunks by
+    # its batch size internally).  The pipeline's resume cut must fall on
+    # a chunk boundary, which the half sizes below respect (250 % 25 == 0).
+    summary.process_many(points)
+
+
+class TestResumeEquivalenceMatrix:
+    """Ingest half, round-trip through JSON, finish; fingerprints match."""
+
+    @pytest.mark.parametrize("key", sorted(RESUME_SPECS))
+    def test_half_stream_resume(self, key):
+        kwargs = RESUME_SPECS[key]
+        stream = build_stream(500, seed=17, groups=9)
+        half = 250  # a multiple of the pipeline batch size
+        uninterrupted = build(key, **kwargs)
+        interrupted = build(key, **kwargs)
+        _ingest(uninterrupted, key, stream)
+        _ingest(interrupted, key, stream[:half])
+        envelope = json.loads(json.dumps(summary_to_state(interrupted)))
+        resumed = summary_from_state(envelope)
+        assert type(resumed) is entry(key).summary_cls
+        _ingest(resumed, key, stream[half:])
+        assert state_fingerprint(resumed) == state_fingerprint(uninterrupted)
+
+    def test_matrix_covers_every_registered_key(self):
+        assert sorted(RESUME_SPECS) == available()
+
+    @pytest.mark.parametrize(
+        "key", ["l0-sliding", "f0-sliding", "ksample"]
+    )
+    def test_windowed_resume_with_time_window(self, key):
+        kwargs = dict(RESUME_SPECS[key])
+        kwargs.pop("window_size", None)
+        kwargs.update(window_seconds=40.0, window_capacity=64)
+        stream = build_stream(400, seed=23, groups=9)
+        uninterrupted = build(key, **kwargs)
+        interrupted = build(key, **kwargs)
+        uninterrupted.process_many(stream)
+        interrupted.process_many(stream[:200])
+        resumed = summary_from_state(
+            json.loads(json.dumps(summary_to_state(interrupted)))
+        )
+        resumed.process_many(stream[200:])
+        assert state_fingerprint(resumed) == state_fingerprint(uninterrupted)
+
+    def test_file_round_trip_any_summary(self, tmp_path):
+        summary = build("l0-sliding", **RESUME_SPECS["l0-sliding"])
+        summary.process_many(build_stream(200, seed=29, groups=9))
+        path = tmp_path / "sliding.json"
+        dump_summary(summary, str(path))
+        restored = load_summary(str(path))
+        assert state_fingerprint(restored) == state_fingerprint(summary)
