@@ -65,3 +65,64 @@ def test_sliding_pass(benchmark, model, window, capacity, query_rng):
             "window_f0_estimate": round(sampler.estimate_f0(), 1),
         }
     )
+
+
+@pytest.mark.parametrize(
+    "model,window,capacity",
+    [
+        ("sequence", SequenceWindow(128), None),
+        ("time", TimeWindow(128.0), 512),
+    ],
+    ids=["sequence", "time"],
+)
+def test_sliding_batched_pass(benchmark, model, window, capacity, query_rng):
+    """Batched twin of :func:`test_sliding_pass`.
+
+    Same stream through ``extend`` (the batched hot path); ``extra_info``
+    records the batched/per-point speedup measured inside this run and
+    asserts the state-equivalence contract on the way.
+    """
+    from repro.engine.equivalence import state_fingerprint
+
+    points, alpha = build_stream()
+
+    def make():
+        return RobustL0SamplerSW(
+            alpha,
+            5,
+            window,
+            window_capacity=capacity,
+            seed=9,
+            expected_stream_length=len(points),
+        )
+
+    def batched_pass():
+        sampler = make()
+        sampler.extend(points, batch_size=256)
+        return sampler
+
+    sampler = benchmark(batched_pass)
+    sample = sampler.sample(query_rng)
+    assert window.in_window(sample, points[-1])
+
+    # Equivalence + an in-run speedup measurement for the report.
+    import time
+
+    reference = make()
+    start = time.perf_counter()
+    for p in points:
+        reference.insert(p)
+    per_elapsed = time.perf_counter() - start
+    assert state_fingerprint(reference) == state_fingerprint(sampler)
+    start = time.perf_counter()
+    batched_pass()
+    batch_elapsed = time.perf_counter() - start
+    benchmark.extra_info.update(
+        {
+            "window_model": model,
+            "points": len(points),
+            "levels": sampler.num_levels,
+            "peak_words": sampler.peak_space_words,
+            "batched_speedup": round(per_elapsed / batch_elapsed, 2),
+        }
+    )

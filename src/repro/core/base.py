@@ -324,16 +324,37 @@ class SamplerConfig:
         cell = self.grid.cell_of(vector)
         return PointContext(cell=cell, cell_hash=self.cell_hash(cell))
 
-    def adj_hashes(self, vector: Sequence[float]) -> tuple[int, ...]:
+    def adj_hashes(
+        self, vector: Sequence[float], *, cell: Cell | None = None
+    ) -> tuple[int, ...]:
         """Hash values of every cell of ``adj(vector)`` (DFS pruned).
 
-        The whole neighbourhood is hashed in one batched base-hash call
-        (``adj(p)`` spans up to 25 cells at dim 2), amortising the
-        evaluator overhead across the cells.
+        Each cell's hash is routed through the shared ``cell_hash_memo``:
+        near-duplicate streams found new candidate groups around the same
+        few cells over and over, so almost every adjacency cell has been
+        hashed before.  Only memo misses pay for a base-hash evaluation,
+        batched in one call (``adj(p)`` spans up to 25 cells at dim 2).
+        The values are identical to hashing every cell directly - the
+        memo is a pure cache.  ``cell``, when the caller has already
+        computed ``cell(vector)``, skips the recomputation.
         """
-        return tuple(
-            self.cell_hashes(collect_adjacent(self.grid, vector, self.alpha))
+        cells = collect_adjacent(
+            self.grid, vector, self.alpha, base_cell=cell
         )
+        memo = self.cell_hash_memo
+        memo_get = memo.get
+        hashes: list[int | None] = [memo_get(cell) for cell in cells]
+        if None in hashes:
+            missing = [
+                index for index, value in enumerate(hashes) if value is None
+            ]
+            computed = self.cell_hashes([cells[index] for index in missing])
+            if len(memo) + len(missing) >= _CELL_MEMO_LIMIT:
+                memo.clear()
+            for index, value in zip(missing, computed):
+                hashes[index] = value
+                memo[cells[index]] = value
+        return tuple(hashes)  # type: ignore[arg-type]
 
     def with_adj(self, vector: Sequence[float], ctx: PointContext) -> PointContext:
         """Return ``ctx`` with ``adj_hashes`` filled (computing if needed)."""
@@ -342,7 +363,7 @@ class SamplerConfig:
         return PointContext(
             cell=ctx.cell,
             cell_hash=ctx.cell_hash,
-            adj_hashes=self.adj_hashes(vector),
+            adj_hashes=self.adj_hashes(vector, cell=ctx.cell),
         )
 
 
@@ -378,6 +399,12 @@ class CandidateRecord:
     member:
         A uniformly random member of the group so far (reservoir sample);
         only maintained when member tracking is enabled.
+    level:
+        Hierarchy level owning the record (sliding-window samplers share
+        one :class:`CandidateStore` across levels and tag each record
+        with its level, so Split/Merge promotions move records without
+        re-registering their adjacency buckets).  Always 0 outside a
+        hierarchy.
     """
 
     representative: StreamPoint
@@ -388,6 +415,33 @@ class CandidateRecord:
     last: StreamPoint
     count: int = 1
     member: StreamPoint | None = None
+    level: int = 0
+    #: Cached ``max_v tz(v)`` over ``adj_hashes`` (-1 = not yet computed;
+    #: see :meth:`survival_exponent`).  Derived state - never serialised.
+    adj_tz: int = -1
+
+    def survival_exponent(self) -> int:
+        """Largest ``k`` such that some ``adj`` hash is sampled at ``2^k``.
+
+        ``any(v & (2^k - 1) == 0 for v in adj_hashes)`` is equivalent to
+        ``survival_exponent() >= k`` (for ``k >= 1``), because a hash
+        value survives the rate ``2^k`` test iff its trailing-zero count
+        is at least ``k``.  Split re-derivations query this once per
+        record per promotion, so the maximum is computed lazily and
+        cached.
+        """
+        tz = self.adj_tz
+        if tz < 0:
+            tz = 0
+            for value in self.adj_hashes:
+                if value == 0:
+                    tz = 64
+                    break
+                z = (value & -value).bit_length() - 1
+                if z > tz:
+                    tz = z
+            self.adj_tz = tz
+        return tz
 
     def space_words(self, *, track_members: bool) -> int:
         """Approximate memory footprint in machine words.
@@ -407,9 +461,24 @@ class CandidateRecord:
 
 
 class CandidateStore:
-    """The accept/reject sets with hash-bucketed proximity lookup."""
+    """The accept/reject sets with hash-bucketed proximity lookup.
 
-    __slots__ = ("_config", "_records", "_buckets", "_accepted_count")
+    Space accounting is *incremental*: the store maintains the exact sum
+    of its records' footprints (``_base_words``, plus ``_member_words``
+    for the optional member points) updated on :meth:`add`,
+    :meth:`remove` and :meth:`relink_last`, so :meth:`space_words` is
+    O(1) instead of a full record walk.  ``recount_space_words`` is the
+    from-scratch oracle the invariant tests compare against.
+    """
+
+    __slots__ = (
+        "_config",
+        "_records",
+        "_buckets",
+        "_accepted_count",
+        "_base_words",
+        "_member_words",
+    )
 
     def __init__(self, config: SamplerConfig) -> None:
         self._config = config
@@ -417,6 +486,8 @@ class CandidateStore:
         # Bucket key: a hash value of some cell of adj(representative).
         self._buckets: dict[int, list[CandidateRecord]] = {}
         self._accepted_count = 0
+        self._base_words = 0
+        self._member_words = 0
 
     def __len__(self) -> int:
         return len(self._records)
@@ -469,6 +540,17 @@ class CandidateStore:
                 return record
         return None
 
+    @staticmethod
+    def record_words(record: CandidateRecord) -> int:
+        """One record's footprint, member excluded (the ``_base_words``
+        contribution; value-identical to
+        :meth:`CandidateRecord.space_words` with ``track_members=False``)."""
+        dim = len(record.representative.vector)
+        words = dim + 5 + len(record.adj_hashes)
+        if record.last is not record.representative:
+            words += dim + 2
+        return words
+
     def add(self, record: CandidateRecord) -> None:
         """Insert a new candidate record."""
         key = record.representative.index
@@ -478,23 +560,52 @@ class CandidateStore:
             )
         self._records[key] = record
         buckets = self._buckets
-        for value in set(record.adj_hashes):
+        # No dedup: adj hash values are distinct in practice (distinct
+        # cells, 64-bit hashes), and a collision merely registers the
+        # record twice in one bucket - remove() iterates the same
+        # sequence, so registration stays symmetric either way.
+        for value in record.adj_hashes:
             buckets.setdefault(value, []).append(record)
         if record.accepted:
             self._accepted_count += 1
+        self._base_words += self.record_words(record)
+        if record.member is not None:
+            self._member_words += len(record.representative.vector) + 2
 
     def remove(self, record: CandidateRecord) -> None:
         """Remove a candidate record."""
         key = record.representative.index
         del self._records[key]
         buckets = self._buckets
-        for value in set(record.adj_hashes):
+        for value in record.adj_hashes:
             bucket = buckets[value]
             bucket.remove(record)
             if not bucket:
                 del buckets[value]
         if record.accepted:
             self._accepted_count -= 1
+        self._base_words -= self.record_words(record)
+        if record.member is not None:
+            self._member_words -= len(record.representative.vector) + 2
+
+    def relink_last(self, record: CandidateRecord, new_last: StreamPoint) -> None:
+        """Set ``record.last`` keeping the incremental footprint exact.
+
+        A record's ``last`` point only occupies extra words while it is a
+        *distinct* object from the representative
+        (:meth:`CandidateRecord.space_words`), so the counter moves only
+        on the rep/non-rep identity transitions.  The hot ingestion loops
+        inline this logic (the common non-rep -> non-rep update is free);
+        every non-inlined call site goes through this method.
+        """
+        rep = record.representative
+        extra = len(rep.vector) + 2
+        if record.last is rep:
+            if new_last is not rep:
+                self._base_words += extra
+        elif new_last is rep:
+            self._base_words -= extra
+        record.last = new_last
 
     def set_accepted(self, record: CandidateRecord, accepted: bool) -> None:
         """Flip a record between the accept and reject sets."""
@@ -520,11 +631,24 @@ class CandidateStore:
                 self.remove(record)
 
     def space_words(self, *, track_members: bool = False) -> int:
-        """Total footprint of the store in words.
+        """Total footprint of the store in words - O(1).
 
-        Inlines :meth:`CandidateRecord.space_words` - this sum runs on
-        every record-set change (peak tracking), so the per-record method
-        dispatch is worth avoiding.  Kept value-identical to the method.
+        Served from the incremental counters maintained by :meth:`add`,
+        :meth:`remove` and :meth:`relink_last` (peak tracking runs this
+        on the hot path); :meth:`recount_space_words` is the from-scratch
+        recomputation the invariant tests compare against.
+        """
+        if track_members:
+            return self._base_words + self._member_words
+        return self._base_words
+
+    def recount_space_words(self, *, track_members: bool = False) -> int:
+        """From-scratch footprint walk (the incremental counters' oracle).
+
+        Kept value-identical to summing
+        :meth:`CandidateRecord.space_words` over all records; the
+        invariant ``store.space_words() == store.recount_space_words()``
+        must hold after every operation.
         """
         total = 0
         for record in self._records.values():
@@ -607,7 +731,7 @@ def coerce_point(
     """
     if isinstance(value, StreamPoint):
         return value
-    return StreamPoint(tuple(float(x) for x in value), next_index)
+    return StreamPoint(tuple(map(float, value)), next_index)
 
 
 @dataclass

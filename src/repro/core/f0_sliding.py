@@ -143,8 +143,13 @@ class RobustF0EstimatorSW(StreamSampler):
         return self._calibration * capacity * len(levels) / inverse_sum
 
     def space_words(self) -> int:
-        """Total footprint across copies."""
+        """Total footprint across copies (each copy answers in O(levels)
+        from its incremental per-level counters)."""
         return sum(copy.space_words() for copy in self._copies)
+
+    def recount_space_words(self) -> int:
+        """Debug oracle: recompute :meth:`space_words` from scratch."""
+        return sum(copy.recount_space_words() for copy in self._copies)
 
     # ------------------------------------------------------------------ #
     # Summary protocol (see repro.api.protocol)

@@ -185,7 +185,7 @@ class FixedRateSlidingSampler(StreamSampler):
 
         record = self._store.find_nearby(point.vector, ctx.cell_hash)
         if record is not None:
-            record.last = point
+            self._store.relink_last(record, point)
             record.count += 1
             self._push_heap(record)
             if self._track_members:
@@ -326,6 +326,13 @@ class FixedRateSlidingSampler(StreamSampler):
                         existing = record
                         break
             if existing is not None:
+                # Inline relink_last: footprint moves only on the (once
+                # per record) rep -> non-rep identity transition.
+                if p is not existing.representative:
+                    if existing.last is existing.representative:
+                        store._base_words += dim + 2
+                elif existing.last is not existing.representative:
+                    store._base_words -= dim + 2
                 existing.last = p
                 existing.count += 1
                 heappush(heap, (expiry_key(p), next(tiebreak), existing, p))
@@ -334,7 +341,7 @@ class FixedRateSlidingSampler(StreamSampler):
                 continue
 
             # First point of a candidate group: same code as insert().
-            adj_hashes = config.adj_hashes(vector)
+            adj_hashes = config.adj_hashes(vector, cell=cell)
             if cell_hash & rate_mask == 0:
                 accepted = True
             elif any(value & rate_mask == 0 for value in adj_hashes):
@@ -356,8 +363,12 @@ class FixedRateSlidingSampler(StreamSampler):
         return processed
 
     # ------------------------------------------------------------------ #
-    # hierarchy support (used by Algorithms 3-5)
+    # bulk-management helpers
     # ------------------------------------------------------------------ #
+    # (The sliding-window hierarchy no longer builds on per-level
+    # instances - it shares one store across levels - so the old
+    # Split/Merge integration hooks are gone; these remain as standalone
+    # Algorithm 2 conveniences.)
 
     def clear(self) -> None:
         """Reset to the freshly created state, keeping the rate (Line 9)."""
@@ -366,17 +377,8 @@ class FixedRateSlidingSampler(StreamSampler):
         self._reservoirs.clear()
 
     def adopt_record(self, record: CandidateRecord) -> None:
-        """Install a record coming from a Split/Merge, with heap tracking."""
+        """Install an externally built record, with heap tracking."""
         self._store.add(record)
-        self._push_heap(record)
-
-    def remove_record(self, record: CandidateRecord) -> None:
-        """Detach a record (hierarchy reactivation path)."""
-        self._store.remove(record)
-        self._reservoirs.pop(record.representative.index, None)
-
-    def adopt_last_update(self, record: CandidateRecord) -> None:
-        """Refresh eviction tracking after a record's last point changed."""
         self._push_heap(record)
 
     def find_group(
@@ -415,8 +417,19 @@ class FixedRateSlidingSampler(StreamSampler):
         return self._reservoirs[record.representative.index].member(latest)
 
     def space_words(self) -> int:
-        """Current footprint in words (records + reservoirs + scalars)."""
+        """Current footprint in words (records + reservoirs + scalars).
+
+        The record part is O(1) (incremental store counters); only the
+        per-group reservoirs - empty unless ``track_members`` - walk.
+        """
         words = self._store.space_words(track_members=False) + 3
+        for reservoir in self._reservoirs.values():
+            words += reservoir.space_words()
+        return words
+
+    def recount_space_words(self) -> int:
+        """Debug oracle: recompute :meth:`space_words` from scratch."""
+        words = self._store.recount_space_words(track_members=False) + 3
         for reservoir in self._reservoirs.values():
             words += reservoir.space_words()
         return words

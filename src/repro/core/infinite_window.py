@@ -191,14 +191,14 @@ class RobustL0SamplerIW(StreamSampler):
         if existing is not None:
             # Line 4: p is not the first point of its candidate group.
             existing.count += 1
-            existing.last = p
+            self._store.relink_last(existing, p)
             if self._track_members and (
                 self._member_rng.random() < 1.0 / existing.count
             ):
                 existing.member = p
             return
 
-        adj_hashes = config.adj_hashes(p.vector)
+        adj_hashes = config.adj_hashes(p.vector, cell=ctx.cell)
         mask = self._rate_denominator - 1
         if ctx.cell_hash & mask == 0:
             accepted = True
@@ -222,9 +222,9 @@ class RobustL0SamplerIW(StreamSampler):
             self._rate_denominator *= 2
             self._store.resample(self._rate_denominator)
 
-        # The footprint only changes when the record set changes, which is
-        # exactly this code path - keeping the peak update here keeps the
-        # common "known group" path O(1).
+        # Peak tracking samples the footprint on the new-record path (the
+        # paper's pSpace is driven by the record set; the O(1) incremental
+        # counters make the probe itself free).
         words = self.space_words()
         if words > self._peak_words:
             self._peak_words = words
@@ -341,6 +341,13 @@ class RobustL0SamplerIW(StreamSampler):
                             break
                     if existing is not None:
                         existing.count += 1
+                        # Inline relink_last: the footprint only moves on
+                        # the (once per record) rep -> non-rep transition.
+                        if p is not existing.representative:
+                            if existing.last is existing.representative:
+                                store._base_words += dim + 2
+                        elif existing.last is not existing.representative:
+                            store._base_words -= dim + 2
                         existing.last = p
                         if track and member_random() < 1.0 / existing.count:
                             existing.member = p
@@ -382,7 +389,7 @@ class RobustL0SamplerIW(StreamSampler):
                         continue  # certainly ignored at the current rate
 
                 # First point of a candidate group: same code as insert().
-                adj_hashes = config.adj_hashes(vector)
+                adj_hashes = config.adj_hashes(vector, cell=cell)
                 if cell_hash & mask == 0:
                     accepted = True
                 elif any(value & mask == 0 for value in adj_hashes):
@@ -472,8 +479,17 @@ class RobustL0SamplerIW(StreamSampler):
         return float(self._store.accepted_count * self._rate_denominator)
 
     def space_words(self) -> int:
-        """Current memory footprint in words (records + scalars)."""
+        """Current memory footprint in words (records + scalars) - O(1)."""
         return self._store.space_words(track_members=self._track_members) + 4
+
+    def recount_space_words(self) -> int:
+        """Debug oracle: recompute :meth:`space_words` from scratch."""
+        return (
+            self._store.recount_space_words(
+                track_members=self._track_members
+            )
+            + 4
+        )
 
     # ------------------------------------------------------------------ #
     # Summary protocol (see repro.api.protocol)

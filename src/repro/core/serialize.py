@@ -102,7 +102,8 @@ def config_from_state(state: dict[str, Any]) -> SamplerConfig:
 
 
 def record_to_state(record: CandidateRecord) -> dict[str, Any]:
-    """Encode one candidate record (``last``/``member`` only if distinct)."""
+    """Encode one candidate record (``last``/``member``/``level`` only
+    when they deviate from the defaults)."""
     state = {
         "rep": point_to_state(record.representative),
         "cell": list(record.cell),
@@ -115,6 +116,8 @@ def record_to_state(record: CandidateRecord) -> dict[str, Any]:
         state["last"] = point_to_state(record.last)
     if record.member is not None:
         state["member"] = point_to_state(record.member)
+    if record.level:
+        state["level"] = record.level
     return state
 
 
@@ -134,6 +137,7 @@ def record_from_state(state: dict[str, Any]) -> CandidateRecord:
         last=last,
         count=state["count"],
         member=member,
+        level=state.get("level", 0),
     )
 
 

@@ -1,7 +1,7 @@
 """Algorithms 3-5: space-efficient robust l0-sampling over sliding windows.
 
-The hierarchy keeps ``L + 1`` instances of Algorithm 2 with sample rates
-``1, 1/2, ..., 1/2^L`` over a dynamic partition of the window into
+The hierarchy tracks candidate groups at ``L + 1`` levels with sample
+rates ``1, 1/2, ..., 1/2^L`` over a dynamic partition of the window into
 subwindows (Definition 2.9): level ``l`` covers an older slice of the
 window at a coarser rate.  New groups enter at level 0 (rate 1 - every
 cell is sampled, so "ALG_0 includes every point", cf. Lemma 2.10); when a
@@ -19,6 +19,32 @@ representative's cell is sampled at rate ``1/R_l`` - so each group's
 inclusion probability is ``(1/R_l) * (R_l / R_c) = 1/R_c`` regardless of
 which level it occupies.
 
+Representation (the incremental hot path)
+-----------------------------------------
+
+All levels share **one** :class:`~repro.core.base.CandidateStore` and
+**one** lazy eviction heap; each :class:`~repro.core.base.CandidateRecord`
+carries its ``level`` tag, and the sampler keeps per-level record maps,
+accept counts and word counts beside the store.  Consequences, relative
+to the earlier one-store-per-level layout:
+
+* an arrival costs one eviction sweep and one bucket probe instead of a
+  per-level top-down walk (the single-tracking invariant I1 guarantees
+  the group's record is unique across levels);
+* a ``Split``/``Merge`` promotion *moves* a record by retagging its
+  level and shifting it between the per-level maps - the store's
+  adjacency-bucket registration survives untouched, so cascades no
+  longer tear down and re-register whole levels;
+* ``space_words`` sums cached per-level word counters (updated on every
+  record add/evict/promote and on ``last``-point detachment), so peak
+  tracking is O(levels) instead of a full record walk;
+  ``recount_space_words`` is the from-scratch oracle.
+
+Eviction is hierarchy-wide and runs once per arrival, which matches the
+paper's Line 4 (every ``A_l`` drops expired pairs on each arrival) more
+closely than the earlier walk, which only evicted levels above the one
+that absorbed the point.
+
 Deviations from the paper's pseudocode (typos and an inconsistency
 resolved; see DESIGN.md section 3 for the full discussion):
 
@@ -26,10 +52,10 @@ resolved; see DESIGN.md section 3 for the full discussion):
   tracked *at all*, which lets a brand-new group be trapped as "rejected"
   at a high level; such a group is invisible to every accept set, which
   empirically starves the sampler and contradicts Fact 4 / Lemma 2.10.
-  Here the top-down descent is used only to locate the group's existing
-  record; genuinely new groups are inserted at level 0, and a rejected
-  record that receives fresh activity is reassigned to level 0 (its
-  subwindow is now the newest one; its representative is preserved);
+  Here the probe only locates the group's existing record; genuinely new
+  groups are inserted at level 0, and a rejected record that receives
+  fresh activity is reassigned to level 0 (its subwindow is now the
+  newest one; its representative is preserved);
 * ``Split`` re-derives accept/reject status of the promoted points under
   the doubled rate exactly as Algorithm 1's resampling step does (the
   literal pseudocode would always promote an empty reject set);
@@ -42,23 +68,104 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import heapq
+import itertools
 
 from repro.core.base import (
     DEFAULT_KAPPA0,
     CandidateRecord,
+    CandidateStore,
     SamplerConfig,
     StreamSampler,
     _CELL_MEMO_LIMIT,
     _ThresholdPolicy,
     coerce_point,
 )
-from repro.core.fixed_rate import FixedRateSlidingSampler
 from repro.errors import EmptySampleError, LevelOverflowError, ParameterError
+from repro.geometry.distance import within_distance
 from repro.streams.point import StreamPoint
 from repro.streams.windows import SequenceWindow, WindowSpec
+
+_record_words = CandidateStore.record_words
+
+
+class HierarchyLevel:
+    """Read-only Algorithm 2 view over one level of the shared hierarchy.
+
+    The sliding-window sampler stores all levels in one
+    :class:`~repro.core.base.CandidateStore`; this view exposes the
+    classic per-level surface (``rate_denominator``, ``records()``,
+    ``accepted_records()``, ``find_group``...) for queries, tests and
+    the k-sample wrapper, backed by the shared structures.
+    """
+
+    __slots__ = ("_sampler", "_index")
+
+    def __init__(self, sampler: "RobustL0SamplerSW", index: int) -> None:
+        self._sampler = sampler
+        self._index = index
+
+    @property
+    def rate_denominator(self) -> int:
+        """``R_l = 2^l`` of this level."""
+        return 1 << self._index
+
+    @property
+    def accepted_count(self) -> int:
+        """``|S_acc_l|`` (pre-eviction; call :meth:`evict` for exactness)."""
+        return self._sampler._level_accepted[self._index]
+
+    @property
+    def candidate_count(self) -> int:
+        """Number of candidate groups tracked at this level."""
+        return len(self._sampler._level_records[self._index])
+
+    def records(self) -> Iterator[CandidateRecord]:
+        """Iterate this level's candidate records."""
+        return iter(list(self._sampler._level_records[self._index].values()))
+
+    def accepted_records(self) -> list[CandidateRecord]:
+        """Records of this level's accept set."""
+        return [
+            r
+            for r in self._sampler._level_records[self._index].values()
+            if r.accepted
+        ]
+
+    def rejected_records(self) -> list[CandidateRecord]:
+        """Records of this level's reject set."""
+        return [
+            r
+            for r in self._sampler._level_records[self._index].values()
+            if not r.accepted
+        ]
+
+    def find_group(
+        self, vector: Sequence[float], cell_hash: int
+    ) -> CandidateRecord | None:
+        """Proximity lookup restricted to this level's records."""
+        sampler = self._sampler
+        bucket = sampler._store._buckets.get(cell_hash)
+        if not bucket:
+            return None
+        alpha = sampler._config.alpha
+        index = self._index
+        for record in bucket:
+            if record.level == index and within_distance(
+                record.representative.vector, vector, alpha
+            ):
+                return record
+        return None
+
+    def evict(self, latest: StreamPoint) -> None:
+        """Evict expired groups (hierarchy-wide; levels share one heap)."""
+        self._sampler._evict(latest)
+
+    def space_words(self) -> int:
+        """This level's footprint in words (cached counter + scalars)."""
+        return self._sampler._level_words[self._index] + 3
 
 
 class RobustL0SamplerSW(StreamSampler):
@@ -128,10 +235,15 @@ class RobustL0SamplerSW(StreamSampler):
         self._window = window
         self._policy = _ThresholdPolicy(kappa0, expected_stream_length)
         self._max_level = max(1, math.ceil(math.log2(max(window_capacity, 2))))
-        self._levels = [
-            FixedRateSlidingSampler(self._config, 2**level, window)
-            for level in range(self._max_level + 1)
+        levels = self._max_level + 1
+        self._store = CandidateStore(self._config)
+        self._heap: list[tuple[float, int, CandidateRecord, StreamPoint]] = []
+        self._tiebreak = itertools.count()
+        self._level_records: list[dict[int, CandidateRecord]] = [
+            {} for _ in range(levels)
         ]
+        self._level_accepted: list[int] = [0] * levels
+        self._level_words: list[int] = [0] * levels
         self._latest: StreamPoint | None = None
         self._count = 0
         self._peak_words = 0
@@ -158,7 +270,7 @@ class RobustL0SamplerSW(StreamSampler):
     @property
     def num_levels(self) -> int:
         """Number of hierarchy levels (``L + 1``)."""
-        return len(self._levels)
+        return self._max_level + 1
 
     @property
     def points_seen(self) -> int:
@@ -170,9 +282,129 @@ class RobustL0SamplerSW(StreamSampler):
         """Largest footprint observed across the run."""
         return self._peak_words
 
-    def level(self, index: int) -> FixedRateSlidingSampler:
-        """Access one Algorithm 2 instance (mostly for tests/inspection)."""
-        return self._levels[index]
+    def level(self, index: int) -> HierarchyLevel:
+        """Access one level's Algorithm 2 view (for queries/tests)."""
+        if not 0 <= index <= self._max_level:
+            raise ParameterError(
+                f"level must be in [0, {self._max_level}], got {index}"
+            )
+        return HierarchyLevel(self, index)
+
+    # ------------------------------------------------------------------ #
+    # shared-store bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _push(self, record: CandidateRecord) -> None:
+        heapq.heappush(
+            self._heap,
+            (
+                self._window.expiry_key(record.last),
+                next(self._tiebreak),
+                record,
+                record.last,
+            ),
+        )
+
+    def _add(self, record: CandidateRecord) -> None:
+        """Register a record (store + its level's map/counters)."""
+        self._store.add(record)
+        level = record.level
+        self._level_records[level][record.representative.index] = record
+        if record.accepted:
+            self._level_accepted[level] += 1
+        self._level_words[level] += _record_words(record)
+
+    def _remove(self, record: CandidateRecord) -> None:
+        """Drop a record (store + its level's map/counters)."""
+        self._store.remove(record)
+        level = record.level
+        del self._level_records[level][record.representative.index]
+        if record.accepted:
+            self._level_accepted[level] -= 1
+        self._level_words[level] -= _record_words(record)
+
+    def _move(self, record: CandidateRecord, target: int) -> None:
+        """Retag a record's level - the store registration survives."""
+        source = record.level
+        rep = record.representative
+        key = rep.index
+        del self._level_records[source][key]
+        self._level_records[target][key] = record
+        record.level = target
+        # Inline record_words: this runs once per promotion step.
+        dim = len(rep.vector)
+        words = dim + 5 + len(record.adj_hashes)
+        if record.last is not rep:
+            words += dim + 2
+        level_words = self._level_words
+        level_words[source] -= words
+        level_words[target] += words
+        if record.accepted:
+            level_accepted = self._level_accepted
+            level_accepted[source] -= 1
+            level_accepted[target] += 1
+
+    def _set_accepted(self, record: CandidateRecord, accepted: bool) -> None:
+        """Flip accept status, keeping store and level counters in sync."""
+        if record.accepted != accepted:
+            self._store.set_accepted(record, accepted)
+            self._level_accepted[record.level] += 1 if accepted else -1
+
+    def _relink_last(self, record: CandidateRecord, new_last: StreamPoint) -> None:
+        """Level-aware :meth:`CandidateStore.relink_last`."""
+        rep = record.representative
+        extra = len(rep.vector) + 2
+        if record.last is rep:
+            if new_last is not rep:
+                self._store._base_words += extra
+                self._level_words[record.level] += extra
+        elif new_last is rep:
+            self._store._base_words -= extra
+            self._level_words[record.level] -= extra
+        record.last = new_last
+
+    def _evict(self, latest: StreamPoint) -> None:
+        """Drop groups whose last point expired (Lines 1-3, all levels).
+
+        One lazy heap covers the whole hierarchy.  The window's
+        ``eviction_cutoff`` pre-filters by heap key first - the common
+        nothing-expires case costs one float comparison - then stale
+        entries (the record was removed, or its last point superseded)
+        are popped, and the authoritative ``in_window`` test decides the
+        rest.
+        """
+        heap = self._heap
+        if not heap:
+            return
+        window = self._window
+        cutoff = window.eviction_cutoff(latest)
+        records_get = self._store._records.get
+        while heap:
+            key, _, record, last_ref = heap[0]
+            if key > cutoff:
+                break
+            if (
+                records_get(record.representative.index) is not record
+                or record.last is not last_ref
+            ):
+                heapq.heappop(heap)
+                continue
+            if window.in_window(record.last, latest):
+                break
+            heapq.heappop(heap)
+            self._remove(record)
+
+    def _note_space(self) -> None:
+        """Record the current footprint into the running peak.
+
+        The single call site family for peak tracking (both the per-point
+        and the batched paths go through here on the same every-16th
+        cadence), so per-point and batch ingestion report identical
+        ``peak_space_words`` by construction.
+        """
+        words = self.space_words()
+        if words > self._peak_words:
+            self._peak_words = words
 
     # ------------------------------------------------------------------ #
     # streaming
@@ -194,76 +426,59 @@ class RobustL0SamplerSW(StreamSampler):
         self._count += 1
         self._policy.observe()
         self._latest = p
+        self._evict(p)
 
         ctx = self._config.point_context(p.vector)
-        base = self._levels[0]
-        for level in range(self._max_level, -1, -1):
-            instance = self._levels[level]
-            instance.evict(p)
-            record = instance.find_group(p.vector, ctx.cell_hash)
-            if record is None:
-                continue
-            record.last = p
+        record = self._store.find_nearby(p.vector, ctx.cell_hash)
+        if record is not None:
+            # The group is tracked at exactly one level (invariant I1);
+            # the shared store finds its record in one bucket probe.
+            self._relink_last(record, p)
             record.count += 1
-            if record.accepted or level == 0:
-                instance.adopt_last_update(record)
-            else:
+            self._push(record)
+            if not record.accepted and record.level != 0:
                 # A rejected group with fresh activity belongs to the
                 # newest subwindow: move it (representative preserved) to
                 # level 0, whose rate 1 accepts everything.
-                instance.remove_record(record)
-                record.accepted = True
-                base.adopt_record(record)
-                if base.accepted_count > self._policy.threshold():
+                self._move(record, 0)
+                self._set_accepted(record, True)
+                if self._level_accepted[0] > self._policy.threshold():
                     self._cascade(0)
-            break
         else:
             # A genuinely new group enters at level 0 (Lemma 2.10: ALG_0
             # tracks every representative since R_0 = 1).
-            tracked, ctx = base.insert(p, ctx)
-            assert tracked, "level 0 samples every cell (R=1)"
-            if base.accepted_count > self._policy.threshold():
+            record = CandidateRecord(
+                representative=p,
+                cell=ctx.cell,
+                cell_hash=ctx.cell_hash,
+                adj_hashes=self._config.adj_hashes(p.vector, cell=ctx.cell),
+                accepted=True,
+                last=p,
+                level=0,
+            )
+            self._add(record)
+            self._push(record)
+            if self._level_accepted[0] > self._policy.threshold():
                 self._cascade(0)
 
-        # Peak-space tracking is sampled (every 16th arrival) - summing the
-        # footprint of every level on every insert would dominate runtime.
+        # Peak-space tracking is sampled (every 16th arrival); with the
+        # cached per-level counters each probe is O(levels).
         if self._count & 0xF == 0:
-            words = self.space_words()
-            if words > self._peak_words:
-                self._peak_words = words
-
-    def _level_hot_state(self) -> list[tuple]:
-        """Per-level bindings for the batched walk.
-
-        Must be re-derived after any cascade: ``Split`` rebuilds a level
-        via :meth:`~repro.core.fixed_rate.FixedRateSlidingSampler.clear`,
-        which swaps the level's :class:`~repro.core.base.CandidateStore`
-        for a fresh one.
-        """
-        return [
-            (
-                instance,
-                instance._store,
-                instance._store._records.get,
-                instance._store._buckets.get,
-                instance._heap,
-                instance._reservoirs,
-                instance._tiebreak,
-            )
-            for instance in self._levels
-        ]
+            self._note_space()
 
     def process_many(
         self, points: Iterable[StreamPoint | Sequence[float]]
     ) -> int:
         """Batched :meth:`insert` over the whole hierarchy.
 
-        The per-arrival geometry (cell, cell hash through the config's
-        shared memo) is computed once per point and reused by every level
-        of the top-down walk, and each level's eviction + proximity probe
-        runs inline - replicating :meth:`insert` operation-for-operation,
-        so the resulting state (including each level's lazy heap) is
-        identical to per-point ingestion.
+        The per-arrival pipeline - eviction sweep, cell geometry (through
+        the config's shared memo), the single shared-store bucket probe
+        and the distance test - runs inline, replicating :meth:`insert`
+        operation-for-operation, so the resulting state (including the
+        shared lazy heap) is identical to per-point ingestion.  Cascades
+        never invalidate the hoisted locals: the shared store and heap
+        objects are stable across Split/Merge (promotions retag records
+        in place).
         """
         config = self._config
         dim = config.dim
@@ -278,16 +493,32 @@ class RobustL0SamplerSW(StreamSampler):
         expiry_key = window.expiry_key
         in_window = window.in_window
         eviction_cutoff = window.eviction_cutoff
+        heap = self._heap
         heappush = heapq.heappush
         heappop = heapq.heappop
         policy = self._policy
-        base = self._levels[0]
-        max_level = self._max_level
+        store = self._store
+        records_get = store._records.get
+        buckets_get = store._buckets.get
+        level_records0 = self._level_records[0]
+        level_accepted = self._level_accepted
+        level_words = self._level_words
+        remove = self._remove
+        tiebreak = self._tiebreak
         alpha_sq = config.alpha * config.alpha
+        last_extra = dim + 2
         count = self._count
         latest = self._latest
+        latest_key = expiry_key(latest) if latest is not None else None
+        # Sequence windows admit exact inline arithmetic for the three
+        # per-arrival window calls: expiry_key(p) == float(p.index),
+        # eviction_cutoff(p) == float(p.index - w) == float(p.index) - w
+        # and in_window(q, p) == q.index > p.index - w (indices stay far
+        # below 2^53, so the float forms are exact).
+        seq_size = (
+            int(window.size) if type(window) is SequenceWindow else None
+        )
         pending = 0  # arrivals not yet flushed into the threshold policy
-        state = self._level_hot_state()
         processed = 0
         if dim == 1:
             off0 = offset[0]
@@ -302,14 +533,17 @@ class RobustL0SamplerSW(StreamSampler):
                     p = point
                     vector = p.vector
                 else:
-                    vector = tuple(float(x) for x in point)
+                    vector = tuple(map(float, point))
                     p = StreamPoint(vector, count)
                 if len(vector) != dim:
                     raise ParameterError(
                         f"point has dimension {len(vector)}, "
                         f"sampler expects {dim}"
                     )
-                if latest is not None and expiry_key(p) < expiry_key(latest):
+                point_key = (
+                    float(p.index) if seq_size is not None else expiry_key(p)
+                )
+                if latest_key is not None and point_key < latest_key:
                     raise ParameterError(
                         "stream points must arrive in non-decreasing "
                         "window order"
@@ -318,6 +552,33 @@ class RobustL0SamplerSW(StreamSampler):
                 pending += 1
                 processed += 1
                 latest = p
+                latest_key = point_key
+
+                # Inline _evict(p): identical operations to the method.
+                if heap:
+                    if seq_size is not None:
+                        cutoff = point_key - seq_size
+                    else:
+                        cutoff = eviction_cutoff(p)
+                    while heap:
+                        key, _, record, last_ref = heap[0]
+                        if key > cutoff:
+                            break
+                        if (
+                            records_get(record.representative.index)
+                            is not record
+                            or record.last is not last_ref
+                        ):
+                            heappop(heap)
+                            continue
+                        if (
+                            record.last.index > cutoff
+                            if seq_size is not None
+                            else in_window(record.last, p)
+                        ):
+                            break
+                        heappop(heap)
+                        remove(record)
 
                 if dim == 2:
                     cell = (
@@ -337,78 +598,53 @@ class RobustL0SamplerSW(StreamSampler):
                         memo.clear()
                     memo[cell] = cell_hash
 
-                cutoff = eviction_cutoff(p)
-                for level in range(max_level, -1, -1):
-                    (
-                        instance,
-                        store,
-                        records_get,
-                        buckets_get,
-                        heap,
-                        reservoirs,
-                        tiebreak,
-                    ) = state[level]
-
-                    # Inline evict(p), identical operations to the method.
-                    while heap:
-                        key, _, record, last_ref = heap[0]
-                        if (
-                            records_get(record.representative.index)
-                            is not record
-                            or record.last is not last_ref
+                # Inline find_nearby(p.vector, cell_hash): one probe
+                # covers every level (single-tracking invariant I1).
+                bucket = buckets_get(cell_hash)
+                found = None
+                if bucket:
+                    for record in bucket:
+                        acc = 0.0
+                        for a, b in zip(
+                            record.representative.vector, vector
                         ):
-                            heappop(heap)
-                            continue
-                        if key > cutoff or in_window(record.last, p):
-                            break
-                        heappop(heap)
-                        store.remove(record)
-                        reservoirs.pop(record.representative.index, None)
-
-                    # Inline find_group(p.vector, cell_hash).
-                    bucket = buckets_get(cell_hash)
-                    found = None
-                    if bucket:
-                        for record in bucket:
-                            acc = 0.0
-                            for a, b in zip(
-                                record.representative.vector, vector
-                            ):
-                                diff = a - b
-                                acc += diff * diff
-                                if acc > alpha_sq:
-                                    break
-                            else:
-                                found = record
+                            diff = a - b
+                            acc += diff * diff
+                            if acc > alpha_sq:
                                 break
-                    if found is None:
-                        continue
+                        else:
+                            found = record
+                            break
+                if found is not None:
+                    # Inline _relink_last: footprint moves only on the
+                    # (once per record) rep -> non-rep transition.
+                    rep = found.representative
+                    if p is not rep:
+                        if found.last is rep:
+                            store._base_words += last_extra
+                            level_words[found.level] += last_extra
+                    elif found.last is not rep:
+                        store._base_words -= last_extra
+                        level_words[found.level] -= last_extra
                     found.last = p
                     found.count += 1
-                    if found.accepted or level == 0:
-                        heappush(
-                            heap, (expiry_key(p), next(tiebreak), found, p)
-                        )
-                    else:
+                    heappush(
+                        heap, (point_key, next(tiebreak), found, p)
+                    )
+                    if not found.accepted and found.level:
                         # Rejected group with fresh activity: move it to
                         # level 0 (representative preserved).
-                        instance.remove_record(found)
-                        found.accepted = True
-                        base.adopt_record(found)
+                        self._count = count
+                        self._latest = latest
                         policy.observe_many(pending)
                         pending = 0
-                        if base.accepted_count > policy.threshold():
-                            self._count = count
-                            self._latest = latest
+                        self._move(found, 0)
+                        self._set_accepted(found, True)
+                        if level_accepted[0] > policy.threshold():
                             self._cascade(0)
-                            state = self._level_hot_state()
-                    break
                 else:
-                    # A genuinely new group enters at level 0, inlined:
-                    # the walk already evicted level 0 and missed its
-                    # buckets (insert() re-runs both, provably no-ops),
-                    # and R_0 = 1 accepts every cell, so the record is
-                    # created directly (Lemma 2.10).
+                    # A genuinely new group enters at level 0 (R_0 = 1
+                    # accepts every cell, Lemma 2.10).
                     self._count = count
                     self._latest = latest
                     policy.observe_many(pending)
@@ -417,37 +653,23 @@ class RobustL0SamplerSW(StreamSampler):
                         representative=p,
                         cell=cell,
                         cell_hash=cell_hash,
-                        adj_hashes=config.adj_hashes(vector),
+                        adj_hashes=config.adj_hashes(vector, cell=cell),
                         accepted=True,
                         last=p,
+                        level=0,
                     )
-                    (
-                        _,
-                        store0,
-                        _,
-                        _,
-                        heap0,
-                        _,
-                        tiebreak0,
-                    ) = state[0]
-                    store0.add(record)
+                    store.add(record)
+                    level_records0[p.index] = record
+                    level_accepted[0] += 1
+                    level_words[0] += _record_words(record)
                     heappush(
-                        heap0, (expiry_key(p), next(tiebreak0), record, p)
+                        heap, (point_key, next(tiebreak), record, p)
                     )
-                    if base._track_members:
-                        base._reservoir_for(record).offer(
-                            p, base._member_rng
-                        )
-                    if base.accepted_count > policy.threshold():
+                    if level_accepted[0] > policy.threshold():
                         self._cascade(0)
-                        state = self._level_hot_state()
 
                 if count & 0xF == 0:
-                    self._count = count
-                    self._latest = latest
-                    words = self.space_words()
-                    if words > self._peak_words:
-                        self._peak_words = words
+                    self._note_space()
         finally:
             self._count = count
             self._latest = latest
@@ -462,7 +684,7 @@ class RobustL0SamplerSW(StreamSampler):
         """Restore the accept-set invariant by promoting prefixes upward."""
         level = start_level
         threshold = self._policy.threshold()
-        while self._levels[level].accepted_count > threshold:
+        while self._level_accepted[level] > threshold:
             if level + 1 > self._max_level:
                 raise LevelOverflowError(
                     "sliding-window hierarchy overflow (Algorithm 3 Line 17); "
@@ -477,15 +699,20 @@ class RobustL0SamplerSW(StreamSampler):
         """Algorithm 4: carve off the promotable prefix of ``level``.
 
         Returns the records of the prefix *re-derived at the doubled rate*
-        (already filtered to accepted/rejected; dropped points discarded).
-        The remaining suffix stays at ``level`` with its status unchanged.
+        (already filtered to accepted/rejected; dropped points removed),
+        still registered in the shared store and tagged with ``level`` -
+        :meth:`_merge` retags the survivors.  The remaining suffix stays
+        at ``level`` completely untouched: no store re-registration, no
+        heap churn.
         """
-        instance = self._levels[level]
-        doubled_mask = instance.rate_denominator * 2 - 1
+        level_map = self._level_records[level]
+        doubled_exponent = level + 1
+        doubled_mask = (1 << doubled_exponent) - 1
 
-        accepted = sorted(
-            instance.accepted_records(), key=lambda r: r.representative.index
+        all_records = sorted(
+            level_map.values(), key=lambda r: r.representative.index
         )
+        accepted = [r for r in all_records if r.accepted]
         survivors = [
             r for r in accepted if r.cell_hash & doubled_mask == 0
         ]
@@ -498,55 +725,64 @@ class RobustL0SamplerSW(StreamSampler):
         else:
             boundary = accepted[-1].representative.index - 1
 
-        all_records = list(instance.records())
-        prefix = [
-            r for r in all_records if r.representative.index <= boundary
-        ]
-        suffix = [r for r in all_records if r.representative.index > boundary]
-
-        # Rebuild the level with the suffix (rate unchanged, Algorithm 4's
-        # ALG_b) ...
-        instance.clear()
-        for record in suffix:
-            instance.adopt_record(record)
-
-        # ... and re-derive the prefix at the doubled rate (ALG_a).
+        # Re-derive the prefix at the doubled rate (Algorithm 4's ALG_a);
+        # the suffix (ALG_b) keeps its rate and status by simply staying.
+        # ``all_records`` is index-sorted, so the prefix is its leading
+        # run; the adj test is the cached O(1) survival exponent.
         promoted: list[CandidateRecord] = []
-        for record in prefix:
+        for record in all_records:
+            if record.representative.index > boundary:
+                break
             if record.cell_hash & doubled_mask == 0:
-                record.accepted = True
-            elif any(
-                value & doubled_mask == 0 for value in record.adj_hashes
-            ):
-                record.accepted = False
+                self._set_accepted(record, True)
             else:
-                continue
+                # Inline the cached survival-exponent read (computed at
+                # most once per record by survival_exponent()).
+                tz = record.adj_tz
+                if tz < 0:
+                    tz = record.survival_exponent()
+                if tz >= doubled_exponent:
+                    self._set_accepted(record, False)
+                else:
+                    self._remove(record)
+                    continue
             promoted.append(record)
         return promoted
 
     def _merge(self, promoted: list[CandidateRecord], level: int) -> None:
         """Algorithm 5: fold promoted records into the level above.
 
-        Deduplicates representatives of the same group: when the target
-        level already tracks a group within ``alpha`` of a promoted
-        representative, the existing record absorbs the promoted one's
-        last-point and count.
+        Promotion is a *move*: the record's level tag flips and it shifts
+        between the per-level maps; its store registration and its live
+        heap entry survive as-is.  Deduplicates representatives of the
+        same group: when the target level already tracks a group within
+        ``alpha`` of a promoted representative, the existing record
+        absorbs the promoted one's last-point and count.
         """
-        target = self._levels[level]
+        buckets_get = self._store._buckets.get
+        alpha = self._config.alpha
+        expiry_key = self._window.expiry_key
         for record in promoted:
-            existing = target.find_group(
-                record.representative.vector, record.cell_hash
-            )
+            existing = None
+            bucket = buckets_get(record.cell_hash)
+            if bucket:
+                vector = record.representative.vector
+                for candidate in bucket:
+                    # Promoted-but-not-yet-moved records still carry the
+                    # source level tag, so they can never match here.
+                    if candidate.level == level and within_distance(
+                        candidate.representative.vector, vector, alpha
+                    ):
+                        existing = candidate
+                        break
             if existing is not None:
-                if (
-                    self._window.expiry_key(record.last)
-                    > self._window.expiry_key(existing.last)
-                ):
-                    existing.last = record.last
-                    target.adopt_last_update(existing)
+                if expiry_key(record.last) > expiry_key(existing.last):
+                    self._relink_last(existing, record.last)
+                    self._push(existing)
                 existing.count += record.count
+                self._remove(record)
             else:
-                target.adopt_record(record)
+                self._move(record, level)
 
     # ------------------------------------------------------------------ #
     # queries
@@ -563,22 +799,23 @@ class RobustL0SamplerSW(StreamSampler):
         if self._latest is None:
             raise EmptySampleError("no points inserted yet")
         rng = rng if rng is not None else random.Random()
-        latest = self._latest
+        self._evict(self._latest)
 
         active: list[tuple[int, list[CandidateRecord]]] = []
-        for index, instance in enumerate(self._levels):
-            instance.evict(latest)
-            records = instance.accepted_records()
+        for index, level_map in enumerate(self._level_records):
+            if not self._level_accepted[index]:
+                continue
+            records = [r for r in level_map.values() if r.accepted]
             if records:
                 active.append((index, records))
         if not active:
             raise EmptySampleError("the sliding window contains no points")
 
         deepest = active[-1][0]
-        coarsest = self._levels[deepest].rate_denominator
+        coarsest = 1 << deepest
         pool: list[StreamPoint] = []
         for index, records in active:
-            keep_probability = self._levels[index].rate_denominator / coarsest
+            keep_probability = (1 << index) / coarsest
             for record in records:
                 if keep_probability >= 1.0 or rng.random() < keep_probability:
                     pool.append(record.last)
@@ -598,26 +835,41 @@ class RobustL0SamplerSW(StreamSampler):
         """
         if self._latest is None:
             raise EmptySampleError("no points inserted yet")
-        total = 0.0
-        for instance in self._levels:
-            instance.evict(self._latest)
-            total += instance.accepted_count * instance.rate_denominator
-        return total
+        self._evict(self._latest)
+        return float(
+            sum(
+                count << index
+                for index, count in enumerate(self._level_accepted)
+            )
+        )
 
     def deepest_active_level(self) -> int | None:
         """Largest level index with a non-empty (unexpired) accept set."""
         if self._latest is None:
             return None
+        self._evict(self._latest)
         deepest = None
-        for index, instance in enumerate(self._levels):
-            instance.evict(self._latest)
-            if instance.accepted_count:
+        for index, count in enumerate(self._level_accepted):
+            if count:
                 deepest = index
         return deepest
 
     def space_words(self) -> int:
-        """Current footprint across all levels."""
-        return sum(level.space_words() for level in self._levels) + 4
+        """Current footprint across all levels (cached counters, O(levels))."""
+        return sum(self._level_words) + 3 * (self._max_level + 1) + 4
+
+    def recount_space_words(self) -> int:
+        """Debug oracle: recompute :meth:`space_words` from scratch.
+
+        Walks every level's records and sums their true footprints; the
+        invariant tests assert this equals :meth:`space_words` (and that
+        the per-level cached counters match per level) after every
+        operation.
+        """
+        total = 0
+        for level_map in self._level_records:
+            total += sum(_record_words(r) for r in level_map.values())
+        return total + 3 * (self._max_level + 1) + 4
 
     # ------------------------------------------------------------------ #
     # Summary protocol (see repro.api.protocol)
@@ -648,15 +900,44 @@ class RobustL0SamplerSW(StreamSampler):
         """Serialise the hierarchy to a JSON-compatible dict.
 
         The state is the window's contents in replayable form - every
-        level's candidate records (representative, most recent in-window
-        point, reservoir members) and eviction heap, exactly as held -
-        plus the shared config, window specification and threshold
-        policy.  A restored hierarchy continues the stream with decisions
-        identical to the original's
-        (``repro.engine.state_fingerprint``-equal).
+        candidate record (representative, most recent in-window point,
+        level tag) plus the shared lazy eviction heap **verbatim** (stale
+        entries, tiebreak counter position and all) - plus the shared
+        config, window specification and threshold policy.  A restored
+        hierarchy continues the stream with decisions identical to the
+        original's (``repro.engine.state_fingerprint``-equal).
+
+        Heap entries are stored with two linkage flags instead of object
+        references: ``linked`` (the referenced record is still the store's
+        record for that representative) and ``cur`` (the entry's last-point
+        is the record's current one).  ``from_state`` uses them to restore
+        the identity relationships the lazy-eviction staleness checks rely
+        on (``store.get(i) is record`` / ``record.last is last_ref``).
         """
         from repro.core import serialize
 
+        store = self._store
+        records = sorted(
+            store.records(), key=lambda r: r.representative.index
+        )
+        heap_state = []
+        for key, tiebreak, record, last_ref in self._heap:
+            current = store.get(record.representative.index)
+            heap_state.append(
+                {
+                    "k": key,
+                    "t": tiebreak,
+                    "r": record.representative.index,
+                    "p": serialize.point_to_state(last_ref),
+                    "linked": current is record,
+                    "cur": record.last is last_ref,
+                }
+            )
+        # Read the tiebreak position without perturbing the sequence: the
+        # counter object is consumed by one peek and replaced by an equal
+        # continuation (fingerprints never include the object itself).
+        position = next(self._tiebreak)
+        self._tiebreak = itertools.count(position)
         return {
             "config": serialize.config_to_state(self._config),
             "window": serialize.window_to_state(self._window),
@@ -669,12 +950,22 @@ class RobustL0SamplerSW(StreamSampler):
                 if self._latest is not None
                 else None
             ),
-            "levels": [level.to_state() for level in self._levels],
+            "records": [serialize.record_to_state(r) for r in records],
+            "heap": heap_state,
+            "next_tiebreak": position,
         }
 
     @classmethod
     def from_state(cls, state: dict) -> "RobustL0SamplerSW":
-        """Restore a hierarchy from :meth:`to_state` output."""
+        """Restore a hierarchy from :meth:`to_state` output.
+
+        Also reads the legacy one-store-per-level layout (states written
+        before the shared-store refactor, recognisable by their
+        ``"levels"`` list): records are re-tagged with their level index
+        and the per-level lazy heaps are folded into the shared heap
+        (live entries only - stale entries are semantically inert, they
+        only existed to be popped).
+        """
         from repro.core import serialize
 
         from repro.errors import CheckpointError
@@ -690,12 +981,12 @@ class RobustL0SamplerSW(StreamSampler):
         sampler._window = window
         sampler._policy = serialize.policy_from_state(state["policy"])
         sampler._max_level = state["max_level"]
-        sampler._levels = [
-            FixedRateSlidingSampler.from_state(
-                level_state, config=config, window=window
-            )
-            for level_state in state["levels"]
-        ]
+        levels = sampler._max_level + 1
+        sampler._store = CandidateStore(config)
+        sampler._heap = []
+        sampler._level_records = [{} for _ in range(levels)]
+        sampler._level_accepted = [0] * levels
+        sampler._level_words = [0] * levels
         sampler._latest = (
             serialize.point_from_state(state["latest"])
             if state["latest"] is not None
@@ -703,4 +994,73 @@ class RobustL0SamplerSW(StreamSampler):
         )
         sampler._count = state["points_seen"]
         sampler._peak_words = state["peak_space_words"]
+        if "levels" in state:
+            sampler._restore_legacy_levels(state["levels"])
+            return sampler
+
+        records: dict[int, CandidateRecord] = {}
+        for record_state in state["records"]:
+            record = serialize.record_from_state(record_state)
+            records[record.representative.index] = record
+            sampler._add(record)
+        sampler._tiebreak = itertools.count(state["next_tiebreak"])
+        for entry in state["heap"]:
+            last = serialize.point_from_state(entry["p"])
+            record = records.get(entry["r"]) if entry["linked"] else None
+            if record is None:
+                # The referenced record left the store: fabricate a
+                # detached stand-in so the staleness check pops the entry
+                # exactly as it would have popped the original.
+                record = CandidateRecord(
+                    representative=StreamPoint(last.vector, entry["r"]),
+                    cell=(),
+                    cell_hash=0,
+                    adj_hashes=(),
+                    accepted=False,
+                    last=last,
+                )
+            elif entry["cur"]:
+                # Live entry: restore the identity record.last is last_ref.
+                last = record.last
+            # The saved list order *is* a valid heap arrangement (it was
+            # the live heap), so it is restored verbatim - heapifying
+            # could legally rearrange it and break fingerprint equality.
+            sampler._heap.append((entry["k"], entry["t"], record, last))
         return sampler
+
+    def _restore_legacy_levels(self, level_states: list[dict]) -> None:
+        """Rebuild shared structures from per-level legacy states."""
+        from repro.core import serialize
+
+        live_entries: list[tuple[float, int, int, int]] = []
+        records: dict[int, CandidateRecord] = {}
+        for index, level_state in enumerate(level_states):
+            for record_state in level_state["records"]:
+                record = serialize.record_from_state(record_state)
+                record.level = index
+                records[record.representative.index] = record
+                self._add(record)
+            for entry in level_state["heap"]:
+                if entry["linked"] and entry["cur"]:
+                    live_entries.append(
+                        (entry["k"], index, entry["t"], entry["r"])
+                    )
+        covered = {key for _, _, _, key in live_entries}
+        for key, record in records.items():
+            if key not in covered:
+                live_entries.append(
+                    (
+                        self._window.expiry_key(record.last),
+                        len(level_states),
+                        0,
+                        key,
+                    )
+                )
+        # Pushing in sorted order yields a valid heap with fresh,
+        # collision-free tiebreaks (per-level counters overlapped).
+        self._tiebreak = itertools.count()
+        for heap_key, _, _, record_key in sorted(live_entries):
+            record = records[record_key]
+            self._heap.append(
+                (heap_key, next(self._tiebreak), record, record.last)
+            )

@@ -22,10 +22,13 @@ obeys one invariant, *state equivalence*:
 Batching is therefore an implementation detail of throughput: no caller
 can observe whether a stream arrived in batches or point by point.
 :func:`repro.engine.equivalence.state_fingerprint` reifies "state" as a
-comparable value; ``tests/test_engine.py`` is the differential suite
-that enforces the contract for every sampler and both window flavours,
-and ``benchmarks/bench_throughput.py`` measures what the contract buys
-(>= 3x points/sec on the infinite-window sampler at 10^5 points).
+comparable value; ``tests/test_engine.py`` is the deterministic
+differential suite and ``tests/test_property_equivalence.py`` the
+property-based one (Hypothesis-driven adversarial streams and batch
+layouts against every registry key, shrinking on failure) that enforce
+the contract, and ``benchmarks/bench_throughput.py`` measures what it
+buys and gates the committed speedup floors (results tracked in
+``BENCH_sliding.json``).
 
 Where the speed comes from
 --------------------------
@@ -57,9 +60,20 @@ Extending the engine to a new sampler
    ``config.conservative_neighborhood``.  Defer pure counters (e.g.
    ``_ThresholdPolicy.observe``) only to points where nothing reads
    them.
-3. Teach :func:`repro.engine.equivalence.state_fingerprint` about any
+3. Keep the *incremental-space contract*: ``space_words()`` must be
+   served from counters maintained on every mutation (record add /
+   remove / ``last``-point relink - see
+   :meth:`repro.core.base.CandidateStore.relink_last` and the sliding
+   hierarchy's per-level word counters), never by walking the record
+   set, and the sampler must expose ``recount_space_words()`` as the
+   from-scratch oracle.  ``tests/test_property_equivalence.py`` asserts
+   counter == recount after every operation; the counters are also part
+   of the state fingerprint, so drift fails the differential suites.
+4. Teach :func:`repro.engine.equivalence.state_fingerprint` about any
    new state, and add the sampler to the differential matrix in
-   ``tests/test_engine.py``.  A fingerprint mismatch on any seeded
+   ``tests/test_engine.py`` **and** to the property matrix in
+   ``tests/test_property_equivalence.py`` (its registry-coverage test
+   fails until the key is added).  A fingerprint mismatch on any seeded
    stream is a contract violation, not a flaky test.
 
 Scale-out

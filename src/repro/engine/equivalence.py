@@ -55,6 +55,7 @@ def _record(record: CandidateRecord) -> tuple:
         _point(record.last),
         record.count,
         _point(record.member),
+        record.level,
     )
 
 
@@ -65,7 +66,16 @@ def _store(store: CandidateStore) -> tuple:
             store.records(), key=lambda r: r.representative.index
         )
     )
-    return (records, store.accepted_count)
+    # The incremental space counters are part of the contract: a batch
+    # path that drifts from the per-point accounting (or a resume that
+    # fails to rebuild it) is a fingerprint mismatch, not just a wrong
+    # space report.
+    return (
+        records,
+        store.accepted_count,
+        store.space_words(track_members=False),
+        store.space_words(track_members=True),
+    )
 
 
 def _policy(policy: _ThresholdPolicy) -> tuple:
@@ -122,16 +132,20 @@ def _fixed_rate(sampler: FixedRateSlidingSampler) -> tuple:
 
 
 def _sliding(sampler: RobustL0SamplerSW) -> tuple:
+    heap = tuple(
+        (key, tiebreak, record.representative.index, _point(last))
+        for key, tiebreak, record, last in sampler._heap
+    )
     return (
         "RobustL0SamplerSW",
         sampler.points_seen,
         _policy(sampler._policy),
         _point(sampler._latest),
         sampler.peak_space_words,
-        tuple(
-            _fixed_rate(sampler.level(index))
-            for index in range(sampler.num_levels)
-        ),
+        _store(sampler._store),
+        tuple(sampler._level_accepted),
+        tuple(sampler._level_words),
+        heap,
     )
 
 

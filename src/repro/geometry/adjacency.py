@@ -59,7 +59,11 @@ def _axis_moves(frac: float, side: float, budget_sq: float) -> list[tuple[int, f
 
 
 def collect_adjacent(
-    grid: Grid, point: Sequence[float], radius: float
+    grid: Grid,
+    point: Sequence[float],
+    radius: float,
+    *,
+    base_cell: Cell | None = None,
 ) -> list[Cell]:
     """Return ``adj(point)`` as a list (hot-path form, no generators).
 
@@ -67,14 +71,39 @@ def collect_adjacent(
     prefixes carry their accumulated squared move distance, and a prefix is
     extended by an axis move only while the accumulated distance stays
     within ``radius`` - the same pruning as the paper's DFS, organised for
-    minimal Python overhead.
+    minimal Python overhead.  Dimensions 1 and 2 (the Section 2 setting,
+    where this sits on the candidate-founding hot path) run specialised
+    loops producing the identical cells in the identical order.
     """
     if radius < 0:
         return []
     radius_sq = radius * radius
-    base_cell = grid.cell_of(point)
+    if base_cell is None:
+        base_cell = grid.cell_of(point)
     fractions = grid.fractional_position(point)
     side = grid.side
+
+    if len(base_cell) == 1:
+        base = base_cell[0]
+        return [
+            (base + offset,)
+            for offset, _ in _axis_moves(fractions[0], side, radius_sq)
+        ]
+    if len(base_cell) == 2:
+        base_x, base_y = base_cell
+        moves_x = _axis_moves(fractions[0], side, radius_sq)
+        moves_y = _axis_moves(fractions[1], side, radius_sq)
+        cells: list[Cell] = []
+        append = cells.append
+        # Same order (axis-1 moves outermost) and the same float
+        # arithmetic (cost_x + cost_y, never a rearranged comparison) as
+        # the generic construction below.
+        for offset_y, cost_y in moves_y:
+            y = base_y + offset_y
+            for offset_x, cost_x in moves_x:
+                if cost_x + cost_y <= radius_sq:
+                    append((base_x + offset_x, y))
+        return cells
 
     # partials: (cost so far, coordinate prefix)
     partials: list[tuple[float, tuple[int, ...]]] = [(0.0, ())]

@@ -50,3 +50,20 @@ def config_2d() -> SamplerConfig:
 def stream_of(vectors) -> list[StreamPoint]:
     """Wrap raw vectors as a stream (helper usable by all test modules)."""
     return [StreamPoint(tuple(map(float, v)), i) for i, v in enumerate(vectors)]
+
+
+# Shared stream generators (import `from stream_generators import ...`
+# in test modules; fixture wrappers below for fixture-style access).
+from stream_generators import line_stream, noisy_grid_stream  # noqa: E402,F401
+
+
+@pytest.fixture
+def grid_stream_factory():
+    """Factory fixture over :func:`stream_generators.noisy_grid_stream`."""
+    return noisy_grid_stream
+
+
+@pytest.fixture
+def line_stream_factory():
+    """Factory fixture over :func:`stream_generators.line_stream`."""
+    return line_stream

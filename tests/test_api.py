@@ -58,12 +58,12 @@ CONTRACT_SPECS = {
 }
 
 
+from stream_generators import line_stream
+
+
 def group_stream(n, seed, groups=8):
-    rng = random.Random(seed)
-    return [
-        (25.0 * rng.randrange(groups) + rng.uniform(0, 0.4),)
-        for _ in range(n)
-    ]
+    """Thin wrapper over the shared generator (this module's defaults)."""
+    return line_stream(n, seed, groups)
 
 
 class TestGenericContract:

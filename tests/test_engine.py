@@ -30,24 +30,13 @@ from repro.errors import ParameterError, ReproError
 from repro.streams.point import StreamPoint, as_stream
 from repro.streams.windows import SequenceWindow, TimeWindow
 
+from stream_generators import noisy_grid_stream as noisy_stream
+
 
 #: Batch layouts exercised by every differential case: singletons, a
 #: small prime (uneven tails everywhere), a power of two, and one chunk
 #: larger than most test streams (a single giant batch).
 BATCH_SIZES = [1, 7, 64, 10_000]
-
-
-def noisy_stream(n, groups, seed, dim=2, spacing=25.0):
-    """Seeded random stream of near-duplicate clusters (raw tuples)."""
-    rng = random.Random(seed)
-    points = []
-    for _ in range(n):
-        g = rng.randrange(groups)
-        base = (spacing * (g % 50), spacing * (g // 50))
-        points.append(
-            tuple(base[axis % 2] + rng.uniform(0.0, 0.4) for axis in range(dim))
-        )
-    return points
 
 
 def feed_batches(sampler, points, batch_size, *, empty_every=3):

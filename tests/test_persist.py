@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import random
+from pathlib import Path
 
 import pytest
 
@@ -25,12 +26,12 @@ from repro.persist import (
 )
 
 
+from stream_generators import line_stream
+
+
 def build_stream(n=400, seed=0, groups=120):
-    rng = random.Random(seed)
-    return [
-        (25.0 * rng.randrange(groups) + rng.uniform(0, 0.4),)
-        for _ in range(n)
-    ]
+    """Thin wrapper over the shared generator (this module's defaults)."""
+    return line_stream(n, seed, groups)
 
 
 def snapshot(sampler):
@@ -247,3 +248,74 @@ class TestResumeEquivalenceMatrix:
         dump_summary(summary, str(path))
         restored = load_summary(str(path))
         assert state_fingerprint(restored) == state_fingerprint(summary)
+
+
+# ------------------------------------------------------------------ #
+# legacy sliding-window layout (one store per level) stays readable
+# ------------------------------------------------------------------ #
+
+
+class TestLegacySlidingLayout:
+    """Sliding checkpoints written before the shared-store refactor keep
+    a per-level ``"levels"`` list; ``from_state`` must still restore them
+    (records re-tagged with their level, live heap entries folded into
+    the shared heap) and continue the stream correctly.
+
+    ``tests/data/legacy_sliding_checkpoint.json`` was generated by the
+    pre-refactor code: the first 150 points of the deterministic stream
+    below into ``RobustL0SamplerSW(1.0, 1, SequenceWindow(64),
+    seed=20260730)``.
+    """
+
+    CHECKPOINT = (
+        Path(__file__).parent / "data" / "legacy_sliding_checkpoint.json"
+    )
+
+    @staticmethod
+    def legacy_stream():
+        return line_stream(300, seed=424242, groups=8)
+
+    def restored(self):
+        envelope = json.loads(self.CHECKPOINT.read_text())
+        return summary_from_state(envelope)
+
+    def test_legacy_layout_restores(self):
+        sampler = self.restored()
+        assert sampler.points_seen == 150
+        assert sampler.space_words() == sampler.recount_space_words()
+        # Every record landed at the level whose list held it.
+        total = sum(
+            len(level_map) for level_map in sampler._level_records
+        )
+        assert total == len(list(sampler._store.records()))
+        assert total > 0
+        for index, level_map in enumerate(sampler._level_records):
+            for record in level_map.values():
+                assert record.level == index
+
+    def test_legacy_restore_continues_correctly(self):
+        sampler = self.restored()
+        stream = self.legacy_stream()
+        for point in stream[150:]:
+            sampler.insert(point)
+        assert sampler.points_seen == 300
+        assert sampler.space_words() == sampler.recount_space_words()
+        # Invariant I1 (one record per group across levels) and the
+        # sample-in-window guarantee survive the format migration.
+        seen_groups = set()
+        for level_map in sampler._level_records:
+            for record in level_map.values():
+                group = round(record.representative.vector[0] / 25.0)
+                assert group not in seen_groups
+                seen_groups.add(group)
+        window = sampler.window
+        rng = random.Random(1)
+        for _ in range(10):
+            assert window.in_window(sampler.sample(rng), sampler._latest)
+
+    def test_legacy_round_trips_into_new_layout(self):
+        sampler = self.restored()
+        reserialized = json.loads(json.dumps(summary_to_state(sampler)))
+        assert "levels" not in reserialized["state"]
+        again = summary_from_state(reserialized)
+        assert state_fingerprint(again) == state_fingerprint(sampler)
