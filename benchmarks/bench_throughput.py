@@ -22,12 +22,20 @@ tracked trajectory):
 * sliding, cascade-dominated: >= 1.15x (both paths share the founding/
   promotion costs that dominate this workload).
 * sliding, steady-window: >= 2.0x (the batch walk advantage).
-* ``--smoke`` (CI): sliding >= 1.3x on the small duplicate-heavy stream.
+* pipeline, process executor at 4 workers: >= 1.5x *wall-clock* over
+  the serial executor on the infinite-window workload.  This is the one
+  gate that needs real cores: it is enforced in full mode only when
+  ``os.cpu_count()`` covers the worker count (a 1-core box would only
+  measure IPC overhead), and the measured trajectory is always recorded.
+* ``--smoke`` (CI): sliding >= 1.3x on the small duplicate-heavy stream;
+  the pipeline scaling section runs ungated (2 process workers, mostly
+  an end-to-end executor-equivalence check).
 
-Every run overwrites ``BENCH_sliding.json`` at the repo root with the
-sliding measurements; the file is committed, so the cross-PR trajectory
-is its git history (CI also uploads the freshly measured record as an
-artifact, including on gate failures).
+Every run overwrites ``BENCH_sliding.json`` (sliding measurements) and
+``BENCH_pipeline.json`` (pipeline executor scaling) at the repo root;
+the files are committed, so the cross-PR trajectory is their git
+history (CI also uploads the freshly measured records as artifacts,
+including on gate failures).
 
 Not collected by pytest (``bench_`` prefix); run directly::
 
@@ -39,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 import time
@@ -138,6 +147,54 @@ def bench_pipeline(points, batch_size: int, seed: int, shards: int):
     return _rate(len(points), elapsed), merged.num_candidate_groups
 
 
+def bench_pipeline_scaling(
+    points, batch_size: int, seed: int, shards: int, workers_list
+):
+    """Wall-clock pipeline scaling: serial executor vs process workers.
+
+    Every parallel run is fingerprint-checked against the serial
+    pipeline (the executor-equivalence contract), and timing includes
+    the final ``sync()`` - shipping the shard states home is part of the
+    wall-clock cost a real deployment pays.
+    """
+    from repro.api.specs import PipelineSpec
+
+    def spec(executor, workers=None):
+        return PipelineSpec(
+            alpha=1.0,
+            dim=len(points[0]),
+            seed=seed,
+            num_shards=shards,
+            batch_size=batch_size,
+            executor=executor,
+            num_workers=workers,
+        )
+
+    serial = BatchPipeline(spec=spec("serial"))
+    start = time.perf_counter()
+    serial.extend(points)
+    serial_elapsed = time.perf_counter() - start
+    serial_rate = _rate(len(points), serial_elapsed)
+    reference = state_fingerprint(serial)
+
+    process_rates: dict[int, float] = {}
+    for workers in workers_list:
+        pipeline = BatchPipeline(spec=spec("process", workers))
+        try:
+            start = time.perf_counter()
+            pipeline.extend(points)
+            pipeline.sync()
+            elapsed = time.perf_counter() - start
+            assert state_fingerprint(pipeline) == reference, (
+                "executor-equivalence violation: process pipeline "
+                f"({workers} workers) diverged from the serial one"
+            )
+        finally:
+            pipeline.close()
+        process_rates[workers] = _rate(len(points), elapsed)
+    return serial_rate, process_rates
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--points", type=int, default=100_000)
@@ -172,9 +229,27 @@ def main(argv: list[str] | None = None) -> int:
         help="committed floor for the sliding ratio in --smoke mode",
     )
     parser.add_argument(
+        "--min-pipeline-speedup", type=float, default=1.5,
+        help="committed wall-clock floor for the process-executor "
+        "pipeline at --pipeline-workers workers vs the serial executor "
+        "(gated in full mode on machines with enough cores; always "
+        "recorded in BENCH_pipeline.json)",
+    )
+    parser.add_argument(
+        "--pipeline-workers", type=int, default=4,
+        help="process worker count the pipeline floor is gated at",
+    )
+    parser.add_argument(
         "--json-out",
         default=str(Path(__file__).resolve().parents[1] / "BENCH_sliding.json"),
         help="where to write the sliding perf-trajectory record",
+    )
+    parser.add_argument(
+        "--pipeline-json-out",
+        default=str(
+            Path(__file__).resolve().parents[1] / "BENCH_pipeline.json"
+        ),
+        help="where to write the pipeline-scaling perf record",
     )
     args = parser.parse_args(argv)
 
@@ -261,12 +336,77 @@ def main(argv: list[str] | None = None) -> int:
         f"{pipe_rate:12,.0f} pts/s   merged groups {merged_groups}"
     )
 
+    # Pipeline scaling: the serial executor vs process shard workers on
+    # the infinite-window workload - the first wall-clock (not just
+    # per-core) comparison.  Parallel runs are fingerprint-checked
+    # against the serial pipeline inside bench_pipeline_scaling.
+    cpu_count = os.cpu_count() or 1
+    gate_workers = min(args.pipeline_workers, args.shards)
+    if args.smoke:
+        workers_list = [min(2, args.shards)]
+    else:
+        workers_list = sorted(
+            {w for w in (1, 2, gate_workers) if w <= args.shards}
+        )
+    serial_rate, process_rates = bench_pipeline_scaling(
+        points, args.batch_size, args.seed, args.shards, workers_list
+    )
+    print(
+        f"pipeline executor=serial n={n}  {args.shards} shards "
+        f"{serial_rate:12,.0f} pts/s   (baseline)"
+    )
+    for workers, rate in process_rates.items():
+        print(
+            f"pipeline executor=process n={n} {workers} workers "
+            f"{rate:11,.0f} pts/s   speedup {rate / serial_rate:5.2f}x"
+        )
+    pipeline_record = {
+        "mode": record["mode"],
+        "workload": "infinite-window",
+        "points": n,
+        "batch_size": args.batch_size,
+        "num_shards": args.shards,
+        "cpu_count": cpu_count,
+        "serial_pts_per_sec": round(serial_rate),
+        "process": {
+            str(workers): {
+                "pts_per_sec": round(rate),
+                "speedup": round(rate / serial_rate, 3),
+            }
+            for workers, rate in process_rates.items()
+        },
+    }
+    if not args.smoke and gate_workers in process_rates:
+        pipeline_speedup = process_rates[gate_workers] / serial_rate
+        if cpu_count >= gate_workers:
+            gate(
+                f"pipeline (process, {gate_workers} workers)",
+                pipeline_speedup,
+                args.min_pipeline_speedup,
+            )
+        else:
+            # A 1-core box cannot run 4 workers in parallel; gating
+            # there would only measure IPC overhead.  The record keeps
+            # the measured trajectory (cpu_count says how to read it).
+            print(
+                f"note: pipeline floor ({args.min_pipeline_speedup:.2f}x "
+                f"at {gate_workers} workers) not gated: only "
+                f"{cpu_count} CPU core(s) available"
+            )
+
     print("state equivalence: OK (batch == per-point fingerprints)")
     try:
         Path(args.json_out).write_text(json.dumps(record, indent=2) + "\n")
         print(f"sliding perf record written to {args.json_out}")
     except OSError as error:  # read-only checkouts shouldn't fail the run
         print(f"note: could not write {args.json_out}: {error}")
+    try:
+        Path(args.pipeline_json_out).write_text(
+            json.dumps(pipeline_record, indent=2) + "\n"
+        )
+        print(f"pipeline perf record written to {args.pipeline_json_out}")
+    except OSError as error:  # read-only checkouts shouldn't fail the run
+        print(f"note: could not write {args.pipeline_json_out}: {error}")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

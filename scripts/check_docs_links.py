@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo links in the repository's markdown docs.
+
+Scans ``README.md`` and ``docs/*.md`` (or any paths given on the
+command line) for markdown links and images, and checks every
+*intra-repo* target:
+
+* relative file targets must exist (resolved against the linking file's
+  directory);
+* ``#fragment`` anchors - same-file or ``path#fragment`` - must match a
+  heading in the target file (GitHub-style slugs);
+* external schemes (``http:``, ``https:``, ``mailto:``) are skipped.
+
+Used by the CI docs job and wrapped as a tier-1 test in
+``tests/test_docs.py``, so documentation cannot silently rot when files
+move.  Exit code 0 when every link resolves, 1 otherwise (one
+``BROKEN:`` line per failure).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links/images: ``[text](target)`` / ``![alt](target)``.
+#: Targets with spaces + optional titles (``(a.md "title")``) are split.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: ATX headings, used to build the anchor table of each file.
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+#: Schemes that are not this repository's responsibility.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading.
+
+    Lowercase, spaces to hyphens, punctuation dropped (hyphens kept),
+    markdown emphasis/code markers stripped.
+
+    >>> github_slug("Adding a summary")
+    'adding-a-summary'
+    >>> github_slug("Batch / per-point state-equivalence")
+    'batch--per-point-state-equivalence'
+    >>> github_slug("`repro.api` — the registry")
+    'reproapi--the-registry'
+    """
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)  # punctuation (incl. dashes) drops
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    """All heading anchors defined by a markdown file."""
+    return {
+        github_slug(match.group(1))
+        for match in _HEADING.finditer(path.read_text(encoding="utf-8"))
+    }
+
+
+def check_file(path: Path, repo_root: Path) -> list[str]:
+    """All broken-link descriptions for one markdown file."""
+    failures = []
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL):
+            continue
+        file_part, _, fragment = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"BROKEN: {path.relative_to(repo_root)}: "
+                    f"({target}) -> {file_part} does not exist"
+                )
+                continue
+        else:
+            resolved = path
+        if fragment and resolved.suffix == ".md":
+            if github_slug(fragment) not in anchors_of(resolved):
+                failures.append(
+                    f"BROKEN: {path.relative_to(repo_root)}: "
+                    f"({target}) -> no heading #{fragment} in "
+                    f"{resolved.relative_to(repo_root)}"
+                )
+    return failures
+
+
+def default_targets(repo_root: Path) -> list[Path]:
+    """README.md plus every markdown file under docs/."""
+    targets = [repo_root / "README.md"]
+    targets.extend(sorted((repo_root / "docs").glob("*.md")))
+    return [p for p in targets if p.exists()]
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    repo_root = Path(__file__).resolve().parents[1]
+    paths = (
+        [Path(arg).resolve() for arg in argv]
+        if argv
+        else default_targets(repo_root)
+    )
+    failures: list[str] = []
+    checked = 0
+    for path in paths:
+        failures.extend(check_file(path, repo_root))
+        checked += 1
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    print(
+        f"checked {checked} file(s): "
+        + ("all intra-repo links resolve" if not failures
+           else f"{len(failures)} broken link(s)")
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,14 +26,29 @@ described by a typed spec and constructed through one registry
 
 The direct constructors remain available (``RobustL0SamplerIW(...)``
 etc.); the registry builds exactly those classes.  ``repro.api.available()``
-lists every registered summary key, ``repro.persist.dump_summary`` /
+lists every registered summary key, and ``repro.persist.dump_summary`` /
 ``load_summary`` checkpoint and restore any of them through a versioned
-envelope, and :class:`repro.engine.BatchPipeline` shards any stream over
-spec-constructed shard samplers merged through the protocol.
+envelope.
 
-See ``examples/`` for end-to-end scenarios, ``README.md`` for the
-registry table, and ``benchmarks/`` for the reproduction of the paper's
-evaluation figures.
+Scale
+-----
+Ingestion is batched everywhere (``process_many`` hot paths that are
+state-equivalent to per-point insertion), and the sliding-window
+hierarchy runs on a shared-store design: ONE candidate store and ONE
+lazy eviction heap across all levels, records tagged with their level,
+space served from incrementally-maintained counters.
+:class:`repro.engine.BatchPipeline` shards any stream over
+spec-constructed shard samplers and runs them on a pluggable executor
+(``serial``, ``thread``, or ``process`` workers - see
+:mod:`repro.engine.executors`); finished shard states stream into the
+coordinator's running union merge as workers deliver them.  Executor
+choice, batching and checkpoint/resume are all invisible in summary
+state (``repro.engine.state_fingerprint`` is the oracle).
+
+See ``docs/ARCHITECTURE.md`` for the layer map and the invariants,
+``docs/ADDING_A_SUMMARY.md`` for the extension recipe, ``examples/``
+for end-to-end scenarios, ``README.md`` for the registry table, and
+``benchmarks/`` for the reproduction of the paper's evaluation figures.
 """
 
 from repro import api
@@ -51,6 +66,7 @@ from repro.engine.pipeline import BatchPipeline
 from repro.errors import (
     CheckpointError,
     EmptySampleError,
+    ExecutorError,
     LevelOverflowError,
     MergeUnsupportedError,
     ParameterError,
@@ -87,5 +103,6 @@ __all__ = [
     "LevelOverflowError",
     "MergeUnsupportedError",
     "CheckpointError",
+    "ExecutorError",
     "__version__",
 ]

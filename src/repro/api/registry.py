@@ -342,7 +342,8 @@ def _register_builtins() -> None:
         BatchPipeline,
         _build_pipeline,
         supports_merge=False,
-        description="Sharded batched ingestion over l0-infinite shards",
+        description="Sharded batched ingestion over l0-infinite shards "
+        "(serial/thread/process executors)",
     )
     register_summary(
         "exact",

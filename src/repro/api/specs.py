@@ -262,12 +262,30 @@ class HeavyHittersSpec(PointSummarySpec):
 
 @dataclass(frozen=True, kw_only=True)
 class PipelineSpec(PointSummarySpec):
-    """Sharded batched ingestion (:class:`repro.engine.BatchPipeline`)."""
+    """Sharded batched ingestion (:class:`repro.engine.BatchPipeline`).
+
+    Attributes
+    ----------
+    executor:
+        Where shard ingestion runs (see :mod:`repro.engine.executors`):
+        ``"serial"`` (default) ingests chunks synchronously in the
+        calling process, ``"thread"`` fans them out over worker threads,
+        ``"process"`` ships them to worker processes holding shard
+        replicas and folds finished shard states back in as they arrive
+        (streaming merge).  Every choice is ``state_fingerprint``-
+        equivalent; only wall-clock throughput differs.
+    num_workers:
+        Worker threads/processes for the parallel executors (capped at
+        ``num_shards``, the unit of parallelism).  ``None`` means one
+        worker per shard.  Ignored by the serial executor.
+    """
 
     key: ClassVar[str] = "batch-pipeline"
 
     num_shards: int = 4
     batch_size: int = DEFAULT_BATCH_SIZE
+    executor: Literal["serial", "thread", "process"] = "serial"
+    num_workers: int | None = None
     kappa0: float = DEFAULT_KAPPA0
     expected_stream_length: int | None = None
 
@@ -280,6 +298,17 @@ class PipelineSpec(PointSummarySpec):
         if self.batch_size < 1:
             raise ParameterError(
                 f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        from repro.engine.executors import EXECUTOR_NAMES
+
+        if self.executor not in EXECUTOR_NAMES:
+            raise ParameterError(
+                f"executor must be one of {', '.join(EXECUTOR_NAMES)}, "
+                f"got {self.executor!r}"
+            )
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ParameterError(
+                f"num_workers must be >= 1, got {self.num_workers}"
             )
 
 

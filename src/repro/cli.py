@@ -4,14 +4,18 @@ Reads a stream of points from CSV (one point per line, comma-separated
 coordinates) or JSON-lines (one JSON array per line) and runs one of the
 library's summaries over it:
 
-* ``sample`` - k robust distinct samples (infinite or sliding window);
-* ``count``  - robust F0 estimate;
-* ``heavy``  - robust heavy hitters.
+* ``sample``   - k robust distinct samples (infinite or sliding window);
+* ``count``    - robust F0 estimate;
+* ``heavy``    - robust heavy hitters;
+* ``pipeline`` - sharded parallel ingestion (``--shards`` shard
+  samplers fed round-robin by a serial/thread/process ``--executor``
+  with ``--workers`` workers), answering a robust F0 estimate and one
+  distinct sample over the union stream from the streaming shard merge.
 
 Summaries are constructed through the unified API (:mod:`repro.api`):
 each command assembles a typed spec (``KSampleSpec``, ``F0InfiniteSpec``,
-``HeavyHittersSpec``) and builds it through the registry, so the CLI
-composes with every capability the specs expose.
+``HeavyHittersSpec``, ``PipelineSpec``) and builds it through the
+registry, so the CLI composes with every capability the specs expose.
 
 Examples
 --------
@@ -21,6 +25,7 @@ Examples
     python -m repro.cli sample --alpha 0.5 --window 1000 --k 3 data.csv
     python -m repro.cli count  --alpha 0.5 --epsilon 0.1 data.csv
     python -m repro.cli heavy  --alpha 0.5 --phi 0.05 --output json data.csv
+    python -m repro.cli pipeline --alpha 0.5 --shards 4 --executor process data.csv
     cat data.csv | python -m repro.cli sample --alpha 0.5 -
 
 Ingestion always runs through the batched engine (``--batch-size``
@@ -52,7 +57,13 @@ import random
 import sys
 from typing import Iterator, Sequence, TextIO
 
-from repro.api import F0InfiniteSpec, HeavyHittersSpec, KSampleSpec, build
+from repro.api import (
+    F0InfiniteSpec,
+    HeavyHittersSpec,
+    KSampleSpec,
+    PipelineSpec,
+    build,
+)
 from repro.core.base import DEFAULT_BATCH_SIZE
 from repro.errors import ReproError
 from repro.persist import dump_summary, load_summary
@@ -170,6 +181,29 @@ def build_parser() -> argparse.ArgumentParser:
     heavy.add_argument(
         "--epsilon", type=float, default=0.01, help="counter resolution"
     )
+
+    pipeline = commands.add_parser(
+        "pipeline",
+        help="sharded parallel ingestion: robust F0 + one distinct "
+        "sample over the union stream",
+    )
+    _add_common(pipeline)
+    pipeline.add_argument(
+        "--shards", type=int, default=4,
+        help="shard samplers fed round-robin (default 4)",
+    )
+    pipeline.add_argument(
+        "--executor", choices=["serial", "thread", "process"],
+        default="serial",
+        help="where shard ingestion runs; every choice is "
+        "state-equivalent, 'process' adds wall-clock parallelism "
+        "(default serial)",
+    )
+    pipeline.add_argument(
+        "--workers", type=int, default=None,
+        help="worker threads/processes for --executor thread/process "
+        "(default: one per shard)",
+    )
     return parser
 
 
@@ -201,17 +235,30 @@ def _summary_for(
         sampler_seed, _ = _derived_rngs(args)
         spec = _spec_for(args, dim=len(first), seed=sampler_seed)
         summary = build(expected_key, spec)
-    if first is not None:
-        summary.extend(
-            itertools.chain([first], points), batch_size=args.batch_size
-        )
-    if args.save_state is not None:
-        try:
-            dump_summary(summary, args.save_state)
-        except OSError as error:
-            raise ReproError(
-                f"cannot write checkpoint {args.save_state}: {error}"
-            ) from error
+    try:
+        if first is not None:
+            summary.extend(
+                itertools.chain([first], points), batch_size=args.batch_size
+            )
+        if args.save_state is not None:
+            try:
+                dump_summary(summary, args.save_state)
+            except OSError as error:
+                raise ReproError(
+                    f"cannot write checkpoint {args.save_state}: {error}"
+                ) from error
+    except BaseException:
+        # Summaries with workers (the pipeline) must not leak them when
+        # ingestion fails mid-stream; the original error is the one to
+        # report, so a close() failure on the same broken run is
+        # swallowed.
+        closer = getattr(summary, "close", None)
+        if closer is not None:
+            try:
+                closer()
+            except ReproError:
+                pass
+        raise
     return summary
 
 
@@ -233,6 +280,16 @@ def _spec_for(args, *, dim: int, seed: int):
             seed=seed,
             epsilon=args.epsilon,
             copies=args.copies,
+        )
+    if args.command == "pipeline":
+        return PipelineSpec(
+            alpha=args.alpha,
+            dim=dim,
+            seed=seed,
+            num_shards=args.shards,
+            batch_size=args.batch_size,
+            executor=args.executor,
+            num_workers=args.workers,
         )
     return HeavyHittersSpec(
         alpha=args.alpha,
@@ -275,6 +332,41 @@ def _run_count(args, points: Iterator[Sequence[float]], out: TextIO) -> None:
         out.write(f"{estimate:.1f}\n")
 
 
+def _run_pipeline(
+    args, points: Iterator[Sequence[float]], out: TextIO
+) -> None:
+    """Sharded ingestion; answers come from the streaming shard merge.
+
+    Text output is two lines - the robust F0 estimate, then one distinct
+    sample's coordinates; ``--output json`` emits one object per line.
+    The merge fold order is deterministic, so runs are bit-reproducible
+    for a fixed seed whichever executor ran the shards.
+    """
+    _, query_rng = _derived_rngs(args)
+    pipeline = _summary_for(args, points, "batch-pipeline")
+    try:
+        merged = pipeline.merge()
+        estimate = merged.estimate_f0()
+        sample = merged.sample(query_rng)
+    finally:
+        pipeline.close()
+    if args.output == "json":
+        out.write(
+            json.dumps(
+                {
+                    "estimate": estimate,
+                    "shards": pipeline.num_shards,
+                    "executor": pipeline.executor_name,
+                    "communication_words": pipeline.communication_words(),
+                }
+            )
+            + "\n"
+        )
+    else:
+        out.write(f"{estimate:.1f}\n")
+    _emit_point(sample, args, out)
+
+
 def _run_heavy(args, points: Iterator[Sequence[float]], out: TextIO) -> None:
     hitters = _summary_for(args, points, "heavy-hitters")
     for hit in hitters.query(phi=args.phi):
@@ -306,6 +398,8 @@ def main(argv: list[str] | None = None, out: TextIO | None = None) -> int:
             _run_sample(args, points, out)
         elif args.command == "count":
             _run_count(args, points, out)
+        elif args.command == "pipeline":
+            _run_pipeline(args, points, out)
         else:
             _run_heavy(args, points, out)
     except ReproError as error:

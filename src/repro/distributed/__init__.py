@@ -12,6 +12,10 @@ representatives differing per shard (each shard sees its own first point
 of a group), which merging reconciles by proximity.
 """
 
-from repro.distributed.coordinator import DistributedRobustSampler, ShardSampler
+from repro.distributed.coordinator import (
+    DistributedRobustSampler,
+    ShardSampler,
+    StreamingMerge,
+)
 
-__all__ = ["DistributedRobustSampler", "ShardSampler"]
+__all__ = ["DistributedRobustSampler", "ShardSampler", "StreamingMerge"]

@@ -50,6 +50,9 @@ Where the speed comes from
 Extending the engine to a new sampler
 -------------------------------------
 
+The full step-by-step guide - protocol, spec, registry key, and every
+test matrix to join - is ``docs/ADDING_A_SUMMARY.md``; in brief:
+
 1. Derive from :class:`~repro.core.base.StreamSampler`; implementing
    :meth:`~repro.core.base.StreamSampler.insert` alone already gives you
    correct (looping) ``process_many`` and chunked ``extend``.
@@ -84,18 +87,35 @@ across the shards of a
 :class:`~repro.distributed.coordinator.DistributedRobustSampler` (all
 sharing one config) and answers queries from the sketch-sized merge;
 ``tests/test_distributed.py`` checks the merge against a single sampler
-fed the interleaved union stream.  The pipeline is part of the unified
+fed the interleaved union stream.  *Where* shard work runs is pluggable
+(:mod:`repro.engine.executors`): the ``serial`` executor ingests chunks
+inline, ``thread`` fans them out over worker threads, and ``process``
+ships them to worker processes holding shard replicas - the wall-clock
+scaling path - with finished shard states folded into the coordinator's
+running union merge as they arrive
+(:meth:`~repro.distributed.coordinator.DistributedRobustSampler.streaming_merge`).
+Executor choice is never observable in state
+(``tests/test_executors.py``).  The pipeline is part of the unified
 API (:mod:`repro.api`, key ``"batch-pipeline"``): shards are
 spec-constructed, the shard merge goes through the Summary protocol's
 :meth:`~repro.core.infinite_window.RobustL0SamplerIW.merge`, and the
 whole pipeline checkpoints mid-stream via ``to_state``/``from_state``
 (resumed runs are fingerprint-identical when the interruption falls on
-a chunk boundary - checkpoint between ``submit``/``extend`` calls).
+a chunk boundary - checkpoint between ``submit``/``extend`` calls; a
+parallel pipeline synchronises its workers first).
 """
 
 from repro.core.base import DEFAULT_BATCH_SIZE, StreamSampler
 from repro.engine.batching import chunked
 from repro.engine.equivalence import state_fingerprint
+from repro.engine.executors import (
+    EXECUTOR_NAMES,
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardExecutor,
+    ThreadShardExecutor,
+    make_executor,
+)
 from repro.engine.pipeline import BatchPipeline
 
 __all__ = [
@@ -104,4 +124,10 @@ __all__ = [
     "BatchPipeline",
     "chunked",
     "state_fingerprint",
+    "EXECUTOR_NAMES",
+    "ShardExecutor",
+    "SerialShardExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "make_executor",
 ]

@@ -1,0 +1,440 @@
+"""Pluggable shard executors: serial, thread-pool and process-pool.
+
+A :class:`~repro.engine.pipeline.BatchPipeline` deals chunks round-robin
+across the shards of a
+:class:`~repro.distributed.coordinator.DistributedRobustSampler`.  Until
+this layer existed every chunk ran serially in the calling process; a
+:class:`ShardExecutor` makes the *where* of that work pluggable while
+keeping the *what* bit-identical:
+
+* :class:`SerialShardExecutor` - today's behaviour (the default): every
+  chunk is ingested synchronously into the coordinator's own shard
+  objects.
+* :class:`ThreadShardExecutor` - a pool of worker threads operating on
+  the coordinator's live shards.  Under CPython's GIL this buys no
+  CPU parallelism; it exists so the executor surface is complete and so
+  callers whose streams block on I/O can overlap ingestion with reading.
+* :class:`ProcessShardExecutor` - worker processes holding
+  spec-constructed *shard replicas* (rebuilt from the shards' protocol
+  states plus the shared :class:`~repro.core.base.SamplerConfig`).
+  Chunks are shipped to the owning worker; on :meth:`~ShardExecutor.drain`
+  each worker returns its shards' protocol states, which the caller folds
+  back into the coordinator **as they arrive** (streaming merge - see
+  :meth:`repro.distributed.coordinator.DistributedRobustSampler.streaming_merge`)
+  instead of barriering on the slowest worker.  This is the first
+  executor that turns the per-core batched throughput into a wall-clock
+  win on multi-core machines.
+
+The executor-equivalence contract
+---------------------------------
+
+Every executor must leave the pipeline ``state_fingerprint``-identical
+to the serial one for the same dealt chunk sequence:
+
+* chunks for the SAME shard are processed in submission order (a shard's
+  state is a function of its own chunk sequence only);
+* chunks for different shards may run in any interleaving (shards share
+  no mutable state except the pure hash memo caches of their config);
+* a drained executor's shard states round-trip through the protocol's
+  ``to_state``/``from_state``, which is fingerprint-exact.
+
+``tests/test_executors.py`` enforces the contract differentially
+(serial vs thread vs process, including empty batches, single-shard
+pipelines and mid-stream checkpoint/resume) and
+``tests/test_property_equivalence.py`` hammers it with
+Hypothesis-generated streams and chunk layouts.
+
+Worker failures (a poisoned point, a dead process) surface as
+:class:`~repro.errors.ExecutorError` at the next drain, carrying the
+worker-side traceback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import threading
+import traceback
+from typing import TYPE_CHECKING, Any, ClassVar, Iterator, Sequence
+
+from repro.errors import ExecutorError, ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.distributed.coordinator import DistributedRobustSampler
+
+#: Registry of executor names accepted by
+#: :class:`~repro.api.specs.PipelineSpec` and the CLI's ``--executor``.
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+#: How long (seconds) a drain waits between liveness checks on worker
+#: processes before concluding one died without reporting.
+_DRAIN_POLL_SECONDS = 1.0
+
+
+class ShardExecutor:
+    """Strategy interface for running shard ingestion work.
+
+    Lifecycle: a pipeline creates its executor lazily on first ingestion,
+    :meth:`submit`\\ s one chunk at a time, :meth:`drain`\\ s at every
+    synchronisation point (checkpoint, query, merge) and :meth:`close`\\ s
+    it when the pipeline is closed.
+    """
+
+    #: Name under which :func:`make_executor` builds this class.
+    name: ClassVar[str] = ""
+
+    def submit(self, shard_id: int, chunk: Sequence[Any]) -> int | None:
+        """Deliver one chunk to one shard.
+
+        Returns the number of points ingested when the work happened
+        synchronously, or ``None`` when it was queued (the caller then
+        counts ``len(chunk)`` and must :meth:`drain` before reading any
+        shard state).
+        """
+        raise NotImplementedError
+
+    def drain(self) -> Iterator[tuple[int, dict[str, Any] | None]]:
+        """Finish all queued work; yield every shard as it settles.
+
+        Yields ``(shard_id, state)`` pairs in *completion* order -
+        ``state`` is the shard's protocol ``to_state()`` for executors
+        whose replicas live outside the coordinator (process workers),
+        or ``None`` when the coordinator's own shard object is already
+        current.  Raises :class:`~repro.errors.ExecutorError` if any
+        worker failed; the pipeline then stays dirty.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release workers.  Idempotent; further submits are an error."""
+
+
+class SerialShardExecutor(ShardExecutor):
+    """Default executor: synchronous ingestion into the live shards."""
+
+    name = "serial"
+
+    def __init__(self, coordinator: "DistributedRobustSampler") -> None:
+        self._coordinator = coordinator
+
+    def submit(self, shard_id: int, chunk: Sequence[Any]) -> int:
+        return self._coordinator.route_many(chunk, shard_id)
+
+    def drain(self) -> Iterator[tuple[int, dict[str, Any] | None]]:
+        for shard_id in range(self._coordinator.num_shards):
+            yield (shard_id, None)
+
+
+def _owned_shards(worker: int, num_shards: int, num_workers: int) -> list[int]:
+    """Shard ids owned by ``worker`` (fixed ``shard % workers`` striping).
+
+    The mapping is static so every chunk of a shard goes to the same
+    worker queue, which is what serialises per-shard work and makes the
+    executor state-equivalent to the serial one.
+    """
+    return list(range(worker, num_shards, num_workers))
+
+
+def _resolve_workers(num_workers: int | None, num_shards: int) -> int:
+    if num_workers is None:
+        num_workers = num_shards
+    if num_workers < 1:
+        raise ParameterError(
+            f"num_workers must be >= 1, got {num_workers}"
+        )
+    # More workers than shards would sit idle: shards are the unit of
+    # parallelism (per-shard order is part of the equivalence contract).
+    return min(num_workers, num_shards)
+
+
+class ThreadShardExecutor(ShardExecutor):
+    """Worker threads ingesting into the coordinator's live shards.
+
+    Each worker owns a fixed stripe of shards and consumes its queue
+    FIFO, so per-shard chunk order is preserved.  The shards share only
+    their config's pure hash-memo caches, which are safe to touch
+    concurrently under the GIL (every entry is a deterministic function
+    of its key, so racing writers write the same value).
+    """
+
+    name = "thread"
+
+    def __init__(
+        self,
+        coordinator: "DistributedRobustSampler",
+        *,
+        num_workers: int | None = None,
+    ) -> None:
+        self._coordinator = coordinator
+        self._num_workers = _resolve_workers(
+            num_workers, coordinator.num_shards
+        )
+        self._queues: list[queue_module.SimpleQueue] = [
+            queue_module.SimpleQueue() for _ in range(self._num_workers)
+        ]
+        self._failures: list[str | None] = [None] * self._num_workers
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(index,),
+                name=f"repro-shard-worker-{index}",
+                daemon=True,
+            )
+            for index in range(self._num_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _worker_loop(self, worker: int) -> None:
+        tasks = self._queues[worker]
+        while True:
+            message = tasks.get()
+            kind = message[0]
+            if kind == "chunk":
+                if self._failures[worker] is not None:
+                    continue  # poisoned: swallow work until drain reports
+                try:
+                    self._coordinator.route_many(message[2], message[1])
+                except BaseException:
+                    self._failures[worker] = traceback.format_exc()
+            elif kind == "drain":
+                message[1].put(worker)
+            else:  # "stop"
+                return
+
+    def submit(self, shard_id: int, chunk: Sequence[Any]) -> None:
+        if self._closed:
+            raise ExecutorError("executor is closed")
+        # Copy: the worker reads the chunk after submit returns, so a
+        # caller that reuses its batch buffer must not corrupt it (the
+        # serial executor consumes chunks synchronously; equivalence
+        # requires the asynchronous ones to behave as if they did).
+        self._queues[shard_id % self._num_workers].put(
+            ("chunk", shard_id, list(chunk))
+        )
+        return None
+
+    def drain(self) -> Iterator[tuple[int, dict[str, Any] | None]]:
+        if self._closed:
+            raise ExecutorError("executor is closed")
+        acks: queue_module.SimpleQueue = queue_module.SimpleQueue()
+        for tasks in self._queues:
+            tasks.put(("drain", acks))
+        for _ in range(self._num_workers):
+            worker = acks.get()
+            failure = self._failures[worker]
+            if failure is not None:
+                raise ExecutorError(
+                    f"shard worker {worker} failed:\n{failure}"
+                )
+            for shard_id in _owned_shards(
+                worker, self._coordinator.num_shards, self._num_workers
+            ):
+                yield (shard_id, None)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for tasks in self._queues:
+            tasks.put(("stop",))
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+
+def _process_worker(task_queue, result_queue, config_state, shard_states):
+    """Worker-process loop: own a stripe of shard replicas.
+
+    Replicas are rebuilt from the shards' protocol states plus the shared
+    config, ingest chunks exactly like the originals would, and ship
+    their protocol states back on every drain - the same ``to_state`` /
+    ``from_state`` round-trip the checkpoint matrix proves
+    fingerprint-exact, which is what makes the process executor
+    state-equivalent to the serial one.
+    """
+    from repro.core import serialize
+    from repro.distributed.coordinator import ShardSampler
+
+    config = serialize.config_from_state(config_state)
+    shards = {
+        state["shard_id"]: ShardSampler.from_state(state, config=config)
+        for state in shard_states
+    }
+    failure = None
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "chunk":
+            if failure is not None:
+                continue  # poisoned: swallow work until drain reports
+            try:
+                shards[message[1]].process_many(message[2])
+            except BaseException:
+                failure = traceback.format_exc()
+        elif kind == "drain":
+            token = message[1]
+            if failure is not None:
+                result_queue.put(("error", token, failure))
+            else:
+                result_queue.put(
+                    (
+                        "states",
+                        token,
+                        [
+                            (shard_id, shard.to_state())
+                            for shard_id, shard in shards.items()
+                        ],
+                    )
+                )
+        else:  # "stop"
+            return
+
+
+def _mp_context():
+    """Prefer fork (cheap, inherits the warmed-up interpreter); every
+    payload is picklable, so spawn-only platforms work too."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class ProcessShardExecutor(ShardExecutor):
+    """Worker processes holding spec-constructed shard replicas.
+
+    The coordinator's shard objects become *stale* while chunks are in
+    flight; every read must go through :meth:`drain`, which returns each
+    worker's shard states as that worker finishes (completion order), so
+    the caller can fold early finishers into a running merge while
+    stragglers are still ingesting.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        coordinator: "DistributedRobustSampler",
+        *,
+        num_workers: int | None = None,
+    ) -> None:
+        from repro.core import serialize
+
+        self._num_shards = coordinator.num_shards
+        self._num_workers = _resolve_workers(num_workers, self._num_shards)
+        self._closed = False
+        self._token = 0
+        context = _mp_context()
+        self._result_queue = context.Queue()
+        self._task_queues = []
+        self._workers = []
+        config_state = serialize.config_to_state(coordinator.config)
+        for index in range(self._num_workers):
+            tasks = context.Queue()
+            shard_states = [
+                coordinator.shard(shard_id).to_state()
+                for shard_id in _owned_shards(
+                    index, self._num_shards, self._num_workers
+                )
+            ]
+            worker = context.Process(
+                target=_process_worker,
+                args=(tasks, self._result_queue, config_state, shard_states),
+                name=f"repro-shard-worker-{index}",
+                daemon=True,
+            )
+            worker.start()
+            self._task_queues.append(tasks)
+            self._workers.append(worker)
+
+    def submit(self, shard_id: int, chunk: Sequence[Any]) -> None:
+        if self._closed:
+            raise ExecutorError("executor is closed")
+        # Copy: multiprocessing.Queue pickles in a background feeder
+        # thread after submit returns, so a caller that reuses its batch
+        # buffer would otherwise ship mutated data.
+        self._task_queues[shard_id % self._num_workers].put(
+            ("chunk", shard_id, list(chunk))
+        )
+        return None
+
+    def drain(self) -> Iterator[tuple[int, dict[str, Any] | None]]:
+        if self._closed:
+            raise ExecutorError("executor is closed")
+        self._token += 1
+        token = self._token
+        for tasks in self._task_queues:
+            tasks.put(("drain", token))
+        remaining = self._num_workers
+        while remaining:
+            try:
+                message = self._result_queue.get(
+                    timeout=_DRAIN_POLL_SECONDS
+                )
+            except queue_module.Empty:
+                dead = [
+                    worker.name
+                    for worker in self._workers
+                    if not worker.is_alive()
+                ]
+                if dead:
+                    raise ExecutorError(
+                        "shard worker process(es) died without reporting: "
+                        + ", ".join(dead)
+                    ) from None
+                continue
+            kind, message_token = message[0], message[1]
+            if message_token != token:
+                continue  # stale report from an interrupted drain
+            if kind == "error":
+                raise ExecutorError(
+                    f"shard worker failed:\n{message[2]}"
+                )
+            remaining -= 1
+            for shard_id, state in message[2]:
+                yield (shard_id, state)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for tasks in self._task_queues:
+            try:
+                tasks.put(("stop",))
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                pass
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+            if worker.is_alive():  # pragma: no cover - defensive
+                worker.terminate()
+        self._result_queue.close()
+        for tasks in self._task_queues:
+            tasks.close()
+
+
+def make_executor(
+    name: str,
+    coordinator: "DistributedRobustSampler",
+    *,
+    num_workers: int | None = None,
+) -> ShardExecutor:
+    """Build the executor registered under ``name``.
+
+    >>> from repro.distributed.coordinator import DistributedRobustSampler
+    >>> coordinator = DistributedRobustSampler(1.0, 1, num_shards=2, seed=1)
+    >>> make_executor("serial", coordinator).name
+    'serial'
+    >>> make_executor("warp", coordinator)
+    Traceback (most recent call last):
+        ...
+    repro.errors.ParameterError: unknown executor 'warp'; one of: serial, thread, process
+    """
+    if name == "serial":
+        return SerialShardExecutor(coordinator)
+    if name == "thread":
+        return ThreadShardExecutor(coordinator, num_workers=num_workers)
+    if name == "process":
+        return ProcessShardExecutor(coordinator, num_workers=num_workers)
+    raise ParameterError(
+        f"unknown executor {name!r}; one of: " + ", ".join(EXECUTOR_NAMES)
+    )

@@ -19,9 +19,25 @@ cursor and all - checkpoints through the Summary protocol
 (:meth:`to_state` / :meth:`from_state`), so a long ingestion job can be
 stopped and resumed with fingerprint-identical results.
 
+*Where* shard work runs is pluggable (``PipelineSpec.executor``, see
+:mod:`repro.engine.executors`): ``"serial"`` ingests chunks inline
+(default), ``"thread"`` fans them out over worker threads, and
+``"process"`` ships them to worker processes holding shard replicas -
+the first wall-clock (not just per-core) throughput win.  Reads
+(:meth:`merge`, :meth:`to_state`, queries) synchronise first; the merge
+path folds finished shard states into the running union sampler as
+each worker delivers them (the coordinator's
+:meth:`~repro.distributed.coordinator.DistributedRobustSampler.streaming_merge`)
+instead of barriering on the slowest shard.  Executor choice is never
+observable in state: every executor yields a ``state_fingerprint``
+identical to the serial pipeline's (enforced by
+``tests/test_executors.py`` and the Hypothesis matrix in
+``tests/test_property_equivalence.py``).
+
 Round-robin chunk dealing is deterministic: the same stream and
 ``batch_size`` always produce the same shard assignment, which together
-with an explicit ``seed`` makes whole pipeline runs reproducible.
+with an explicit ``seed`` makes whole pipeline runs reproducible -
+whichever executor runs the shards.
 """
 
 from __future__ import annotations
@@ -29,15 +45,16 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
-from repro.core.base import DEFAULT_BATCH_SIZE, DEFAULT_KAPPA0, SamplerConfig
+from repro.core.base import DEFAULT_KAPPA0, SamplerConfig
 from repro.core.infinite_window import RobustL0SamplerIW
 from repro.distributed.coordinator import DistributedRobustSampler, ShardSampler
 from repro.engine.batching import chunked
-from repro.errors import ParameterError
+from repro.errors import EmptySampleError, ExecutorError, ParameterError
 from repro.streams.point import StreamPoint
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.specs import PipelineSpec
+    from repro.engine.executors import ShardExecutor
 
 
 class BatchPipeline:
@@ -59,6 +76,12 @@ class BatchPipeline:
         Seed of the shared configuration; also accepts ``rng`` - an
         explicit generator - for library callers threading one source
         of randomness through a whole run.
+    executor, num_workers:
+        Where shard ingestion runs: ``"serial"`` (default), ``"thread"``
+        or ``"process"`` with ``num_workers`` workers (default: one per
+        shard).  See :mod:`repro.engine.executors`; parallel pipelines
+        should be :meth:`close`\\ d (or used as context managers) to
+        release their workers.
     kappa0, expected_stream_length:
         Forwarded to every shard.
 
@@ -86,6 +109,8 @@ class BatchPipeline:
         batch_size: int | None = None,
         seed: int | None = None,
         rng: random.Random | None = None,
+        executor: str | None = None,
+        num_workers: int | None = None,
         kappa0: float = DEFAULT_KAPPA0,
         expected_stream_length: int | None = None,
     ) -> None:
@@ -105,6 +130,8 @@ class BatchPipeline:
                 for key, value in (
                     ("num_shards", num_shards),
                     ("batch_size", batch_size),
+                    ("executor", executor),
+                    ("num_workers", num_workers),
                 )
                 if value is not None
             }
@@ -123,12 +150,15 @@ class BatchPipeline:
             or batch_size is not None
             or seed is not None
             or rng is not None
+            or executor is not None
+            or num_workers is not None
             or kappa0 != DEFAULT_KAPPA0
             or expected_stream_length is not None
         ):
             raise ParameterError(
-                "pass alpha/dim/num_shards/batch_size/seed/kappa0/"
-                "expected_stream_length inside the spec, not alongside it"
+                "pass alpha/dim/num_shards/batch_size/seed/executor/"
+                "num_workers/kappa0/expected_stream_length inside the "
+                "spec, not alongside it"
             )
         self._spec = spec
         self._coordinator = DistributedRobustSampler(
@@ -144,6 +174,8 @@ class BatchPipeline:
         self._batch_size = spec.batch_size
         self._next_shard = 0
         self._points_seen = 0
+        self._executor: "ShardExecutor | None" = None
+        self._dirty = False
 
     # ------------------------------------------------------------------ #
     # properties
@@ -176,12 +208,85 @@ class BatchPipeline:
 
     @property
     def coordinator(self) -> DistributedRobustSampler:
-        """The underlying coordinator (shard access, communication cost)."""
+        """The underlying coordinator (shard access, communication cost).
+
+        Synchronises first: with a parallel executor the coordinator's
+        shard objects are only current after outstanding chunks drain.
+        """
+        self.sync()
         return self._coordinator
 
+    @property
+    def executor_name(self) -> str:
+        """Which executor runs shard work (``spec.executor``)."""
+        return self._spec.executor
+
     def shard(self, index: int) -> ShardSampler:
-        """Access one shard's sampler."""
+        """Access one shard's sampler (synchronises first)."""
+        self.sync()
         return self._coordinator.shard(index)
+
+    # ------------------------------------------------------------------ #
+    # executor plumbing
+    # ------------------------------------------------------------------ #
+
+    def _ensure_executor(self) -> "ShardExecutor":
+        """Create the spec's executor on first ingestion (lazily, so a
+        restored or idle pipeline holds no workers)."""
+        if self._executor is None:
+            from repro.engine.executors import make_executor
+
+            self._executor = make_executor(
+                self._spec.executor,
+                self._coordinator,
+                num_workers=self._spec.num_workers,
+            )
+        return self._executor
+
+    def sync(self) -> None:
+        """Barrier: finish outstanding shard work, fold states back in.
+
+        A no-op for the serial executor (shard objects are always
+        current) and for a clean pipeline.  With the process executor
+        this restores each worker's shard states into the coordinator as
+        the workers deliver them.  Raises
+        :class:`~repro.errors.ExecutorError` if a worker failed - the
+        pipeline then stays dirty and unsynchronised work is not lost
+        silently - not even after a failed :meth:`close` released the
+        workers (reads keep raising rather than serving stale shards).
+        """
+        if not self._dirty:
+            return
+        if self._executor is None:
+            raise ExecutorError(
+                "pipeline has unsynchronised chunks but its executor was "
+                "already released (a close() after a worker failure); the "
+                "queued work was lost - restore from the last checkpoint"
+            )
+        for shard_id, state in self._executor.drain():
+            if state is not None:
+                self._coordinator.restore_shard(shard_id, state)
+        self._dirty = False
+
+    def close(self) -> None:
+        """Synchronise and release the executor's workers (idempotent).
+
+        The pipeline stays usable afterwards: the next ingestion lazily
+        starts a fresh executor from the synchronised shard states.
+        """
+        if self._executor is None:
+            return
+        try:
+            self.sync()
+        finally:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "BatchPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # ingestion
@@ -192,11 +297,21 @@ class BatchPipeline:
     ) -> int:
         """Ingest one batch into the next shard (round-robin).
 
-        Returns the number of points ingested.
+        Returns the number of points ingested.  With a parallel
+        executor the chunk is queued to the shard's worker and the count
+        returned is the chunk length; any worker-side failure surfaces
+        as :class:`~repro.errors.ExecutorError` at the next
+        synchronisation point (:meth:`sync`, :meth:`merge`,
+        :meth:`to_state`, queries).
         """
         shard = self._next_shard
         self._next_shard = (shard + 1) % self._coordinator.num_shards
-        processed = self._coordinator.route_many(batch, shard)
+        executor = self._ensure_executor()
+        chunk = batch if isinstance(batch, list) else list(batch)
+        processed = executor.submit(shard, chunk)
+        if processed is None:  # queued, not yet ingested
+            self._dirty = True
+            processed = len(chunk)
         self._points_seen += processed
         return processed
 
@@ -212,23 +327,41 @@ class BatchPipeline:
         return self.extend(points)
 
     def extend(
-        self, points: Iterable[StreamPoint | Sequence[float]]
+        self,
+        points: Iterable[StreamPoint | Sequence[float]],
+        *,
+        batch_size: int | None = None,
     ) -> int:
-        """Slice a stream into batches and deal them across the shards."""
+        """Slice a stream into batches and deal them across the shards.
+
+        ``batch_size`` overrides the spec's chunk size for this call
+        only.  The chunking determines the round-robin shard assignment,
+        so runs (and checkpoint resumes) are only comparable when they
+        deal with the same chunk size.
+        """
+        if batch_size is None:
+            batch_size = self._batch_size
         total = 0
-        for chunk in chunked(points, self._batch_size):
+        for chunk in chunked(points, batch_size):
             total += self.submit(chunk)
         return total
 
     # ------------------------------------------------------------------ #
-    # queries (via the coordinator's sketch-sized merge)
+    # queries (via the coordinator's sketch-sized streaming merge)
     # ------------------------------------------------------------------ #
 
     def merge(self, *others: "BatchPipeline") -> RobustL0SamplerIW:
         """Merge all shard states into one sampler over the union stream.
 
         Called with no arguments (the usual form) this is the pipeline's
-        shard merge, through the Summary protocol's sampler merge.
+        shard merge: finished shard states are folded into the running
+        union sampler as the executor delivers them
+        (:meth:`~repro.distributed.coordinator.DistributedRobustSampler.streaming_merge`),
+        so with process workers the merge overlaps the last shards'
+        ingestion instead of barriering on all of them.  The fold order
+        is deterministic (shards 0..k-1), so the merged sampler is
+        identical whichever executor ran the shards.
+
         Merging two *pipelines* is intentionally unsupported - deal the
         streams into one pipeline instead, or merge the pipelines'
         :meth:`merge` outputs, which are plain samplers.
@@ -241,7 +374,18 @@ class BatchPipeline:
                 "merge() combines this pipeline's own shards; merge the "
                 "per-pipeline merged samplers instead",
             )
-        return self._coordinator.merged_sampler()
+        if self._dirty:
+            if self._executor is None:
+                self.sync()  # raises: the queued work was lost
+            merged = self._coordinator.streaming_merge(
+                self._executor.drain()
+            )
+            self._dirty = False
+            return merged
+        return self._coordinator.streaming_merge(
+            (shard_id, None)
+            for shard_id in range(self._coordinator.num_shards)
+        )
 
     def query(self, rng: random.Random | None = None) -> StreamPoint:
         """Protocol query: merge then sample (see :meth:`sample`)."""
@@ -249,14 +393,18 @@ class BatchPipeline:
 
     def sample(self, rng: random.Random | None = None) -> StreamPoint:
         """One-shot distributed query: merge then sample."""
-        return self._coordinator.sample(rng)
+        merged = self.merge()
+        if merged.accept_size == 0:
+            raise EmptySampleError("no shard holds an accepted group")
+        return merged.sample(rng)
 
     def estimate_f0(self) -> float:
         """Robust F0 estimate of the union stream."""
-        return self._coordinator.estimate_f0()
+        return self.merge().estimate_f0()
 
     def communication_words(self) -> int:
         """Words shipped to the coordinator by one merge."""
+        self.sync()
         return self._coordinator.communication_words()
 
     # ------------------------------------------------------------------ #
@@ -264,7 +412,13 @@ class BatchPipeline:
     # ------------------------------------------------------------------ #
 
     def to_state(self) -> dict[str, Any]:
-        """Serialise the pipeline mid-stream (shards + dealing cursor)."""
+        """Serialise the pipeline mid-stream (shards + dealing cursor).
+
+        Synchronises first, so the envelope always holds the shards'
+        current states whichever executor ran them.  Checkpoints are
+        chunk-aligned: call between :meth:`submit`/:meth:`extend` calls.
+        """
+        self.sync()
         return {
             "spec": self._spec.to_state(),
             "batch_size": self._batch_size,
@@ -291,4 +445,6 @@ class BatchPipeline:
         pipeline._coordinator = DistributedRobustSampler.from_state(
             state["coordinator"]
         )
+        pipeline._executor = None  # restarted lazily on the next submit
+        pipeline._dirty = False
         return pipeline

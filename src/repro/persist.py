@@ -14,8 +14,10 @@ so :func:`summary_from_state` can dispatch the restore through
 exact: the restored summary makes decisions identical to the original on
 the remainder of the stream (``repro.engine.state_fingerprint``-equal
 for every core sampler - including the sliding-window hierarchy, whose
-state is captured as replayable window contents: each level's records,
-reservoirs and eviction heap verbatim).
+shared-store state is captured verbatim: the flat level-tagged record
+list, reservoirs, and the one hierarchy-wide lazy eviction heap
+including stale entries and tiebreak counters; legacy one-store-per-level
+checkpoints remain readable).
 
 Version-1 checkpoints (the original infinite-window-only format) remain
 readable; writers emit version 2.

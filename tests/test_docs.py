@@ -1,0 +1,117 @@
+"""The documentation system is part of the contract surface.
+
+``docs/ARCHITECTURE.md`` and ``docs/ADDING_A_SUMMARY.md`` are
+load-bearing (they document the three invariants and the extension
+recipe), so this module keeps them from rotting: intra-repo links must
+resolve (same checker the CI docs job runs), the README must link both
+guides, the architecture page must only point at test files that exist,
+and the README registry table must stay in sync with the live registry.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+import check_docs_links  # noqa: E402  (scripts/ is not a package)
+
+DOCS = [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "docs" / "ARCHITECTURE.md",
+    REPO_ROOT / "docs" / "ADDING_A_SUMMARY.md",
+]
+
+
+class TestDocsExist:
+    @pytest.mark.parametrize("path", DOCS, ids=lambda p: p.name)
+    def test_exists_and_nonempty(self, path):
+        assert path.is_file()
+        assert len(path.read_text(encoding="utf-8")) > 500
+
+    def test_readme_links_both_guides(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "docs/ARCHITECTURE.md" in readme
+        assert "docs/ADDING_A_SUMMARY.md" in readme
+
+
+class TestIntraRepoLinks:
+    def test_all_default_targets_resolve(self):
+        failures = []
+        for path in check_docs_links.default_targets(REPO_ROOT):
+            failures.extend(check_docs_links.check_file(path, REPO_ROOT))
+        assert not failures, "\n".join(failures)
+
+    def test_checker_catches_broken_file_link(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("see [gone](no-such-file.md)\n", encoding="utf-8")
+        failures = check_docs_links.check_file(page, tmp_path)
+        assert len(failures) == 1 and "no-such-file.md" in failures[0]
+
+    def test_checker_catches_broken_anchor(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "# Real heading\n\nsee [gone](#not-a-heading)\n",
+            encoding="utf-8",
+        )
+        failures = check_docs_links.check_file(page, tmp_path)
+        assert len(failures) == 1 and "not-a-heading" in failures[0]
+        page.write_text(
+            "# Real heading\n\nsee [ok](#real-heading)\n", encoding="utf-8"
+        )
+        assert check_docs_links.check_file(page, tmp_path) == []
+
+
+class TestDocsMatchCode:
+    def test_architecture_test_pointers_exist(self):
+        # Every tests/... file the architecture page points at must
+        # exist - the invariants' enforcement pointers cannot dangle.
+        text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+            encoding="utf-8"
+        )
+        pointers = set(re.findall(r"tests/\w+\.py", text))
+        assert len(pointers) >= 4
+        for pointer in pointers:
+            assert (REPO_ROOT / pointer).is_file(), pointer
+
+    def test_adding_a_summary_table_names_real_tables(self):
+        # The guide's matrix tables must name dicts that really exist in
+        # the named test modules (they are asserted registry-complete
+        # there, which is what the guide promises).
+        guide = (REPO_ROOT / "docs" / "ADDING_A_SUMMARY.md").read_text(
+            encoding="utf-8"
+        )
+        for table, module in [
+            ("CONTRACT_SPECS", "test_api.py"),
+            ("RESUME_SPECS", "test_persist.py"),
+            ("PROPERTY_SPECS", "test_property_equivalence.py"),
+        ]:
+            assert table in guide
+            module_text = (REPO_ROOT / "tests" / module).read_text(
+                encoding="utf-8"
+            )
+            assert f"{table} = {{" in module_text, (table, module)
+
+    def test_readme_registry_table_matches_live_registry(self):
+        from repro.api import available, entry
+
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for key in available():
+            assert f"`{key}`" in readme, (
+                f"registry key {key!r} missing from the README table"
+            )
+            assert entry(key).spec_cls.__name__ in readme
+
+    def test_readme_documents_executor_options(self):
+        from repro.engine.executors import EXECUTOR_NAMES
+
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for name in EXECUTOR_NAMES:
+            assert f"`{name}`" in readme, (
+                f"executor {name!r} missing from the README"
+            )

@@ -45,6 +45,7 @@ MODULE_NAMES = [
     "repro.persist",
     "repro.core.base",
     "repro.engine.pipeline",
+    "repro.engine.executors",
     "repro.api",
     "repro.api.specs",
     "repro.api.registry",

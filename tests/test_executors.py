@@ -1,0 +1,208 @@
+"""Executor-equivalence matrix: serial vs thread vs process pipelines.
+
+The contract (see :mod:`repro.engine.executors`): *where* shard work
+runs is never observable in pipeline state.  For the same spec and the
+same dealt chunk sequence, every executor must leave the pipeline
+``state_fingerprint``-identical to the serial one - including empty
+batches, single-shard pipelines, and mid-stream checkpoint/resume under
+the process executor.  The Hypothesis twin of this matrix lives in
+``tests/test_property_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.api import PipelineSpec, build
+from repro.engine import state_fingerprint
+from repro.engine.executors import (
+    EXECUTOR_NAMES,
+    _owned_shards,
+    _resolve_workers,
+)
+from repro.errors import EmptySampleError, ExecutorError, ParameterError
+from repro.persist import summary_from_state, summary_to_state
+
+
+def group_stream(n=360, seed=51, groups=10):
+    rng = random.Random(seed)
+    return [
+        (25.0 * rng.randrange(groups) + rng.uniform(0, 0.4),)
+        for _ in range(n)
+    ]
+
+
+def make_pipeline(
+    executor, *, shards=3, workers=2, batch_size=32, seed=13
+):
+    spec = PipelineSpec(
+        alpha=1.0,
+        dim=1,
+        seed=seed,
+        num_shards=shards,
+        batch_size=batch_size,
+        executor=executor,
+        num_workers=workers,
+    )
+    return build("batch-pipeline", spec)
+
+
+class TestExecutorEquivalenceMatrix:
+    @pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+    @pytest.mark.parametrize(
+        "shards,workers",
+        [(1, 1), (3, 2), (4, None)],
+        ids=["single-shard", "more-shards-than-workers", "worker-per-shard"],
+    )
+    def test_fingerprint_identical_to_serial(self, executor, shards, workers):
+        stream = group_stream()
+        serial = make_pipeline("serial", shards=shards, workers=None)
+        serial.extend(stream)
+        with make_pipeline(executor, shards=shards, workers=workers) as twin:
+            twin.extend(stream)
+            assert state_fingerprint(twin) == state_fingerprint(serial)
+            # The streaming merge folds in deterministic shard order, so
+            # even the merged union sampler is bit-identical.
+            assert state_fingerprint(twin.merge()) == state_fingerprint(
+                serial.merge()
+            )
+            assert twin.estimate_f0() == serial.estimate_f0()
+            assert twin.sample(random.Random(7)) == serial.sample(
+                random.Random(7)
+            )
+
+    @pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+    def test_empty_batches_and_empty_stream(self, executor):
+        serial = make_pipeline("serial")
+        with make_pipeline(executor) as twin:
+            # Empty stream: every shard stays empty, queries say so.
+            assert twin.extend([]) == 0
+            assert state_fingerprint(twin) == state_fingerprint(serial)
+            with pytest.raises(EmptySampleError):
+                twin.sample(random.Random(1))
+            # Interleaved empty batches advance the round-robin cursor
+            # exactly like the serial pipeline.
+            stream = group_stream(90, seed=3)
+            for pipeline in (serial, twin):
+                pipeline.submit([])
+                pipeline.extend(stream)
+                pipeline.submit([])
+            assert twin.points_seen == serial.points_seen == 90
+            assert state_fingerprint(twin) == state_fingerprint(serial)
+
+    def test_mid_stream_checkpoint_resume_under_process_executor(self):
+        stream = group_stream(480, seed=29)
+        serial = make_pipeline("serial")
+        serial.extend(stream)
+
+        with make_pipeline("process") as interrupted:
+            interrupted.extend(stream[:320])  # chunk-aligned interruption
+            envelope = json.loads(
+                json.dumps(summary_to_state(interrupted))
+            )
+        assert envelope["state"]["spec"]["executor"] == "process"
+        resumed = summary_from_state(envelope)
+        try:
+            assert resumed.points_seen == 320
+            resumed.extend(stream[320:])  # restarts process workers lazily
+            assert state_fingerprint(resumed) == state_fingerprint(serial)
+            assert resumed.estimate_f0() == serial.estimate_f0()
+        finally:
+            resumed.close()
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_ingestion_continues_after_close(self, executor):
+        stream = group_stream(200, seed=7)
+        serial = make_pipeline("serial")
+        serial.extend(stream)
+        pipeline = make_pipeline(executor)
+        pipeline.extend(stream[:96])
+        pipeline.close()  # syncs, releases workers
+        pipeline.extend(stream[96:])  # lazily starts a fresh executor
+        try:
+            assert state_fingerprint(pipeline) == state_fingerprint(serial)
+        finally:
+            pipeline.close()
+        pipeline.close()  # idempotent
+
+
+class TestCallerBufferReuse:
+    """Regression: asynchronous executors must own their chunks.  A
+    caller that reuses (clears/refills) one batch buffer across submits
+    worked with the serial executor but shipped mutated data to thread/
+    process workers before the copy-on-submit fix."""
+
+    @pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+    def test_reused_batch_buffer_is_safe(self, executor):
+        chunks = [
+            group_stream(24, seed=seed, groups=6) for seed in range(8)
+        ]
+        serial = make_pipeline("serial")
+        for chunk in chunks:
+            serial.submit(chunk)
+        with make_pipeline(executor) as twin:
+            buffer = []
+            for chunk in chunks:
+                buffer.clear()
+                buffer.extend(chunk)
+                twin.submit(buffer)
+            buffer.clear()  # mutate once more while workers may still run
+            assert state_fingerprint(twin) == state_fingerprint(serial)
+
+
+class TestExecutorFailures:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_worker_failure_surfaces_at_sync(self, executor):
+        pipeline = make_pipeline(executor)
+        pipeline.extend(group_stream(64, seed=1))
+        pipeline.submit([(None,)])  # unconvertible point poisons a worker
+        with pytest.raises(ExecutorError):
+            pipeline.sync()
+        # The failure is sticky and the pipeline stays dirty: closing
+        # still reports it rather than silently dropping the lost work.
+        with pytest.raises(ExecutorError):
+            pipeline.close()
+        # ... but the workers are released regardless.
+        assert pipeline._executor is None
+        # Regression: after the failed close released the workers, reads
+        # must keep raising (the queued work was lost) instead of
+        # serving stale shard states as a silently corrupt checkpoint.
+        with pytest.raises(ExecutorError):
+            pipeline.to_state()
+        with pytest.raises(ExecutorError):
+            pipeline.merge()
+
+    def test_extend_rejects_zero_batch_size(self):
+        # Regression: extend(batch_size=0) silently fell back to the
+        # spec's chunk size instead of raising like every other surface.
+        pipeline = make_pipeline("serial")
+        with pytest.raises(ParameterError, match=">= 1"):
+            pipeline.extend([(0.0,)], batch_size=0)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ParameterError, match="executor"):
+            PipelineSpec(alpha=1.0, dim=1, executor="warp")
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ParameterError, match="num_workers"):
+            PipelineSpec(alpha=1.0, dim=1, num_workers=0)
+
+
+class TestWorkerMapping:
+    def test_striping_covers_all_shards_exactly_once(self):
+        for shards in (1, 3, 5, 8):
+            for workers in (1, 2, 3, shards):
+                owned = [
+                    shard
+                    for worker in range(workers)
+                    for shard in _owned_shards(worker, shards, workers)
+                ]
+                assert sorted(owned) == list(range(shards))
+
+    def test_workers_capped_at_shards(self):
+        assert _resolve_workers(None, 3) == 3
+        assert _resolve_workers(8, 3) == 3
+        assert _resolve_workers(2, 3) == 2

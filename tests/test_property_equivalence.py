@@ -178,6 +178,68 @@ class TestRegistryWideProperties:
         assert state_fingerprint(full) == state_fingerprint(resumed)
 
 
+class TestExecutorEquivalenceProperties:
+    """Tentpole property: *where* shard work runs (serial / thread /
+    process executors) is never observable in pipeline state, for any
+    stream, chunk layout, or chunk-aligned checkpoint position."""
+
+    @staticmethod
+    def _pipeline(executor):
+        from repro.api import PipelineSpec
+
+        return build(
+            "batch-pipeline",
+            PipelineSpec(
+                alpha=1.0,
+                dim=1,
+                seed=5,
+                num_shards=2,
+                batch_size=8,
+                executor=executor,
+                num_workers=2,
+            ),
+        )
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    @given(
+        bursts=BURSTS,
+        seed=SEEDS,
+        batch_size=BATCH_SIZES,
+        split_num=st.integers(0, 100),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_executor_fingerprint_matches_serial(
+        self, executor, bursts, seed, batch_size, split_num
+    ):
+        points = burst_points(bursts, seed)
+        split = split_num * len(points) // 101
+
+        # Same call boundaries on both sides: the round-robin dealing is
+        # a function of the chunk sequence, so the serial twin must see
+        # the prefix/suffix cut exactly like the parallel one.
+        serial = self._pipeline("serial")
+        for part in (points[:split], points[split:]):
+            for chunk in chunked(part, batch_size):
+                serial.process_many(chunk)
+
+        parallel = self._pipeline(executor)
+        resumed = None
+        try:
+            for chunk in chunked(points[:split], batch_size):
+                parallel.process_many(chunk)
+            # Mid-stream, chunk-aligned checkpoint under the parallel
+            # executor; the resume restarts workers lazily.
+            envelope = json.loads(json.dumps(summary_to_state(parallel)))
+            resumed = summary_from_state(envelope)
+            for chunk in chunked(points[split:], batch_size):
+                resumed.process_many(chunk)
+            assert state_fingerprint(resumed) == state_fingerprint(serial)
+        finally:
+            parallel.close()
+            if resumed is not None:
+                resumed.close()
+
+
 class TestCascadeProperties:
     """Split/Merge coverage: ``kappa0 = 1`` drops the accept threshold so
     nearly every drawn stream forces level-0 overflows and promotion
