@@ -1,3 +1,18 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="0.5.0",
+    description=(
+        "Reproduction of robust sampling and distinct-element "
+        "estimation over noisy data streams, grown into a batched, "
+        "sharded streaming engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    # numpy powers the vectorised chunk-geometry kernels
+    # (repro.geometry.kernels); it was already imported by
+    # repro.highdim.jl and repro.datasets.synthetic.
+    install_requires=["numpy>=1.24"],
+)

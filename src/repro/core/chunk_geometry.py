@@ -1,0 +1,434 @@
+"""Per-chunk vectorised geometry: the precompute object of the batch paths.
+
+A :class:`ChunkGeometry` is built **once per chunk** and carries, for
+every point of the chunk, the geometry the samplers' ``process_many``
+overrides would otherwise recompute point by point in Python:
+
+* the grid cell (as the usual int tuple, ready for dict keys),
+* the cell's base-hash value (memo-aware: cells already in the config's
+  shared ``cell_hash_memo`` are served from it, the rest are hashed in
+  one vectorised pass and memoised),
+* lazily, the fractional in-cell positions, the conservative
+  high-dimensional ignore probe (:meth:`ChunkGeometry.high_dim_ignorable`)
+  and the per-point ``adj(p)`` hash tuples
+  (:meth:`ChunkGeometry.adj_hashes`, which switches itself from the
+  scalar DFS to the vectorised enumeration when a chunk turns out to be
+  founding-heavy).
+
+Everything a ``ChunkGeometry`` serves is a pure function of the chunk's
+coordinates and the shared :class:`~repro.core.base.SamplerConfig` - it
+carries **no sampler state** - so it can be computed ahead of ingestion,
+shared by the pipeline with whichever shard the chunk is dealt to
+(:func:`repro.engine.batching.chunk_geometry_for`), or rebuilt
+deterministically inside a worker process.  The values are bit-identical
+to the scalar computations they replace (enforced by
+``tests/test_geometry_kernels.py``), so batch ingestion through a
+``ChunkGeometry`` remains ``state_fingerprint``-equivalent to per-point
+ingestion.
+
+This is the leaf home of the engine-facing
+:func:`repro.engine.batching.compute_chunk_geometry` (the core package
+cannot import the engine without a cycle, exactly like
+:func:`~repro.core.base.chunked`).
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Callable, Iterable, Sequence
+
+from repro.core.base import _CELL_MEMO_LIMIT, SamplerConfig
+from repro.geometry import kernels
+from repro.geometry.grid import Cell
+from repro.streams.point import StreamPoint
+
+if kernels.HAVE_NUMPY:
+    import numpy as np
+else:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+
+#: Chunks smaller than this stay on the scalar per-point path: the fixed
+#: cost of array construction would exceed what vectorisation saves.
+MIN_VECTOR_CHUNK = 4
+
+#: Adaptive adjacency vectorisation: after this many scalar adjacency
+#: requests within one counting window, and provided the request
+#: *density* is high enough (at least one request per
+#: ``_ADJ_EAGER_DENSITY`` points - otherwise a cold-start burst of
+#: foundings at the head of a duplicate-heavy chunk would trigger a
+#: mostly-wasted sweep), the next ``_ADJ_BLOCK`` points' adjacency is
+#: enumerated in one vectorised pass.  Blocks bound the waste when a
+#: founding-heavy prefix turns duplicate-heavy mid-chunk.
+_ADJ_EAGER_AFTER = 8
+_ADJ_EAGER_DENSITY = 8
+_ADJ_BLOCK = 192
+_ADJ_MIN_BLOCK = 16
+
+_ENABLED = True
+
+
+def vectorized_geometry_enabled() -> bool:
+    """Whether chunk builders currently produce vectorised geometry."""
+    return _ENABLED and kernels.HAVE_NUMPY
+
+
+def set_vectorized_geometry(enabled: bool) -> bool:
+    """Toggle the vectorised chunk-geometry path; returns the old setting.
+
+    The scalar and vectorised paths are state-equivalent, so this is a
+    performance switch only - the benchmark uses it to measure the
+    scalar baseline, and it doubles as the escape hatch on numpy-less
+    interpreters (where the toggle is effectively always off).
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+def _hash_cells_list(
+    config: SamplerConfig, coords: "np.ndarray"
+) -> list[int]:
+    """Base-hash values of int64 cell rows, memo-aware, as a plain list.
+
+    The cell ids are computed in one vectorised pass
+    (:func:`repro.geometry.kernels.cell_ids_chunk`); known ids are
+    served from the config's shared ``cell_id_hash_memo`` (an int-keyed
+    dict probe - near-duplicate chunks revisit the same few cells
+    constantly), the missing ones are hashed in one array call and
+    memoised.  A cell's base hash is by definition a function of its
+    cell id, so the values are identical to ``config.cell_hash(cell)``
+    per row - the memo is a pure cache.
+    """
+    if coords.shape[0] == 0:
+        return []
+    ids = kernels.cell_ids_chunk(coords)
+    id_list = ids.tolist()
+    memo = config.cell_id_hash_memo
+    memo_get = memo.get
+    hashes = [memo_get(cell_id) for cell_id in id_list]
+    if None in hashes:
+        missing = [
+            index for index, value in enumerate(hashes) if value is None
+        ]
+        hashed = config.hash.value_chunk(
+            ids[np.array(missing, dtype=np.intp)]
+        ).tolist()
+        if len(memo) + len(missing) >= _CELL_MEMO_LIMIT:
+            memo.clear()
+        for position, index in enumerate(missing):
+            value = hashed[position]
+            hashes[index] = value
+            memo[id_list[index]] = value
+    return hashes
+
+
+class ChunkGeometry:
+    """Vectorised per-chunk geometry (see the module docstring).
+
+    Instances are created by :func:`compute_chunk_geometry`;
+    ``cell_hashes`` is a plain Python list aligned with the chunk's
+    points (the hot loops index it directly), cell *tuples* are built
+    lazily per point (:meth:`cell_at` - only candidate foundings and the
+    dim<=2 ignore filter ever need them), and the arrays behind the
+    other lazy products are kept private.  ``n`` may be *shorter* than
+    the chunk when a point's coordinates cannot be carried in the int64
+    vector path (non-finite, or beyond ``2^62`` cells): consumers use
+    the scalar path from that point on, which reproduces the scalar
+    error semantics exactly.
+    """
+
+    __slots__ = (
+        "config",
+        "n",
+        "cell_hashes",
+        "_vectors",
+        "_shifted",
+        "_cells_f",
+        "_coords",
+        "_coords_list",
+        "_fracs",
+        "_ignorable",
+        "_ignorable_mask",
+        "_adj_table",
+        "_adj_start",
+        "_adj_requests",
+        "_adj_window_start",
+        "_adj_failed",
+    )
+
+    def __init__(
+        self,
+        config: SamplerConfig,
+        vectors: Sequence[tuple[float, ...]],
+        shifted: "np.ndarray",
+        cells_f: "np.ndarray",
+        coords: "np.ndarray",
+        cell_hashes: list[int],
+    ) -> None:
+        self.config = config
+        self.n = len(cell_hashes)
+        self.cell_hashes = cell_hashes
+        self._vectors = vectors
+        self._shifted = shifted
+        self._cells_f = cells_f
+        self._coords = coords
+        self._coords_list: list[list[int]] | None = None
+        self._fracs = None
+        self._ignorable: list[bool] | None = None
+        self._ignorable_mask = -1
+        self._adj_table: list[tuple[int, ...]] | None = None
+        self._adj_start = 0
+        self._adj_requests = 0
+        self._adj_window_start = 0
+        self._adj_failed = False
+
+    # ------------------------------------------------------------------ #
+    # lazy products
+    # ------------------------------------------------------------------ #
+
+    def valid_for(
+        self, config: SamplerConfig, vectors: Sequence[tuple[float, ...]]
+    ) -> bool:
+        """Whether this precompute may serve the given materialised chunk.
+
+        Guards the ``process_many(..., geometry=...)`` surface against a
+        caller handing a geometry built for a *different* chunk (a stale
+        variable, a retry loop reusing the previous precompute): the
+        config must be the same object, the covered prefix must fit, and
+        the covered endpoints must be the very vectors of the chunk.
+        Rejection is cheap and safe - the consumer just recomputes.
+        (NaN endpoints fail the equality check and force a recompute,
+        which is the conservative direction.)
+        """
+        n = self.n
+        if config is not self.config or n > len(vectors):
+            return False
+        own = self._vectors
+        return n == 0 or (
+            vectors[0] == own[0] and vectors[n - 1] == own[n - 1]
+        )
+
+    def cell_at(self, index: int) -> Cell:
+        """Cell tuple of point ``index`` (lazy - foundings only)."""
+        coords_list = self._coords_list
+        if coords_list is None:
+            coords_list = self._coords.tolist()
+            self._coords_list = coords_list
+        return tuple(coords_list[index])
+
+    @property
+    def fracs(self) -> "np.ndarray":
+        """Per-point fractional in-cell positions (lazy, cached)."""
+        fracs = self._fracs
+        if fracs is None:
+            fracs = kernels.fractional_positions_chunk(
+                self._shifted, self._cells_f, self.config.grid.side
+            )
+            self._fracs = fracs
+        return fracs
+
+    def high_dim_ignorable(self, mask: int) -> list[bool] | None:
+        """The conservative sampled-cell probe for this chunk at ``mask``.
+
+        ``True`` entries certainly have no sampled cell in ``adj(p)``
+        beyond their own cell, so a point whose own cell is unsampled
+        can be dropped without enumerating ``adj(p)`` - the
+        high-dimensional twin of the dim<=2 conservative-neighbourhood
+        filter.  Returns ``None`` when the grid's cells are not strictly
+        larger than alpha (the probe's premise; the caller then runs the
+        exact path for every point).  Verdicts stay valid when the rate
+        doubles mid-chunk (decisions nest - the sampled set only
+        shrinks), so one probe per chunk suffices.
+        """
+        if self._ignorable_mask == mask:
+            return self._ignorable
+        config = self.config
+        probe = kernels.high_dim_ignore_probe(
+            self._coords,
+            self.fracs,
+            config.grid.side,
+            config.alpha,
+            mask,
+            lambda rows: np.array(
+                _hash_cells_list(config, rows), dtype=np.uint64
+            ),
+        )
+        self._ignorable = probe.tolist() if probe is not None else None
+        self._ignorable_mask = mask
+        return self._ignorable
+
+    # ------------------------------------------------------------------ #
+    # adjacency
+    # ------------------------------------------------------------------ #
+
+    def adj_hashes(self, index: int) -> tuple[int, ...]:
+        """``adj(p)`` base-hash tuple for point ``index``.
+
+        Value-identical to ``config.adj_hashes(vector, cell=cell)``.
+        Requests outside the current vectorised block run the scalar
+        DFS while a per-window request counter accumulates; when a
+        stretch of the chunk proves founding-heavy (enough requests, at
+        sufficient density - a cold-start burst alone does not qualify
+        twice), the next :data:`_ADJ_BLOCK` points' adjacency is
+        enumerated in one vectorised pass and served from the block
+        table.  The block bound keeps the waste small when a
+        founding-heavy prefix turns duplicate-heavy mid-chunk; chunks
+        that never found pay nothing.
+        """
+        table = self._adj_table
+        if table is not None:
+            offset = index - self._adj_start
+            if 0 <= offset < len(table):
+                return table[offset]
+        self._adj_requests += 1
+        if not self._adj_failed and self._adj_requests >= _ADJ_EAGER_AFTER:
+            span = index + 1 - self._adj_window_start
+            block = min(_ADJ_BLOCK, self.n - index)
+            if (
+                span <= self._adj_requests * _ADJ_EAGER_DENSITY
+                and block >= _ADJ_MIN_BLOCK
+                and self._precompute_adjacency(index, block)
+            ):
+                return self._adj_table[0]  # type: ignore[index]
+        return self._scalar_adj(index)
+
+    def _scalar_adj(self, index: int) -> tuple[int, ...]:
+        return self.config.adj_hashes(
+            self._vectors[index], cell=self.cell_at(index)
+        )
+
+    def _precompute_adjacency(self, start: int, block: int) -> bool:
+        config = self.config
+        stop = start + block
+        result = kernels.adjacent_cells_chunk(
+            self._coords[start:stop],
+            self.fracs[start:stop],
+            config.grid.side,
+            config.alpha,
+        )
+        if result is None:
+            self._adj_failed = True
+            return False
+        flat_cells, counts = result
+        flat_hashes = _hash_cells_list(config, flat_cells)
+        table: list[tuple[int, ...]] = []
+        position = 0
+        for count in counts.tolist():
+            table.append(tuple(flat_hashes[position : position + count]))
+            position += count
+        self._adj_start = start
+        self._adj_table = table
+        # Fresh counting window past the block: the next block is only
+        # computed if founding density stays high beyond it.
+        self._adj_requests = 0
+        self._adj_window_start = stop
+        return True
+
+
+def compute_chunk_geometry(
+    config: SamplerConfig, vectors: Sequence[tuple[float, ...]]
+) -> ChunkGeometry | None:
+    """Build the chunk's :class:`ChunkGeometry`, or ``None`` for scalar.
+
+    ``vectors`` must all have the config's dimension (the materialising
+    callers guarantee it).  Returns ``None`` when vectorisation is
+    disabled, numpy is unavailable, or the chunk is too small to
+    amortise the array setup - the batch loops then run their scalar
+    branch, which is state-equivalent by construction.
+    """
+    if not _ENABLED or not kernels.HAVE_NUMPY:
+        return None
+    total = len(vectors)
+    if total < MIN_VECTOR_CHUNK:
+        return None
+    grid = config.grid
+    dim = config.dim
+    # fromiter over a flattened view beats np.array on a list of tuples
+    # by ~2x; the callers guarantee rectangular input of width dim.
+    array = np.fromiter(
+        chain.from_iterable(vectors), np.float64, count=total * dim
+    ).reshape(total, dim)
+    shifted = array - np.array(grid.offset, dtype=np.float64)
+    cells_f = kernels.cell_coords_chunk(shifted, grid.side)
+    with np.errstate(invalid="ignore"):
+        good = np.all(
+            np.isfinite(cells_f) & (np.abs(cells_f) < kernels.COORD_LIMIT),
+            axis=1,
+        )
+    if bool(good.all()):
+        n = total
+    else:
+        # Truncate at the first point the int64 path cannot carry; the
+        # scalar tail reproduces the exact behaviour (including the
+        # exact exception for non-finite coordinates).
+        n = int(np.argmin(good))
+        if n < MIN_VECTOR_CHUNK:
+            return None
+        shifted = shifted[:n]
+        cells_f = cells_f[:n]
+    coords = cells_f.astype(np.int64)
+    cell_hashes = _hash_cells_list(config, coords)
+    return ChunkGeometry(
+        config, vectors[:n], shifted, cells_f, coords, cell_hashes
+    )
+
+
+def materialize_chunk(
+    points: Iterable[StreamPoint | Sequence[float]],
+    dim: int,
+    next_index: int,
+    dim_error: Callable[[int], Exception],
+    *,
+    coerce: bool = True,
+) -> tuple[
+    list[StreamPoint],
+    list[tuple[float, ...]],
+    BaseException | None,
+    StreamPoint | None,
+]:
+    """Materialise a chunk into StreamPoints, stopping at the first bad one.
+
+    Returns ``(points, vectors, error, offender)``.  The valid prefix is
+    complete and dimension-checked; ``error`` is the exception the
+    per-point path would have raised at the first invalid point (a
+    coercion failure, or ``dim_error(actual_dim)`` for a dimension
+    mismatch - ``offender`` then carries the mismatched StreamPoint for
+    callers whose per-point path still evicts with it before raising).
+    The batch paths ingest the prefix first and re-raise ``error``
+    afterwards, which leaves exactly the state per-point ingestion
+    leaves: every point before the failure processed, nothing after it.
+
+    ``coerce=False`` (the fixed-rate contract) requires StreamPoint
+    inputs; raw sequences then fail with the same ``AttributeError`` the
+    per-point path produces.
+    """
+    materialized: list[StreamPoint] = []
+    vectors: list[tuple[float, ...]] = []
+    error: BaseException | None = None
+    offender: StreamPoint | None = None
+    index = next_index
+    append_point = materialized.append
+    append_vector = vectors.append
+    try:
+        for point in points:
+            if isinstance(point, StreamPoint):
+                vector = point.vector
+                if len(vector) != dim:
+                    error = dim_error(len(vector))
+                    offender = point
+                    break
+            elif coerce:
+                vector = tuple(float(x) for x in point)
+                if len(vector) != dim:
+                    error = dim_error(len(vector))
+                    break
+                point = StreamPoint(vector, index)
+            else:
+                vector = point.vector  # AttributeError, as per-point does
+            append_point(point)
+            append_vector(vector)
+            index += 1
+    except BaseException as exc:  # re-raised by the caller after the prefix
+        error = exc
+    return materialized, vectors, error, offender

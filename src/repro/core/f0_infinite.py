@@ -109,7 +109,11 @@ class RobustF0EstimatorIW(StreamSampler):
         """Batched :meth:`insert`: materialise once, feed every copy.
 
         See :func:`~repro.core.base.materialize_and_feed` - the copies
-        stay in lockstep even when a mid-chunk point is invalid.
+        stay in lockstep even when a mid-chunk point is invalid.  Each
+        copy rides its own vectorised chunk-geometry path (copies have
+        independent grids/hashes, so their
+        :class:`~repro.core.chunk_geometry.ChunkGeometry` precomputes
+        cannot be shared).
         """
         return materialize_and_feed(self._copies, points)
 

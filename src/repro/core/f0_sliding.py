@@ -113,7 +113,9 @@ class RobustF0EstimatorSW(StreamSampler):
         """Batched :meth:`insert`: materialise once, feed every copy.
 
         See :func:`~repro.core.base.materialize_and_feed` - the copies
-        stay in lockstep even when a mid-chunk point is invalid.
+        stay in lockstep even when a mid-chunk point is invalid.  Each
+        copy rides its own vectorised chunk-geometry path (independent
+        grids/hashes per copy - the precomputes cannot be shared).
         """
         return materialize_and_feed(self._copies, points)
 

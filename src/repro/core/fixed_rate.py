@@ -21,12 +21,19 @@ import random
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.base import (
+    DEFAULT_BATCH_SIZE,
     CandidateRecord,
     CandidateStore,
     PointContext,
     SamplerConfig,
     StreamSampler,
     _CELL_MEMO_LIMIT,
+    chunked,
+)
+from repro.core.chunk_geometry import (
+    ChunkGeometry,
+    compute_chunk_geometry,
+    materialize_chunk,
 )
 from repro.core.reservoir import WindowReservoir
 from repro.errors import DimensionMismatchError, EmptySampleError, ParameterError
@@ -224,16 +231,36 @@ class FixedRateSlidingSampler(StreamSampler):
             self._reservoirs[key] = reservoir
         return reservoir
 
-    def process_many(self, points: Iterable[StreamPoint]) -> int:
+    def process_many(
+        self,
+        points: Iterable[StreamPoint],
+        *,
+        geometry: "ChunkGeometry | None" = None,
+    ) -> int:
         """Batched :meth:`insert`; state-equivalent (including the heap).
 
-        Inlines eviction, the cell/hash computation (through the config's
-        shared memo) and the bucket probe.  The eviction loop replicates
-        :meth:`evict` operation-for-operation so the lazy heap - stale
-        entries included - ends up identical to the per-point path's.
-        Points must be :class:`StreamPoint` instances, as for
-        :meth:`insert`.
+        Cells and memo-aware cell hashes come from one vectorised
+        :class:`~repro.core.chunk_geometry.ChunkGeometry` precompute per
+        chunk (``geometry`` accepts one computed upstream); the loop
+        inlines eviction and the bucket probe, replicating :meth:`evict`
+        operation-for-operation so the lazy heap - stale entries
+        included - ends up identical to the per-point path's.  A
+        mid-chunk dimension error still evicts with the offending point
+        before raising, exactly as :meth:`insert` evicts before
+        ``point_context()`` can raise.  Points must be
+        :class:`StreamPoint` instances, as for :meth:`insert`.
         """
+        if geometry is None and not isinstance(points, (list, tuple)):
+            # A non-materialised iterable is streamed in bounded chunks:
+            # building one ChunkGeometry over an arbitrary stream would
+            # regress the O(chunk)-memory behaviour of the batch engine
+            # (chunk boundaries are state-invisible by the layout-
+            # invariance contract, so this is purely a memory bound).
+            streamed = 0
+            for chunk in chunked(points, DEFAULT_BATCH_SIZE):
+                streamed += self.process_many(chunk)
+            return streamed
+
         config = self._config
         dim = config.dim
         grid = config.grid
@@ -266,11 +293,37 @@ class FixedRateSlidingSampler(StreamSampler):
             off0, off1 = offset
         else:
             off0 = off1 = 0.0
+
+        pts, vectors, error, offender = materialize_chunk(
+            points,
+            dim,
+            0,
+            lambda actual: DimensionMismatchError(
+                f"point has {actual} coordinates, grid expects {dim}"
+            ),
+            coerce=False,
+        )
+        if geometry is not None and not geometry.valid_for(config, vectors):
+            geometry = None
+        geom = (
+            geometry
+            if geometry is not None
+            else compute_chunk_geometry(config, vectors)
+        )
+        if geom is not None:
+            geom_n = min(geom.n, len(pts))
+            hashes_list = geom.cell_hashes
+            cell_at = geom.cell_at
+        else:
+            geom_n = 0
+            hashes_list = ()
+            cell_at = None
         processed = 0
-        for p in points:
+        for i in range(len(pts)):
+            p = pts[i]
+            vector = vectors[i]
             # Inline evict(p) - identical operations, identical heap
-            # state.  Runs before dimension validation, exactly as
-            # insert() evicts before point_context() can raise.
+            # state.
             if heap:
                 cutoff = eviction_cutoff(p)
                 while heap:
@@ -287,30 +340,31 @@ class FixedRateSlidingSampler(StreamSampler):
                     store.remove(record)
                     reservoirs.pop(record.representative.index, None)
 
-            vector = p.vector
-            if len(vector) != dim:
-                raise DimensionMismatchError(
-                    f"point has {len(vector)} coordinates, grid expects {dim}"
-                )
             processed += 1
 
-            if dim == 2:
-                cell = (
-                    int((vector[0] - off0) // side),
-                    int((vector[1] - off1) // side),
-                )
-            elif dim == 1:
-                cell = (int((vector[0] - off0) // side),)
+            if i < geom_n:
+                # Cell tuples are built lazily (cell_at) - only
+                # candidate foundings need them.
+                cell = None
+                cell_hash = hashes_list[i]
             else:
-                cell = tuple(
-                    int((x - o) // side) for x, o in zip(vector, offset)
-                )
-            cell_hash = memo_get(cell)
-            if cell_hash is None:
-                cell_hash = hash_value(cell_id(cell))
-                if len(memo) >= _CELL_MEMO_LIMIT:
-                    memo.clear()
-                memo[cell] = cell_hash
+                if dim == 2:
+                    cell = (
+                        int((vector[0] - off0) // side),
+                        int((vector[1] - off1) // side),
+                    )
+                elif dim == 1:
+                    cell = (int((vector[0] - off0) // side),)
+                else:
+                    cell = tuple(
+                        int((x - o) // side) for x, o in zip(vector, offset)
+                    )
+                cell_hash = memo_get(cell)
+                if cell_hash is None:
+                    cell_hash = hash_value(cell_id(cell))
+                    if len(memo) >= _CELL_MEMO_LIMIT:
+                        memo.clear()
+                    memo[cell] = cell_hash
 
             bucket = buckets_get(cell_hash)
             existing = None
@@ -341,7 +395,12 @@ class FixedRateSlidingSampler(StreamSampler):
                 continue
 
             # First point of a candidate group: same code as insert().
-            adj_hashes = config.adj_hashes(vector, cell=cell)
+            if i < geom_n:
+                if cell is None:
+                    cell = cell_at(i)
+                adj_hashes = geom.adj_hashes(i)
+            else:
+                adj_hashes = config.adj_hashes(vector, cell=cell)
             if cell_hash & rate_mask == 0:
                 accepted = True
             elif any(value & rate_mask == 0 for value in adj_hashes):
@@ -360,6 +419,13 @@ class FixedRateSlidingSampler(StreamSampler):
             heappush(heap, (expiry_key(p), next(tiebreak), record, p))
             if track:
                 self._reservoir_for(record).offer(p, member_rng)
+        if error is not None:
+            if offender is not None:
+                # insert() evicts with the bad point before its geometry
+                # can raise; replicate that so both paths agree on which
+                # expired records survive the failed call.
+                self.evict(offender)
+            raise error
         return processed
 
     # ------------------------------------------------------------------ #

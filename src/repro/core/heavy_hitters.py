@@ -23,10 +23,17 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core.base import (
+    DEFAULT_BATCH_SIZE,
     SamplerConfig,
     StreamSampler,
     _CELL_MEMO_LIMIT,
     coerce_point,
+    chunked,
+)
+from repro.core.chunk_geometry import (
+    ChunkGeometry,
+    compute_chunk_geometry,
+    materialize_chunk,
 )
 from repro.errors import ParameterError
 from repro.streams.point import StreamPoint
@@ -157,9 +164,20 @@ class RobustHeavyHitters(StreamSampler):
                 del self._buckets[value]
         return counter
 
-    def _admit(self, p: StreamPoint, cell_hash: int) -> None:
-        """Install a new group's counter (SpaceSaving admission)."""
-        adj_hashes = self._config.adj_hashes(p.vector)
+    def _admit(
+        self,
+        p: StreamPoint,
+        cell_hash: int,
+        *,
+        adj_hashes: tuple[int, ...] | None = None,
+    ) -> None:
+        """Install a new group's counter (SpaceSaving admission).
+
+        ``adj_hashes`` accepts the precomputed chunk-geometry tuple
+        (value-identical to ``config.adj_hashes(p.vector)``).
+        """
+        if adj_hashes is None:
+            adj_hashes = self._config.adj_hashes(p.vector)
         if len(self._counters) < self._capacity:
             self._attach(
                 p.index,
@@ -205,9 +223,30 @@ class RobustHeavyHitters(StreamSampler):
         self._admit(p, ctx.cell_hash)
 
     def process_many(
-        self, points: Iterable[StreamPoint | Sequence[float]]
+        self,
+        points: Iterable[StreamPoint | Sequence[float]],
+        *,
+        geometry: "ChunkGeometry | None" = None,
     ) -> int:
-        """Batched :meth:`insert` with the counting fast path inlined."""
+        """Batched :meth:`insert` with the counting fast path inlined.
+
+        Cells, memo-aware cell hashes and (on admission) the ``adj(p)``
+        hash tuples come from one vectorised
+        :class:`~repro.core.chunk_geometry.ChunkGeometry` precompute per
+        chunk (``geometry`` accepts one computed upstream by the
+        pipeline); small chunks take the scalar branch.
+        """
+        if geometry is None and not isinstance(points, (list, tuple)):
+            # A non-materialised iterable is streamed in bounded chunks:
+            # building one ChunkGeometry over an arbitrary stream would
+            # regress the O(chunk)-memory behaviour of the batch engine
+            # (chunk boundaries are state-invisible by the layout-
+            # invariance contract, so this is purely a memory bound).
+            streamed = 0
+            for chunk in chunked(points, DEFAULT_BATCH_SIZE):
+                streamed += self.process_many(chunk)
+            return streamed
+
         config = self._config
         dim = config.dim
         grid = config.grid
@@ -221,30 +260,47 @@ class RobustHeavyHitters(StreamSampler):
         buckets_get = self._buckets.get
         alpha_sq = config.alpha * config.alpha
         count = self._count
+
+        pts, vectors, error, _offender = materialize_chunk(
+            points,
+            dim,
+            count,
+            lambda actual: ParameterError(
+                f"point has dimension {actual}, expected {dim}"
+            ),
+        )
+        if geometry is not None and not geometry.valid_for(config, vectors):
+            geometry = None
+        geom = (
+            geometry
+            if geometry is not None
+            else compute_chunk_geometry(config, vectors)
+        )
+        if geom is not None:
+            geom_n = min(geom.n, len(pts))
+            hashes_list = geom.cell_hashes
+        else:
+            geom_n = 0
+            hashes_list = ()
         processed = 0
         try:
-            for point in points:
-                if isinstance(point, StreamPoint):
-                    p = point
-                    vector = p.vector
-                else:
-                    vector = tuple(float(x) for x in point)
-                    p = StreamPoint(vector, count)
-                if len(vector) != dim:
-                    raise ParameterError(
-                        f"point has dimension {len(vector)}, expected {dim}"
-                    )
+            for i in range(len(pts)):
+                p = pts[i]
+                vector = vectors[i]
                 count += 1
                 processed += 1
-                cell = tuple(
-                    int((x - o) // side) for x, o in zip(vector, offset)
-                )
-                cell_hash = memo_get(cell)
-                if cell_hash is None:
-                    cell_hash = hash_value(cell_id(cell))
-                    if len(memo) >= _CELL_MEMO_LIMIT:
-                        memo.clear()
-                    memo[cell] = cell_hash
+                if i < geom_n:
+                    cell_hash = hashes_list[i]
+                else:
+                    cell = tuple(
+                        int((x - o) // side) for x, o in zip(vector, offset)
+                    )
+                    cell_hash = memo_get(cell)
+                    if cell_hash is None:
+                        cell_hash = hash_value(cell_id(cell))
+                        if len(memo) >= _CELL_MEMO_LIMIT:
+                            memo.clear()
+                        memo[cell] = cell_hash
                 found = None
                 for key in buckets_get(cell_hash, ()):
                     counter = counters[key]
@@ -260,9 +316,15 @@ class RobustHeavyHitters(StreamSampler):
                 if found is not None:
                     found.count += 1
                     continue
-                self._admit(p, cell_hash)
+                self._admit(
+                    p,
+                    cell_hash,
+                    adj_hashes=geom.adj_hashes(i) if i < geom_n else None,
+                )
         finally:
             self._count = count
+        if error is not None:
+            raise error
         return processed
 
     def heavy_hitters(self, phi: float) -> list[HeavyHitter]:

@@ -24,6 +24,7 @@ import random
 from typing import Any, Iterable, Sequence
 
 from repro.core.base import (
+    DEFAULT_BATCH_SIZE,
     DEFAULT_KAPPA0,
     CandidateRecord,
     CandidateStore,
@@ -33,6 +34,12 @@ from repro.core.base import (
     _SMALL_DIM,
     _ThresholdPolicy,
     coerce_point,
+    chunked,
+)
+from repro.core.chunk_geometry import (
+    ChunkGeometry,
+    compute_chunk_geometry,
+    materialize_chunk,
 )
 from repro.errors import EmptySampleError, ParameterError
 from repro.streams.point import StreamPoint
@@ -230,19 +237,38 @@ class RobustL0SamplerIW(StreamSampler):
             self._peak_words = words
 
     def process_many(
-        self, points: Iterable[StreamPoint | Sequence[float]]
+        self,
+        points: Iterable[StreamPoint | Sequence[float]],
+        *,
+        geometry: "ChunkGeometry | None" = None,
     ) -> int:
         """Batched :meth:`insert`: state-equivalent, several times faster.
 
-        The common "point of an already-seen group" case runs with the
-        whole per-arrival pipeline inlined - cell computation, the shared
-        cell-hash memo of the config, the bucket probe and the distance
-        test - so it costs a handful of dict/arithmetic operations instead
-        of a cascade of method calls.  New candidate groups fall back to
-        the same code the per-point path runs (adjacency hashing, rate
-        halving, peak tracking).  See :class:`~repro.core.base.StreamSampler`
-        for the equivalence contract this method honours.
+        The chunk's geometry - cells, memo-aware cell hashes, the
+        high-dimensional ignore probe, adjacency hash tuples - is
+        computed once per chunk through the vectorised kernel layer
+        (:class:`~repro.core.chunk_geometry.ChunkGeometry`; ``geometry``
+        accepts one precomputed by the pipeline), so the per-point loop
+        reduces to the sequential state machine: the bucket probe, the
+        distance test and the rate bookkeeping.  New candidate groups
+        run the same code the per-point path runs (adjacency hashing,
+        rate halving, peak tracking); chunks too small to vectorise (and
+        points whose coordinates the int64 kernels cannot carry) take
+        the inlined scalar branch, which is the pre-kernel hot path.
+        See :class:`~repro.core.base.StreamSampler` for the equivalence
+        contract this method honours.
         """
+        if geometry is None and not isinstance(points, (list, tuple)):
+            # A non-materialised iterable is streamed in bounded chunks:
+            # building one ChunkGeometry over an arbitrary stream would
+            # regress the O(chunk)-memory behaviour of the batch engine
+            # (chunk boundaries are state-invisible by the layout-
+            # invariance contract, so this is purely a memory bound).
+            streamed = 0
+            for chunk in chunked(points, DEFAULT_BATCH_SIZE):
+                streamed += self.process_many(chunk)
+            return streamed
+
         config = self._config
         dim = config.dim
         grid = config.grid
@@ -262,6 +288,31 @@ class RobustL0SamplerIW(StreamSampler):
         member_random = self._member_rng.random
         policy = self._policy
         count = self._count
+
+        pts, vectors, error, _offender = materialize_chunk(
+            points,
+            dim,
+            count,
+            lambda actual: ParameterError(
+                f"point has dimension {actual}, sampler expects {dim}"
+            ),
+        )
+        if geometry is not None and not geometry.valid_for(config, vectors):
+            geometry = None
+        geom = (
+            geometry
+            if geometry is not None
+            else compute_chunk_geometry(config, vectors)
+        )
+        if geom is not None:
+            geom_n = min(geom.n, len(pts))
+            hashes_list = geom.cell_hashes
+            cell_at = geom.cell_at
+        else:
+            geom_n = 0
+            hashes_list = ()
+            cell_at = None
+
         processed = 0
         pending = 0  # arrivals not yet flushed into the threshold policy
         mask = self._rate_denominator - 1
@@ -271,14 +322,20 @@ class RobustL0SamplerIW(StreamSampler):
         nearby_memo = self._sampled_nearby
         nearby_get = nearby_memo.get
         conservative_neighborhood = config.conservative_neighborhood
-        # The ignore filter pays off only where the conservative
-        # neighbourhood is small (<= 25 cells at dim <= 2, the paper's
-        # Section 2 setting).  With the dim > 2 grid (side alpha * dim)
-        # the conservative radius spans multiple cells per axis and the
-        # neighbourhood is exponential in dim - enumerating it once would
-        # dwarf the work it saves - so high dimensions go straight to the
-        # exact path, exactly as insert() does.
+        # The conservative-neighbourhood ignore filter pays off only
+        # where the neighbourhood is small (<= 25 cells at dim <= 2, the
+        # paper's Section 2 setting) - it is exponential in dim.  High
+        # dimensions use the vectorised sampled-cell probe instead: a
+        # per-chunk conservative verdict whose False entries certainly
+        # have no sampled cell in adj(p) beyond their own (verdicts stay
+        # valid across mid-chunk rate doublings because sampling
+        # decisions nest).  Without chunk geometry (tiny chunks, scalar
+        # mode) high dimensions go straight to the exact path, exactly
+        # as insert() does.
         use_ignore_filter = dim <= _SMALL_DIM
+        ignorable = None
+        if geom_n and not use_ignore_filter:
+            ignorable = geom.high_dim_ignorable(mask)
         if dim == 1:
             off0 = offset[0]
             off1 = 0.0
@@ -287,44 +344,37 @@ class RobustL0SamplerIW(StreamSampler):
         else:
             off0 = off1 = 0.0
         try:
-            for point in points:
-                if isinstance(point, StreamPoint):
-                    p = point
-                    vector = p.vector
-                    if len(vector) != dim:
-                        raise ParameterError(
-                            f"point has dimension {len(vector)}, "
-                            f"sampler expects {dim}"
-                        )
-                else:
-                    vector = tuple(float(x) for x in point)
-                    if len(vector) != dim:
-                        raise ParameterError(
-                            f"point has dimension {len(vector)}, "
-                            f"sampler expects {dim}"
-                        )
-                    p = StreamPoint(vector, count)
+            for i in range(len(pts)):
+                p = pts[i]
+                vector = vectors[i]
                 count += 1
                 processed += 1
                 pending += 1
 
-                if dim == 2:
-                    cell = (
-                        int((vector[0] - off0) // side),
-                        int((vector[1] - off1) // side),
-                    )
-                elif dim == 1:
-                    cell = (int((vector[0] - off0) // side),)
+                if i < geom_n:
+                    # Cell tuples are built lazily (cell_at) - only the
+                    # ignore filter and candidate foundings need them.
+                    cell = None
+                    cell_hash = hashes_list[i]
                 else:
-                    cell = tuple(
-                        int((x - o) // side) for x, o in zip(vector, offset)
-                    )
-                cell_hash = memo_get(cell)
-                if cell_hash is None:
-                    cell_hash = hash_value(cell_id(cell))
-                    if len(memo) >= _CELL_MEMO_LIMIT:
-                        memo.clear()
-                    memo[cell] = cell_hash
+                    if dim == 2:
+                        cell = (
+                            int((vector[0] - off0) // side),
+                            int((vector[1] - off1) // side),
+                        )
+                    elif dim == 1:
+                        cell = (int((vector[0] - off0) // side),)
+                    else:
+                        cell = tuple(
+                            int((x - o) // side)
+                            for x, o in zip(vector, offset)
+                        )
+                    cell_hash = memo_get(cell)
+                    if cell_hash is None:
+                        cell_hash = hash_value(cell_id(cell))
+                        if len(memo) >= _CELL_MEMO_LIMIT:
+                            memo.clear()
+                        memo[cell] = cell_hash
 
                 bucket = buckets_get(cell_hash)
                 if bucket:
@@ -359,6 +409,8 @@ class RobustL0SamplerIW(StreamSampler):
                 # of its conservative neighbourhood are few and memoised.
                 # The exact path below stays authoritative for the rest.
                 if use_ignore_filter and cell_hash & mask != 0:
+                    if cell is None:
+                        cell = cell_at(i)
                     corners = nearby_get(cell)
                     if corners is None:
                         corners = tuple(
@@ -387,9 +439,25 @@ class RobustL0SamplerIW(StreamSampler):
                             break  # near a sampled cell: exact path
                     else:
                         continue  # certainly ignored at the current rate
+                elif (
+                    ignorable is not None
+                    and i < geom_n
+                    and cell_hash & mask != 0
+                    and ignorable[i]
+                ):
+                    # High-dimensional ignore filter: the sampled-cell
+                    # probe proved no sampled cell exists in adj(p)
+                    # beyond cell(p), and cell(p) is unsampled - insert()
+                    # would ignore the point at the current rate.
+                    continue
 
                 # First point of a candidate group: same code as insert().
-                adj_hashes = config.adj_hashes(vector, cell=cell)
+                if i < geom_n:
+                    if cell is None:
+                        cell = cell_at(i)
+                    adj_hashes = geom.adj_hashes(i)
+                else:
+                    adj_hashes = config.adj_hashes(vector, cell=cell)
                 if cell_hash & mask == 0:
                     accepted = True
                 elif any(value & mask == 0 for value in adj_hashes):
@@ -424,6 +492,8 @@ class RobustL0SamplerIW(StreamSampler):
         finally:
             self._count = count
             policy.observe_many(pending)
+        if error is not None:
+            raise error
         return processed
 
     # ------------------------------------------------------------------ #

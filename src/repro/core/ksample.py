@@ -132,8 +132,10 @@ class KDistinctSampler(StreamSampler):
 
         See :func:`~repro.core.base.materialize_and_feed`: one shared
         materialisation, then every underlying sampler ingests the chunk
-        through its own specialised path, with per-point error semantics
-        preserved (every copy holds the valid prefix on failure).
+        through its own specialised path (including its own vectorised
+        chunk geometry - samplers have independent grids/hashes), with
+        per-point error semantics preserved (every copy holds the valid
+        prefix on failure).
         """
         return materialize_and_feed(self._samplers, points)
 

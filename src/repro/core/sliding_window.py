@@ -74,6 +74,7 @@ import heapq
 import itertools
 
 from repro.core.base import (
+    DEFAULT_BATCH_SIZE,
     DEFAULT_KAPPA0,
     CandidateRecord,
     CandidateStore,
@@ -82,6 +83,12 @@ from repro.core.base import (
     _CELL_MEMO_LIMIT,
     _ThresholdPolicy,
     coerce_point,
+    chunked,
+)
+from repro.core.chunk_geometry import (
+    ChunkGeometry,
+    compute_chunk_geometry,
+    materialize_chunk,
 )
 from repro.errors import EmptySampleError, LevelOverflowError, ParameterError
 from repro.geometry.distance import within_distance
@@ -467,19 +474,38 @@ class RobustL0SamplerSW(StreamSampler):
             self._note_space()
 
     def process_many(
-        self, points: Iterable[StreamPoint | Sequence[float]]
+        self,
+        points: Iterable[StreamPoint | Sequence[float]],
+        *,
+        geometry: "ChunkGeometry | None" = None,
     ) -> int:
         """Batched :meth:`insert` over the whole hierarchy.
 
-        The per-arrival pipeline - eviction sweep, cell geometry (through
-        the config's shared memo), the single shared-store bucket probe
-        and the distance test - runs inline, replicating :meth:`insert`
-        operation-for-operation, so the resulting state (including the
-        shared lazy heap) is identical to per-point ingestion.  Cascades
-        never invalidate the hoisted locals: the shared store and heap
-        objects are stable across Split/Merge (promotions retag records
-        in place).
+        The chunk's cells and memo-aware cell hashes come from one
+        vectorised :class:`~repro.core.chunk_geometry.ChunkGeometry`
+        precompute (``geometry`` accepts one computed upstream by the
+        pipeline; founding-heavy chunks also get their ``adj(p)`` hash
+        tuples from its vectorised enumeration), so the per-arrival loop
+        keeps only the sequential machinery - eviction sweep, the single
+        shared-store bucket probe, the distance test - replicating
+        :meth:`insert` operation-for-operation; the resulting state
+        (including the shared lazy heap) is identical to per-point
+        ingestion.  Cascades never invalidate the hoisted locals: the
+        shared store and heap objects are stable across Split/Merge
+        (promotions retag records in place).  Chunks too small to
+        vectorise take the inlined scalar branch.
         """
+        if geometry is None and not isinstance(points, (list, tuple)):
+            # A non-materialised iterable is streamed in bounded chunks:
+            # building one ChunkGeometry over an arbitrary stream would
+            # regress the O(chunk)-memory behaviour of the batch engine
+            # (chunk boundaries are state-invisible by the layout-
+            # invariance contract, so this is purely a memory bound).
+            streamed = 0
+            for chunk in chunked(points, DEFAULT_BATCH_SIZE):
+                streamed += self.process_many(chunk)
+            return streamed
+
         config = self._config
         dim = config.dim
         grid = config.grid
@@ -527,19 +553,34 @@ class RobustL0SamplerSW(StreamSampler):
             off0, off1 = offset
         else:
             off0 = off1 = 0.0
+
+        pts, vectors, error, _offender = materialize_chunk(
+            points,
+            dim,
+            count,
+            lambda actual: ParameterError(
+                f"point has dimension {actual}, sampler expects {dim}"
+            ),
+        )
+        if geometry is not None and not geometry.valid_for(config, vectors):
+            geometry = None
+        geom = (
+            geometry
+            if geometry is not None
+            else compute_chunk_geometry(config, vectors)
+        )
+        if geom is not None:
+            geom_n = min(geom.n, len(pts))
+            hashes_list = geom.cell_hashes
+            cell_at = geom.cell_at
+        else:
+            geom_n = 0
+            hashes_list = ()
+            cell_at = None
         try:
-            for point in points:
-                if isinstance(point, StreamPoint):
-                    p = point
-                    vector = p.vector
-                else:
-                    vector = tuple(map(float, point))
-                    p = StreamPoint(vector, count)
-                if len(vector) != dim:
-                    raise ParameterError(
-                        f"point has dimension {len(vector)}, "
-                        f"sampler expects {dim}"
-                    )
+            for i in range(len(pts)):
+                p = pts[i]
+                vector = vectors[i]
                 point_key = (
                     float(p.index) if seq_size is not None else expiry_key(p)
                 )
@@ -580,23 +621,30 @@ class RobustL0SamplerSW(StreamSampler):
                         heappop(heap)
                         remove(record)
 
-                if dim == 2:
-                    cell = (
-                        int((vector[0] - off0) // side),
-                        int((vector[1] - off1) // side),
-                    )
-                elif dim == 1:
-                    cell = (int((vector[0] - off0) // side),)
+                if i < geom_n:
+                    # Cell tuples are built lazily (cell_at) - only
+                    # candidate foundings need them.
+                    cell = None
+                    cell_hash = hashes_list[i]
                 else:
-                    cell = tuple(
-                        int((x - o) // side) for x, o in zip(vector, offset)
-                    )
-                cell_hash = memo_get(cell)
-                if cell_hash is None:
-                    cell_hash = hash_value(cell_id(cell))
-                    if len(memo) >= _CELL_MEMO_LIMIT:
-                        memo.clear()
-                    memo[cell] = cell_hash
+                    if dim == 2:
+                        cell = (
+                            int((vector[0] - off0) // side),
+                            int((vector[1] - off1) // side),
+                        )
+                    elif dim == 1:
+                        cell = (int((vector[0] - off0) // side),)
+                    else:
+                        cell = tuple(
+                            int((x - o) // side)
+                            for x, o in zip(vector, offset)
+                        )
+                    cell_hash = memo_get(cell)
+                    if cell_hash is None:
+                        cell_hash = hash_value(cell_id(cell))
+                        if len(memo) >= _CELL_MEMO_LIMIT:
+                            memo.clear()
+                        memo[cell] = cell_hash
 
                 # Inline find_nearby(p.vector, cell_hash): one probe
                 # covers every level (single-tracking invariant I1).
@@ -649,11 +697,17 @@ class RobustL0SamplerSW(StreamSampler):
                     self._latest = latest
                     policy.observe_many(pending)
                     pending = 0
+                    if i < geom_n:
+                        if cell is None:
+                            cell = cell_at(i)
+                        adj_hashes = geom.adj_hashes(i)
+                    else:
+                        adj_hashes = config.adj_hashes(vector, cell=cell)
                     record = CandidateRecord(
                         representative=p,
                         cell=cell,
                         cell_hash=cell_hash,
-                        adj_hashes=config.adj_hashes(vector, cell=cell),
+                        adj_hashes=adj_hashes,
                         accepted=True,
                         last=p,
                         level=0,
@@ -674,6 +728,8 @@ class RobustL0SamplerSW(StreamSampler):
             self._count = count
             self._latest = latest
             policy.observe_many(pending)
+        if error is not None:
+            raise error
         return processed
 
     # ------------------------------------------------------------------ #

@@ -257,9 +257,17 @@ class DistributedRobustSampler:
         self,
         points: Iterable[StreamPoint | Sequence[float]],
         shard: int,
+        *,
+        geometry=None,
     ) -> int:
-        """Deliver a batch to a shard through its batched ingestion path."""
-        return self._shards[shard].process_many(points)
+        """Deliver a batch to a shard through its batched ingestion path.
+
+        ``geometry`` forwards a chunk's precomputed
+        :class:`~repro.core.chunk_geometry.ChunkGeometry` (valid for
+        every shard - they share one config) so the shard skips
+        rebuilding it.
+        """
+        return self._shards[shard].process_many(points, geometry=geometry)
 
     def restore_shard(self, index: int, state: dict[str, Any]) -> None:
         """Replace one shard with a restore of ``state`` (protocol state).

@@ -33,19 +33,31 @@ buys and gates the committed speedup floors (results tracked in
 Where the speed comes from
 --------------------------
 
-* one :class:`~repro.core.base.PointContext`-worth of geometry per
-  arrival, computed inline and shared across all hierarchy levels;
-* the config-level ``cell_hash_memo``: near-duplicate streams revisit
+* the vectorised geometry kernel layer
+  (:mod:`repro.geometry.kernels` + the per-chunk
+  :class:`~repro.core.chunk_geometry.ChunkGeometry` precompute): a
+  whole chunk's cell coordinates, cell ids and memo-aware cell hashes
+  in a few numpy passes, bit-identical to the scalar geometry;
+  adjacency enumeration switches to vectorised block tables when a
+  chunk proves founding-heavy; pipelines build ONE geometry per dealt
+  chunk (:func:`repro.engine.batching.chunk_geometry_for`) and hand it
+  to the owning shard;
+* the sampled-cell ignore probes: a point whose group is untracked at
+  the current rate needs no ``adj(p)`` enumeration unless it lies
+  within ``alpha`` of a *sampled* nearby cell - memoised conservative
+  neighbourhoods at dim <= 2 (``conservative_neighborhood``), the
+  kernel layer's conservative probe above (usable at any dimension,
+  verdicts rate-nested across mid-chunk doublings);
+* the config-level hash memos (``cell_hash_memo`` scalar,
+  ``cell_id_hash_memo`` vectorised): near-duplicate streams revisit
   the same grid cells constantly, so cell hashes are computed once per
-  cell, not once per point - and the memo is shared by every level of a
-  sliding-window hierarchy and every shard of a pipeline;
-* the ``conservative_neighborhood`` ignore filter: a point whose group
-  is untracked at the current rate needs no ``adj(p)`` enumeration
-  unless it lies within ``alpha`` of a *sampled* nearby cell, and those
-  are few and memoised per cell;
+  cell, not once per point - shared by every level of a sliding-window
+  hierarchy and every shard of a pipeline;
 * batch Horner / batch splitmix64 evaluation
   (:meth:`repro.hashing.kwise.KWiseHash.many`,
-  :meth:`repro.hashing.mix.SplitMix64.many`) for adjacency hashing.
+  :meth:`repro.hashing.mix.SplitMix64.many`, and their array twins
+  :meth:`~repro.hashing.mix.SplitMix64.many_chunk` /
+  :meth:`~repro.hashing.sampling.SamplingHash.value_chunk`).
 
 Extending the engine to a new sampler
 -------------------------------------
@@ -106,7 +118,14 @@ parallel pipeline synchronises its workers first).
 """
 
 from repro.core.base import DEFAULT_BATCH_SIZE, StreamSampler
-from repro.engine.batching import chunked
+from repro.engine.batching import (
+    ChunkGeometry,
+    chunk_geometry_for,
+    chunked,
+    compute_chunk_geometry,
+    set_vectorized_geometry,
+    vectorized_geometry_enabled,
+)
 from repro.engine.equivalence import state_fingerprint
 from repro.engine.executors import (
     EXECUTOR_NAMES,
@@ -123,6 +142,11 @@ __all__ = [
     "StreamSampler",
     "BatchPipeline",
     "chunked",
+    "ChunkGeometry",
+    "chunk_geometry_for",
+    "compute_chunk_geometry",
+    "set_vectorized_geometry",
+    "vectorized_geometry_enabled",
     "state_fingerprint",
     "EXECUTOR_NAMES",
     "ShardExecutor",

@@ -1,13 +1,71 @@
-"""Chunking utilities for the batched ingestion engine.
+"""Chunking and chunk-geometry utilities for the batched ingestion engine.
 
-:func:`chunked` is defined in :mod:`repro.core.base` (the leaf module -
-:meth:`~repro.core.base.StreamSampler.extend` chunks with it, and the
+:func:`chunked` and the :class:`~repro.core.chunk_geometry.ChunkGeometry`
+precompute are defined in the core package (leaf modules -
+:meth:`~repro.core.base.StreamSampler.extend` chunks with the former,
+the samplers' ``process_many`` overrides consume the latter, and the
 core cannot import the engine package without a cycle); this module is
-its engine-facing home.
+their engine-facing home, plus the pipeline-level geometry builder.
+
+:func:`chunk_geometry_for` is where :class:`~repro.engine.pipeline.BatchPipeline`
+builds one :class:`ChunkGeometry` per dealt chunk, so the shard that
+receives the chunk (through whichever in-process executor) never
+recomputes it; worker *processes* rebuild the geometry deterministically
+inside their own ``process_many`` instead, which is state-equivalent
+because a ``ChunkGeometry`` is a pure function of the chunk and the
+shared config.
 """
 
 from __future__ import annotations
 
-from repro.core.base import chunked
+from typing import Iterable, Sequence
 
-__all__ = ["chunked"]
+from repro.core.base import SamplerConfig, chunked
+from repro.core.chunk_geometry import (
+    MIN_VECTOR_CHUNK,
+    ChunkGeometry,
+    compute_chunk_geometry,
+    materialize_chunk,
+    set_vectorized_geometry,
+    vectorized_geometry_enabled,
+)
+from repro.streams.point import StreamPoint
+
+__all__ = [
+    "chunked",
+    "ChunkGeometry",
+    "compute_chunk_geometry",
+    "chunk_geometry_for",
+    "materialize_chunk",
+    "set_vectorized_geometry",
+    "vectorized_geometry_enabled",
+]
+
+
+def chunk_geometry_for(
+    config: SamplerConfig,
+    chunk: Sequence[StreamPoint | Iterable[float]],
+) -> ChunkGeometry | None:
+    """Build a chunk's geometry ahead of dealing it to a shard.
+
+    Returns ``None`` for chunks the vectorised path cannot serve -
+    including any invalid point (wrong dimension, non-numeric
+    coordinate): the shard's own ``process_many`` then takes its scalar
+    branch and reproduces the per-point error semantics exactly.
+    """
+    if not vectorized_geometry_enabled() or len(chunk) < MIN_VECTOR_CHUNK:
+        return None
+    dim = config.dim
+    try:
+        vectors = [
+            point.vector
+            if isinstance(point, StreamPoint)
+            else tuple(float(x) for x in point)
+            for point in chunk
+        ]
+    except Exception:
+        return None
+    for vector in vectors:
+        if len(vector) != dim:
+            return None
+    return compute_chunk_geometry(config, vectors)

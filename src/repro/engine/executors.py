@@ -83,13 +83,26 @@ class ShardExecutor:
     #: Name under which :func:`make_executor` builds this class.
     name: ClassVar[str] = ""
 
-    def submit(self, shard_id: int, chunk: Sequence[Any]) -> int | None:
+    #: Whether the pipeline should precompute a
+    #: :class:`~repro.core.chunk_geometry.ChunkGeometry` per chunk and
+    #: pass it to :meth:`submit`.  True for executors whose shard work
+    #: runs in this process (the geometry object can be handed over
+    #: directly); the process executor's workers rebuild it
+    #: deterministically from the chunk instead of paying to pickle it.
+    wants_geometry: ClassVar[bool] = True
+
+    def submit(
+        self, shard_id: int, chunk: Sequence[Any], geometry: Any = None
+    ) -> int | None:
         """Deliver one chunk to one shard.
 
-        Returns the number of points ingested when the work happened
-        synchronously, or ``None`` when it was queued (the caller then
-        counts ``len(chunk)`` and must :meth:`drain` before reading any
-        shard state).
+        ``geometry`` is the chunk's precomputed
+        :class:`~repro.core.chunk_geometry.ChunkGeometry` (or ``None``);
+        executors forward it to the shard's ``process_many`` when the
+        shard runs in-process.  Returns the number of points ingested
+        when the work happened synchronously, or ``None`` when it was
+        queued (the caller then counts ``len(chunk)`` and must
+        :meth:`drain` before reading any shard state).
         """
         raise NotImplementedError
 
@@ -117,8 +130,12 @@ class SerialShardExecutor(ShardExecutor):
     def __init__(self, coordinator: "DistributedRobustSampler") -> None:
         self._coordinator = coordinator
 
-    def submit(self, shard_id: int, chunk: Sequence[Any]) -> int:
-        return self._coordinator.route_many(chunk, shard_id)
+    def submit(
+        self, shard_id: int, chunk: Sequence[Any], geometry: Any = None
+    ) -> int:
+        return self._coordinator.route_many(
+            chunk, shard_id, geometry=geometry
+        )
 
     def drain(self) -> Iterator[tuple[int, dict[str, Any] | None]]:
         for shard_id in range(self._coordinator.num_shards):
@@ -195,7 +212,9 @@ class ThreadShardExecutor(ShardExecutor):
                 if self._failures[worker] is not None:
                     continue  # poisoned: swallow work until drain reports
                 try:
-                    self._coordinator.route_many(message[2], message[1])
+                    self._coordinator.route_many(
+                        message[2], message[1], geometry=message[3]
+                    )
                 except BaseException:
                     self._failures[worker] = traceback.format_exc()
             elif kind == "drain":
@@ -203,15 +222,19 @@ class ThreadShardExecutor(ShardExecutor):
             else:  # "stop"
                 return
 
-    def submit(self, shard_id: int, chunk: Sequence[Any]) -> None:
+    def submit(
+        self, shard_id: int, chunk: Sequence[Any], geometry: Any = None
+    ) -> None:
         if self._closed:
             raise ExecutorError("executor is closed")
         # Copy: the worker reads the chunk after submit returns, so a
         # caller that reuses its batch buffer must not corrupt it (the
         # serial executor consumes chunks synchronously; equivalence
-        # requires the asynchronous ones to behave as if they did).
+        # requires the asynchronous ones to behave as if they did).  The
+        # geometry snapshot was taken from the submit-time values, so it
+        # stays consistent with the copied chunk.
         self._queues[shard_id % self._num_workers].put(
-            ("chunk", shard_id, list(chunk))
+            ("chunk", shard_id, list(chunk), geometry)
         )
         return None
 
@@ -311,6 +334,10 @@ class ProcessShardExecutor(ShardExecutor):
     """
 
     name = "process"
+    # Shipping a ChunkGeometry through the task queue would pay pickling
+    # for arrays the worker can rebuild in one vectorised pass; workers'
+    # process_many rebuilds it deterministically instead.
+    wants_geometry = False
 
     def __init__(
         self,
@@ -347,12 +374,16 @@ class ProcessShardExecutor(ShardExecutor):
             self._task_queues.append(tasks)
             self._workers.append(worker)
 
-    def submit(self, shard_id: int, chunk: Sequence[Any]) -> None:
+    def submit(
+        self, shard_id: int, chunk: Sequence[Any], geometry: Any = None
+    ) -> None:
         if self._closed:
             raise ExecutorError("executor is closed")
         # Copy: multiprocessing.Queue pickles in a background feeder
         # thread after submit returns, so a caller that reuses its batch
-        # buffer would otherwise ship mutated data.
+        # buffer would otherwise ship mutated data.  ``geometry`` is
+        # intentionally dropped (wants_geometry is False): the worker's
+        # process_many rebuilds it deterministically from the chunk.
         self._task_queues[shard_id % self._num_workers].put(
             ("chunk", shard_id, list(chunk))
         )

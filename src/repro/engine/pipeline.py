@@ -48,7 +48,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Sequence
 from repro.core.base import DEFAULT_KAPPA0, SamplerConfig
 from repro.core.infinite_window import RobustL0SamplerIW
 from repro.distributed.coordinator import DistributedRobustSampler, ShardSampler
-from repro.engine.batching import chunked
+from repro.engine.batching import chunk_geometry_for, chunked
 from repro.errors import EmptySampleError, ExecutorError, ParameterError
 from repro.streams.point import StreamPoint
 
@@ -297,10 +297,15 @@ class BatchPipeline:
     ) -> int:
         """Ingest one batch into the next shard (round-robin).
 
-        Returns the number of points ingested.  With a parallel
-        executor the chunk is queued to the shard's worker and the count
-        returned is the chunk length; any worker-side failure surfaces
-        as :class:`~repro.errors.ExecutorError` at the next
+        The chunk's :class:`~repro.core.chunk_geometry.ChunkGeometry`
+        is built **once here** (all shards share one config, so the
+        geometry is valid wherever the chunk lands) and handed to the
+        executor; in-process executors forward it to the owning shard's
+        ``process_many``, worker processes rebuild it deterministically
+        on their side.  Returns the number of points ingested.  With a
+        parallel executor the chunk is queued to the shard's worker and
+        the count returned is the chunk length; any worker-side failure
+        surfaces as :class:`~repro.errors.ExecutorError` at the next
         synchronisation point (:meth:`sync`, :meth:`merge`,
         :meth:`to_state`, queries).
         """
@@ -308,7 +313,10 @@ class BatchPipeline:
         self._next_shard = (shard + 1) % self._coordinator.num_shards
         executor = self._ensure_executor()
         chunk = batch if isinstance(batch, list) else list(batch)
-        processed = executor.submit(shard, chunk)
+        geometry = None
+        if executor.wants_geometry:
+            geometry = chunk_geometry_for(self._coordinator.config, chunk)
+        processed = executor.submit(shard, chunk, geometry)
         if processed is None:  # queued, not yet ingested
             self._dirty = True
             processed = len(chunk)

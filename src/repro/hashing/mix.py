@@ -65,6 +65,23 @@ class SplitMix64:
         # (e.g. consecutive grid-cell IDs); two rounds are not.
         return splitmix64(splitmix64(key & _MASK64) ^ self._seed)
 
+    def many_chunk(self, keys):
+        """Vectorised :meth:`many` over a numpy uint64 array.
+
+        ``keys`` is a ``numpy.uint64`` array; returns a ``numpy.uint64``
+        array with ``out[i] == self(int(keys[i]))`` for every lane (the
+        same two splitmix64 rounds around the seed injection).  This is
+        the hashing layer's batch entry point for the vectorised chunk
+        geometry (:mod:`repro.geometry.kernels`); it requires numpy.
+        """
+        from repro.geometry.kernels import splitmix64_chunk
+
+        import numpy
+
+        return splitmix64_chunk(
+            splitmix64_chunk(keys) ^ numpy.uint64(self._seed)
+        )
+
     def many(self, keys: Iterable[int]) -> list[int]:
         """Hash a batch of keys; equals ``[self(k) for k in keys]``.
 

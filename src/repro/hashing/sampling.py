@@ -84,6 +84,25 @@ class SamplingHash:
         base = self._base
         return [base(key) for key in keys]
 
+    def value_chunk(self, keys):
+        """Raw base-hash values of a numpy uint64 key array, as uint64.
+
+        The batch entry point used by the vectorised chunk geometry:
+        delegates to the base hash's vectorised evaluator when it has
+        one (:meth:`SplitMix64.many_chunk
+        <repro.hashing.mix.SplitMix64.many_chunk>`), otherwise runs the
+        scalar batch evaluator and repacks - either way the values equal
+        ``[self.value(int(k)) for k in keys]``.  Requires numpy.
+        """
+        many_chunk = getattr(self._base, "many_chunk", None)
+        if many_chunk is not None:
+            return many_chunk(keys)
+        import numpy
+
+        return numpy.array(
+            self.value_many(keys.tolist()), dtype=numpy.uint64
+        )
+
     def residue(self, key: int, rate_denominator: int) -> int:
         """Return ``h(key) mod R`` (the paper's ``h_R(key)``)."""
         self._check_rate(rate_denominator)

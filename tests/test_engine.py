@@ -121,6 +121,49 @@ class TestInfiniteWindowDifferential:
             sampler.process_many(good + [(1.0, 2.0, 3.0)])
         assert sampler.points_seen == 10  # prefix ingested, counters synced
 
+    @pytest.mark.parametrize("dim", [3, 5, 8])
+    def test_high_dim_batch_ignore_filter(self, dim):
+        # Satellite: the dim > 2 batch ignore filter (the vectorised
+        # sampled-cell probe, replacing the exponential conservative
+        # neighbourhood that forced the old dim <= 2 gate) must be
+        # invisible in state.  High-cardinality stream: most points are
+        # new groups, so the rate halves repeatedly and the filter
+        # carries the batch path.
+        rng = random.Random(dim)
+        points = []
+        for _ in range(2500):
+            if rng.random() < 0.25:  # some duplicate mass too
+                group = rng.randrange(40)
+                base = [30.0 * ((group * (axis + 1)) % 11) for axis in range(dim)]
+            else:
+                base = [rng.uniform(-400.0, 400.0) for _ in range(dim)]
+            points.append(
+                tuple(value + rng.uniform(0.0, 0.3) for value in base)
+            )
+        for batch_size in BATCH_SIZES:
+            per, bat = assert_differential(
+                lambda: RobustL0SamplerIW(1.0, dim, seed=dim), points, batch_size
+            )
+        assert per.rate_denominator > 1  # the filter ran under real masks
+
+    def test_scalar_geometry_mode_differential(self):
+        # The vectorised chunk geometry is a performance switch, never a
+        # semantic one: with it disabled the batch path must still match
+        # per-point ingestion (and the vectorised fingerprint).
+        from repro.engine.batching import set_vectorized_geometry
+
+        points = noisy_stream(2000, 300, seed=77)
+        previous = set_vectorized_geometry(False)
+        try:
+            per, scalar_bat = assert_differential(
+                lambda: RobustL0SamplerIW(1.0, 2, seed=31), points, 64
+            )
+        finally:
+            set_vectorized_geometry(previous)
+        vector_bat = RobustL0SamplerIW(1.0, 2, seed=31)
+        feed_batches(vector_bat, points, 64)
+        assert state_fingerprint(vector_bat) == state_fingerprint(scalar_bat)
+
 
 class TestFixedRateDifferential:
     @pytest.mark.parametrize("batch_size", BATCH_SIZES)

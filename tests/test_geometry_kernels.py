@@ -1,0 +1,436 @@
+"""Differential tests: vectorised geometry kernels vs their scalar oracles.
+
+Every kernel of :mod:`repro.geometry.kernels` (and the
+:class:`~repro.core.chunk_geometry.ChunkGeometry` precompute built on
+them) must be **bit-identical** to the scalar code it replaces - cells,
+hashes and adjacency tuples feed ``state_fingerprint``, so a 1-ulp
+divergence is a correctness bug, not a rounding nit.  The streams here
+are adversarial by construction: cell-boundary points (exact multiples
+of the grid side, with +-1-ulp perturbations), negative coordinates,
+huge coordinates, and every dimension the vectorised adjacency serves
+(1-4) plus the probe-only high dimensions (5, 8).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import SamplerConfig
+from repro.core.chunk_geometry import (
+    ChunkGeometry,
+    compute_chunk_geometry,
+    materialize_chunk,
+    set_vectorized_geometry,
+)
+from repro.geometry import kernels
+from repro.geometry.adjacency import (
+    brute_force_adjacent_cells,
+    collect_adjacent,
+)
+from repro.geometry.grid import Grid
+from repro.hashing.kwise import KWiseHash
+from repro.hashing.mix import SplitMix64, splitmix64
+from repro.hashing.sampling import SamplingHash
+
+np = pytest.importorskip("numpy")
+
+MASK64 = (1 << 64) - 1
+
+
+def boundary_points(grid: Grid, count: int, seed: int) -> list[tuple]:
+    """Adversarial points: uniform, lattice-exact, and 1-ulp off-lattice."""
+    rng = random.Random(seed)
+    dim = grid.dim
+    side = grid.side
+    points = []
+    for _ in range(count):
+        kind = rng.randrange(4)
+        vector = []
+        for axis in range(dim):
+            if kind == 0:
+                value = rng.uniform(-60.0, 60.0)
+            else:
+                value = grid.offset[axis] + rng.randrange(-40, 40) * side
+                if kind == 2:
+                    value = math.nextafter(value, math.inf)
+                elif kind == 3:
+                    value = math.nextafter(value, -math.inf)
+            vector.append(value)
+        points.append(tuple(vector))
+    return points
+
+
+class TestHashKernels:
+    def test_int_hash_lanes_match_python_hash(self):
+        values = [0, 1, -1, -2, 2, (1 << 61) - 1, -((1 << 61) - 1),
+                  (1 << 61), -(1 << 61), 1234567891234, -987654321,
+                  (1 << 62) - 1, -((1 << 62) - 1)]
+        lanes = kernels.int_hash_lanes(np.array(values, dtype=np.int64))
+        for value, lane in zip(values, lanes.tolist()):
+            assert (hash(value) & MASK64) == lane, value
+
+    def test_tuple_hashes_match_python_hash(self):
+        rng = random.Random(1)
+        for dim in (1, 2, 3, 4, 8):
+            rows = [
+                tuple(
+                    rng.randrange(-(1 << 61), 1 << 61) for _ in range(dim)
+                )
+                for _ in range(200)
+            ]
+            rows += [(0,) * dim, (-1,) * dim, ((1 << 61) - 1,) * dim]
+            hashed = kernels.tuple_hashes(np.array(rows, dtype=np.int64))
+            for row, value in zip(rows, hashed.tolist()):
+                assert (hash(row) & MASK64) == value, row
+
+    def test_splitmix64_chunk_matches_scalar(self):
+        rng = random.Random(2)
+        keys = [rng.randrange(1 << 64) for _ in range(500)] + [0, MASK64]
+        out = kernels.splitmix64_chunk(np.array(keys, dtype=np.uint64))
+        assert out.tolist() == [splitmix64(k) for k in keys]
+
+    def test_cell_ids_chunk_matches_grid_cell_id(self):
+        grid = Grid(side=0.5, dim=3, offset=(0.1, 0.2, 0.3))
+        rng = random.Random(3)
+        cells = [
+            tuple(rng.randrange(-1000, 1000) for _ in range(3))
+            for _ in range(300)
+        ]
+        ids = kernels.cell_ids_chunk(np.array(cells, dtype=np.int64))
+        assert ids.tolist() == [grid.cell_id(c) for c in cells]
+
+    def test_splitmix_many_chunk_matches_many(self):
+        base = SplitMix64(seed=99)
+        keys = [random.Random(4).randrange(1 << 64) for _ in range(256)]
+        arr = base.many_chunk(np.array(keys, dtype=np.uint64))
+        assert arr.tolist() == base.many(keys)
+
+    def test_sampling_hash_value_chunk_dispatch(self):
+        # SplitMix64 base: vectorised; KWise base: scalar fallback.
+        keys = list(range(100)) + [MASK64, 1 << 63]
+        array = np.array(keys, dtype=np.uint64)
+        for sampling in (
+            SamplingHash(seed=5),
+            SamplingHash(KWiseHash(k=4, seed=5)),
+        ):
+            assert sampling.value_chunk(array).tolist() == (
+                sampling.value_many(keys)
+            )
+
+
+class TestCellKernels:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4, 8])
+    def test_chunk_cells_and_hashes_match_grid(self, dim):
+        config = SamplerConfig.create(1.0, dim, seed=dim)
+        grid = config.grid
+        points = boundary_points(grid, 400, seed=dim)
+        geom = compute_chunk_geometry(config, points)
+        assert geom is not None and geom.n == len(points)
+        for index, point in enumerate(points):
+            cell = grid.cell_of(point)
+            assert geom.cell_at(index) == cell
+            assert geom.cell_hashes[index] == config.cell_hash(cell)
+            assert (
+                tuple(geom.fracs[index].tolist())
+                == grid.fractional_position(point)
+            )
+
+    def test_kwise_config_hashes_match(self):
+        config = SamplerConfig.create(1.0, 2, seed=9, kwise=8)
+        points = boundary_points(config.grid, 200, seed=9)
+        geom = compute_chunk_geometry(config, points)
+        for index, point in enumerate(points):
+            assert geom.cell_hashes[index] == config.cell_hash(
+                config.grid.cell_of(point)
+            )
+
+    def test_memo_hit_path_identical(self):
+        # Second build of the same chunk is served from the id memo.
+        config = SamplerConfig.create(1.0, 2, seed=11)
+        points = boundary_points(config.grid, 100, seed=11)
+        first = compute_chunk_geometry(config, points)
+        assert config.cell_id_hash_memo  # misses were memoised
+        second = compute_chunk_geometry(config, points)
+        assert first.cell_hashes == second.cell_hashes
+
+    def test_nonfinite_point_truncates_geometry(self):
+        config = SamplerConfig.create(1.0, 2, seed=13)
+        points = boundary_points(config.grid, 50, seed=13)
+        points[20] = (float("nan"), 1.0)
+        geom = compute_chunk_geometry(config, points)
+        assert geom is not None and geom.n == 20
+
+    def test_huge_coordinates_fall_back_to_scalar_tail(self):
+        config = SamplerConfig.create(1.0, 1, seed=17)
+        points = [(float(i),) for i in range(30)] + [(1e300,)]
+        geom = compute_chunk_geometry(config, points)
+        assert geom is not None and geom.n == 30
+
+    @given(
+        st.lists(
+            st.floats(
+                min_value=-1e6, max_value=1e6, allow_nan=False
+            ),
+            min_size=8,
+            max_size=40,
+        ),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_floor_division_property(self, values, seed):
+        config = SamplerConfig.create(1.0, 1, seed=seed)
+        grid = config.grid
+        points = [(v,) for v in values]
+        geom = compute_chunk_geometry(config, points)
+        assert geom is not None
+        for index, point in enumerate(points):
+            assert geom.cell_at(index) == grid.cell_of(point)
+
+
+class TestAdjacencyKernel:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4])
+    def test_matches_collect_adjacent_cells_and_order(self, dim):
+        config = SamplerConfig.create(1.0, dim, seed=21 + dim)
+        grid = config.grid
+        points = boundary_points(grid, 150, seed=21 + dim)
+        geom = compute_chunk_geometry(config, points)
+        flat, counts = kernels.adjacent_cells_chunk(
+            geom._coords, geom.fracs, grid.side, config.alpha
+        )
+        position = 0
+        flat_cells = list(map(tuple, flat.tolist()))
+        for index, point in enumerate(points):
+            count = int(counts[index])
+            got = flat_cells[position : position + count]
+            position += count
+            want = collect_adjacent(
+                grid, point, config.alpha, base_cell=grid.cell_of(point)
+            )
+            assert got == want, (dim, index)
+
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_matches_brute_force_oracle(self, dim):
+        # Uniform points (no 1-ulp lattice adversaries: at those, the
+        # scalar DFS itself can differ from the exact-distance oracle by
+        # an ulp, and the kernel's contract is the DFS).
+        config = SamplerConfig.create(1.0, dim, seed=71 + dim)
+        grid = config.grid
+        rng = random.Random(71 + dim)
+        points = [
+            tuple(rng.uniform(-30, 30) for _ in range(dim))
+            for _ in range(60)
+        ]
+        geom = compute_chunk_geometry(config, points)
+        flat, counts = kernels.adjacent_cells_chunk(
+            geom._coords, geom.fracs, grid.side, config.alpha
+        )
+        flat_cells = list(map(tuple, flat.tolist()))
+        position = 0
+        for index, point in enumerate(points):
+            count = int(counts[index])
+            got = set(flat_cells[position : position + count])
+            position += count
+            assert got == brute_force_adjacent_cells(
+                grid, point, config.alpha
+            )
+
+    def test_offset_table_covers_float_floor_rounding(self):
+        # Regression: 1.0 // 0.1 == 9.0 in floats, but the scalar
+        # _axis_moves loop still admits offset 10 (fl(10 * 0.1) == 1.0
+        # fits the budget); the kernel's offset table must carry the
+        # same headroom or it silently drops the outermost cell.
+        grid = Grid(side=0.1, dim=1, offset=(0.0,))
+        points = [(0.5,), (0.0,), (0.05,), (-0.31,)]
+        coords = np.array(
+            [grid.cell_of(p) for p in points], dtype=np.int64
+        )
+        fracs = np.array(
+            [grid.fractional_position(p) for p in points], dtype=np.float64
+        )
+        flat, counts = kernels.adjacent_cells_chunk(coords, fracs, 0.1, 1.0)
+        flat_cells = list(map(tuple, flat.tolist()))
+        position = 0
+        for index, point in enumerate(points):
+            count = int(counts[index])
+            got = flat_cells[position : position + count]
+            position += count
+            assert got == collect_adjacent(grid, point, 1.0)
+
+    @pytest.mark.parametrize("side,radius", [(0.25, 1.0), (1.0, 1.0), (3.0, 1.0)])
+    def test_multi_step_offsets(self, side, radius):
+        # side < radius forces |offset| >= 2 moves per axis.
+        grid = Grid(side=side, dim=2, offset=(0.1, 0.05))
+        rng = random.Random(int(side * 100))
+        points = [
+            (rng.uniform(-10, 10), rng.uniform(-10, 10)) for _ in range(80)
+        ]
+        coords = np.array([grid.cell_of(p) for p in points], dtype=np.int64)
+        fracs = np.array(
+            [grid.fractional_position(p) for p in points], dtype=np.float64
+        )
+        flat, counts = kernels.adjacent_cells_chunk(
+            coords, fracs, side, radius
+        )
+        flat_cells = list(map(tuple, flat.tolist()))
+        position = 0
+        for index, point in enumerate(points):
+            count = int(counts[index])
+            got = flat_cells[position : position + count]
+            position += count
+            assert got == collect_adjacent(grid, point, radius)
+
+    def test_dimension_above_limit_returns_none(self):
+        config = SamplerConfig.create(1.0, 5, seed=31)
+        points = boundary_points(config.grid, 40, seed=31)
+        geom = compute_chunk_geometry(config, points)
+        assert (
+            kernels.adjacent_cells_chunk(
+                geom._coords, geom.fracs, config.grid.side, config.alpha
+            )
+            is None
+        )
+        # ... and the ChunkGeometry transparently serves the scalar DFS.
+        for index, point in enumerate(points):
+            assert geom.adj_hashes(index) == config.adj_hashes(
+                point, cell=config.grid.cell_of(point)
+            )
+
+    @pytest.mark.parametrize("dim", [1, 2, 4])
+    def test_eager_table_matches_scalar_adjacency(self, dim):
+        config = SamplerConfig.create(1.0, dim, seed=41 + dim)
+        points = boundary_points(config.grid, 200, seed=41 + dim)
+        geom = compute_chunk_geometry(config, points)
+        # Request adjacency for every point: the first few run the
+        # scalar DFS, then the eager vectorised table takes over; both
+        # regimes must agree with the scalar oracle.
+        for index, point in enumerate(points):
+            assert geom.adj_hashes(index) == config.adj_hashes(
+                point, cell=config.grid.cell_of(point)
+            )
+        assert geom._adj_table is not None  # the eager path actually ran
+
+
+class TestHighDimProbe:
+    @pytest.mark.parametrize("dim", [3, 5, 8])
+    @pytest.mark.parametrize("mask", [3, 63, 4095])
+    def test_ignorable_implies_no_sampled_adjacent_cell(self, dim, mask):
+        config = SamplerConfig.create(1.0, dim, seed=dim * 100 + 7)
+        grid = config.grid
+        rng = random.Random(dim)
+        points = []
+        for _ in range(300):
+            vector = [rng.uniform(-40, 40) for _ in range(dim)]
+            if rng.random() < 0.5:  # park near a cell face
+                axis = rng.randrange(dim)
+                vector[axis] = (
+                    grid.offset[axis]
+                    + rng.randrange(-5, 5) * grid.side
+                    + rng.choice([0.0, 1e-9, 0.5, 0.999, grid.side - 1e-9])
+                )
+            points.append(tuple(vector))
+        geom = compute_chunk_geometry(config, points)
+        ignorable = geom.high_dim_ignorable(mask)
+        assert ignorable is not None
+        assert any(ignorable)  # the probe actually prunes something
+        for index, point in enumerate(points):
+            if not ignorable[index]:
+                continue
+            cell = grid.cell_of(point)
+            for neighbour in collect_adjacent(
+                grid, point, config.alpha, base_cell=cell
+            ):
+                if neighbour != cell:
+                    assert config.cell_hash(neighbour) & mask != 0
+
+    def test_probe_disabled_when_cells_not_larger_than_alpha(self):
+        # dim 2 default side is alpha/sqrt(2) < alpha: premise broken.
+        config = SamplerConfig.create(1.0, 2, seed=3)
+        geom = compute_chunk_geometry(
+            config, boundary_points(config.grid, 40, seed=3)
+        )
+        assert geom.high_dim_ignorable(7) is None
+
+    def test_probe_verdicts_survive_rate_doubling(self):
+        # Nesting: ignorable at mask R-1 must stay ignorable at 2R-1.
+        config = SamplerConfig.create(1.0, 3, seed=5)
+        points = boundary_points(config.grid, 300, seed=5)
+        geom = compute_chunk_geometry(config, points)
+        coarse = geom.high_dim_ignorable(7)
+        fine = compute_chunk_geometry(config, points).high_dim_ignorable(15)
+        for at_coarse, at_fine in zip(coarse, fine):
+            if at_coarse:
+                assert at_fine
+
+
+class TestMaterializeChunk:
+    def test_valid_prefix_and_dim_error(self):
+        error = ValueError("boom")
+        pts, vectors, got, offender = materialize_chunk(
+            [(0.0, 1.0), (2.0, 3.0), (4.0, 5.0, 6.0), (7.0, 8.0)],
+            2,
+            10,
+            lambda actual: error,
+        )
+        assert [p.index for p in pts] == [10, 11]
+        assert vectors == [(0.0, 1.0), (2.0, 3.0)]
+        assert got is error and offender is None
+
+    def test_coercion_error_stops_at_offender(self):
+        pts, vectors, got, offender = materialize_chunk(
+            [(0.0,), ("bad",), (1.0,)], 1, 0, lambda actual: ValueError()
+        )
+        assert len(pts) == 1 and isinstance(got, ValueError)
+
+    def test_stale_geometry_rejected(self):
+        # A geometry built for a different chunk must be refused (and
+        # recomputed), not silently corrupt the sampler's state.
+        from repro.core.infinite_window import RobustL0SamplerIW
+        from repro.engine.equivalence import state_fingerprint
+
+        rng = random.Random(0)
+        chunk_a = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(64)]
+        chunk_b = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(64)]
+        stale = RobustL0SamplerIW(1.0, 2, seed=1)
+        geometry_a = compute_chunk_geometry(stale.config, chunk_a)
+        assert geometry_a.valid_for(stale.config, chunk_a)
+        assert not geometry_a.valid_for(stale.config, chunk_b)
+        stale.process_many(chunk_b, geometry=geometry_a)
+        clean = RobustL0SamplerIW(1.0, 2, seed=1)
+        clean.process_many(chunk_b)
+        assert state_fingerprint(stale) == state_fingerprint(clean)
+
+    def test_generator_input_streams_in_bounded_chunks(self):
+        # process_many on a raw generator must not materialise the whole
+        # stream (it chunks internally at DEFAULT_BATCH_SIZE) and must
+        # stay state-equivalent to per-point ingestion.
+        from repro.core.infinite_window import RobustL0SamplerIW
+        from repro.engine.equivalence import state_fingerprint
+
+        def stream():
+            rng = random.Random(5)
+            for _ in range(3000):
+                yield (rng.uniform(0, 50), rng.uniform(0, 50))
+
+        streamed = RobustL0SamplerIW(1.0, 2, seed=2)
+        assert streamed.process_many(stream()) == 3000
+        reference = RobustL0SamplerIW(1.0, 2, seed=2)
+        for point in stream():
+            reference.insert(point)
+        assert state_fingerprint(streamed) == state_fingerprint(reference)
+
+    def test_toggle_disables_vectorised_path(self):
+        config = SamplerConfig.create(1.0, 2, seed=1)
+        points = boundary_points(config.grid, 50, seed=1)
+        previous = set_vectorized_geometry(False)
+        try:
+            assert compute_chunk_geometry(config, points) is None
+        finally:
+            set_vectorized_geometry(previous)
+        assert isinstance(
+            compute_chunk_geometry(config, points), ChunkGeometry
+        )
