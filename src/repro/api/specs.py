@@ -278,6 +278,17 @@ class PipelineSpec(PointSummarySpec):
         Worker threads/processes for the parallel executors (capped at
         ``num_shards``, the unit of parallelism).  ``None`` means one
         worker per shard.  Ignored by the serial executor.
+    transport:
+        Chunk transport of the process executor: ``"auto"`` (default)
+        ships eligible chunks zero-copy through pooled shared-memory
+        segments when numpy is available and falls back to pickling per
+        chunk, ``"shm"`` requires numpy, ``"pickle"`` forces the legacy
+        queue transport.  Ignored by the in-process executors; never
+        observable in sampler state.
+    work_stealing:
+        Whether the process executor may migrate a backlogged shard to
+        an idle worker (on by default).  Also state-unobservable:
+        per-shard chunk order is preserved across migrations.
     """
 
     key: ClassVar[str] = "batch-pipeline"
@@ -286,6 +297,8 @@ class PipelineSpec(PointSummarySpec):
     batch_size: int = DEFAULT_BATCH_SIZE
     executor: Literal["serial", "thread", "process"] = "serial"
     num_workers: int | None = None
+    transport: Literal["auto", "shm", "pickle"] = "auto"
+    work_stealing: bool = True
     kappa0: float = DEFAULT_KAPPA0
     expected_stream_length: int | None = None
 
@@ -299,12 +312,17 @@ class PipelineSpec(PointSummarySpec):
             raise ParameterError(
                 f"batch_size must be >= 1, got {self.batch_size}"
             )
-        from repro.engine.executors import EXECUTOR_NAMES
+        from repro.engine.executors import EXECUTOR_NAMES, TRANSPORT_NAMES
 
         if self.executor not in EXECUTOR_NAMES:
             raise ParameterError(
                 f"executor must be one of {', '.join(EXECUTOR_NAMES)}, "
                 f"got {self.executor!r}"
+            )
+        if self.transport not in TRANSPORT_NAMES:
+            raise ParameterError(
+                f"transport must be one of {', '.join(TRANSPORT_NAMES)}, "
+                f"got {self.transport!r}"
             )
         if self.num_workers is not None and self.num_workers < 1:
             raise ParameterError(

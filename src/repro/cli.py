@@ -204,6 +204,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads/processes for --executor thread/process "
         "(default: one per shard)",
     )
+    pipeline.add_argument(
+        "--transport", choices=["auto", "shm", "pickle"], default="auto",
+        help="chunk transport for --executor process: 'auto' ships "
+        "chunks zero-copy through shared memory when numpy is "
+        "available, 'pickle' forces the legacy queue transport "
+        "(default auto; state-equivalent either way)",
+    )
+    pipeline.add_argument(
+        "--no-work-stealing", action="store_true",
+        help="pin each shard to the worker that first adopted it "
+        "instead of migrating backlogged shards to idle workers "
+        "(state-equivalent; only wall-clock throughput differs)",
+    )
     return parser
 
 
@@ -290,6 +303,8 @@ def _spec_for(args, *, dim: int, seed: int):
             batch_size=args.batch_size,
             executor=args.executor,
             num_workers=args.workers,
+            transport=args.transport,
+            work_stealing=not args.no_work_stealing,
         )
     return HeavyHittersSpec(
         alpha=args.alpha,

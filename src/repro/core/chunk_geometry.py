@@ -136,12 +136,23 @@ class ChunkGeometry:
     vector path (non-finite, or beyond ``2^62`` cells): consumers use
     the scalar path from that point on, which reproduces the scalar
     error semantics exactly.
+
+    ``source_vectors``/``pure_coords`` carry the chunk's *coercion*
+    result when the builder performed one: ``source_vectors`` is the
+    full chunk's coerced float tuples (covering the whole chunk even
+    when ``n`` was truncated) and ``pure_coords`` is ``True`` only when
+    every source element was a raw coordinate row (no
+    :class:`~repro.streams.point.StreamPoint`, whose arrival metadata a
+    reuse would lose).  :func:`materialize_chunk` uses the pair to skip
+    re-coercing a chunk the geometry builder already coerced.
     """
 
     __slots__ = (
         "config",
         "n",
         "cell_hashes",
+        "source_vectors",
+        "pure_coords",
         "_vectors",
         "_shifted",
         "_cells_f",
@@ -165,10 +176,15 @@ class ChunkGeometry:
         cells_f: "np.ndarray",
         coords: "np.ndarray",
         cell_hashes: list[int],
+        *,
+        source_vectors: list[tuple[float, ...]] | None = None,
+        pure_coords: bool = False,
     ) -> None:
         self.config = config
         self.n = len(cell_hashes)
         self.cell_hashes = cell_hashes
+        self.source_vectors = source_vectors
+        self.pure_coords = pure_coords
         self._vectors = vectors
         self._shifted = shifted
         self._cells_f = cells_f
@@ -326,29 +342,17 @@ class ChunkGeometry:
         return True
 
 
-def compute_chunk_geometry(
-    config: SamplerConfig, vectors: Sequence[tuple[float, ...]]
+def _geometry_from_array(
+    config: SamplerConfig,
+    vectors: Sequence[tuple[float, ...]],
+    array: "np.ndarray",
+    *,
+    source_vectors: list[tuple[float, ...]] | None = None,
+    pure_coords: bool = False,
 ) -> ChunkGeometry | None:
-    """Build the chunk's :class:`ChunkGeometry`, or ``None`` for scalar.
-
-    ``vectors`` must all have the config's dimension (the materialising
-    callers guarantee it).  Returns ``None`` when vectorisation is
-    disabled, numpy is unavailable, or the chunk is too small to
-    amortise the array setup - the batch loops then run their scalar
-    branch, which is state-equivalent by construction.
-    """
-    if not _ENABLED or not kernels.HAVE_NUMPY:
-        return None
-    total = len(vectors)
-    if total < MIN_VECTOR_CHUNK:
-        return None
+    """Shared builder core over a prebuilt ``(total, dim)`` float array."""
     grid = config.grid
-    dim = config.dim
-    # fromiter over a flattened view beats np.array on a list of tuples
-    # by ~2x; the callers guarantee rectangular input of width dim.
-    array = np.fromiter(
-        chain.from_iterable(vectors), np.float64, count=total * dim
-    ).reshape(total, dim)
+    total = len(vectors)
     shifted = array - np.array(grid.offset, dtype=np.float64)
     cells_f = kernels.cell_coords_chunk(shifted, grid.side)
     with np.errstate(invalid="ignore"):
@@ -370,8 +374,138 @@ def compute_chunk_geometry(
     coords = cells_f.astype(np.int64)
     cell_hashes = _hash_cells_list(config, coords)
     return ChunkGeometry(
-        config, vectors[:n], shifted, cells_f, coords, cell_hashes
+        config,
+        vectors[:n],
+        shifted,
+        cells_f,
+        coords,
+        cell_hashes,
+        source_vectors=source_vectors,
+        pure_coords=pure_coords,
     )
+
+
+def compute_chunk_geometry(
+    config: SamplerConfig,
+    vectors: Sequence[tuple[float, ...]],
+    *,
+    source_vectors: list[tuple[float, ...]] | None = None,
+    pure_coords: bool = False,
+) -> ChunkGeometry | None:
+    """Build the chunk's :class:`ChunkGeometry`, or ``None`` for scalar.
+
+    ``vectors`` must all have the config's dimension (the materialising
+    callers guarantee it).  Returns ``None`` when vectorisation is
+    disabled, numpy is unavailable, or the chunk is too small to
+    amortise the array setup - the batch loops then run their scalar
+    branch, which is state-equivalent by construction.
+
+    ``source_vectors``/``pure_coords`` are recorded on the geometry for
+    :func:`materialize_chunk`'s coercion-reuse fast path (see
+    :class:`ChunkGeometry`); builders that coerced the whole chunk
+    themselves pass them so downstream materialisation is free.
+    """
+    if not _ENABLED or not kernels.HAVE_NUMPY:
+        return None
+    total = len(vectors)
+    if total < MIN_VECTOR_CHUNK:
+        return None
+    dim = config.dim
+    # fromiter over a flattened view beats np.array on a list of tuples
+    # by ~2x; the callers guarantee rectangular input of width dim.
+    array = np.fromiter(
+        chain.from_iterable(vectors), np.float64, count=total * dim
+    ).reshape(total, dim)
+    return _geometry_from_array(
+        config,
+        vectors,
+        array,
+        source_vectors=source_vectors,
+        pure_coords=pure_coords,
+    )
+
+
+def geometry_from_array(
+    config: SamplerConfig, array: "np.ndarray"
+) -> tuple[list[tuple[float, ...]], ChunkGeometry | None]:
+    """Rebuild a chunk's ``(vectors, geometry)`` from its float array.
+
+    The zero-copy transport's worker-side entry point: the submitter
+    shipped the chunk as a contiguous ``(n, dim)`` float64 array, so the
+    coerced tuples are recovered with one ``tolist`` pass (value-
+    identical to per-point ``tuple(float(x) for x in row)`` - float64
+    round-trips exactly) and the geometry is built without re-flattening
+    through ``fromiter``.  ``geometry`` is ``None`` on the same terms as
+    :func:`compute_chunk_geometry` (toggle off, chunk below
+    :data:`MIN_VECTOR_CHUNK`, unvectorisable prefix); ``vectors`` always
+    covers the full chunk.  The returned geometry carries the vectors as
+    its coercion source (``pure_coords``), so the consuming sampler's
+    materialisation reuses them instead of coercing again.
+    """
+    if array.ndim != 2 or array.shape[1] != config.dim:
+        raise ValueError(
+            f"expected a (n, {config.dim}) array, got shape {array.shape!r}"
+        )
+    # Tuple recovery off the hot path: per-column tolist then one zip
+    # builds every row tuple at C speed - faster than the nested
+    # tolist + per-row tuple() and than regrouping a flat tolist
+    # through iterator tricks.  Values are identical either way -
+    # tolist yields Python floats.
+    vectors = list(zip(*array.T.tolist()))
+    if (
+        not _ENABLED
+        or not kernels.HAVE_NUMPY
+        or len(vectors) < MIN_VECTOR_CHUNK
+    ):
+        return vectors, None
+    geometry = _geometry_from_array(
+        config,
+        vectors,
+        np.asarray(array, dtype=np.float64),
+        source_vectors=vectors,
+        pure_coords=True,
+    )
+    return vectors, geometry
+
+
+def _reusable_vectors(
+    points, dim: int, geometry: ChunkGeometry | None
+) -> list[tuple[float, ...]] | None:
+    """The geometry's cached coercion of ``points``, if provably theirs.
+
+    Reuse requires the geometry to have coerced pure coordinate rows
+    (``pure_coords`` - StreamPoint inputs carry arrival metadata a
+    rebuild would lose) covering a chunk of the same length and
+    dimension whose endpoints coerce to the cached endpoints - the same
+    endpoint-trust model as :meth:`ChunkGeometry.valid_for`.  The
+    identity case (``points is source_vectors``) is the worker-process
+    path, where :func:`geometry_from_array` built both together.
+    """
+    if geometry is None or not geometry.pure_coords:
+        return None
+    source = geometry.source_vectors
+    if source is None:
+        return None
+    if points is source:
+        return source
+    if (
+        not isinstance(points, (list, tuple))
+        or len(points) != len(source)
+        or not source
+        or len(source[0]) != dim
+        or isinstance(points[0], StreamPoint)
+        or isinstance(points[-1], StreamPoint)
+    ):
+        return None
+    try:
+        if (
+            tuple(float(x) for x in points[0]) != source[0]
+            or tuple(float(x) for x in points[-1]) != source[-1]
+        ):
+            return None
+    except Exception:
+        return None
+    return source
 
 
 def materialize_chunk(
@@ -381,6 +515,7 @@ def materialize_chunk(
     dim_error: Callable[[int], Exception],
     *,
     coerce: bool = True,
+    geometry: ChunkGeometry | None = None,
 ) -> tuple[
     list[StreamPoint],
     list[tuple[float, ...]],
@@ -399,10 +534,30 @@ def materialize_chunk(
     afterwards, which leaves exactly the state per-point ingestion
     leaves: every point before the failure processed, nothing after it.
 
+    ``geometry`` may pass the chunk's precomputed
+    :class:`ChunkGeometry`: when it cached the chunk's own coercion
+    (see :func:`_reusable_vectors`) the per-point float coercion is
+    skipped entirely and the StreamPoints are built straight from the
+    cached tuples - a geometry built from coordinate rows guarantees
+    every row coerced and dimension-checked cleanly, so the fast path
+    cannot miss an error the slow path would raise.
+
     ``coerce=False`` (the fixed-rate contract) requires StreamPoint
     inputs; raw sequences then fail with the same ``AttributeError`` the
     per-point path produces.
     """
+    if coerce:
+        reused = _reusable_vectors(points, dim, geometry)
+        if reused is not None:
+            return (
+                [
+                    StreamPoint(vector, index)
+                    for index, vector in enumerate(reused, next_index)
+                ],
+                reused,
+                None,
+                None,
+            )
     materialized: list[StreamPoint] = []
     vectors: list[tuple[float, ...]] = []
     error: BaseException | None = None

@@ -268,6 +268,7 @@ class RobustHeavyHitters(StreamSampler):
             lambda actual: ParameterError(
                 f"point has dimension {actual}, expected {dim}"
             ),
+            geometry=geometry,
         )
         if geometry is not None and not geometry.valid_for(config, vectors):
             geometry = None

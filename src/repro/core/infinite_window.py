@@ -296,6 +296,7 @@ class RobustL0SamplerIW(StreamSampler):
             lambda actual: ParameterError(
                 f"point has dimension {actual}, sampler expects {dim}"
             ),
+            geometry=geometry,
         )
         if geometry is not None and not geometry.valid_for(config, vectors):
             geometry = None

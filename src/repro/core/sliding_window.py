@@ -561,6 +561,7 @@ class RobustL0SamplerSW(StreamSampler):
             lambda actual: ParameterError(
                 f"point has dimension {actual}, sampler expects {dim}"
             ),
+            geometry=geometry,
         )
         if geometry is not None and not geometry.valid_for(config, vectors):
             geometry = None

@@ -317,7 +317,14 @@ class DistributedRobustSampler:
         ``arrivals`` yields ``(shard_id, state)`` pairs in *completion*
         order (the surface of :meth:`repro.engine.executors.ShardExecutor.drain`);
         a ``state`` of ``None`` means the coordinator's own shard object
-        is already current.  Each arriving state is restored into its
+        is already current.  The process executor delivers states
+        *batched per worker* and encoded (one
+        :class:`~repro.engine.executors.DeferredStates` payload per
+        worker message) - callers consuming ``drain()`` directly pass
+        each pair through
+        :func:`repro.engine.executors.resolve_state` first, which is
+        what the pipeline does at every read point.  Each arriving
+        state is restored into its
         shard slot immediately, and the merge accumulator folds every
         settled shard *in shard order* as soon as it is available - so
         merge work overlaps with still-running workers instead of

@@ -129,6 +129,7 @@ from repro.engine.batching import (
 from repro.engine.equivalence import state_fingerprint
 from repro.engine.executors import (
     EXECUTOR_NAMES,
+    TRANSPORT_NAMES,
     ProcessShardExecutor,
     SerialShardExecutor,
     ShardExecutor,
@@ -149,6 +150,7 @@ __all__ = [
     "vectorized_geometry_enabled",
     "state_fingerprint",
     "EXECUTOR_NAMES",
+    "TRANSPORT_NAMES",
     "ShardExecutor",
     "SerialShardExecutor",
     "ThreadShardExecutor",

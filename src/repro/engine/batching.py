@@ -25,6 +25,7 @@ from repro.core.chunk_geometry import (
     MIN_VECTOR_CHUNK,
     ChunkGeometry,
     compute_chunk_geometry,
+    geometry_from_array,
     materialize_chunk,
     set_vectorized_geometry,
     vectorized_geometry_enabled,
@@ -36,6 +37,7 @@ __all__ = [
     "ChunkGeometry",
     "compute_chunk_geometry",
     "chunk_geometry_for",
+    "geometry_from_array",
     "materialize_chunk",
     "set_vectorized_geometry",
     "vectorized_geometry_enabled",
@@ -52,20 +54,30 @@ def chunk_geometry_for(
     including any invalid point (wrong dimension, non-numeric
     coordinate): the shard's own ``process_many`` then takes its scalar
     branch and reproduces the per-point error semantics exactly.
+
+    The coerced tuples are cached on the returned geometry
+    (``source_vectors``; ``pure_coords`` when no input point was a
+    :class:`~repro.streams.point.StreamPoint`), so the shard's
+    materialisation reuses this coercion instead of repeating it - the
+    chunk is coerced exactly once per pipeline pass.
     """
     if not vectorized_geometry_enabled() or len(chunk) < MIN_VECTOR_CHUNK:
         return None
     dim = config.dim
+    pure = True
+    vectors = []
     try:
-        vectors = [
-            point.vector
-            if isinstance(point, StreamPoint)
-            else tuple(float(x) for x in point)
-            for point in chunk
-        ]
+        for point in chunk:
+            if isinstance(point, StreamPoint):
+                pure = False
+                vectors.append(point.vector)
+            else:
+                vectors.append(tuple(float(x) for x in point))
     except Exception:
         return None
     for vector in vectors:
         if len(vector) != dim:
             return None
-    return compute_chunk_geometry(config, vectors)
+    return compute_chunk_geometry(
+        config, vectors, source_vectors=vectors, pure_coords=pure
+    )

@@ -17,13 +17,41 @@ keeping the *what* bit-identical:
 * :class:`ProcessShardExecutor` - worker processes holding
   spec-constructed *shard replicas* (rebuilt from the shards' protocol
   states plus the shared :class:`~repro.core.base.SamplerConfig`).
-  Chunks are shipped to the owning worker; on :meth:`~ShardExecutor.drain`
-  each worker returns its shards' protocol states, which the caller folds
-  back into the coordinator **as they arrive** (streaming merge - see
+  Chunks travel over a **zero-copy shared-memory transport**: ``submit``
+  coerces the chunk into one contiguous float64 array, the scheduler
+  memcpys it into a pooled :mod:`multiprocessing.shared_memory` slot and
+  enqueues only a small descriptor ``(slot, segment name, rows, dim)``;
+  the owning worker reconstructs the array pickle-free, publishes the
+  completion and freed slot through a lock-free shared-memory control
+  block (:class:`_ControlBlock` - no message, no submitter wake-up,
+  no per-chunk context switch), and rebuilds the chunk's
+  :class:`~repro.core.chunk_geometry.ChunkGeometry` straight from the
+  array (:func:`repro.core.chunk_geometry.geometry_from_array`), so the
+  chunk is float-coerced exactly once end to end.  Chunks the array
+  transport cannot carry (StreamPoints, exotic element types, failed
+  coercion) fall back to the pickle transport, which reproduces the
+  scalar error semantics exactly.  On :meth:`~ShardExecutor.drain` each
+  worker returns its shards' protocol states **batched in one message**,
+  which the caller folds back into the coordinator as they arrive
+  (streaming merge - see
   :meth:`repro.distributed.coordinator.DistributedRobustSampler.streaming_merge`)
-  instead of barriering on the slowest worker.  This is the first
-  executor that turns the per-core batched throughput into a wall-clock
-  win on multi-core machines.
+  instead of barriering on the slowest worker.
+
+Scheduling and work stealing
+----------------------------
+
+The process executor keeps its backlog at the submitter: each worker has
+at most :data:`_DISPATCH_DEPTH` chunks in flight, the rest queue in
+per-shard FIFOs on the submit side.  Shards are *adopted* lazily - a
+worker receives a shard's protocol state with its first chunk - and may
+*migrate*: when a worker sits idle while another's shard has a backlog,
+the scheduler releases the shard from its owner (the release message
+follows the owner's in-flight chunks FIFO, so it observes all of them),
+receives the flushed replica state, and re-adopts the shard to the idle
+worker together with its queued chunks.  Per-shard sequence numbers are
+carried on every chunk and asserted worker-side, so per-shard FIFO
+order - the executor-equivalence invariant - is machine-checked even
+across migrations, and executor choice stays state-unobservable.
 
 The executor-equivalence contract
 ---------------------------------
@@ -40,24 +68,42 @@ to the serial one for the same dealt chunk sequence:
 
 ``tests/test_executors.py`` enforces the contract differentially
 (serial vs thread vs process, including empty batches, single-shard
-pipelines and mid-stream checkpoint/resume) and
-``tests/test_property_equivalence.py`` hammers it with
+pipelines, mid-stream checkpoint/resume and forced shard migrations),
+``tests/test_shm_transport.py`` covers the shared-memory lifecycle
+(no leaked segments after close, worker crash or failure; the matrix
+under a forced spawn context), and
+``tests/test_property_equivalence.py`` hammers the contract with
 Hypothesis-generated streams and chunk layouts.
 
 Worker failures (a poisoned point, a dead process) surface as
 :class:`~repro.errors.ExecutorError` at the next drain, carrying the
-worker-side traceback.
+worker-side traceback - or the worker's exit code when it died without
+reporting.  Drains are time-bounded: a worker that stops making
+progress for :data:`_DRAIN_STALL_SECONDS` fails the drain instead of
+hanging it.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import queue as queue_module
+import struct
 import threading
+import time
 import traceback
+import weakref
+from collections import deque
+from multiprocessing import shared_memory
 from typing import TYPE_CHECKING, Any, ClassVar, Iterator, Sequence
 
 from repro.errors import ExecutorError, ParameterError
+from repro.geometry import kernels
+
+if kernels.HAVE_NUMPY:
+    import numpy as np
+else:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.distributed.coordinator import DistributedRobustSampler
@@ -66,9 +112,47 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: :class:`~repro.api.specs.PipelineSpec` and the CLI's ``--executor``.
 EXECUTOR_NAMES = ("serial", "thread", "process")
 
+#: Chunk transports of the process executor: ``"auto"`` uses the
+#: shared-memory array transport whenever numpy is available, ``"shm"``
+#: requires it, ``"pickle"`` forces the legacy queue transport (the
+#: benchmark's overhead baseline).
+TRANSPORT_NAMES = ("auto", "shm", "pickle")
+
 #: How long (seconds) a drain waits between liveness checks on worker
 #: processes before concluding one died without reporting.
 _DRAIN_POLL_SECONDS = 1.0
+
+#: Total seconds a drain tolerates with zero worker progress (no state,
+#: ack or completion message) before failing.  Bounds the previously
+#: unbounded poll loop: a worker that crashes between posting an error
+#: and queue teardown - or simply hangs - fails the drain instead of
+#: wedging it.
+_DRAIN_STALL_SECONDS = 30.0
+
+#: Maximum chunks in flight (dispatched, not yet completed) per worker
+#: process.  The rest of the backlog stays in the submitter's per-shard
+#: FIFOs, which is what makes shards migratable: only up to this many
+#: chunks must finish at the old owner before a release takes effect.
+_DISPATCH_DEPTH = 4
+
+#: Dispatch depth used when there is exactly ONE worker.  Stealing is
+#: impossible there, so a deep pipeline costs nothing in migratability
+#: and lets the submitter pre-dispatch its whole backlog: the worker
+#: then chews through it without a single submitter wake-up (the
+#: control block makes completions message-free), which is what keeps
+#: the 1-worker configuration at parity with serial even on one core.
+_SINGLE_WORKER_DEPTH = 64
+
+#: Minimum submitter-side backlog (chunks) a shard must have before it
+#: is worth migrating to an idle worker.
+_STEAL_MIN_PENDING = 2
+
+#: Pool slack beyond the worst-case in-flight slot count.
+_POOL_SLACK_SLOTS = 2
+
+#: Smallest shared-memory segment allocated (bytes); segments grow
+#: geometrically and are reused across chunks.
+_MIN_SEGMENT_BYTES = 1 << 16
 
 
 class ShardExecutor:
@@ -87,8 +171,8 @@ class ShardExecutor:
     #: :class:`~repro.core.chunk_geometry.ChunkGeometry` per chunk and
     #: pass it to :meth:`submit`.  True for executors whose shard work
     #: runs in this process (the geometry object can be handed over
-    #: directly); the process executor's workers rebuild it
-    #: deterministically from the chunk instead of paying to pickle it.
+    #: directly); the process executor's workers rebuild it from the
+    #: transported array instead of paying to pickle it.
     wants_geometry: ClassVar[bool] = True
 
     def submit(
@@ -111,12 +195,24 @@ class ShardExecutor:
 
         Yields ``(shard_id, state)`` pairs in *completion* order -
         ``state`` is the shard's protocol ``to_state()`` for executors
-        whose replicas live outside the coordinator (process workers),
-        or ``None`` when the coordinator's own shard object is already
+        whose replicas live outside the coordinator (process workers
+        ship it still pickled, as a shared :class:`DeferredStates`
+        handle - pass it through :func:`resolve_state` to decode), or
+        ``None`` when the coordinator's own shard object is already
         current.  Raises :class:`~repro.errors.ExecutorError` if any
         worker failed; the pipeline then stays dirty.
         """
         raise NotImplementedError
+
+    def stats(self) -> dict[str, Any]:
+        """Transport/scheduling counters (empty for in-process executors).
+
+        The process executor reports chunk counts per transport, bytes
+        shipped through shared memory, shard migrations and the total
+        submit-side transport time - the numbers
+        ``benchmarks/bench_throughput.py`` records per run.
+        """
+        return {}
 
     def close(self) -> None:
         """Release workers.  Idempotent; further submits are an error."""
@@ -145,9 +241,12 @@ class SerialShardExecutor(ShardExecutor):
 def _owned_shards(worker: int, num_shards: int, num_workers: int) -> list[int]:
     """Shard ids owned by ``worker`` (fixed ``shard % workers`` striping).
 
-    The mapping is static so every chunk of a shard goes to the same
-    worker queue, which is what serialises per-shard work and makes the
-    executor state-equivalent to the serial one.
+    The thread executor's static mapping: every chunk of a shard goes to
+    the same worker queue, which is what serialises per-shard work and
+    makes the executor state-equivalent to the serial one.  (The process
+    executor assigns shards dynamically instead - see
+    :class:`ProcessShardExecutor` - with the same per-shard FIFO
+    invariant enforced by sequence numbers.)
     """
     return list(range(worker, num_shards, num_workers))
 
@@ -162,6 +261,24 @@ def _resolve_workers(num_workers: int | None, num_shards: int) -> int:
     # More workers than shards would sit idle: shards are the unit of
     # parallelism (per-shard order is part of the equivalence contract).
     return min(num_workers, num_shards)
+
+
+def _owned_chunk(chunk: Sequence[Any]) -> Sequence[Any]:
+    """A snapshot of a submitted chunk the executor may read later.
+
+    Asynchronous executors consume chunks after ``submit`` returns, so a
+    caller that reuses (clears/refills) its batch buffer must not
+    corrupt queued work.  Tuples are immutable containers and are kept
+    as-is - no copy; numpy arrays are copied wholesale (a ``list()`` of
+    row views would still alias the caller's buffer); everything else
+    gets the shallow list copy.  The snapshot is shallow by contract,
+    matching what the serial executor observes at submit time.
+    """
+    if isinstance(chunk, tuple):
+        return chunk
+    if np is not None and isinstance(chunk, np.ndarray):
+        return np.array(chunk, copy=True)
+    return list(chunk)
 
 
 class ThreadShardExecutor(ShardExecutor):
@@ -227,14 +344,13 @@ class ThreadShardExecutor(ShardExecutor):
     ) -> None:
         if self._closed:
             raise ExecutorError("executor is closed")
-        # Copy: the worker reads the chunk after submit returns, so a
-        # caller that reuses its batch buffer must not corrupt it (the
-        # serial executor consumes chunks synchronously; equivalence
-        # requires the asynchronous ones to behave as if they did).  The
-        # geometry snapshot was taken from the submit-time values, so it
-        # stays consistent with the copied chunk.
+        # Snapshot (copy only when the caller's buffer is mutable): the
+        # worker reads the chunk after submit returns, and equivalence
+        # with the synchronous serial executor requires submit-time
+        # contents.  The geometry was built from the submit-time values,
+        # so it stays consistent with the snapshot.
         self._queues[shard_id % self._num_workers].put(
-            ("chunk", shard_id, list(chunk), geometry)
+            ("chunk", shard_id, _owned_chunk(chunk), geometry)
         )
         return None
 
@@ -266,51 +382,485 @@ class ThreadShardExecutor(ShardExecutor):
             thread.join(timeout=5.0)
 
 
-def _process_worker(task_queue, result_queue, config_state, shard_states):
-    """Worker-process loop: own a stripe of shard replicas.
+# --------------------------------------------------------------------- #
+# the zero-copy shared-memory transport
+# --------------------------------------------------------------------- #
 
-    Replicas are rebuilt from the shards' protocol states plus the shared
-    config, ingest chunks exactly like the originals would, and ship
-    their protocol states back on every drain - the same ``to_state`` /
-    ``from_state`` round-trip the checkpoint matrix proves
-    fingerprint-exact, which is what makes the process executor
-    state-equivalent to the serial one.
+
+def _try_unlink(segment: shared_memory.SharedMemory) -> None:
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+def _unlink_segments(names: dict[int, str]) -> None:
+    """Interpreter-exit backstop: unlink every pool segment by name."""
+    for name in list(names.values()):
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        segment.close()
+        _try_unlink(segment)
+
+
+class _ShmChunkPool:
+    """Pooled ring of shared-memory segments for in-flight chunk arrays.
+
+    The submitter acquires a free slot per dispatched chunk, memcpys the
+    chunk's float64 array into it and ships only a descriptor; the
+    consuming worker returns the slot through the :class:`_ControlBlock`
+    free ring with its completion, and the pool holds a slot for
+    every chunk that can be in flight plus slack, so recycling can
+    never starve a submit.
+    Segments are created lazily, grown geometrically and reused (LIFO,
+    so warm segments stay warm).  Every created segment is unlinked on
+    :meth:`close` and, as a backstop, by a ``weakref.finalize`` at
+    interpreter exit - no segment outlives the creating process
+    (``tests/test_shm_transport.py`` proves it for close, worker crash
+    and failure paths).
+    """
+
+    def __init__(self, num_slots: int) -> None:
+        self._segments: list[shared_memory.SharedMemory | None] = (
+            [None] * num_slots
+        )
+        self._free = list(range(num_slots))
+        self._names: dict[int, str] = {}
+        self._finalizer = weakref.finalize(
+            self, _unlink_segments, self._names
+        )
+
+    def segment_names(self) -> list[str]:
+        """Names of every live segment (the lifecycle tests' probe)."""
+        return list(self._names.values())
+
+    def acquire(
+        self, nbytes: int
+    ) -> tuple[int, shared_memory.SharedMemory] | None:
+        """A free slot with capacity >= ``nbytes``, or ``None``."""
+        if not self._free:
+            return None
+        slot = self._free.pop()
+        segment = self._segments[slot]
+        if segment is None or segment.size < nbytes:
+            if segment is not None:
+                segment.close()
+                _try_unlink(segment)
+            size = _MIN_SEGMENT_BYTES
+            while size < nbytes:
+                size *= 2
+            segment = shared_memory.SharedMemory(create=True, size=size)
+            self._segments[slot] = segment
+            self._names[slot] = segment.name
+        return slot, segment
+
+    def release(self, slot: int) -> None:
+        self._free.append(slot)
+
+    def close(self) -> None:
+        self._finalizer.detach()
+        for segment in self._segments:
+            if segment is not None:
+                segment.close()
+                _try_unlink(segment)
+        self._segments = []
+        self._free = []
+        self._names.clear()
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker tracking.
+
+    CPython's shared_memory registers with the resource tracker on
+    attach, not only on create.  Workers share the submitter's tracker
+    (fork AND spawn children inherit its fd), so an attach-side
+    registration is at best a duplicate of the submitter's and at worst
+    a *revival*: it races the submitter's unlink-time unregister and
+    can recreate the entry after the segment is gone, making the
+    tracker warn at exit.  The submitter's create-time registration is
+    the single leak backstop; suppress registration for the attach.
+    (Worker loops are single-threaded, so the swap cannot be observed
+    concurrently; Python 3.13+ would spell this ``track=False``.)
+    """
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+class _ControlBlock:
+    """Lock-free completion channel in one small shared-memory segment.
+
+    Completion acks used to return as result-queue messages; on a
+    loaded (or single-core) machine every such write wakes the blocked
+    submitter - two context switches plus a cache refill *per chunk*.
+    Instead each worker publishes into its own region of this segment:
+
+    * a monotonically increasing **completion counter** (one per
+      processed chunk, slot-carrying or not), and
+    * a **ring of freed chunk-pool slots**, each written as
+      ``slot + 1`` (0 means empty; the submitter zeroes consumed
+      cells).
+
+    Every cell is an 8-byte-aligned single-writer value, so plain
+    reads and writes are atomic and no lock exists anywhere; the
+    submitter polls opportunistically (during submits and drain waits)
+    and is never woken at all.  A worker cannot lap the submitter's
+    ring cursor: unconsumed frees are bounded by the slots in
+    existence, and the ring holds one cell per pool slot.
+    """
+
+    def __init__(self, num_workers: int, ring_slots: int) -> None:
+        self._num_workers = num_workers
+        self._ring_slots = ring_slots
+        self._stride = 8 * (1 + ring_slots)
+        self._segment = shared_memory.SharedMemory(
+            create=True, size=max(8, num_workers * self._stride)
+        )
+        self._done_seen = [0] * num_workers
+        self._cursors = [0] * num_workers
+        self._names = {0: self._segment.name}
+        self._finalizer = weakref.finalize(
+            self, _unlink_segments, self._names
+        )
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    @property
+    def ring_slots(self) -> int:
+        return self._ring_slots
+
+    def poll(self) -> tuple[list[int], list[int]]:
+        """(per-worker completion deltas, freed pool slots) since last
+        poll.  Submitter-side only."""
+        buf = self._segment.buf
+        deltas = []
+        freed = []
+        for worker in range(self._num_workers):
+            base = worker * self._stride
+            done = struct.unpack_from("<q", buf, base)[0]
+            deltas.append(done - self._done_seen[worker])
+            self._done_seen[worker] = done
+            cursor = self._cursors[worker]
+            while self._ring_slots:
+                offset = base + 8 + (cursor % self._ring_slots) * 8
+                value = struct.unpack_from("<q", buf, offset)[0]
+                if value == 0:
+                    break
+                struct.pack_into("<q", buf, offset, 0)
+                freed.append(value - 1)
+                cursor += 1
+            self._cursors[worker] = cursor
+        return deltas, freed
+
+    def close(self) -> None:
+        self._finalizer.detach()
+        self._segment.close()
+        _try_unlink(self._segment)
+
+
+class _Channel:
+    """One-direction message channel built directly on a pipe.
+
+    ``multiprocessing.Queue`` runs a feeder thread in every writing
+    process: each ``put`` is a lock + buffer append + condition notify,
+    and the pipe write happens on a different thread - at chunk
+    granularity the per-ack thread-switch churn (in the submitter *and*
+    in every worker) is a measurable slice of the transport's cost.
+    The executor needs none of it: ``put`` pickles and writes inline
+    (one syscall for a descriptor-sized message), ``get`` polls the
+    read end.  A channel with several writing processes (the workers'
+    shared result channel) serialises sends with a process-shared
+    lock; single-writer channels (each worker's task channel) skip
+    even that.  Flow control is the pipe buffer itself: a ``put``
+    blocks once the reader falls a pipe-buffer behind, which only the
+    oversized pickle-fallback payloads can reach - descriptor traffic
+    is bounded by the dispatch depth.
+    """
+
+    def __init__(self, context, *, writers: int) -> None:
+        self._reader, self._writer = context.Pipe(duplex=False)
+        self._lock = context.Lock() if writers > 1 else None
+
+    def put(self, message) -> None:
+        if self._lock is None:
+            self._writer.send(message)
+        else:
+            with self._lock:
+                self._writer.send(message)
+
+    def put_with_payload(self, message, payload: bytes) -> None:
+        """Send ``message`` immediately followed by a raw byte payload.
+
+        Both writes happen under the channel lock, so the reader can
+        rely on the payload directly following its header even on a
+        multi-writer channel; the reader MUST consume the payload
+        (:meth:`get_payload`) before its next :meth:`get`.
+        """
+        if self._lock is None:
+            self._writer.send(message)
+            self._writer.send_bytes(payload)
+        else:
+            with self._lock:
+                self._writer.send(message)
+                self._writer.send_bytes(payload)
+
+    def get_payload(self) -> bytes:
+        """The raw byte payload following a header message."""
+        return self._reader.recv_bytes()
+
+    def get(self, timeout: float | None = None):
+        """Next message; blocks forever when ``timeout`` is ``None``,
+        else raises :class:`queue.Empty` after ``timeout`` seconds."""
+        if timeout is not None and not self._reader.poll(timeout):
+            raise queue_module.Empty
+        return self._reader.recv()
+
+    def get_nowait(self):
+        return self.get(timeout=0)
+
+    def close(self) -> None:
+        self._reader.close()
+        self._writer.close()
+
+
+class DeferredStates:
+    """A worker's drained shard states, shipped home but not yet decoded.
+
+    Drain's barrier needs the state bytes HOME - once the payload is in
+    the submitting process, the workers can die without losing data -
+    but it does not need them *decoded*: unpickling half a megabyte of
+    candidate records belongs to whoever actually rebuilds a shard,
+    which the pipeline does lazily, off the ingestion clock.  Drain
+    therefore yields ``(shard_id, deferred)`` pairs sharing one
+    instance per worker message; :meth:`get` decodes the payload on
+    first use and answers from the decoded dict afterwards.
+    """
+
+    __slots__ = ("_blob", "_states")
+
+    def __init__(self, blob: bytes) -> None:
+        self._blob = blob
+        self._states: dict[int, dict[str, Any]] | None = None
+
+    def get(self, shard_id: int) -> dict[str, Any]:
+        """The decoded protocol state of ``shard_id``."""
+        if self._states is None:
+            self._states = dict(pickle.loads(self._blob))
+            self._blob = b""
+        return self._states[shard_id]
+
+
+def resolve_state(shard_id: int, state: Any) -> dict[str, Any] | None:
+    """A drain-yielded state as a plain dict (decoding if deferred)."""
+    if isinstance(state, DeferredStates):
+        return state.get(shard_id)
+    return state
+
+
+def _chunk_as_array(chunk: Sequence[Any], dim: int) -> "np.ndarray | None":
+    """The chunk as an ``(n, dim)`` float64 array, or ``None``.
+
+    Eligibility is decided by the coercion itself: ``np.asarray``
+    applies the same per-element ``float()`` conversion the scalar
+    coercion does, so carried values are bit-identical, and anything it
+    rejects - ragged rows, unconvertible elements, StreamPoints (not
+    sequences, so they coerce to nothing), wrong widths - falls back to
+    the pickle transport, which reproduces the scalar error semantics
+    exactly.  (numpy never iterates generators, so a failed coercion
+    cannot half-consume a single-pass element.)  The returned array may
+    alias ``chunk`` when it already was a contiguous float64 array -
+    callers snapshot before queueing.
+    """
+    if np is None or len(chunk) == 0:
+        return None
+    if isinstance(chunk, np.ndarray):
+        if chunk.ndim != 2 or chunk.shape[1] != dim:
+            return None
+        try:
+            return np.ascontiguousarray(chunk, dtype=np.float64)
+        except (TypeError, ValueError):
+            return None
+    try:
+        array = np.asarray(chunk, dtype=np.float64)
+    except Exception:
+        return None
+    if array.ndim != 2 or array.shape[1] != dim:
+        return None
+    return array
+
+
+def _transport_worker(
+    worker_id, task_queue, result_queue, config_state, ctrl_name, ring_slots
+):
+    """Worker-process loop of the zero-copy transport.
+
+    Owns an evolving set of shard replicas - the scheduler ``adopt``\\ s
+    a shard (shipping its protocol state) before the shard's first
+    chunk and may later ``release`` it (the replica state flows back and
+    the shard migrates to another worker).  Chunk payloads arrive as
+    shared-memory descriptors, pickled arrays or pickled chunks; the
+    array forms rebuild the chunk's geometry in one pass
+    (:func:`repro.core.chunk_geometry.geometry_from_array`) with the
+    coerced vectors cached on it, so the replica's materialisation is
+    free.  Per-shard sequence numbers are asserted on every chunk - the
+    machine check that migrations preserved per-shard FIFO order.
+    Completions and freed slots are published through the
+    :class:`_ControlBlock` (no message, no submitter wake-up).  On
+    ``drain`` the worker ships all owned shards' states batched in one
+    message; failures are sticky and reported there (chunks after a
+    failure are swallowed, but their completions and shared-memory
+    slots are still published so the submitter's pool cannot starve).
     """
     from repro.core import serialize
+    from repro.core.chunk_geometry import geometry_from_array
     from repro.distributed.coordinator import ShardSampler
 
     config = serialize.config_from_state(config_state)
-    shards = {
-        state["shard_id"]: ShardSampler.from_state(state, config=config)
-        for state in shard_states
-    }
-    failure = None
+    shards: dict[int, Any] = {}
+    next_seq: dict[int, int] = {}
+    attachments: dict[int, shared_memory.SharedMemory] = {}
+    failure: str | None = None
+
+    ctrl = _attach_untracked(ctrl_name)
+    ctrl_base = worker_id * 8 * (1 + ring_slots)
+    done_total = 0
+    freed_total = 0
+
+    def publish(slot: int | None) -> None:
+        """Publish one completion (and a freed slot) to the submitter."""
+        nonlocal done_total, freed_total
+        if slot is not None:
+            struct.pack_into(
+                "<q",
+                ctrl.buf,
+                ctrl_base + 8 + (freed_total % ring_slots) * 8,
+                slot + 1,
+            )
+            freed_total += 1
+        done_total += 1
+        struct.pack_into("<q", ctrl.buf, ctrl_base, done_total)
+
+    def attach(slot: int, name: str) -> shared_memory.SharedMemory:
+        cached = attachments.get(slot)
+        if cached is not None and cached.name == name:
+            return cached
+        if cached is not None:  # the submitter grew this slot's segment
+            cached.close()
+        segment = _attach_untracked(name)
+        attachments[slot] = segment
+        return segment
+
     while True:
         message = task_queue.get()
         kind = message[0]
         if kind == "chunk":
+            shard_id, seq, payload = message[1], message[2], message[3]
+            slot = payload[1] if payload[0] == "shm" else None
             if failure is not None:
-                continue  # poisoned: swallow work until drain reports
+                # Poisoned: swallow work until drain reports, but keep
+                # the transport flowing - the slot and the completion
+                # must still reach the submitter.
+                publish(slot)
+                continue
             try:
-                shards[message[1]].process_many(message[2])
+                expected = next_seq.get(shard_id)
+                if seq != expected:
+                    raise RuntimeError(
+                        f"shard {shard_id} chunk out of order: got "
+                        f"sequence {seq}, expected {expected}"
+                    )
+                if payload[0] == "shm":
+                    segment = attach(slot, payload[2])
+                    rows, dim = payload[3], payload[4]
+                    view = np.frombuffer(
+                        segment.buf, dtype=np.float64, count=rows * dim
+                    ).reshape(rows, dim)
+                    vectors, geometry = geometry_from_array(config, view)
+                    del view  # everything derived is a copy
+                    shards[shard_id].process_many(
+                        vectors, geometry=geometry
+                    )
+                elif payload[0] == "array":
+                    vectors, geometry = geometry_from_array(
+                        config, payload[1]
+                    )
+                    shards[shard_id].process_many(
+                        vectors, geometry=geometry
+                    )
+                else:  # "pickle"
+                    shards[shard_id].process_many(payload[1])
+                next_seq[shard_id] = seq + 1
             except BaseException:
                 failure = traceback.format_exc()
+            finally:
+                # One publication per chunk carries both the completion
+                # and the slot to recycle: the pool has a slot for
+                # every chunk that can be in flight plus slack, so
+                # holding the slot for the chunk's processing (instead
+                # of an early free) can never starve the submitter.
+                publish(slot)
+        elif kind == "adopt":
+            try:
+                shards[message[1]] = ShardSampler.from_state(
+                    message[2], config=config
+                )
+                next_seq[message[1]] = message[3]
+            except BaseException:
+                failure = traceback.format_exc()
+        elif kind == "release":
+            shard_id = message[1]
+            shard = shards.pop(shard_id, None)
+            seq = next_seq.pop(shard_id, 0)
+            state = None
+            if failure is None and shard is not None:
+                try:
+                    state = shard.to_state()
+                except BaseException:
+                    failure = traceback.format_exc()
+            result_queue.put(("released", shard_id, state, seq))
         elif kind == "drain":
             token = message[1]
             if failure is not None:
-                result_queue.put(("error", token, failure))
+                result_queue.put(("error", token, worker_id, failure))
             else:
-                result_queue.put(
-                    (
-                        "states",
-                        token,
-                        [
-                            (shard_id, shard.to_state())
-                            for shard_id, shard in shards.items()
-                        ],
+                try:
+                    # One raw pickle payload for all owned shards: the
+                    # submitter stores the bytes and decodes them lazily
+                    # (DeferredStates), so the barrier pays the ship but
+                    # not the decode.
+                    states = [
+                        (shard_id, shard.to_state())
+                        for shard_id, shard in shards.items()
+                    ]
+                    blob = pickle.dumps(
+                        states, protocol=pickle.HIGHEST_PROTOCOL
                     )
-                )
+                except BaseException:
+                    failure = traceback.format_exc()
+                    result_queue.put(("error", token, worker_id, failure))
+                else:
+                    result_queue.put_with_payload(
+                        (
+                            "states",
+                            token,
+                            worker_id,
+                            [shard_id for shard_id, _ in states],
+                        ),
+                        blob,
+                    )
         else:  # "stop"
+            for segment in attachments.values():
+                segment.close()
+            ctrl.close()
             return
 
 
@@ -324,19 +874,31 @@ def _mp_context():
 
 
 class ProcessShardExecutor(ShardExecutor):
-    """Worker processes holding spec-constructed shard replicas.
+    """Worker processes fed through the zero-copy shared-memory transport.
 
     The coordinator's shard objects become *stale* while chunks are in
     flight; every read must go through :meth:`drain`, which returns each
-    worker's shard states as that worker finishes (completion order), so
-    the caller can fold early finishers into a running merge while
-    stragglers are still ingesting.
+    worker's shard states as that worker finishes (one batched message
+    per worker), so the caller can fold early finishers into a running
+    merge while stragglers are still ingesting.
+
+    Parameters
+    ----------
+    transport:
+        ``"auto"`` (default) ships eligible chunks as float64 arrays
+        through pooled shared-memory segments and falls back to pickle
+        per chunk; ``"shm"`` is the same but errors without numpy;
+        ``"pickle"`` forces the legacy transport for every chunk.
+    work_stealing:
+        Whether idle workers may adopt backlogged shards from busy ones
+        (on by default).  Stealing migrates the shard's replica state,
+        never reorders its chunks - see the module docstring.
     """
 
     name = "process"
-    # Shipping a ChunkGeometry through the task queue would pay pickling
-    # for arrays the worker can rebuild in one vectorised pass; workers'
-    # process_many rebuilds it deterministically instead.
+    # The submitter never builds a ChunkGeometry: its per-chunk work is
+    # one asarray + one memcpy, and the worker rebuilds the geometry
+    # from the transported array in one vectorised pass.
     wants_geometry = False
 
     def __init__(
@@ -344,29 +906,80 @@ class ProcessShardExecutor(ShardExecutor):
         coordinator: "DistributedRobustSampler",
         *,
         num_workers: int | None = None,
+        transport: str = "auto",
+        work_stealing: bool = True,
     ) -> None:
         from repro.core import serialize
 
+        if transport not in TRANSPORT_NAMES:
+            raise ParameterError(
+                f"unknown transport {transport!r}; one of: "
+                + ", ".join(TRANSPORT_NAMES)
+            )
+        if transport == "shm" and np is None:
+            raise ParameterError(
+                "transport 'shm' requires numpy; use 'auto' or 'pickle'"
+            )
+        self._coordinator = coordinator
         self._num_shards = coordinator.num_shards
         self._num_workers = _resolve_workers(num_workers, self._num_shards)
+        self._dim = coordinator.config.dim
+        self._use_arrays = transport != "pickle" and np is not None
+        self._work_stealing = bool(work_stealing)
         self._closed = False
         self._token = 0
+        self._failure: str | None = None
+        # Scheduler state: per-shard FIFO backlogs live here, workers
+        # hold at most _DISPATCH_DEPTH chunks each.
+        self._pending: dict[int, deque] = {}
+        self._owner: dict[int, int] = {}
+        self._flushed: dict[int, dict[str, Any]] = {}
+        self._migrating: set[int] = set()
+        self._lost: set[int] = set()
+        self._seq = [0] * self._num_shards
+        self._inflight = [0] * self._num_workers
+        # A single worker cannot be stolen from, so its pipeline may be
+        # deep: the whole backlog pre-dispatches and the worker never
+        # waits on the submitter.
+        self._depth = (
+            _DISPATCH_DEPTH
+            if self._num_workers > 1
+            else max(_DISPATCH_DEPTH, _SINGLE_WORKER_DEPTH)
+        )
+        self._stats: dict[str, Any] = {
+            "transport": "shm" if self._use_arrays else "pickle",
+            "chunks": 0,
+            "shm_chunks": 0,
+            "array_chunks": 0,
+            "pickle_chunks": 0,
+            "shm_bytes": 0,
+            "migrations": 0,
+            "submit_seconds": 0.0,
+        }
+        pool_slots = self._num_workers * self._depth + _POOL_SLACK_SLOTS
+        self._pool = (
+            _ShmChunkPool(pool_slots) if self._use_arrays else None
+        )
+        self._ctrl = _ControlBlock(
+            self._num_workers, pool_slots if self._use_arrays else 0
+        )
         context = _mp_context()
-        self._result_queue = context.Queue()
+        self._result_queue = _Channel(context, writers=self._num_workers)
         self._task_queues = []
         self._workers = []
         config_state = serialize.config_to_state(coordinator.config)
         for index in range(self._num_workers):
-            tasks = context.Queue()
-            shard_states = [
-                coordinator.shard(shard_id).to_state()
-                for shard_id in _owned_shards(
-                    index, self._num_shards, self._num_workers
-                )
-            ]
+            tasks = _Channel(context, writers=1)
             worker = context.Process(
-                target=_process_worker,
-                args=(tasks, self._result_queue, config_state, shard_states),
+                target=_transport_worker,
+                args=(
+                    index,
+                    tasks,
+                    self._result_queue,
+                    config_state,
+                    self._ctrl.name,
+                    self._ctrl.ring_slots,
+                ),
                 name=f"repro-shard-worker-{index}",
                 daemon=True,
             )
@@ -374,56 +987,341 @@ class ProcessShardExecutor(ShardExecutor):
             self._task_queues.append(tasks)
             self._workers.append(worker)
 
+    # ------------------------------------------------------------------ #
+    # submit side
+    # ------------------------------------------------------------------ #
+
     def submit(
         self, shard_id: int, chunk: Sequence[Any], geometry: Any = None
     ) -> None:
         if self._closed:
             raise ExecutorError("executor is closed")
-        # Copy: multiprocessing.Queue pickles in a background feeder
-        # thread after submit returns, so a caller that reuses its batch
-        # buffer would otherwise ship mutated data.  ``geometry`` is
-        # intentionally dropped (wants_geometry is False): the worker's
-        # process_many rebuilds it deterministically from the chunk.
-        self._task_queues[shard_id % self._num_workers].put(
-            ("chunk", shard_id, list(chunk))
-        )
+        start = time.perf_counter()
+        # ``geometry`` is intentionally unused (wants_geometry is
+        # False); the worker rebuilds it from the transported array.
+        payload = None
+        if self._use_arrays:
+            array = _chunk_as_array(chunk, self._dim)
+            if array is not None:
+                if array is chunk or array.base is not None:
+                    # Aliases the caller's mutable buffer: snapshot it
+                    # into a shared-memory slot right now if one is
+                    # free, else fall back to an owned copy.
+                    payload = self._write_shm(array)
+                    if payload is None:
+                        payload = ("array", array.copy())
+                else:
+                    payload = ("array", array)
+        if payload is None:
+            payload = ("pickle", _owned_chunk(chunk))
+            self._stats["pickle_chunks"] += 1
+        seq = self._seq[shard_id]
+        self._seq[shard_id] = seq + 1
+        self._pending.setdefault(shard_id, deque()).append((seq, payload))
+        self._poll_results()
+        self._pump()
+        self._stats["chunks"] += 1
+        self._stats["submit_seconds"] += time.perf_counter() - start
         return None
+
+    def _write_shm(self, array) -> tuple | None:
+        """Copy ``array`` into a pooled slot -> descriptor, or ``None``."""
+        acquired = self._pool.acquire(array.nbytes)
+        if acquired is None:
+            return None
+        slot, segment = acquired
+        rows, dim = array.shape
+        target = np.frombuffer(
+            segment.buf, dtype=np.float64, count=rows * dim
+        ).reshape(rows, dim)
+        np.copyto(target, array)
+        del target  # keep the segment's buffer unexported
+        self._stats["shm_chunks"] += 1
+        self._stats["shm_bytes"] += array.nbytes
+        return ("shm", slot, segment.name, rows, dim)
+
+    def _owned_count(self, worker: int) -> int:
+        return sum(1 for owner in self._owner.values() if owner == worker)
+
+    def _adopt(self, shard_id: int) -> int:
+        """Assign an unowned shard to the least-loaded worker.
+
+        The shard's replica state ships with the adoption: the flushed
+        state from a migration if one is cached, else the coordinator's
+        shard object (current, because a shard's chunks only ever reach
+        workers after adoption).  The adoption message carries the next
+        expected sequence number, re-arming the worker-side FIFO check.
+        """
+        worker = min(
+            range(self._num_workers),
+            key=lambda w: (self._inflight[w], self._owned_count(w), w),
+        )
+        state = self._flushed.pop(shard_id, None)
+        if state is None:
+            state = self._coordinator.shard(shard_id).to_state()
+        self._task_queues[worker].put(
+            ("adopt", shard_id, state, self._pending[shard_id][0][0])
+        )
+        self._owner[shard_id] = worker
+        return worker
+
+    def _pump(self) -> None:
+        """Dispatch pending chunks up to each worker's depth limit."""
+        for shard_id, backlog in self._pending.items():
+            if (
+                not backlog
+                or shard_id in self._migrating
+                or shard_id in self._lost
+            ):
+                continue
+            worker = self._owner.get(shard_id)
+            if worker is None:
+                worker = self._adopt(shard_id)
+            tasks = self._task_queues[worker]
+            while backlog and self._inflight[worker] < self._depth:
+                seq, payload = backlog.popleft()
+                if payload[0] == "array":
+                    written = self._write_shm(payload[1])
+                    if written is not None:
+                        payload = written
+                    else:
+                        self._stats["array_chunks"] += 1
+                tasks.put(("chunk", shard_id, seq, payload))
+                self._inflight[worker] += 1
+        if self._work_stealing:
+            self._maybe_steal()
+
+    def _maybe_steal(self) -> None:
+        """Migrate a backlogged shard away from a saturated worker.
+
+        Triggers only when some worker is starving (nothing in flight,
+        no owned shard with a backlog) while another worker is at its
+        depth limit with a shard backlog of at least
+        :data:`_STEAL_MIN_PENDING` chunks.  The release message joins
+        the owner's FIFO behind its in-flight chunks, the flushed
+        replica state comes back through the result queue, and the next
+        :meth:`_pump` re-adopts the shard - queued chunks, sequence
+        numbers and all - to the idle worker.
+        """
+        busy_backlog = False
+        starving = set(range(self._num_workers))
+        for shard_id, backlog in self._pending.items():
+            if not backlog:
+                continue
+            owner = self._owner.get(shard_id)
+            if owner is not None:
+                starving.discard(owner)
+        for worker in list(starving):
+            if self._inflight[worker] > 0:
+                starving.discard(worker)
+        if not starving:
+            return
+        victim = None
+        for shard_id, backlog in self._pending.items():
+            if (
+                len(backlog) < _STEAL_MIN_PENDING
+                or shard_id in self._migrating
+                or shard_id in self._lost
+            ):
+                continue
+            owner = self._owner.get(shard_id)
+            if owner is None or self._inflight[owner] < self._depth:
+                continue
+            if victim is None or len(backlog) > len(
+                self._pending[victim]
+            ):
+                victim = shard_id
+        if victim is None:
+            return
+        owner = self._owner.pop(victim)
+        self._migrating.add(victim)
+        self._task_queues[owner].put(("release", victim))
+        self._stats["migrations"] += 1
+
+    # ------------------------------------------------------------------ #
+    # result plumbing
+    # ------------------------------------------------------------------ #
+
+    def _handle_async(self, message) -> None:
+        """Absorb a worker message that is not a drain-level response."""
+        kind = message[0]
+        if kind == "released":
+            shard_id, state = message[1], message[2]
+            self._migrating.discard(shard_id)
+            if state is None:
+                # The owner was already poisoned; its sticky failure
+                # surfaces at the next drain.  The shard's queued work
+                # is lost with it.
+                self._lost.add(shard_id)
+                self._pending.pop(shard_id, None)
+            else:
+                self._flushed[shard_id] = state
+        elif kind == "error":
+            self._failure = message[3]
+        elif kind == "states":
+            # Stale report from an interrupted drain: its payload still
+            # follows on the pipe and must be consumed to keep the
+            # message stream aligned, then both are dropped.
+            self._result_queue.get_payload()
+
+    def _consume_control(self) -> bool:
+        """Absorb control-block publications: completions, freed slots."""
+        deltas, freed = self._ctrl.poll()
+        progress = bool(freed)
+        for worker, delta in enumerate(deltas):
+            if delta:
+                progress = True
+                self._inflight[worker] -= delta
+        for slot in freed:
+            self._pool.release(slot)
+        return progress
+
+    def _poll_results(self, timeout: float | None = None) -> bool:
+        """Absorb ready worker publications and messages.
+
+        Returns whether anything arrived.  ``timeout`` blocks on the
+        result channel for the first message only, and only when the
+        control block showed no progress either - the drain flush loop
+        uses a short timeout so silent control-block progress (the
+        normal case: completions carry no message at all) is picked up
+        promptly.
+        """
+        progress = self._consume_control()
+        while True:
+            try:
+                if timeout is not None and not progress:
+                    message = self._result_queue.get(timeout=timeout)
+                else:
+                    message = self._result_queue.get_nowait()
+            except queue_module.Empty:
+                if timeout is not None and not progress:
+                    # Completions may have landed during the blocking
+                    # wait; report them so stall detection sees life.
+                    progress = self._consume_control()
+                return progress
+            progress = True
+            self._handle_async(message)
+
+    def _check_liveness(self) -> None:
+        dead = [
+            (worker.name, worker.exitcode)
+            for worker in self._workers
+            if not worker.is_alive()
+        ]
+        if dead:
+            raise ExecutorError(
+                "shard worker process(es) died without reporting: "
+                + ", ".join(
+                    f"{name} (exit code {code})" for name, code in dead
+                )
+            )
+
+    def _raise_failure(self) -> None:
+        raise ExecutorError(f"shard worker failed:\n{self._failure}")
+
+    # ------------------------------------------------------------------ #
+    # drain / close
+    # ------------------------------------------------------------------ #
 
     def drain(self) -> Iterator[tuple[int, dict[str, Any] | None]]:
         if self._closed:
             raise ExecutorError("executor is closed")
+        if self._failure is not None:
+            self._raise_failure()
+        # Phase 1: flush the submitter-side backlog.  Dispatch as depth
+        # frees up and absorb migration states; progress is bounded -
+        # a worker that stops acknowledging for _DRAIN_STALL_SECONDS
+        # (or dies) fails the drain instead of hanging it.
+        last_progress = time.monotonic()
+        while True:
+            for shard_id in self._lost:
+                # A lost shard's backlog is undeliverable; drop it so
+                # phase 2 can surface the owning worker's traceback
+                # instead of stalling here.
+                self._pending.pop(shard_id, None)
+            if not (any(self._pending.values()) or self._migrating):
+                break
+            self._pump()
+            if self._failure is not None:
+                self._raise_failure()
+            # Short wait: chunk completions are silent control-block
+            # updates, not messages, so a long blocking poll on the
+            # result channel would starve dispatch refills.
+            if self._poll_results(timeout=0.02):
+                last_progress = time.monotonic()
+            else:
+                self._check_liveness()
+                if time.monotonic() - last_progress > _DRAIN_STALL_SECONDS:
+                    queued = sum(
+                        len(backlog) for backlog in self._pending.values()
+                    )
+                    raise ExecutorError(
+                        "drain stalled: no worker progress for "
+                        f"{_DRAIN_STALL_SECONDS:.0f}s with {queued} "
+                        "chunk(s) still queued"
+                    )
+        # Phase 2: barrier.  Workers report their owned shards' states
+        # batched in one message each, in completion order.
         self._token += 1
         token = self._token
         for tasks in self._task_queues:
             tasks.put(("drain", token))
         remaining = self._num_workers
+        last_progress = time.monotonic()
+        settled: set[int] = set()
         while remaining:
             try:
                 message = self._result_queue.get(
                     timeout=_DRAIN_POLL_SECONDS
                 )
             except queue_module.Empty:
-                dead = [
-                    worker.name
-                    for worker in self._workers
-                    if not worker.is_alive()
-                ]
-                if dead:
+                if self._consume_control():
+                    # In-flight chunks completing ahead of the barrier
+                    # response are progress, message-free as they are.
+                    last_progress = time.monotonic()
+                    continue
+                self._check_liveness()
+                if time.monotonic() - last_progress > _DRAIN_STALL_SECONDS:
                     raise ExecutorError(
-                        "shard worker process(es) died without reporting: "
-                        + ", ".join(dead)
+                        "drain stalled: worker process(es) unresponsive "
+                        f"for {_DRAIN_STALL_SECONDS:.0f}s"
                     ) from None
                 continue
-            kind, message_token = message[0], message[1]
-            if message_token != token:
-                continue  # stale report from an interrupted drain
-            if kind == "error":
-                raise ExecutorError(
-                    f"shard worker failed:\n{message[2]}"
-                )
-            remaining -= 1
-            for shard_id, state in message[2]:
-                yield (shard_id, state)
+            last_progress = time.monotonic()
+            kind = message[0]
+            if kind == "states":
+                # The raw state payload follows its header on the pipe
+                # unconditionally - consume it even for a stale report.
+                deferred = DeferredStates(self._result_queue.get_payload())
+                if message[1] != token:
+                    continue  # stale report from an interrupted drain
+                remaining -= 1
+                for shard_id in message[3]:
+                    settled.add(shard_id)
+                    yield (shard_id, deferred)
+            elif kind == "error":
+                self._failure = message[3]
+                self._raise_failure()
+            else:
+                self._handle_async(message)
+                if self._failure is not None:
+                    self._raise_failure()
+        # Phase 3: shards the submitter holds (flushed by a migration
+        # that never re-adopted) and shards no chunk ever reached.  The
+        # flushed cache is NOT cleared: until a re-adoption pops an
+        # entry, it stays the shard's newest state - later drains yield
+        # it again (idempotent) and the caller may defer rebuilding the
+        # coordinator's shard object for as long as this executor
+        # lives.
+        for shard_id, state in self._flushed.items():
+            settled.add(shard_id)
+            yield (shard_id, state)
+        for shard_id in range(self._num_shards):
+            if shard_id not in settled and shard_id not in self._owner:
+                yield (shard_id, None)
+
+    def stats(self) -> dict[str, Any]:
+        return dict(self._stats)
 
     def close(self) -> None:
         if self._closed:
@@ -438,9 +1336,13 @@ class ProcessShardExecutor(ShardExecutor):
             worker.join(timeout=5.0)
             if worker.is_alive():  # pragma: no cover - defensive
                 worker.terminate()
+                worker.join(timeout=5.0)
         self._result_queue.close()
         for tasks in self._task_queues:
             tasks.close()
+        if self._pool is not None:
+            self._pool.close()
+        self._ctrl.close()
 
 
 def make_executor(
@@ -448,8 +1350,14 @@ def make_executor(
     coordinator: "DistributedRobustSampler",
     *,
     num_workers: int | None = None,
+    transport: str = "auto",
+    work_stealing: bool = True,
 ) -> ShardExecutor:
     """Build the executor registered under ``name``.
+
+    ``transport`` and ``work_stealing`` configure the process executor
+    (see :class:`ProcessShardExecutor`) and are ignored by the
+    in-process executors.
 
     >>> from repro.distributed.coordinator import DistributedRobustSampler
     >>> coordinator = DistributedRobustSampler(1.0, 1, num_shards=2, seed=1)
@@ -465,7 +1373,12 @@ def make_executor(
     if name == "thread":
         return ThreadShardExecutor(coordinator, num_workers=num_workers)
     if name == "process":
-        return ProcessShardExecutor(coordinator, num_workers=num_workers)
+        return ProcessShardExecutor(
+            coordinator,
+            num_workers=num_workers,
+            transport=transport,
+            work_stealing=work_stealing,
+        )
     raise ParameterError(
         f"unknown executor {name!r}; one of: " + ", ".join(EXECUTOR_NAMES)
     )

@@ -50,7 +50,13 @@ from repro.core.infinite_window import RobustL0SamplerIW
 from repro.distributed.coordinator import DistributedRobustSampler, ShardSampler
 from repro.engine.batching import chunk_geometry_for, chunked
 from repro.errors import EmptySampleError, ExecutorError, ParameterError
+from repro.geometry.kernels import HAVE_NUMPY
 from repro.streams.point import StreamPoint
+
+if HAVE_NUMPY:
+    import numpy as np
+else:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.specs import PipelineSpec
@@ -176,6 +182,11 @@ class BatchPipeline:
         self._points_seen = 0
         self._executor: "ShardExecutor | None" = None
         self._dirty = False
+        # Shard states shipped home by a drain but not yet rebuilt into
+        # the coordinator's shard objects (see sync()).  Values are
+        # protocol-state dicts or still-pickled DeferredStates handles;
+        # readers go through executors.resolve_state.
+        self._shipped: dict[int, Any] = {}
 
     # ------------------------------------------------------------------ #
     # properties
@@ -214,6 +225,7 @@ class BatchPipeline:
         shard objects are only current after outstanding chunks drain.
         """
         self.sync()
+        self._materialize()
         return self._coordinator
 
     @property
@@ -224,6 +236,7 @@ class BatchPipeline:
     def shard(self, index: int) -> ShardSampler:
         """Access one shard's sampler (synchronises first)."""
         self.sync()
+        self._materialize()
         return self._coordinator.shard(index)
 
     # ------------------------------------------------------------------ #
@@ -240,16 +253,33 @@ class BatchPipeline:
                 self._spec.executor,
                 self._coordinator,
                 num_workers=self._spec.num_workers,
+                transport=self._spec.transport,
+                work_stealing=self._spec.work_stealing,
             )
         return self._executor
 
+    def executor_stats(self) -> dict:
+        """The live executor's transport/scheduling counters.
+
+        Empty for in-process executors and for a pipeline whose
+        executor has not started (or was closed); see
+        :meth:`repro.engine.executors.ShardExecutor.stats`.  Read these
+        *before* :meth:`close` - the benchmark records them per run.
+        """
+        if self._executor is None:
+            return {}
+        return self._executor.stats()
+
     def sync(self) -> None:
-        """Barrier: finish outstanding shard work, fold states back in.
+        """Barrier: finish outstanding shard work, bring states home.
 
         A no-op for the serial executor (shard objects are always
         current) and for a clean pipeline.  With the process executor
-        this restores each worker's shard states into the coordinator as
-        the workers deliver them.  Raises
+        this collects each worker's shard states as the workers deliver
+        them; rebuilding them into live shard *objects* is deferred to
+        the first read that needs one (:meth:`_materialize`), so a
+        sync-then-keep-streaming cycle never pays the restore cost and a
+        sync-then-merge pays it inside the merge fold.  Raises
         :class:`~repro.errors.ExecutorError` if a worker failed - the
         pipeline then stays dirty and unsynchronised work is not lost
         silently - not even after a failed :meth:`close` released the
@@ -265,8 +295,30 @@ class BatchPipeline:
             )
         for shard_id, state in self._executor.drain():
             if state is not None:
-                self._coordinator.restore_shard(shard_id, state)
+                self._shipped[shard_id] = state
+            # state None: either the coordinator's own shard object is
+            # current, or an earlier drain already shipped this shard's
+            # state and it is still buffered - keep the buffered one.
         self._dirty = False
+
+    def _materialize(self) -> None:
+        """Rebuild buffered shard states into the coordinator's shards.
+
+        The deferred half of :meth:`sync`: drain ships the states home
+        cheaply (as raw payload bytes for process workers), and only a
+        read that needs live shard objects (queries, checkpoints,
+        direct shard access, the next adoption decision inside a fresh
+        executor) pays the decode and ``from_state`` reconstruction.
+        """
+        if not self._shipped:
+            return
+        from repro.engine.executors import resolve_state
+
+        for shard_id, state in self._shipped.items():
+            self._coordinator.restore_shard(
+                shard_id, resolve_state(shard_id, state)
+            )
+        self._shipped.clear()
 
     def close(self) -> None:
         """Synchronise and release the executor's workers (idempotent).
@@ -309,10 +361,27 @@ class BatchPipeline:
         synchronisation point (:meth:`sync`, :meth:`merge`,
         :meth:`to_state`, queries).
         """
+        if self._shipped and self._executor is None:
+            # A previous sync left shard states buffered and the
+            # executor that shipped them is gone; rebuild them before a
+            # fresh executor snapshots coordinator shards for adoption.
+            # (A live executor needs no rebuild: its workers - and its
+            # own flushed-state cache - hold every state newer than the
+            # coordinator's objects.)
+            self._materialize()
         shard = self._next_shard
         self._next_shard = (shard + 1) % self._coordinator.num_shards
         executor = self._ensure_executor()
-        chunk = batch if isinstance(batch, list) else list(batch)
+        # Lists and tuples pass through as-is; a 2-d numpy array does
+        # too (the process executor's transport copies it into shared
+        # memory without ever touching Python floats).  Anything else -
+        # generators included - is materialised once here.
+        if isinstance(batch, (list, tuple)):
+            chunk = batch
+        elif HAVE_NUMPY and isinstance(batch, np.ndarray) and batch.ndim == 2:
+            chunk = batch
+        else:
+            chunk = list(batch)
         geometry = None
         if executor.wants_geometry:
             geometry = chunk_geometry_for(self._coordinator.config, chunk)
@@ -386,14 +455,36 @@ class BatchPipeline:
             if self._executor is None:
                 self.sync()  # raises: the queued work was lost
             merged = self._coordinator.streaming_merge(
-                self._executor.drain()
+                self._arrivals_via(self._executor.drain())
             )
             self._dirty = False
             return merged
+        # Buffered states from an earlier sync ride into the fold (the
+        # streaming merge restores each arriving state anyway, so the
+        # deferred rebuild happens here at no extra cost).
+        from repro.engine.executors import resolve_state
+
         return self._coordinator.streaming_merge(
-            (shard_id, None)
+            (shard_id, resolve_state(shard_id, self._shipped.pop(shard_id, None)))
             for shard_id in range(self._coordinator.num_shards)
         )
+
+    def _arrivals_via(self, drain):
+        """Adapt a drain into merge arrivals, overlaying buffered states.
+
+        A drain reports ``None`` for a shard whose chunks all pre-date
+        this executor's life or whose newest state was already shipped
+        by an earlier drain; in the latter case the buffered state is
+        the current one and must reach the fold.
+        """
+        from repro.engine.executors import resolve_state
+
+        for shard_id, state in drain:
+            if state is None:
+                state = self._shipped.pop(shard_id, None)
+            else:
+                self._shipped.pop(shard_id, None)
+            yield (shard_id, resolve_state(shard_id, state))
 
     def query(self, rng: random.Random | None = None) -> StreamPoint:
         """Protocol query: merge then sample (see :meth:`sample`)."""
@@ -413,6 +504,7 @@ class BatchPipeline:
     def communication_words(self) -> int:
         """Words shipped to the coordinator by one merge."""
         self.sync()
+        self._materialize()
         return self._coordinator.communication_words()
 
     # ------------------------------------------------------------------ #
@@ -427,6 +519,7 @@ class BatchPipeline:
         chunk-aligned: call between :meth:`submit`/:meth:`extend` calls.
         """
         self.sync()
+        self._materialize()
         return {
             "spec": self._spec.to_state(),
             "batch_size": self._batch_size,
@@ -455,4 +548,5 @@ class BatchPipeline:
         )
         pipeline._executor = None  # restarted lazily on the next submit
         pipeline._dirty = False
+        pipeline._shipped = {}
         return pipeline

@@ -12,16 +12,25 @@ the process executor.  The Hypothesis twin of this matrix lives in
 from __future__ import annotations
 
 import json
+import os
 import random
+import signal
 
 import pytest
 
 from repro.api import PipelineSpec, build
+from repro.distributed.coordinator import DistributedRobustSampler
 from repro.engine import state_fingerprint
+from repro.engine import executors as executors_module
 from repro.engine.executors import (
     EXECUTOR_NAMES,
+    TRANSPORT_NAMES,
+    DeferredStates,
+    ProcessShardExecutor,
+    _owned_chunk,
     _owned_shards,
     _resolve_workers,
+    resolve_state,
 )
 from repro.errors import EmptySampleError, ExecutorError, ParameterError
 from repro.persist import summary_from_state, summary_to_state
@@ -189,6 +198,205 @@ class TestExecutorFailures:
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ParameterError, match="num_workers"):
             PipelineSpec(alpha=1.0, dim=1, num_workers=0)
+
+
+class TestTransportMatrix:
+    """Every transport and scheduling mode is state-unobservable."""
+
+    @pytest.mark.parametrize("transport", TRANSPORT_NAMES)
+    @pytest.mark.parametrize(
+        "work_stealing", [True, False], ids=["stealing", "static"]
+    )
+    def test_fingerprint_identical_across_transports(
+        self, transport, work_stealing
+    ):
+        stream = group_stream(300, seed=17)
+        serial = make_pipeline("serial")
+        serial.extend(stream)
+        spec = PipelineSpec(
+            alpha=1.0,
+            dim=1,
+            seed=13,
+            num_shards=3,
+            batch_size=32,
+            executor="process",
+            num_workers=2,
+            transport=transport,
+            work_stealing=work_stealing,
+        )
+        with build("batch-pipeline", spec) as twin:
+            twin.extend(stream)
+            stats = twin.executor_stats()
+            assert state_fingerprint(twin) == state_fingerprint(serial)
+        if transport == "pickle":
+            # The legacy transport is forced for every chunk.
+            assert stats["pickle_chunks"] == stats["chunks"] > 0
+            assert stats["shm_chunks"] == 0
+
+    def test_pickle_fallback_for_streampoint_chunks(self):
+        # StreamPoints are not sequences, so ``np.asarray`` rejects the
+        # chunk and ``auto`` falls back to the pickle transport for
+        # exactly those chunks - fingerprint-identical either way.
+        from repro.streams import StreamPoint
+
+        raw = group_stream(160, seed=23)
+        points = [
+            StreamPoint(vector, index) for index, vector in enumerate(raw)
+        ]
+        chunks = [points[i : i + 40] for i in range(0, len(points), 40)]
+
+        serial = DistributedRobustSampler(1.0, 1, num_shards=2, seed=5)
+        for chunk in chunks:
+            serial.route_many(chunk, 0)
+
+        parallel = DistributedRobustSampler(1.0, 1, num_shards=2, seed=5)
+        executor = ProcessShardExecutor(parallel, num_workers=2)
+        try:
+            for chunk in chunks:
+                executor.submit(0, chunk)
+            for shard_id, state in executor.drain():
+                if state is not None:
+                    parallel.restore_shard(
+                        shard_id, resolve_state(shard_id, state)
+                    )
+            stats = executor.stats()
+        finally:
+            executor.close()
+        assert stats["pickle_chunks"] == len(chunks)
+        assert stats["shm_chunks"] == 0
+        assert state_fingerprint(parallel) == state_fingerprint(serial)
+
+    def test_invalid_transport_rejected(self):
+        with pytest.raises(ParameterError, match="transport"):
+            PipelineSpec(alpha=1.0, dim=1, transport="carrier-pigeon")
+
+
+class TestWorkStealing:
+    def test_forced_migration_preserves_shard_fifo(self, monkeypatch):
+        """Drive the scheduler into stealing and prove equivalence.
+
+        Depth 1 plus a steal threshold of 1 makes the second submit to
+        a single hot shard migrate it to the idle worker (the hot
+        worker is at its depth limit while the other starves), so the
+        migration path - release, flushed state hand-off, re-adoption
+        with the next sequence number - is exercised deterministically
+        rather than by benchmark-scale luck.
+        """
+        monkeypatch.setattr(executors_module, "_DISPATCH_DEPTH", 1)
+        monkeypatch.setattr(executors_module, "_STEAL_MIN_PENDING", 1)
+        chunks = [group_stream(200, seed=seed, groups=8) for seed in range(10)]
+
+        serial = DistributedRobustSampler(1.0, 1, num_shards=2, seed=5)
+        for chunk in chunks:
+            serial.route_many(chunk, 0)
+
+        parallel = DistributedRobustSampler(1.0, 1, num_shards=2, seed=5)
+        executor = ProcessShardExecutor(parallel, num_workers=2)
+        try:
+            for chunk in chunks:
+                executor.submit(0, chunk)
+            for shard_id, state in executor.drain():
+                if state is not None:
+                    parallel.restore_shard(
+                        shard_id, resolve_state(shard_id, state)
+                    )
+            migrations = executor.stats()["migrations"]
+        finally:
+            executor.close()
+        assert migrations >= 1
+        assert state_fingerprint(parallel) == state_fingerprint(serial)
+
+    def test_single_worker_never_migrates(self):
+        with make_pipeline("process", workers=1) as pipeline:
+            pipeline.extend(group_stream(240, seed=9))
+            stats = pipeline.executor_stats()
+        assert stats["migrations"] == 0
+
+
+class TestDrainStallDetection:
+    def test_stopped_worker_bounds_the_drain(self, monkeypatch):
+        """A wedged (SIGSTOPped) worker fails the drain within the
+        stall budget instead of hanging the submitter forever."""
+        monkeypatch.setattr(executors_module, "_DRAIN_STALL_SECONDS", 1.0)
+        coordinator = DistributedRobustSampler(1.0, 1, num_shards=2, seed=3)
+        executor = ProcessShardExecutor(coordinator, num_workers=1)
+        try:
+            pid = executor._workers[0].pid
+            os.kill(pid, signal.SIGSTOP)
+            try:
+                executor.submit(0, group_stream(64, seed=2))
+                with pytest.raises(ExecutorError, match="stalled"):
+                    list(executor.drain())
+            finally:
+                os.kill(pid, signal.SIGCONT)
+        finally:
+            executor.close()
+
+    def test_killed_worker_reports_exit_code(self):
+        coordinator = DistributedRobustSampler(1.0, 1, num_shards=2, seed=3)
+        executor = ProcessShardExecutor(coordinator, num_workers=1)
+        try:
+            worker = executor._workers[0]
+            os.kill(worker.pid, signal.SIGKILL)
+            worker.join(timeout=5.0)
+            executor.submit(0, group_stream(64, seed=2))
+            with pytest.raises(ExecutorError, match="died without reporting"):
+                list(executor.drain())
+        finally:
+            executor.close()
+
+
+class TestDeferredStates:
+    def test_decode_on_first_get(self):
+        import pickle
+
+        deferred = DeferredStates(
+            pickle.dumps([(0, {"a": 1}), (2, {"b": 2})])
+        )
+        assert deferred.get(0) == {"a": 1}
+        assert deferred._blob == b""  # decoded exactly once
+        assert deferred.get(2) == {"b": 2}
+
+    def test_resolve_state_passthrough(self):
+        assert resolve_state(0, None) is None
+        plain = {"k": "v"}
+        assert resolve_state(0, plain) is plain
+
+    def test_sync_then_continue_matches_serial(self):
+        # sync() parks DeferredStates handles on the pipeline; further
+        # ingestion and every read path must resolve them lazily and
+        # still match the serial fingerprint.
+        stream = group_stream(400, seed=31)
+        serial = make_pipeline("serial")
+        serial.extend(stream)
+        with make_pipeline("process") as twin:
+            twin.extend(stream[:192])
+            twin.sync()  # states come home deferred
+            twin.extend(stream[192:])  # lazy restore must re-adopt
+            assert state_fingerprint(twin) == state_fingerprint(serial)
+            assert state_fingerprint(twin.merge()) == state_fingerprint(
+                serial.merge()
+            )
+
+
+class TestOwnedChunk:
+    def test_tuple_kept_without_copy(self):
+        chunk = ((0.0,), (1.0,))
+        assert _owned_chunk(chunk) is chunk
+
+    def test_list_is_snapshotted(self):
+        chunk = [(0.0,), (1.0,)]
+        owned = _owned_chunk(chunk)
+        assert owned == chunk and owned is not chunk
+        chunk.clear()
+        assert len(owned) == 2
+
+    def test_ndarray_is_deep_copied(self):
+        np = pytest.importorskip("numpy")
+        chunk = np.zeros((4, 1))
+        owned = _owned_chunk(chunk)
+        chunk[0, 0] = 99.0
+        assert owned[0, 0] == 0.0
 
 
 class TestWorkerMapping:
