@@ -15,4 +15,11 @@ setup(
     # (repro.geometry.kernels); it was already imported by
     # repro.highdim.jl and repro.datasets.synthetic.
     install_requires=["numpy>=1.24"],
+    extras_require={
+        # The multi-tenant serving layer (repro.service) is plain ASGI
+        # and has no hard web dependency: tests and examples drive it
+        # in-process.  The extra only supplies a production server for
+        # `python -m repro.cli serve`.
+        "service": ["uvicorn>=0.23"],
+    },
 )

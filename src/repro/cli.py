@@ -10,7 +10,11 @@ library's summaries over it:
 * ``pipeline`` - sharded parallel ingestion (``--shards`` shard
   samplers fed round-robin by a serial/thread/process ``--executor``
   with ``--workers`` workers), answering a robust F0 estimate and one
-  distinct sample over the union stream from the streaming shard merge.
+  distinct sample over the union stream from the streaming shard merge;
+* ``serve``    - the multi-tenant summary service (:mod:`repro.service`):
+  one summary per tenant key with LRU/TTL eviction to checkpoint,
+  ``/metrics`` and SSE streaming, run under uvicorn (``pip install
+  repro[service]``).  Takes no input file - traffic arrives over HTTP.
 
 Summaries are constructed through the unified API (:mod:`repro.api`):
 each command assembles a typed spec (``KSampleSpec``, ``F0InfiniteSpec``,
@@ -26,6 +30,7 @@ Examples
     python -m repro.cli count  --alpha 0.5 --epsilon 0.1 data.csv
     python -m repro.cli heavy  --alpha 0.5 --phi 0.05 --output json data.csv
     python -m repro.cli pipeline --alpha 0.5 --shards 4 --executor process data.csv
+    python -m repro.cli serve --summary l0-infinite --alpha 0.5 --dim 2 --port 8000
     cat data.csv | python -m repro.cli sample --alpha 0.5 -
 
 Ingestion always runs through the batched engine (``--batch-size``
@@ -65,7 +70,7 @@ from repro.api import (
     build,
 )
 from repro.core.base import DEFAULT_BATCH_SIZE
-from repro.errors import ReproError
+from repro.errors import CheckpointError, ReproError
 from repro.persist import dump_summary, load_summary
 from repro.streams.point import StreamPoint
 
@@ -217,6 +222,74 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of migrating backlogged shards to idle workers "
         "(state-equivalent; only wall-clock throughput differs)",
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the multi-tenant summary service (one summary per "
+        "tenant key, LRU/TTL eviction to checkpoint, /metrics, SSE)",
+    )
+    serve.add_argument(
+        "--summary", default="l0-infinite",
+        help="registry key of the per-tenant summary "
+        "(default l0-infinite; see repro.api.available())",
+    )
+    serve.add_argument(
+        "--alpha", type=float, default=None,
+        help="near-duplicate distance threshold (required by the "
+        "point-stream summaries)",
+    )
+    serve.add_argument(
+        "--dim", type=int, default=None,
+        help="ambient dimension of ingested points (required by the "
+        "point-stream summaries)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=None,
+        help="base seed; each tenant derives its own reproducible seed",
+    )
+    serve.add_argument(
+        "--window", type=int, default=None,
+        help="sliding-window size for windowed summaries",
+    )
+    serve.add_argument(
+        "--k", type=int, default=None, help="samples per query (ksample)"
+    )
+    serve.add_argument(
+        "--epsilon", type=float, default=None,
+        help="accuracy parameter (f0-*, heavy-hitters, bjkst)",
+    )
+    serve.add_argument(
+        "--phi", type=float, default=None,
+        help="heavy-hitter report threshold",
+    )
+    serve.add_argument(
+        "--copies", type=int, default=None,
+        help="median-of-copies count (f0-*, fm)",
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=1024,
+        help="max tenants resident in memory before LRU eviction to "
+        "the envelope store (default 1024)",
+    )
+    serve.add_argument(
+        "--ttl", type=float, default=None,
+        help="evict tenants idle for this many seconds (default: never)",
+    )
+    serve.add_argument(
+        "--store", choices=["memory", "file"], default="memory",
+        help="where evicted tenants' checkpoint envelopes go "
+        "(default memory; 'file' survives restarts)",
+    )
+    serve.add_argument(
+        "--store-path", default=None,
+        help="directory of the file envelope store (with --store file)",
+    )
+    serve.add_argument(
+        "--stream-interval", type=float, default=1.0,
+        help="default seconds between SSE events on /v1/{tenant}/stream",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8000, help="bind port")
     return parser
 
 
@@ -232,7 +305,7 @@ def _summary_for(
     if args.resume is not None:
         try:
             summary = load_summary(args.resume)
-        except (OSError, json.JSONDecodeError) as error:
+        except (OSError, CheckpointError) as error:
             raise ReproError(
                 f"cannot load checkpoint {args.resume}: {error}"
             ) from error
@@ -313,6 +386,79 @@ def _spec_for(args, *, dim: int, seed: int):
         epsilon=args.epsilon,
         phi=args.phi,
     )
+
+
+def _service_spec_for(args):
+    """Assemble a validated :class:`repro.service.ServiceSpec` from flags.
+
+    The summary spec is built generically: the candidate flags below are
+    filtered to the fields the chosen registry key's spec class actually
+    declares, so every servable key works without per-key plumbing.
+    Missing required fields (e.g. ``--alpha`` for a point summary)
+    surface as the CLI's uniform ``error:`` convention.
+    """
+    import dataclasses as _dataclasses
+
+    from repro.api.registry import spec_class
+    from repro.service import ServiceSpec
+
+    candidates = {
+        "alpha": args.alpha,
+        "dim": args.dim,
+        "seed": args.seed,
+        "window_size": args.window,
+        "k": args.k,
+        "epsilon": args.epsilon,
+        "phi": args.phi,
+        "copies": args.copies,
+    }
+    try:
+        cls = spec_class(args.summary)
+    except ReproError:
+        raise
+    fields = {field.name for field in _dataclasses.fields(cls)}
+    kwargs = {
+        name: value
+        for name, value in candidates.items()
+        if value is not None and name in fields
+    }
+    try:
+        summary_spec = cls(**kwargs)
+    except TypeError as error:
+        raise ReproError(
+            f"summary {args.summary!r}: {error} "
+            "(point summaries need --alpha and --dim)"
+        ) from error
+    return ServiceSpec(
+        summary=args.summary,
+        spec=summary_spec,
+        capacity=args.capacity,
+        ttl_seconds=args.ttl,
+        store=args.store,
+        store_path=args.store_path,
+        stream_interval=args.stream_interval,
+    )
+
+
+def _run_serve(args) -> None:
+    """Build the ASGI app and hand it to uvicorn (if installed).
+
+    The app itself has no web-framework dependency - without uvicorn it
+    can still be driven in-process (``repro.service.testing``); this
+    command is the network front door, so it needs a real server.
+    """
+    from repro.service import create_app
+
+    app = create_app(_service_spec_for(args))
+    try:
+        import uvicorn
+    except ImportError:
+        raise ReproError(
+            "the serve command needs uvicorn (install the service extra: "
+            "pip install 'repro[service]'); the app can still be driven "
+            "in-process via repro.service.testing.ASGITestClient"
+        ) from None
+    uvicorn.run(app, host=args.host, port=args.port)
 
 
 def _emit_point(point: StreamPoint, args, out: TextIO) -> None:
@@ -406,6 +552,13 @@ def main(argv: list[str] | None = None, out: TextIO | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        try:
+            _run_serve(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        return 0
     handle = _open_input(args.input)
     try:
         points = _parse_lines(handle, args.format)

@@ -95,8 +95,45 @@ def summary_from_state(envelope: dict[str, Any]) -> Any:
     return cls.from_state(state)
 
 
+def dumps_summary(summary: Any) -> bytes:
+    """Serialise a summary's checkpoint envelope to UTF-8 JSON bytes.
+
+    The bytes-level twin of :func:`dump_summary`: same envelope, no
+    filesystem.  This is what stores that hold envelopes in memory, a
+    database or an object store (e.g. the serving layer's
+    :class:`repro.service.EnvelopeStore`) round-trip through.
+
+    >>> sampler = RobustL0SamplerIW(1.0, 1, seed=3)
+    >>> sampler.insert((0.0,))
+    >>> loads_summary(dumps_summary(sampler)).points_seen
+    1
+    """
+    return json.dumps(summary_to_state(summary)).encode("utf-8")
+
+
+def loads_summary(data: bytes) -> Any:
+    """Restore a summary from :func:`dumps_summary` bytes.
+
+    Raises
+    ------
+    CheckpointError
+        When the bytes are not a valid JSON checkpoint envelope.
+    """
+    try:
+        envelope = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise CheckpointError(
+            f"checkpoint bytes are not a JSON envelope: {error}"
+        ) from error
+    if not isinstance(envelope, dict):
+        raise CheckpointError(
+            "checkpoint bytes do not hold an envelope object"
+        )
+    return summary_from_state(envelope)
+
+
 def dump_summary(summary: Any, path: str) -> None:
-    """Write a summary checkpoint file.
+    """Write a summary checkpoint file (:func:`dumps_summary` to disk).
 
     >>> import tempfile, os
     >>> sampler = RobustL0SamplerIW(1.0, 1, seed=3)
@@ -107,14 +144,14 @@ def dump_summary(summary: Any, path: str) -> None:
     >>> restored.points_seen
     1
     """
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(summary_to_state(summary), handle)
+    with open(path, "wb") as handle:
+        handle.write(dumps_summary(summary))
 
 
 def load_summary(path: str) -> Any:
     """Read a checkpoint file back into a live summary."""
-    with open(path, "r", encoding="utf-8") as handle:
-        return summary_from_state(json.load(handle))
+    with open(path, "rb") as handle:
+        return loads_summary(handle.read())
 
 
 # --------------------------------------------------------------------- #

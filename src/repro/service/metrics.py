@@ -1,0 +1,129 @@
+"""Live service metrics: counters, ingest throughput, latency histograms.
+
+The ``/metrics`` endpoint is how an operator sees the service without
+attaching a debugger: per-route request/error counters with latency
+histograms, the tenant population (resident / spilled / evictions /
+restores, pulled live from the tenant store), and ingest throughput
+(total points plus a sliding-window points-per-second rate).
+
+Everything is plain Python - no client library - and the clock is
+injectable so tests can drive the rate window deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Callable
+
+__all__ = ["LATENCY_BUCKETS_MS", "ServiceMetrics"]
+
+#: Upper bounds (milliseconds) of the latency histogram buckets; one
+#: implicit overflow bucket follows the last bound.
+LATENCY_BUCKETS_MS = (1.0, 5.0, 25.0, 100.0, 500.0)
+
+#: Seconds of ingest history the points-per-second rate averages over.
+RATE_WINDOW_SECONDS = 60.0
+
+
+class _RouteStats:
+    """Counters and a latency histogram for one route template."""
+
+    __slots__ = ("count", "errors", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.errors = 0
+        self.buckets = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+
+    def observe(self, status: int, elapsed_seconds: float) -> None:
+        self.count += 1
+        if status >= 400:
+            self.errors += 1
+        elapsed_ms = elapsed_seconds * 1000.0
+        for i, bound in enumerate(LATENCY_BUCKETS_MS):
+            if elapsed_ms <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        histogram = {
+            f"le_{bound:g}ms": count
+            for bound, count in zip(LATENCY_BUCKETS_MS, self.buckets)
+        }
+        histogram["overflow"] = self.buckets[-1]
+        return {
+            "count": self.count,
+            "errors": self.errors,
+            "latency_ms": histogram,
+        }
+
+
+class ServiceMetrics:
+    """Aggregates what ``GET /metrics`` reports.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic-seconds callable (default :func:`time.monotonic`);
+        injectable so tests can step time explicitly.
+    """
+
+    def __init__(self, *, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock if clock is not None else time.monotonic
+        self._routes: dict[str, _RouteStats] = {}
+        self._started = self._clock()
+        self._points_total = 0
+        self._ingests = 0
+        # (timestamp, points) of recent ingests, pruned to the window.
+        self._recent: deque[tuple[float, int]] = deque()
+
+    def observe_request(
+        self, route: str, status: int, elapsed_seconds: float
+    ) -> None:
+        """Record one handled request against its route template."""
+        stats = self._routes.get(route)
+        if stats is None:
+            stats = self._routes[route] = _RouteStats()
+        stats.observe(status, elapsed_seconds)
+
+    def observe_ingest(self, points: int) -> None:
+        """Record ``points`` ingested now (feeds the throughput rate)."""
+        now = self._clock()
+        self._points_total += points
+        self._ingests += 1
+        self._recent.append((now, points))
+        self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - RATE_WINDOW_SECONDS
+        while self._recent and self._recent[0][0] < horizon:
+            self._recent.popleft()
+
+    def points_per_second(self) -> float:
+        """Ingest rate over the last :data:`RATE_WINDOW_SECONDS`."""
+        now = self._clock()
+        self._prune(now)
+        if not self._recent:
+            return 0.0
+        window = min(
+            max(now - self._started, 1e-9), RATE_WINDOW_SECONDS
+        )
+        return sum(n for _, n in self._recent) / window
+
+    def snapshot(self, tenants: dict[str, Any] | None = None) -> dict[str, Any]:
+        """The ``/metrics`` payload (plain JSON-compatible dict)."""
+        return {
+            "uptime_seconds": max(self._clock() - self._started, 0.0),
+            "tenants": dict(tenants or {}),
+            "ingest": {
+                "requests": self._ingests,
+                "points_total": self._points_total,
+                "points_per_second": self.points_per_second(),
+            },
+            "routes": {
+                route: stats.snapshot()
+                for route, stats in sorted(self._routes.items())
+            },
+        }

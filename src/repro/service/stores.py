@@ -1,0 +1,134 @@
+"""Pluggable envelope stores: where evicted tenants' checkpoints live.
+
+The serving layer (:mod:`repro.service.tenants`) keeps hot tenants as
+live summaries in memory and spills cold ones as checkpoint-envelope
+bytes (:func:`repro.persist.dumps_summary`).  An :class:`EnvelopeStore`
+is the spill target: a tiny blob interface - ``put`` / ``get`` /
+``delete`` / ``keys`` - deliberately shaped so a database or object
+store can slot in behind the same four methods (the ROADMAP's
+``StateBackend`` direction).
+
+Two implementations ship with the library:
+
+* :class:`MemoryEnvelopeStore` - a dict; envelopes survive eviction but
+  not the process.  The default, and what the tests drive.
+* :class:`FileEnvelopeStore` - one file per tenant under a directory;
+  envelopes survive restarts.  Tenant names are encoded to safe
+  filenames (hex of the UTF-8 bytes), so any tenant string round-trips.
+
+Store methods are synchronous: the async tenant store calls them while
+holding the tenant's lock, and both built-ins are fast enough that
+yielding the event loop around them buys nothing.  A store backed by a
+network service should do its own internal batching/caching rather than
+block the loop for long.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+__all__ = [
+    "EnvelopeStore",
+    "FileEnvelopeStore",
+    "MemoryEnvelopeStore",
+]
+
+
+class EnvelopeStore:
+    """Blob interface for checkpoint-envelope bytes, keyed by tenant."""
+
+    def put(self, tenant: str, data: bytes) -> None:
+        """Store ``data`` under ``tenant``, replacing any previous blob."""
+        raise NotImplementedError
+
+    def get(self, tenant: str) -> bytes | None:
+        """The blob stored under ``tenant``, or ``None``."""
+        raise NotImplementedError
+
+    def delete(self, tenant: str) -> bool:
+        """Drop ``tenant``'s blob; returns whether one existed."""
+        raise NotImplementedError
+
+    def keys(self) -> Iterator[str]:
+        """Iterate the tenants that currently have a blob stored."""
+        raise NotImplementedError
+
+    def __contains__(self, tenant: str) -> bool:
+        return self.get(tenant) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+
+class MemoryEnvelopeStore(EnvelopeStore):
+    """Envelopes in a plain dict (per-process; the default)."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}
+
+    def put(self, tenant: str, data: bytes) -> None:
+        self._blobs[tenant] = bytes(data)
+
+    def get(self, tenant: str) -> bytes | None:
+        return self._blobs.get(tenant)
+
+    def delete(self, tenant: str) -> bool:
+        return self._blobs.pop(tenant, None) is not None
+
+    def keys(self) -> Iterator[str]:
+        return iter(list(self._blobs))
+
+
+class FileEnvelopeStore(EnvelopeStore):
+    """One ``<hex(tenant)>.json`` file per tenant under a directory.
+
+    Writes go through a same-directory temp file + ``os.replace`` so a
+    crash mid-eviction leaves either the old envelope or the new one,
+    never a torn file.
+    """
+
+    _SUFFIX = ".json"
+
+    def __init__(self, directory: str) -> None:
+        self._directory = str(directory)
+        os.makedirs(self._directory, exist_ok=True)
+
+    @property
+    def directory(self) -> str:
+        return self._directory
+
+    def _path(self, tenant: str) -> str:
+        name = tenant.encode("utf-8").hex() + self._SUFFIX
+        return os.path.join(self._directory, name)
+
+    def put(self, tenant: str, data: bytes) -> None:
+        path = self._path(tenant)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+
+    def get(self, tenant: str) -> bytes | None:
+        try:
+            with open(self._path(tenant), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def delete(self, tenant: str) -> bool:
+        try:
+            os.remove(self._path(tenant))
+        except FileNotFoundError:
+            return False
+        return True
+
+    def keys(self) -> Iterator[str]:
+        for name in sorted(os.listdir(self._directory)):
+            if not name.endswith(self._SUFFIX):
+                continue
+            stem = name[: -len(self._SUFFIX)]
+            try:
+                yield bytes.fromhex(stem).decode("utf-8")
+            except (ValueError, UnicodeDecodeError):
+                continue  # not one of ours

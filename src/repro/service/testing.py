@@ -1,0 +1,220 @@
+"""In-process ASGI client: drive the service with no server installed.
+
+The service is a plain ASGI callable, so a test (or an example, or a
+notebook) does not need uvicorn or an HTTP stack to talk to it - this
+client speaks the ASGI message protocol directly, in the same event
+loop as the app.  That is what makes the concurrency tests sharp:
+dozens of "network clients" are just coroutines interleaving on one
+loop, with deterministic schedules and zero sockets.
+
+>>> import asyncio
+>>> from repro.api import F0InfiniteSpec
+>>> from repro.service import ServiceSpec, create_app
+>>> app = create_app(ServiceSpec(
+...     summary="f0-infinite",
+...     spec=F0InfiniteSpec(alpha=0.5, dim=1, seed=3, copies=3),
+... ))
+>>> client = ASGITestClient(app)
+>>> async def demo():
+...     resp = await client.post_json(
+...         "/v1/alice/ingest", {"points": [[0.0], [9.0]]})
+...     return resp.status, resp.json()["ingested"]
+>>> asyncio.run(demo())
+(200, 2)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+__all__ = ["ASGITestClient", "Response"]
+
+
+class Response:
+    """Status, headers and body of one in-process request."""
+
+    def __init__(
+        self, status: int, headers: dict[str, str], body: bytes
+    ) -> None:
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Response(status={self.status}, body={self.body[:80]!r})"
+
+
+def _split_target(target: str) -> tuple[str, bytes]:
+    path, _, query = target.partition("?")
+    return path, query.encode("latin-1")
+
+
+def _scope(method: str, target: str, headers: list[tuple[bytes, bytes]]):
+    path, query_string = _split_target(target)
+    return {
+        "type": "http",
+        "asgi": {"version": "3.0", "spec_version": "2.3"},
+        "http_version": "1.1",
+        "method": method.upper(),
+        "scheme": "http",
+        "path": path,
+        "raw_path": path.encode("latin-1"),
+        "query_string": query_string,
+        "headers": headers,
+        "client": ("testclient", 0),
+        "server": ("testserver", 80),
+    }
+
+
+def _collect_response(sent: list[dict]) -> Response:
+    status = 500
+    headers: dict[str, str] = {}
+    body = b""
+    for message in sent:
+        if message["type"] == "http.response.start":
+            status = message["status"]
+            headers = {
+                key.decode("latin-1").lower(): value.decode("latin-1")
+                for key, value in message.get("headers", [])
+            }
+        elif message["type"] == "http.response.body":
+            body += message.get("body", b"")
+    return Response(status, headers, body)
+
+
+class ASGITestClient:
+    """Drive an ASGI app in-process (regular requests + SSE streams)."""
+
+    def __init__(self, app) -> None:
+        self.app = app
+
+    async def request(
+        self,
+        method: str,
+        target: str,
+        *,
+        body: bytes = b"",
+        content_type: str = "application/json",
+    ) -> Response:
+        """One complete request/response cycle."""
+        headers = [
+            (b"content-type", content_type.encode("latin-1")),
+            (b"content-length", str(len(body)).encode("ascii")),
+        ]
+        messages = iter(
+            [
+                {"type": "http.request", "body": body, "more_body": False},
+                {"type": "http.disconnect"},
+            ]
+        )
+
+        async def receive():
+            try:
+                return next(messages)
+            except StopIteration:  # pragma: no cover - defensive
+                await asyncio.Event().wait()
+
+        sent: list[dict] = []
+
+        async def send(message):
+            sent.append(message)
+
+        await self.app(_scope(method, target, headers), receive, send)
+        return _collect_response(sent)
+
+    async def get(self, target: str) -> Response:
+        return await self.request("GET", target)
+
+    async def post_json(self, target: str, payload: Any) -> Response:
+        return await self.request(
+            "POST", target, body=json.dumps(payload).encode("utf-8")
+        )
+
+    async def post(self, target: str) -> Response:
+        return await self.request("POST", target)
+
+    async def delete(self, target: str) -> Response:
+        return await self.request("DELETE", target)
+
+    async def stream(
+        self,
+        target: str,
+        *,
+        events: int,
+        timeout: float = 30.0,
+    ) -> list[dict]:
+        """Consume ``events`` SSE events from ``target``, then disconnect.
+
+        Returns the decoded ``data:`` payloads.  The disconnect is
+        delivered through the ASGI ``receive`` channel exactly as a
+        dropped socket would be, so this exercises the app's disconnect
+        handling, not a shortcut.
+        """
+        headers = [(b"accept", b"text/event-stream")]
+        disconnected = asyncio.Event()
+        first = True
+
+        async def receive():
+            nonlocal first
+            if first:
+                first = False
+                return {
+                    "type": "http.request",
+                    "body": b"",
+                    "more_body": False,
+                }
+            await disconnected.wait()
+            return {"type": "http.disconnect"}
+
+        from_app: asyncio.Queue = asyncio.Queue()
+
+        async def send(message):
+            await from_app.put(message)
+
+        task = asyncio.create_task(
+            self.app(_scope("GET", target, headers), receive, send)
+        )
+        collected: list[dict] = []
+        buffer = ""
+        try:
+            async with asyncio.timeout(timeout):
+                start = await from_app.get()
+                if start["type"] != "http.response.start":
+                    raise AssertionError(f"unexpected message {start!r}")
+                if start["status"] != 200:
+                    # Error response: drain the JSON body and raise with it.
+                    body = b""
+                    while True:
+                        message = await from_app.get()
+                        body += message.get("body", b"")
+                        if not message.get("more_body", False):
+                            break
+                    raise AssertionError(
+                        f"stream rejected: {start['status']} "
+                        f"{body.decode('utf-8', 'replace')}"
+                    )
+                while len(collected) < events:
+                    message = await from_app.get()
+                    buffer += message.get("body", b"").decode("utf-8")
+                    while "\n\n" in buffer:
+                        raw, buffer = buffer.split("\n\n", 1)
+                        for line in raw.splitlines():
+                            if line.startswith("data: "):
+                                collected.append(
+                                    json.loads(line[len("data: "):])
+                                )
+                    if not message.get("more_body", False):
+                        # Server closed first (e.g. ?limit= reached).
+                        return collected
+        finally:
+            disconnected.set()
+            try:
+                await asyncio.wait_for(task, timeout=5.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                task.cancel()
+        return collected

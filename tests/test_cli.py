@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import io
+import sys
+import types
 import json
 import random
 
@@ -411,3 +413,95 @@ class TestFormats:
         )
         assert code == 0
         assert float(out.getvalue()) == 2.0
+
+
+class TestServeCommand:
+    """The serve subcommand: app handoff to uvicorn, uniform errors."""
+
+    def test_missing_uvicorn_is_uniform_error(self, monkeypatch, capsys):
+        # A sys.modules entry of None makes `import uvicorn` raise
+        # ImportError even if uvicorn were installed.
+        monkeypatch.setitem(sys.modules, "uvicorn", None)
+        code = main(
+            ["serve", "--summary", "l0-infinite", "--alpha", "0.5",
+             "--dim", "2"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "uvicorn" in err and "repro[service]" in err
+
+    def test_hands_validated_app_to_uvicorn(self, monkeypatch):
+        calls = {}
+
+        def fake_run(app, host, port):
+            calls["app"] = app
+            calls["host"] = host
+            calls["port"] = port
+
+        monkeypatch.setitem(
+            sys.modules, "uvicorn", types.SimpleNamespace(run=fake_run)
+        )
+        code = main(
+            ["serve", "--summary", "heavy-hitters", "--alpha", "1.0",
+             "--dim", "1", "--epsilon", "0.1", "--seed", "7",
+             "--capacity", "16", "--ttl", "30", "--host", "0.0.0.0",
+             "--port", "9001"]
+        )
+        assert code == 0
+        from repro.service import SummaryService
+
+        app = calls["app"]
+        assert isinstance(app, SummaryService)
+        assert app.spec.summary == "heavy-hitters"
+        assert app.spec.capacity == 16
+        assert app.spec.ttl_seconds == 30.0
+        assert app.spec.spec.epsilon == 0.1
+        assert app.spec.spec.seed == 7
+        assert (calls["host"], calls["port"]) == ("0.0.0.0", 9001)
+
+    def test_unknown_summary_key_is_uniform_error(self, capsys):
+        code = main(["serve", "--summary", "nope", "--alpha", "1.0"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "unknown summary key" in err
+
+    def test_missing_required_spec_fields_is_uniform_error(self, capsys):
+        code = main(["serve", "--summary", "l0-infinite"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "--alpha" in err
+
+    def test_pipeline_key_is_uniform_error(self, capsys):
+        code = main(
+            ["serve", "--summary", "batch-pipeline", "--alpha", "1.0",
+             "--dim", "1"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_file_store_flags_validated(self, capsys, tmp_path,
+                                        monkeypatch):
+        # --store file without --store-path is a spec validation error.
+        code = main(
+            ["serve", "--summary", "l0-infinite", "--alpha", "1.0",
+             "--dim", "1", "--store", "file"]
+        )
+        assert code == 1
+        assert "store_path" in capsys.readouterr().err
+
+    def test_windowed_summary_via_flags(self, monkeypatch):
+        ran = {}
+        monkeypatch.setitem(
+            sys.modules,
+            "uvicorn",
+            types.SimpleNamespace(run=lambda app, host, port: ran.update(
+                app=app
+            )),
+        )
+        code = main(
+            ["serve", "--summary", "l0-sliding", "--alpha", "0.5",
+             "--dim", "2", "--window", "100", "--seed", "1"]
+        )
+        assert code == 0
+        assert ran["app"].spec.spec.window_size == 100

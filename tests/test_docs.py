@@ -107,6 +107,38 @@ class TestDocsMatchCode:
             )
             assert entry(key).spec_cls.__name__ in readme
 
+    def test_architecture_documents_serving_layer(self):
+        # The serving-layer section must exist, point at the concurrency
+        # equivalence suite, and name only real routes.
+        text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+            encoding="utf-8"
+        )
+        assert "## Serving layer" in text
+        assert "tests/test_service.py" in text
+        from repro.service.app import SummaryService
+
+        source = pathlib.Path(
+            sys.modules[SummaryService.__module__].__file__
+        ).read_text(encoding="utf-8")
+        for route in ("ingest", "query", "checkpoint", "stream"):
+            assert route in text
+            assert route in source
+
+    def test_readme_serving_quickstart_is_honest(self):
+        # The README quickstart must name the real entry points and the
+        # example it promises.
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "repro.service" in readme
+        assert "ServiceSpec" in readme and "create_app" in readme
+        assert "ASGITestClient" in readme
+        assert "repro.cli serve" in readme
+        assert "examples/multi_tenant.py" in readme
+        assert (REPO_ROOT / "examples" / "multi_tenant.py").is_file()
+        import repro.service as service
+
+        for name in ("ServiceSpec", "create_app"):
+            assert hasattr(service, name)
+
     def test_readme_documents_executor_options(self):
         from repro.engine.executors import EXECUTOR_NAMES
 

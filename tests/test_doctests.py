@@ -50,6 +50,9 @@ MODULE_NAMES = [
     "repro.api.specs",
     "repro.api.registry",
     "repro.distributed.coordinator",
+    "repro.service",
+    "repro.service.config",
+    "repro.service.testing",
 ]
 
 

@@ -17,8 +17,10 @@ from repro.persist import (
     FORMAT_VERSION,
     dump_sampler,
     dump_summary,
+    dumps_summary,
     load_sampler,
     load_summary,
+    loads_summary,
     sampler_from_state,
     sampler_to_state,
     summary_from_state,
@@ -319,3 +321,50 @@ class TestLegacySlidingLayout:
         assert "levels" not in reserialized["state"]
         again = summary_from_state(reserialized)
         assert state_fingerprint(again) == state_fingerprint(sampler)
+
+
+class TestBytesEnvelopes:
+    """dumps_summary / loads_summary: the filesystem-free envelope twins."""
+
+    def test_bytes_round_trip_is_fingerprint_exact(self):
+        stream = build_stream(300, seed=9)
+        half = 150
+        uninterrupted = build("l0-infinite", alpha=1.0, dim=1, seed=4)
+        spilled = build("l0-infinite", alpha=1.0, dim=1, seed=4)
+        uninterrupted.process_many(stream)
+        spilled.process_many(stream[:half])
+        data = dumps_summary(spilled)
+        assert isinstance(data, bytes)
+        restored = loads_summary(data)
+        restored.process_many(stream[half:])
+        assert state_fingerprint(restored) == state_fingerprint(
+            uninterrupted
+        )
+
+    def test_path_functions_are_thin_wrappers(self, tmp_path):
+        sampler = build("l0-infinite", alpha=1.0, dim=1, seed=4)
+        sampler.process_many(build_stream(60, seed=2))
+        path = tmp_path / "ckpt.json"
+        dump_summary(sampler, str(path))
+        assert path.read_bytes() == dumps_summary(sampler)
+        assert state_fingerprint(load_summary(str(path))) == (
+            state_fingerprint(loads_summary(dumps_summary(sampler)))
+        )
+
+    @pytest.mark.parametrize(
+        "data",
+        [b"not json", b'"a string"', b"[1, 2]", b"\xff\xfe\x00", b""],
+        ids=["text", "non-object", "array", "not-utf8", "empty"],
+    )
+    def test_loads_rejects_non_envelopes(self, data):
+        with pytest.raises(CheckpointError):
+            loads_summary(data)
+
+    def test_bytes_envelopes_cover_every_registered_key(self):
+        # Same matrix the path-based resume test walks, through bytes.
+        stream = build_stream(120, seed=31, groups=9)
+        for key, kwargs in sorted(RESUME_SPECS.items()):
+            summary = build(key, **kwargs)
+            summary.process_many(stream)
+            restored = loads_summary(dumps_summary(summary))
+            assert type(restored) is entry(key).summary_cls, key

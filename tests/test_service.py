@@ -1,0 +1,693 @@
+"""Serving-layer tests: tenants, eviction exactness, HTTP surface, SSE.
+
+The headline gate (modelled on fastlimit's concurrency suite) is
+differential: N asyncio clients interleave ingest traffic across M
+tenants through the in-process ASGI client - with evictions forced
+mid-stream by a chaos task *and* by an undersized resident capacity -
+and every tenant's final ``state_fingerprint`` must equal a serial
+replay of that tenant's point sequence into a fresh summary.  That is
+the serving layer's whole correctness story: concurrency, locking and
+evict/restore cycles must be invisible in per-tenant state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import random
+
+import pytest
+
+from repro.api import (
+    F0InfiniteSpec,
+    HeavyHittersSpec,
+    L0InfiniteSpec,
+    L0SlidingSpec,
+)
+from repro.engine import state_fingerprint
+from repro.errors import ParameterError
+from repro.service import (
+    FileEnvelopeStore,
+    MemoryEnvelopeStore,
+    ServiceMetrics,
+    ServiceSpec,
+    TenantStore,
+    create_app,
+    derive_tenant_seed,
+)
+from repro.service.testing import ASGITestClient
+
+#: The concurrency-equivalence gate runs one infinite-window, one
+#: sliding-window and one heavy-hitters key (the acceptance criterion).
+GATE_SPECS = {
+    "l0-infinite": L0InfiniteSpec(alpha=1.0, dim=1, seed=11),
+    "l0-sliding": L0SlidingSpec(alpha=1.0, dim=1, seed=11, window_size=48),
+    "heavy-hitters": HeavyHittersSpec(
+        alpha=1.0, dim=1, seed=11, epsilon=0.1
+    ),
+}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def service_spec(key="l0-infinite", **overrides):
+    overrides.setdefault("spec", GATE_SPECS.get(key) or GATE_SPECS["l0-infinite"])
+    overrides.setdefault("lock_shards", 4)
+    return ServiceSpec(summary=key, **overrides)
+
+
+def noisy_points(rng, n, groups=10):
+    """1-D near-duplicate traffic: ``groups`` entities, noisy sightings."""
+    return [
+        [rng.randrange(groups) * 3.0 + rng.random() * 0.2] for _ in range(n)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# ServiceSpec validation
+# --------------------------------------------------------------------- #
+
+
+class TestServiceSpec:
+    def test_valid_spec_builds(self):
+        spec = service_spec(capacity=2)
+        assert spec.capacity == 2
+        assert spec.build_store().__class__ is MemoryEnvelopeStore
+
+    def test_unknown_summary_key_rejected(self):
+        with pytest.raises(ParameterError):
+            ServiceSpec(summary="nope", spec=GATE_SPECS["l0-infinite"])
+
+    def test_pipeline_tenants_rejected(self):
+        from repro.api import PipelineSpec
+
+        with pytest.raises(ParameterError):
+            ServiceSpec(
+                summary="batch-pipeline",
+                spec=PipelineSpec(alpha=1.0, dim=1, seed=1),
+            )
+
+    def test_mismatched_spec_type_rejected(self):
+        with pytest.raises(ParameterError):
+            ServiceSpec(summary="f0-infinite", spec=GATE_SPECS["l0-infinite"])
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(capacity=0),
+            dict(ttl_seconds=0.0),
+            dict(ttl_seconds=-1.0),
+            dict(lock_shards=0),
+            dict(stream_interval=0.0),
+            dict(store="redis"),
+            dict(store="file"),  # file without store_path
+            dict(store_path="/tmp/x"),  # store_path without file
+        ],
+    )
+    def test_invalid_parameters_rejected(self, overrides):
+        with pytest.raises(ParameterError):
+            service_spec(**overrides)
+
+    def test_file_store_built_from_spec(self, tmp_path):
+        spec = service_spec(store="file", store_path=str(tmp_path / "s"))
+        store = spec.build_store()
+        assert isinstance(store, FileEnvelopeStore)
+        assert store.directory == str(tmp_path / "s")
+
+
+# --------------------------------------------------------------------- #
+# envelope stores
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("flavour", ["memory", "file"])
+class TestEnvelopeStores:
+    def make(self, flavour, tmp_path):
+        if flavour == "file":
+            return FileEnvelopeStore(str(tmp_path / "envelopes"))
+        return MemoryEnvelopeStore()
+
+    def test_round_trip_and_delete(self, flavour, tmp_path):
+        store = self.make(flavour, tmp_path)
+        assert store.get("a") is None
+        store.put("a", b'{"x": 1}')
+        store.put("b", b"bb")
+        assert store.get("a") == b'{"x": 1}'
+        assert "a" in store and "c" not in store
+        assert sorted(store.keys()) == ["a", "b"]
+        assert len(store) == 2
+        assert store.delete("a") is True
+        assert store.delete("a") is False
+        assert store.get("a") is None
+
+    def test_put_replaces(self, flavour, tmp_path):
+        store = self.make(flavour, tmp_path)
+        store.put("t", b"one")
+        store.put("t", b"two")
+        assert store.get("t") == b"two"
+        assert len(store) == 1
+
+    def test_awkward_tenant_names_round_trip(self, flavour, tmp_path):
+        # The store layer must accept anything (the HTTP router is the
+        # place that restricts the charset); the file store hex-encodes.
+        store = self.make(flavour, tmp_path)
+        names = ["user@example.com", "päivä", "a b", "..", "0" * 64]
+        for i, name in enumerate(names):
+            store.put(name, str(i).encode())
+        assert sorted(store.keys()) == sorted(names)
+        for i, name in enumerate(names):
+            assert store.get(name) == str(i).encode()
+
+
+class TestFileStoreOnDisk:
+    def test_foreign_files_ignored(self, tmp_path):
+        store = FileEnvelopeStore(str(tmp_path))
+        (tmp_path / "README.txt").write_text("not an envelope")
+        (tmp_path / "zz-not-hex.json").write_text("{}")
+        store.put("t", b"data")
+        assert list(store.keys()) == ["t"]
+
+    def test_survives_reopen(self, tmp_path):
+        FileEnvelopeStore(str(tmp_path)).put("t", b"data")
+        assert FileEnvelopeStore(str(tmp_path)).get("t") == b"data"
+
+
+# --------------------------------------------------------------------- #
+# tenant store: lifecycle, locking, eviction
+# --------------------------------------------------------------------- #
+
+
+class TestTenantStore:
+    def test_lazy_build_and_counters(self):
+        async def scenario():
+            store = TenantStore(service_spec(capacity=8))
+            assert store.resident_count == 0
+            n = await store.ingest("alice", [(0.0,), (9.0,)])
+            assert n == 2
+            assert store.builds == 1 and store.resident_count == 1
+            await store.ingest("alice", [(3.0,)])
+            assert store.builds == 1  # same summary, no rebuild
+            counters = store.counters()
+            assert counters["resident"] == 1
+            assert counters["evictions"] == 0
+
+        run(scenario())
+
+    def test_per_tenant_seed_derivation(self):
+        store = TenantStore(service_spec())
+        spec_a = store.tenant_spec("alice")
+        spec_b = store.tenant_spec("bob")
+        assert spec_a.seed != spec_b.seed
+        assert spec_a == store.tenant_spec("alice")  # deterministic
+        assert spec_a.seed == derive_tenant_seed(11, "alice")
+        # Unseeded service spec: used as-is (fresh randomness per build).
+        unseeded = ServiceSpec(
+            summary="l0-infinite",
+            spec=L0InfiniteSpec(alpha=1.0, dim=1, seed=None),
+        )
+        assert TenantStore(unseeded).tenant_spec("alice").seed is None
+
+    def test_lru_eviction_beyond_capacity(self):
+        async def scenario():
+            store = TenantStore(service_spec(capacity=2))
+            for tenant in ("a", "b", "c"):
+                await store.ingest(tenant, [(1.0,)])
+            assert store.resident_count == 2
+            assert store.resident_tenants() == ["b", "c"]
+            assert store.evictions == 1 and store.spilled_count == 1
+            assert store.store.get("a") is not None
+            # Touching "b" makes "c" the LRU victim for the next arrival.
+            await store.query("b")
+            await store.ingest("d", [(1.0,)])
+            assert store.resident_tenants() == ["b", "d"]
+
+        run(scenario())
+
+    def test_ttl_eviction_with_injected_clock(self):
+        async def scenario():
+            now = 0.0
+            store = TenantStore(
+                service_spec(capacity=8, ttl_seconds=10.0),
+                clock=lambda: now,
+            )
+            await store.ingest("a", [(1.0,)])
+            await store.ingest("b", [(2.0,)])
+            now = 5.0
+            await store.query("b")  # refresh b's TTL
+            now = 12.0  # a idle 12s > ttl, b idle 7s < ttl
+            assert await store.enforce() == 1
+            assert store.resident_tenants() == ["b"]
+            assert store.evictions == 1
+            # The evicted tenant restores transparently on next touch.
+            await store.ingest("a", [(3.0,)])
+            assert store.restores == 1 and store.spilled_count == 0
+
+        run(scenario())
+
+    def test_evict_restore_is_fingerprint_exact(self):
+        async def scenario():
+            spec = service_spec(capacity=8)
+            churned = TenantStore(spec)
+            control = TenantStore(spec)
+            rng = random.Random(5)
+            chunks = [noisy_points(rng, 17) for _ in range(6)]
+            for i, chunk in enumerate(chunks):
+                points = [tuple(p) for p in chunk]
+                await churned.ingest("t", points)
+                await control.ingest("t", points)
+                if i % 2 == 0:  # force an evict/restore cycle mid-stream
+                    assert await churned.evict("t") is True
+            assert await churned.fingerprint("t") == await control.fingerprint(
+                "t"
+            )
+            assert churned.evictions == 3 and churned.restores == 3
+            assert control.evictions == 0
+
+        run(scenario())
+
+    def test_drop_forgets_memory_and_store(self):
+        async def scenario():
+            store = TenantStore(service_spec(capacity=8))
+            await store.ingest("gone", [(1.0,)])
+            await store.evict("gone")
+            assert await store.drop("gone") is True
+            assert store.spilled_count == 0
+            assert await store.drop("gone") is False
+            # A re-touch builds from scratch, not from stale state.
+            await store.ingest("gone", [(1.0,)])
+            assert store.builds == 2 and store.restores == 0
+
+        run(scenario())
+
+    def test_same_tenant_requests_serialise(self):
+        async def scenario():
+            store = TenantStore(service_spec(capacity=8))
+            order = []
+
+            original = store._materialize
+
+            def slow_materialize(tenant):
+                order.append(f"enter-{tenant}")
+                summary = original(tenant)
+                order.append(f"exit-{tenant}")
+                return summary
+
+            store._materialize = slow_materialize
+            await asyncio.gather(
+                store.ingest("t", [(1.0,)]), store.ingest("t", [(2.0,)])
+            )
+            assert order == ["enter-t", "exit-t", "enter-t", "exit-t"]
+
+        run(scenario())
+
+
+# --------------------------------------------------------------------- #
+# HTTP surface
+# --------------------------------------------------------------------- #
+
+
+class TestHttpSurface:
+    def make_client(self, key="l0-infinite", **overrides):
+        app = create_app(service_spec(key, **overrides))
+        return app, ASGITestClient(app)
+
+    def test_ingest_query_checkpoint_delete(self):
+        async def scenario():
+            app, client = self.make_client(capacity=8)
+            points = noisy_points(random.Random(3), 30)
+            resp = await client.post_json(
+                "/v1/alice/ingest", {"points": points}
+            )
+            assert resp.status == 200
+            assert resp.json() == {"tenant": "alice", "ingested": 30}
+
+            resp = await client.get("/v1/alice/query?seed=5")
+            assert resp.status == 200
+            result = resp.json()["result"]
+            assert len(result["vector"]) == 1 and "index" in result
+            # Seeded queries are deterministic.
+            again = await client.get("/v1/alice/query?seed=5")
+            assert again.json() == resp.json()
+
+            resp = await client.post("/v1/alice/checkpoint")
+            assert resp.status == 200
+            envelope = resp.json()
+            assert envelope["format"] == "repro/summary"
+            assert envelope["summary"] == "l0-infinite"
+            # The wire envelope restores fingerprint-exactly.
+            from repro.persist import summary_from_state
+
+            restored = summary_from_state(envelope)
+            assert state_fingerprint(restored) == await app.tenants.fingerprint(
+                "alice"
+            )
+
+            resp = await client.delete("/v1/alice")
+            assert resp.status == 200 and resp.json()["dropped"] is True
+            resp = await client.delete("/v1/alice")
+            assert resp.status == 404
+
+        run(scenario())
+
+    def test_error_statuses_are_uniform_json(self):
+        async def scenario():
+            app, client = self.make_client(capacity=8)
+            cases = [
+                ("POST", "/v1/t/ingest", b"{not json", 400),
+                ("POST", "/v1/t/ingest", b'{"points": "no"}', 400),
+                ("POST", "/v1/t/ingest", b'{"points": [["x"]]}', 400),
+                ("GET", "/nope", b"", 404),
+                ("GET", "/v1/t/nope", b"", 404),
+                ("DELETE", "/v1/t/ingest", b"", 405),
+                ("GET", "/metrics/x", b"", 404),
+                ("POST", "/metrics", b"", 405),
+                ("GET", "/v1/empty/query", b"", 409),  # nothing ingested yet
+                ("GET", "/v1/t/query?seed=x", b"", 400),
+                ("GET", "/v1/t/stream?interval=0", b"", 400),
+            ]
+            for method, target, body, expected in cases:
+                resp = await client.request(method, target, body=body)
+                assert resp.status == expected, (method, target, resp.body)
+                assert "error" in resp.json(), (method, target)
+
+        run(scenario())
+
+    def test_unsupported_query_parameter_is_400(self):
+        async def scenario():
+            _, client = self.make_client(
+                "f0-infinite",
+                spec=F0InfiniteSpec(alpha=1.0, dim=1, seed=3, copies=3),
+            )
+            await client.post_json("/v1/t/ingest", {"points": [[0.0], [9.0]]})
+            resp = await client.get("/v1/t/query?phi=0.5")
+            assert resp.status == 400  # F0 queries take no phi
+
+        run(scenario())
+
+    def test_dimension_mismatch_is_400(self):
+        async def scenario():
+            _, client = self.make_client(capacity=8)
+            resp = await client.post_json(
+                "/v1/t/ingest", {"points": [[1.0, 2.0]]}
+            )
+            assert resp.status == 400
+            assert "error" in resp.json()
+
+        run(scenario())
+
+    def test_heavy_hitters_query_shape(self):
+        async def scenario():
+            _, client = self.make_client("heavy-hitters")
+            points = [[0.05], [0.1], [0.0], [9.0]]
+            await client.post_json("/v1/t/ingest", {"points": points})
+            resp = await client.get("/v1/t/query?phi=0.5")
+            assert resp.status == 200
+            (hit,) = resp.json()["result"]
+            assert hit["count"] == 3
+            assert hit["guaranteed_count"] == hit["count"] - hit["error"]
+            assert hit["representative"]["vector"] == [0.05]
+
+        run(scenario())
+
+    def test_metrics_report_population_and_throughput(self):
+        async def scenario():
+            app, client = self.make_client(capacity=2)
+            for tenant in ("a", "b", "c"):  # c's arrival evicts a
+                await client.post_json(
+                    f"/v1/{tenant}/ingest", {"points": [[1.0]] * 10}
+                )
+            await client.post_json("/v1/a/ingest", {"points": [[1.0]]})
+            resp = await client.get("/metrics")
+            assert resp.status == 200
+            metrics = resp.json()
+            tenants = metrics["tenants"]
+            assert tenants["resident"] == 2
+            assert tenants["capacity"] == 2
+            assert tenants["evictions"] >= 2
+            assert tenants["restores"] == 1  # a came back
+            ingest = metrics["ingest"]
+            assert ingest["points_total"] == 31
+            assert ingest["requests"] == 4
+            assert ingest["points_per_second"] > 0
+            route = metrics["routes"]["POST /v1/{tenant}/ingest"]
+            assert route["count"] == 4 and route["errors"] == 0
+            assert sum(route["latency_ms"].values()) == 4
+            # Errors are counted against their route.
+            await client.request(
+                "POST", "/v1/x/ingest", body=b"{broken"
+            )
+            metrics = (await client.get("/metrics")).json()
+            assert metrics["routes"]["POST /v1/{tenant}/ingest"]["errors"] == 1
+
+        run(scenario())
+
+
+# --------------------------------------------------------------------- #
+# SSE streaming
+# --------------------------------------------------------------------- #
+
+
+class TestStreaming:
+    def test_stream_pushes_periodic_results(self):
+        async def scenario():
+            app = create_app(
+                service_spec(capacity=8, stream_interval=0.005)
+            )
+            client = ASGITestClient(app)
+            await client.post_json(
+                "/v1/t/ingest",
+                {"points": noisy_points(random.Random(1), 20)},
+            )
+            events = await client.stream(
+                "/v1/t/stream?interval=0.005&seed=3", events=3
+            )
+            assert [event["seq"] for event in events] == [0, 1, 2]
+            assert all(event["tenant"] == "t" for event in events)
+            assert all("result" in event for event in events)
+
+        run(scenario())
+
+    def test_stream_sees_concurrent_ingestion(self):
+        async def scenario():
+            app = create_app(service_spec("f0-infinite", spec=F0InfiniteSpec(
+                alpha=1.0, dim=1, seed=3, copies=3
+            )))
+            client = ASGITestClient(app)
+            await client.post_json("/v1/t/ingest", {"points": [[0.0]]})
+
+            async def pump():
+                for i in range(1, 40):
+                    await client.post_json(
+                        "/v1/t/ingest", {"points": [[i * 5.0]]}
+                    )
+                    await asyncio.sleep(0.002)
+
+            pump_task = asyncio.create_task(pump())
+            events = await client.stream(
+                "/v1/t/stream?interval=0.01", events=5
+            )
+            await pump_task
+            estimates = [event["result"] for event in events]
+            assert estimates[-1] > estimates[0]  # growth is visible live
+
+        run(scenario())
+
+    def test_stream_limit_closes_server_side(self):
+        async def scenario():
+            app = create_app(service_spec(capacity=8))
+            client = ASGITestClient(app)
+            await client.post_json("/v1/t/ingest", {"points": [[1.0]]})
+            events = await client.stream(
+                "/v1/t/stream?interval=0.001&limit=2", events=10
+            )
+            assert len(events) == 2  # server closed after ?limit=
+
+        run(scenario())
+
+    def test_stream_on_empty_tenant_reports_error_events(self):
+        async def scenario():
+            app = create_app(service_spec(capacity=8))
+            client = ASGITestClient(app)
+            events = await client.stream(
+                "/v1/empty/stream?interval=0.001&limit=2", events=2
+            )
+            assert all("error" in event for event in events)
+
+        run(scenario())
+
+
+# --------------------------------------------------------------------- #
+# the concurrency-equivalence gate
+# --------------------------------------------------------------------- #
+
+
+async def interleaved_traffic(
+    key, *, capacity, num_clients=6, num_tenants=5, chaos=True, seed=0
+):
+    """N clients interleave ingest across M tenants; returns (app, streams).
+
+    Per-tenant chunk order is fixed (clients pop the tenant's next chunk
+    under a client-side lock, and the service serialises same-tenant
+    requests under its own lock), while cross-tenant interleaving and
+    which-client-sends-what are schedule-dependent.  A chaos task forces
+    evictions mid-traffic on top of the LRU churn the small capacity
+    already causes.
+    """
+    app = create_app(
+        ServiceSpec(
+            summary=key,
+            spec=GATE_SPECS[key],
+            capacity=capacity,
+            lock_shards=3,  # fewer shards than tenants: locks are shared
+        )
+    )
+    client = ASGITestClient(app)
+    rng = random.Random(seed)
+    tenants = [f"tenant-{i}" for i in range(num_tenants)]
+    streams = {
+        tenant: [
+            noisy_points(rng, rng.randrange(1, 9))
+            for _ in range(rng.randrange(12, 20))
+        ]
+        for tenant in tenants
+    }
+    pending = {t: collections.deque(chunks) for t, chunks in streams.items()}
+    locks = {t: asyncio.Lock() for t in tenants}
+
+    async def one_client(client_id):
+        crng = random.Random(1000 + client_id)
+        while any(pending.values()):
+            tenant = crng.choice(tenants)
+            async with locks[tenant]:
+                if not pending[tenant]:
+                    continue
+                chunk = pending[tenant].popleft()
+                resp = await client.post_json(
+                    f"/v1/{tenant}/ingest", {"points": chunk}
+                )
+                assert resp.status == 200, resp.body
+            await asyncio.sleep(0)
+
+    stop = asyncio.Event()
+
+    async def chaos_evictor():
+        crng = random.Random(9999)
+        while not stop.is_set():
+            await app.tenants.evict(crng.choice(tenants))
+            await asyncio.sleep(0)
+
+    chaos_task = asyncio.create_task(chaos_evictor()) if chaos else None
+    try:
+        await asyncio.gather(
+            *(one_client(i) for i in range(num_clients))
+        )
+    finally:
+        stop.set()
+        if chaos_task is not None:
+            await chaos_task
+    return app, streams
+
+
+class TestConcurrencyEquivalence:
+    @pytest.mark.parametrize("key", sorted(GATE_SPECS))
+    def test_interleaved_traffic_fingerprints_serial_replay(self, key):
+        async def scenario():
+            app, streams = await interleaved_traffic(key, capacity=2)
+            # Evictions really happened mid-traffic (both LRU and chaos).
+            assert app.tenants.evictions > 0
+            assert app.tenants.restores > 0
+            for tenant, chunks in streams.items():
+                served = await app.tenants.fingerprint(tenant)
+                replay = app.tenants.fresh_summary(tenant)
+                replay.process_many(
+                    [tuple(p) for chunk in chunks for p in chunk]
+                )
+                assert served == state_fingerprint(replay), tenant
+
+        run(scenario())
+
+    @pytest.mark.parametrize("key", sorted(GATE_SPECS))
+    def test_evicted_equals_never_evicted(self, key):
+        # The same interleaved traffic served with churn (capacity 2 +
+        # chaos) and without (roomy capacity, no chaos) must agree
+        # tenant by tenant: eviction is unobservable in state.
+        async def scenario():
+            churned, streams_a = await interleaved_traffic(
+                key, capacity=2, chaos=True, seed=7
+            )
+            roomy, streams_b = await interleaved_traffic(
+                key, capacity=64, chaos=False, seed=7
+            )
+            assert streams_a == streams_b  # same generated traffic
+            assert churned.tenants.evictions > 0
+            assert roomy.tenants.evictions == 0
+            for tenant in streams_a:
+                assert await churned.tenants.fingerprint(
+                    tenant
+                ) == await roomy.tenants.fingerprint(tenant), tenant
+
+        run(scenario())
+
+    def test_traffic_through_file_store(self, tmp_path):
+        # Envelope round-trips hit real files and still replay exactly.
+        async def scenario():
+            app = create_app(
+                ServiceSpec(
+                    summary="l0-infinite",
+                    spec=GATE_SPECS["l0-infinite"],
+                    capacity=1,
+                    store="file",
+                    store_path=str(tmp_path / "spill"),
+                )
+            )
+            client = ASGITestClient(app)
+            rng = random.Random(2)
+            streams = {
+                tenant: noisy_points(rng, 60) for tenant in ("a", "b", "c")
+            }
+            for i in range(0, 60, 10):  # round-robin: constant churn
+                for tenant, points in streams.items():
+                    resp = await client.post_json(
+                        f"/v1/{tenant}/ingest",
+                        {"points": points[i : i + 10]},
+                    )
+                    assert resp.status == 200
+            assert app.tenants.evictions >= 2
+            for tenant, points in streams.items():
+                replay = app.tenants.fresh_summary(tenant)
+                replay.process_many([tuple(p) for p in points])
+                assert await app.tenants.fingerprint(
+                    tenant
+                ) == state_fingerprint(replay)
+
+        run(scenario())
+
+
+# --------------------------------------------------------------------- #
+# metrics unit behaviour (fake clock)
+# --------------------------------------------------------------------- #
+
+
+class TestServiceMetrics:
+    def test_rate_window_and_histograms(self):
+        now = 0.0
+        metrics = ServiceMetrics(clock=lambda: now)
+        metrics.observe_ingest(100)
+        now = 10.0
+        metrics.observe_ingest(100)
+        assert metrics.points_per_second() == pytest.approx(20.0)
+        now = 65.0  # the t=0 burst ages out of the 60s window
+        assert metrics.points_per_second() == pytest.approx(100 / 60.0)
+        now = 100.0  # everything aged out
+        assert metrics.points_per_second() == 0.0
+        metrics.observe_request("GET /x", 200, 0.0004)
+        metrics.observe_request("GET /x", 500, 0.040)
+        snapshot = metrics.snapshot({"resident": 1})
+        route = snapshot["routes"]["GET /x"]
+        assert route["count"] == 2 and route["errors"] == 1
+        assert route["latency_ms"]["le_1ms"] == 1
+        assert route["latency_ms"]["le_100ms"] == 1
+        assert snapshot["tenants"] == {"resident": 1}
+        assert snapshot["ingest"]["points_total"] == 200
