@@ -21,5 +21,10 @@ setup(
         # in-process.  The extra only supplies a production server for
         # `python -m repro.cli serve`.
         "service": ["uvicorn>=0.23"],
+        # The redis state backend (repro.backends.redis) imports cleanly
+        # without the client library; constructing it then raises a
+        # typed BackendUnavailableError and the test matrix skips the
+        # flavour.  The extra turns it on.
+        "redis": ["redis>=4.5"],
     },
 )

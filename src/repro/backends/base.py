@@ -1,0 +1,209 @@
+"""The :class:`StateBackend` contract: versioned blobs with atomic CAS.
+
+A state backend is where durable state lives when it leaves a summary
+object: evicted tenants' checkpoint envelopes (the serving layer),
+mid-stream pipeline checkpoints (crash-safe resume), and anything else
+that round-trips through :func:`repro.persist.dumps_summary` bytes.
+The interface is deliberately tiny - five blob methods plus one atomic
+primitive - so a database, object store or cache can slot in behind it
+(the ``fastlimit`` ``backends/`` shape the ROADMAP points at).
+
+The contract every implementation must honour (enforced for every
+backend by ``tests/test_backends.py``):
+
+**Versioning.**  Each key carries a monotonically increasing integer
+version: ``0`` while absent, ``1`` after the first write, ``+1`` per
+successful write.  :meth:`StateBackend.get_versioned` returns the data
+together with the version that wrote it.
+
+**Atomic compare-and-swap.**  ``compare_and_swap(key, expected, data)``
+commits ``data`` (returning the new version) iff the key's current
+version equals ``expected``; otherwise it raises
+:class:`~repro.errors.CASConflictError` and applies *nothing*.
+``expected_version=0`` is create-only: it succeeds only while the key
+is absent, so N racing writers electing themselves owner of a fresh
+key see exactly one winner.  CAS is atomic against every other writer
+of the same backend storage - other threads, other processes on the
+same directory, other clients of the same Redis - never "last write
+wins on a torn interleaving".
+
+**Crash safety.**  A reader sees a complete old value or a complete
+new value, never a torn mix, no matter where a writer was killed.  For
+the file backend that means fsync-before-rename discipline; for memory
+and Redis it falls out of single-object replacement.
+
+**O(1) count.**  :meth:`StateBackend.count` must not enumerate storage
+(the ``/metrics`` scrape path reads it per request).
+
+Deleting a key resets its version to 0, so delete-then-recreate can
+make a stale CAS succeed (classic ABA); keys that are CAS-contended
+should be deleted only once their writers are done.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import CASConflictError, ParameterError
+
+__all__ = ["BACKEND_NAMES", "StateBackend", "make_backend"]
+
+#: Backend flavours :func:`make_backend` accepts.
+BACKEND_NAMES = ("memory", "file", "redis")
+
+
+class StateBackend:
+    """Versioned blob storage with atomic compare-and-swap.
+
+    Subclasses implement the underscore hooks (``_put``, ``_get_versioned``,
+    ``_compare_and_swap``, ``_delete``, ``_keys``, ``_count``); the public
+    methods wrap them with operation counters so every backend reports
+    the same :meth:`stats` shape to ``/metrics``.
+    """
+
+    def __init__(self) -> None:
+        self._stats = {
+            "puts": 0,
+            "gets": 0,
+            "deletes": 0,
+            "cas_attempts": 0,
+            "cas_conflicts": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # public surface (counts operations, delegates to the hooks)
+    # ------------------------------------------------------------------ #
+
+    def put(self, key: str, data: bytes) -> int:
+        """Unconditionally store ``data``; returns the new version."""
+        self._stats["puts"] += 1
+        return self._put(key, bytes(data))
+
+    def get(self, key: str) -> bytes | None:
+        """The blob under ``key``, or ``None`` while absent."""
+        versioned = self.get_versioned(key)
+        return None if versioned is None else versioned[0]
+
+    def get_versioned(self, key: str) -> tuple[bytes, int] | None:
+        """``(data, version)`` under ``key``, or ``None`` while absent.
+
+        The version is what a writer passes back to
+        :meth:`compare_and_swap` to update only if nobody else wrote in
+        between.
+        """
+        self._stats["gets"] += 1
+        return self._get_versioned(key)
+
+    def compare_and_swap(
+        self, key: str, expected_version: int, data: bytes
+    ) -> int:
+        """Commit ``data`` iff the key still holds ``expected_version``.
+
+        Returns the new version on success.  Raises
+        :class:`~repro.errors.CASConflictError` (carrying the actual
+        version) on a lost race, with nothing applied.
+        ``expected_version=0`` succeeds only while the key is absent.
+        """
+        if expected_version < 0:
+            raise ParameterError(
+                f"expected_version must be >= 0, got {expected_version}"
+            )
+        self._stats["cas_attempts"] += 1
+        try:
+            return self._compare_and_swap(key, expected_version, bytes(data))
+        except CASConflictError:
+            self._stats["cas_conflicts"] += 1
+            raise
+
+    def delete(self, key: str) -> bool:
+        """Drop ``key``; returns whether it existed (version resets to 0)."""
+        self._stats["deletes"] += 1
+        return self._delete(key)
+
+    def keys(self) -> Iterator[str]:
+        """Iterate the keys currently stored."""
+        return self._keys()
+
+    def count(self) -> int:
+        """Number of keys stored - O(1), never an enumeration."""
+        return self._count()
+
+    def close(self) -> None:
+        """Release whatever the backend holds (connections, fds)."""
+
+    def stats(self) -> dict[str, int]:
+        """Operation counters (the ``/metrics`` ``store`` section)."""
+        return dict(self._stats)
+
+    def __contains__(self, key: str) -> bool:
+        return self.get_versioned(key) is not None
+
+    def __len__(self) -> int:
+        return self.count()
+
+    # ------------------------------------------------------------------ #
+    # implementation hooks
+    # ------------------------------------------------------------------ #
+
+    def _put(self, key: str, data: bytes) -> int:
+        raise NotImplementedError
+
+    def _get_versioned(self, key: str) -> tuple[bytes, int] | None:
+        raise NotImplementedError
+
+    def _compare_and_swap(
+        self, key: str, expected_version: int, data: bytes
+    ) -> int:
+        raise NotImplementedError
+
+    def _delete(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def _keys(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def _count(self) -> int:
+        raise NotImplementedError
+
+
+def make_backend(
+    name: str,
+    *,
+    path: str | None = None,
+    url: str | None = None,
+    namespace: str = "repro",
+) -> StateBackend:
+    """Construct a backend by flavour name.
+
+    ``"memory"`` takes no options; ``"file"`` requires ``path`` (the
+    directory); ``"redis"`` requires ``url`` (``redis://host:port/db``)
+    and raises :class:`~repro.errors.BackendUnavailableError` when the
+    ``redis`` package is not installed (install the ``[redis]`` extra).
+    """
+    if name == "memory":
+        if path is not None or url is not None:
+            raise ParameterError(
+                "the memory backend takes neither path nor url"
+            )
+        from repro.backends.memory import MemoryBackend
+
+        return MemoryBackend()
+    if name == "file":
+        if path is None:
+            raise ParameterError("the file backend requires a path")
+        if url is not None:
+            raise ParameterError("the file backend takes no url")
+        from repro.backends.file import FileBackend
+
+        return FileBackend(path)
+    if name == "redis":
+        if url is None:
+            raise ParameterError("the redis backend requires a url")
+        if path is not None:
+            raise ParameterError("the redis backend takes no path")
+        from repro.backends.redis import RedisBackend
+
+        return RedisBackend(url, namespace=namespace)
+    raise ParameterError(
+        f"unknown backend {name!r}; choose from {', '.join(BACKEND_NAMES)}"
+    )

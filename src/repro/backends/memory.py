@@ -1,0 +1,65 @@
+"""In-process state backend: a dict under one lock.
+
+The default backend, and what most tests drive.  State survives
+eviction but not the process; CAS is made atomic across threads by a
+plain mutex (the critical section is two dict operations, so the lock
+is never hot enough to shard).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+from repro.backends.base import StateBackend
+from repro.errors import CASConflictError
+
+__all__ = ["MemoryBackend"]
+
+
+class MemoryBackend(StateBackend):
+    """Versioned blobs in a plain dict (per-process)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._entries: dict[str, tuple[bytes, int]] = {}
+        self._mutex = threading.Lock()
+
+    def _put(self, key: str, data: bytes) -> int:
+        with self._mutex:
+            _, version = self._entries.get(key, (b"", 0))
+            version += 1
+            self._entries[key] = (data, version)
+            return version
+
+    def _get_versioned(self, key: str) -> tuple[bytes, int] | None:
+        with self._mutex:
+            return self._entries.get(key)
+
+    def _compare_and_swap(
+        self, key: str, expected_version: int, data: bytes
+    ) -> int:
+        with self._mutex:
+            _, current = self._entries.get(key, (b"", 0))
+            if current != expected_version:
+                raise CASConflictError(
+                    key,
+                    expected_version=expected_version,
+                    actual_version=current,
+                )
+            version = current + 1
+            self._entries[key] = (data, version)
+            return version
+
+    def _delete(self, key: str) -> bool:
+        with self._mutex:
+            return self._entries.pop(key, None) is not None
+
+    def _keys(self) -> Iterator[str]:
+        # Sorted like every other backend: key order is part of the
+        # contract, so callers never depend on a flavour's storage order.
+        with self._mutex:
+            return iter(sorted(self._entries))
+
+    def _count(self) -> int:
+        return len(self._entries)

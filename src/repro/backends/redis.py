@@ -1,0 +1,173 @@
+"""Redis state backend: shared storage with Lua-scripted atomic CAS.
+
+The scale-out backend: every worker/service process pointing at the
+same Redis sees one version history per key, so pipeline checkpoints
+and tenant spills can cross machine boundaries.  Each key is a Redis
+hash (``<ns>:k:<hex(key)>`` with fields ``v`` - version - and ``d`` -
+payload) plus membership in a registry set ``<ns>:keys`` that serves
+``keys()``/``count()`` (``SCARD`` is O(1)).
+
+Atomicity comes from Lua: Redis runs a script as one uninterruptible
+unit, so the version check and the write inside
+:data:`_CAS_SCRIPT` can never interleave with another client - the
+same pattern ``fastlimit`` uses for its rate-limit buckets
+(``scripts/*.lua``).  ``put``/``delete`` are scripted too, keeping the
+registry set and the hash in step.
+
+The module imports cleanly without the ``redis`` package; constructing
+:class:`RedisBackend` then raises
+:class:`~repro.errors.BackendUnavailableError` pointing at the
+``[redis]`` extra, and the test matrix skips the flavour.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.backends.base import StateBackend
+from repro.errors import BackendError, BackendUnavailableError, CASConflictError
+
+try:  # pragma: no cover - exercised via HAVE_REDIS both ways in CI
+    import redis as _redis
+except ImportError:  # pragma: no cover
+    _redis = None  # type: ignore[assignment]
+
+#: Whether the ``redis`` client library is importable.
+HAVE_REDIS = _redis is not None
+
+__all__ = ["HAVE_REDIS", "RedisBackend"]
+
+#: KEYS[1]=hash KEYS[2]=registry set, ARGV[1]=payload ARGV[2]=member.
+_PUT_SCRIPT = """
+local v = redis.call('HINCRBY', KEYS[1], 'v', 1)
+redis.call('HSET', KEYS[1], 'd', ARGV[1])
+redis.call('SADD', KEYS[2], ARGV[2])
+return v
+"""
+
+#: KEYS as above, ARGV[1]=expected version ARGV[2]=payload ARGV[3]=member.
+#: Returns {1, new_version} on success, {0, actual_version} on conflict.
+_CAS_SCRIPT = """
+local cur = redis.call('HGET', KEYS[1], 'v')
+local curv = 0
+if cur then curv = tonumber(cur) end
+if curv ~= tonumber(ARGV[1]) then return {0, curv} end
+local v = curv + 1
+redis.call('HSET', KEYS[1], 'v', v, 'd', ARGV[2])
+redis.call('SADD', KEYS[2], ARGV[3])
+return {1, v}
+"""
+
+#: KEYS as above, ARGV[1]=member.  Returns whether the key existed.
+_DELETE_SCRIPT = """
+local existed = redis.call('DEL', KEYS[1])
+redis.call('SREM', KEYS[2], ARGV[1])
+return existed
+"""
+
+
+class RedisBackend(StateBackend):
+    """Versioned blobs in Redis under a namespace (see module docs).
+
+    Parameters
+    ----------
+    url:
+        ``redis://host:port/db`` connection URL (ignored when ``client``
+        is given).
+    namespace:
+        Prefix isolating this backend's keys from everything else in
+        the database (and from other namespaced backends).
+    client:
+        An existing ``redis.Redis`` client to reuse (tests, pooling).
+    """
+
+    def __init__(
+        self,
+        url: str | None = None,
+        *,
+        namespace: str = "repro",
+        client=None,
+    ) -> None:
+        if _redis is None:
+            raise BackendUnavailableError(
+                "the redis backend needs the redis package (install the "
+                "[redis] extra: pip install 'repro[redis]')"
+            )
+        super().__init__()
+        if client is None:
+            if url is None:
+                raise BackendError("RedisBackend needs a url or a client")
+            client = _redis.Redis.from_url(url)
+        self._client = client
+        self._namespace = namespace
+        self._registry = f"{namespace}:keys"
+        self._put_script = client.register_script(_PUT_SCRIPT)
+        self._cas_script = client.register_script(_CAS_SCRIPT)
+        self._delete_script = client.register_script(_DELETE_SCRIPT)
+
+    def _hash_key(self, key: str) -> str:
+        # Hex like the file backend: any key string round-trips and the
+        # namespace separator can never be spoofed by a key.
+        return f"{self._namespace}:k:{key.encode('utf-8').hex()}"
+
+    def ping(self) -> bool:
+        """Round-trip to the server (connection check for tests/CLI)."""
+        return bool(self._client.ping())
+
+    # ------------------------------------------------------------------ #
+    # StateBackend hooks
+    # ------------------------------------------------------------------ #
+
+    def _put(self, key: str, data: bytes) -> int:
+        return int(
+            self._put_script(
+                keys=[self._hash_key(key), self._registry],
+                args=[data, key.encode("utf-8")],
+            )
+        )
+
+    def _get_versioned(self, key: str) -> tuple[bytes, int] | None:
+        data, version = self._client.hmget(self._hash_key(key), "d", "v")
+        if data is None or version is None:
+            return None
+        return bytes(data), int(version)
+
+    def _compare_and_swap(
+        self, key: str, expected_version: int, data: bytes
+    ) -> int:
+        ok, version = self._cas_script(
+            keys=[self._hash_key(key), self._registry],
+            args=[expected_version, data, key.encode("utf-8")],
+        )
+        if not int(ok):
+            raise CASConflictError(
+                key,
+                expected_version=expected_version,
+                actual_version=int(version),
+            )
+        return int(version)
+
+    def _delete(self, key: str) -> bool:
+        return bool(
+            int(
+                self._delete_script(
+                    keys=[self._hash_key(key), self._registry],
+                    args=[key.encode("utf-8")],
+                )
+            )
+        )
+
+    def _keys(self) -> Iterator[str]:
+        members = self._client.smembers(self._registry)
+        return iter(sorted(bytes(m).decode("utf-8") for m in members))
+
+    def _count(self) -> int:
+        return int(self._client.scard(self._registry))
+
+    def clear(self) -> None:
+        """Drop every key in this namespace (test teardown helper)."""
+        for key in list(self._keys()):
+            self.delete(key)
+
+    def close(self) -> None:
+        self._client.close()

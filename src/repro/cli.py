@@ -45,6 +45,16 @@ starts from such a checkpoint instead of a fresh summary, ingests the
 input on top (which may be empty - pass ``/dev/null`` to just query),
 and continues with decisions identical to the uninterrupted run.
 
+The ``pipeline`` command can instead checkpoint *during* the run:
+``--backend {memory,file,redis}`` routes ingestion through
+:func:`repro.engine.resumable.run_resumable`, committing chunk-aligned
+checkpoints into a :class:`repro.backends.StateBackend` under atomic
+compare-and-swap (``--backend-path`` for file, ``--backend-url`` for
+redis, ``--checkpoint-key``/``--checkpoint-every`` to tune).  Kill the
+process and rerun the same command on the same input: it resumes from
+the last committed checkpoint and finishes fingerprint-identical to an
+uninterrupted run.
+
 ``--output json`` emits one JSON object per result line so downstream
 tooling does not have to parse the bespoke text formats.
 
@@ -69,7 +79,9 @@ from repro.api import (
     PipelineSpec,
     build,
 )
+from repro.backends import BACKEND_NAMES
 from repro.core.base import DEFAULT_BATCH_SIZE
+from repro.engine.resumable import DEFAULT_CHECKPOINT_EVERY
 from repro.errors import CheckpointError, ReproError
 from repro.persist import dump_summary, load_summary
 from repro.streams.point import StreamPoint
@@ -222,6 +234,32 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of migrating backlogged shards to idle workers "
         "(state-equivalent; only wall-clock throughput differs)",
     )
+    pipeline.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default=None,
+        help="checkpoint the run into this state backend under atomic "
+        "CAS (chunk-aligned, crash-safe): rerunning the same command "
+        "on the same input resumes from the last committed checkpoint "
+        "(default: no mid-run checkpoints)",
+    )
+    pipeline.add_argument(
+        "--backend-path", default=None,
+        help="directory of the file backend (with --backend file)",
+    )
+    pipeline.add_argument(
+        "--backend-url", default=None,
+        help="redis URL of the redis backend (with --backend redis; "
+        "needs the redis extra: pip install 'repro[redis]')",
+    )
+    pipeline.add_argument(
+        "--checkpoint-key", default="cli-pipeline",
+        help="backend key the run checkpoints under; one key per job "
+        "(default cli-pipeline)",
+    )
+    pipeline.add_argument(
+        "--checkpoint-every", type=int, default=DEFAULT_CHECKPOINT_EVERY,
+        help="chunks between checkpoint commits "
+        f"(default {DEFAULT_CHECKPOINT_EVERY})",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -276,13 +314,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict tenants idle for this many seconds (default: never)",
     )
     serve.add_argument(
-        "--store", choices=["memory", "file"], default="memory",
+        "--store", choices=["memory", "file", "redis"], default="memory",
         help="where evicted tenants' checkpoint envelopes go "
-        "(default memory; 'file' survives restarts)",
+        "(default memory; 'file' survives restarts, 'redis' is shared "
+        "across service replicas)",
     )
     serve.add_argument(
         "--store-path", default=None,
         help="directory of the file envelope store (with --store file)",
+    )
+    serve.add_argument(
+        "--store-url", default=None,
+        help="redis URL of the envelope store (with --store redis; "
+        "needs the redis extra: pip install 'repro[redis]')",
     )
     serve.add_argument(
         "--stream-interval", type=float, default=1.0,
@@ -436,6 +480,7 @@ def _service_spec_for(args):
         ttl_seconds=args.ttl,
         store=args.store,
         store_path=args.store_path,
+        store_url=args.store_url,
         stream_interval=args.stream_interval,
     )
 
@@ -493,6 +538,50 @@ def _run_count(args, points: Iterator[Sequence[float]], out: TextIO) -> None:
         out.write(f"{estimate:.1f}\n")
 
 
+def _resumable_pipeline_for(args, points: Iterator[Sequence[float]]):
+    """Run the pipeline through a CAS-checkpointed state backend.
+
+    The ``--backend`` twin of :func:`_summary_for`: the run commits
+    chunk-aligned checkpoints under ``--checkpoint-key``, so a killed
+    run rerun on the same input resumes from the last committed chunk
+    boundary and finishes fingerprint-identical.
+    """
+    from repro.backends import make_backend
+    from repro.engine.resumable import run_resumable
+
+    if args.resume is not None:
+        raise ReproError(
+            "--resume and --backend are both resume mechanisms; pass "
+            "one (the backend already holds the run's checkpoints)"
+        )
+    first = next(points, None)
+    if first is None:
+        raise ReproError("input contains no points")
+    sampler_seed, _ = _derived_rngs(args)
+    spec = _spec_for(args, dim=len(first), seed=sampler_seed)
+    backend = make_backend(
+        args.backend, path=args.backend_path, url=args.backend_url
+    )
+    try:
+        pipeline = run_resumable(
+            spec,
+            itertools.chain([first], points),
+            backend,
+            args.checkpoint_key,
+            checkpoint_every=args.checkpoint_every,
+        )
+        if args.save_state is not None:
+            try:
+                dump_summary(pipeline, args.save_state)
+            except OSError as error:
+                raise ReproError(
+                    f"cannot write checkpoint {args.save_state}: {error}"
+                ) from error
+    finally:
+        backend.close()
+    return pipeline
+
+
 def _run_pipeline(
     args, points: Iterator[Sequence[float]], out: TextIO
 ) -> None:
@@ -504,7 +593,10 @@ def _run_pipeline(
     for a fixed seed whichever executor ran the shards.
     """
     _, query_rng = _derived_rngs(args)
-    pipeline = _summary_for(args, points, "batch-pipeline")
+    if args.backend is not None:
+        pipeline = _resumable_pipeline_for(args, points)
+    else:
+        pipeline = _summary_for(args, points, "batch-pipeline")
     try:
         merged = pipeline.merge()
         estimate = merged.estimate_f0()

@@ -115,6 +115,11 @@ whole pipeline checkpoints mid-stream via ``to_state``/``from_state``
 (resumed runs are fingerprint-identical when the interruption falls on
 a chunk boundary - checkpoint between ``submit``/``extend`` calls; a
 parallel pipeline synchronises its workers first).
+:func:`repro.engine.resumable.run_resumable` automates this against a
+pluggable :class:`repro.backends.StateBackend`: chunk-aligned
+checkpoints committed under atomic compare-and-swap, so a killed run
+resumes fingerprint-identical and two racing runs can never interleave
+a torn checkpoint (``tests/test_resumable.py``).
 """
 
 from repro.core.base import DEFAULT_BATCH_SIZE, StreamSampler
@@ -137,6 +142,7 @@ from repro.engine.executors import (
     make_executor,
 )
 from repro.engine.pipeline import BatchPipeline
+from repro.engine.resumable import run_resumable
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
@@ -156,4 +162,5 @@ __all__ = [
     "ThreadShardExecutor",
     "ProcessShardExecutor",
     "make_executor",
+    "run_resumable",
 ]

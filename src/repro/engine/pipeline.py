@@ -550,3 +550,51 @@ class BatchPipeline:
         pipeline._dirty = False
         pipeline._shipped = {}
         return pipeline
+
+    # ------------------------------------------------------------------ #
+    # backend checkpoints (crash-safe resume, see repro.engine.resumable)
+    # ------------------------------------------------------------------ #
+
+    def checkpoint_to(
+        self, backend: Any, key: str, *, cas_version: int | None = None
+    ) -> int:
+        """Checkpoint this pipeline into a state backend; returns the version.
+
+        Synchronises first (via :meth:`to_state`), so the committed
+        envelope is chunk-aligned whichever executor ran the shards.
+        With ``cas_version`` the commit is an atomic
+        :meth:`~repro.backends.StateBackend.compare_and_swap`: a
+        concurrent checkpointer of the same key makes this raise
+        :class:`~repro.errors.CASConflictError` with **nothing
+        applied** - two racing writers can never interleave a torn
+        merge of shard states, one simply loses whole.
+        """
+        from repro.persist import store_summary
+
+        return store_summary(backend, key, self, cas_version=cas_version)
+
+    @classmethod
+    def resume_from(
+        cls, backend: Any, key: str
+    ) -> tuple["BatchPipeline | None", int]:
+        """(pipeline, version) from a backend checkpoint, or ``(None, 0)``.
+
+        The version is what the next :meth:`checkpoint_to` should pass
+        as ``cas_version`` so the resumed run keeps exclusive ownership
+        of the key.
+        """
+        from repro.errors import CheckpointError
+        from repro.persist import loads_summary
+
+        found = backend.get_versioned(key)
+        if found is None:
+            return None, 0
+        data, version = found
+        pipeline = loads_summary(data)
+        if not isinstance(pipeline, cls):
+            raise CheckpointError(
+                f"backend key {key!r} holds a "
+                f"{getattr(type(pipeline), 'summary_key', '?')!r} "
+                "checkpoint, not a batch-pipeline"
+            )
+        return pipeline, version

@@ -59,3 +59,37 @@ class CheckpointError(ReproError, ValueError):
     :class:`~repro.baselines.minrank.MinRankL0Sampler` with a custom
     ``key`` callable).
     """
+
+
+class BackendError(ReproError, RuntimeError):
+    """A state backend operation failed (I/O, protocol, connectivity)."""
+
+
+class BackendUnavailableError(BackendError):
+    """The requested backend cannot run in this environment.
+
+    Raised when constructing a backend whose driver is not importable
+    (e.g. :class:`repro.backends.RedisBackend` without the ``redis``
+    package - install the ``[redis]`` extra).
+    """
+
+
+class CASConflictError(BackendError):
+    """A compare-and-swap lost the race: the key's version moved.
+
+    Carries the version the writer expected and the version the backend
+    actually held, so the caller can re-read, rebase its update on the
+    winner's state, and retry - the losing write is never applied, even
+    partially.
+    """
+
+    def __init__(
+        self, key: str, *, expected_version: int, actual_version: int
+    ) -> None:
+        super().__init__(
+            f"compare_and_swap on {key!r} expected version "
+            f"{expected_version}, backend holds {actual_version}"
+        )
+        self.key = key
+        self.expected_version = expected_version
+        self.actual_version = actual_version

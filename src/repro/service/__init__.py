@@ -51,6 +51,7 @@ from repro.service.app import SummaryService, create_app
 from repro.service.config import STORE_NAMES, ServiceSpec
 from repro.service.metrics import ServiceMetrics
 from repro.service.stores import (
+    BackendEnvelopeStore,
     EnvelopeStore,
     FileEnvelopeStore,
     MemoryEnvelopeStore,
@@ -63,6 +64,7 @@ __all__ = [
     "ServiceMetrics",
     "SummaryService",
     "TenantStore",
+    "BackendEnvelopeStore",
     "EnvelopeStore",
     "FileEnvelopeStore",
     "MemoryEnvelopeStore",

@@ -42,6 +42,7 @@ from typing import Any
 from urllib.parse import parse_qsl
 
 from repro.errors import (
+    BackendError,
     EmptySampleError,
     LevelOverflowError,
     ParameterError,
@@ -112,6 +113,11 @@ class SummaryService:
             await _send_json(send, status, {"error": str(error)})
         except (EmptySampleError, LevelOverflowError) as error:
             status = 409
+            await _send_json(send, status, {"error": str(error)})
+        except BackendError as error:
+            # The envelope store's backing service failed (e.g. Redis
+            # connectivity): the tenant is fine, the storage is not.
+            status = 503
             await _send_json(send, status, {"error": str(error)})
         except ReproError as error:
             status = 400
@@ -199,14 +205,11 @@ class SummaryService:
             raise _HttpError(
                 400, 'ingest body must be {"points": [[...], ...]}'
             )
-        try:
-            points = [
-                tuple(float(x) for x in point)
-                for point in payload["points"]
-            ]
-        except (TypeError, ValueError) as error:
-            raise _HttpError(400, f"malformed point: {error}")
-        count = await self.tenants.ingest(tenant, points)
+        # Coercion and validation happen inside TenantStore.ingest
+        # (all-or-nothing over the whole batch, with the offending
+        # position in the error); a rejected batch is a 400 with the
+        # tenant's state untouched.
+        count = await self.tenants.ingest(tenant, payload["points"])
         self.metrics.observe_ingest(count)
         await _send_json(
             send,
@@ -239,8 +242,15 @@ class SummaryService:
         return 200
 
     async def _metrics(self, scope, receive, send) -> int:
+        # Scrape-path discipline: counters() serves the spill population
+        # from the store's O(1) count and store_stats() is a dict copy -
+        # no enumeration of the envelope store per scrape.
         await _send_json(
-            send, 200, self.metrics.snapshot(self.tenants.counters())
+            send,
+            200,
+            self.metrics.snapshot(
+                self.tenants.counters(), self.tenants.store_stats()
+            ),
         )
         return 200
 

@@ -24,15 +24,18 @@ from dataclasses import dataclass
 from typing import Literal
 
 from repro.api.specs import SummarySpec
+from repro.backends import make_backend
 from repro.errors import ParameterError
 from repro.service.stores import (
+    BackendEnvelopeStore,
     EnvelopeStore,
     FileEnvelopeStore,
     MemoryEnvelopeStore,
 )
 
-#: Envelope-store choices ``ServiceSpec.store`` accepts.
-STORE_NAMES = ("memory", "file")
+#: Envelope-store choices ``ServiceSpec.store`` accepts (one per
+#: :data:`repro.backends.BACKEND_NAMES` flavour).
+STORE_NAMES = ("memory", "file", "redis")
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -61,11 +64,16 @@ class ServiceSpec:
         mean fewer false lock conflicts between distinct tenants; one
         shard serialises the whole service.
     store:
-        Envelope store flavour: ``"memory"`` (default) or ``"file"``
+        Envelope store flavour - one state backend per choice
+        (:mod:`repro.backends`): ``"memory"`` (default), ``"file"``
         (``store_path`` names the directory; evicted tenants then
-        survive restarts).
+        survive restarts) or ``"redis"`` (``store_url`` names the
+        server; evicted tenants survive restarts *and* are visible to
+        other machines; needs the ``[redis]`` extra).
     store_path:
         Directory of the file store (required iff ``store="file"``).
+    store_url:
+        ``redis://host:port/db`` URL (required iff ``store="redis"``).
     stream_interval:
         Default seconds between SSE events on ``GET /v1/{tenant}/stream``
         (overridable per request with ``?interval=``).
@@ -76,8 +84,9 @@ class ServiceSpec:
     capacity: int = 1024
     ttl_seconds: float | None = None
     lock_shards: int = 64
-    store: Literal["memory", "file"] = "memory"
+    store: Literal["memory", "file", "redis"] = "memory"
     store_path: str | None = None
+    store_url: str | None = None
     stream_interval: float = 1.0
 
     def __post_init__(self) -> None:
@@ -117,14 +126,31 @@ class ServiceSpec:
                 "store_path is required for store='file' and meaningless "
                 "otherwise"
             )
+        if (self.store == "redis") != (self.store_url is not None):
+            raise ParameterError(
+                "store_url is required for store='redis' and meaningless "
+                "otherwise"
+            )
         if self.stream_interval <= 0:
             raise ParameterError(
                 f"stream_interval must be positive, got {self.stream_interval}"
             )
 
     def build_store(self) -> EnvelopeStore:
-        """The envelope store this spec describes."""
+        """The envelope store this spec describes.
+
+        Built as the matching state backend behind the
+        :class:`~repro.service.stores.BackendEnvelopeStore` adapter.
+        ``store="redis"`` raises
+        :class:`~repro.errors.BackendUnavailableError` here - at build
+        time, not at spec validation - when the ``redis`` package is
+        not installed.
+        """
+        if self.store == "memory":
+            return MemoryEnvelopeStore()
         if self.store == "file":
             assert self.store_path is not None
             return FileEnvelopeStore(self.store_path)
-        return MemoryEnvelopeStore()
+        return BackendEnvelopeStore(
+            make_backend(self.store, path=self.store_path, url=self.store_url)
+        )

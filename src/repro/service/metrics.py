@@ -112,11 +112,21 @@ class ServiceMetrics:
         )
         return sum(n for _, n in self._recent) / window
 
-    def snapshot(self, tenants: dict[str, Any] | None = None) -> dict[str, Any]:
-        """The ``/metrics`` payload (plain JSON-compatible dict)."""
+    def snapshot(
+        self,
+        tenants: dict[str, Any] | None = None,
+        store: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """The ``/metrics`` payload (plain JSON-compatible dict).
+
+        ``store`` carries the envelope store's backend operation
+        counters (puts / gets / deletes / CAS attempts and conflicts -
+        see :meth:`repro.backends.StateBackend.stats`).
+        """
         return {
             "uptime_seconds": max(self._clock() - self._started, 0.0),
             "tenants": dict(tenants or {}),
+            "store": dict(store or {}),
             "ingest": {
                 "requests": self._ingests,
                 "points_total": self._points_total,

@@ -1,23 +1,28 @@
-"""Pluggable envelope stores: where evicted tenants' checkpoints live.
+"""Envelope stores: thin adapters over :mod:`repro.backends`.
 
 The serving layer (:mod:`repro.service.tenants`) keeps hot tenants as
 live summaries in memory and spills cold ones as checkpoint-envelope
 bytes (:func:`repro.persist.dumps_summary`).  An :class:`EnvelopeStore`
-is the spill target: a tiny blob interface - ``put`` / ``get`` /
-``delete`` / ``keys`` - deliberately shaped so a database or object
-store can slot in behind the same four methods (the ROADMAP's
-``StateBackend`` direction).
+is the spill target.  Since the backend layer landed, the store classes
+are adapters: every operation delegates to a
+:class:`~repro.backends.StateBackend`, which supplies the durability
+discipline (fsync + unique-temp atomic rename for files - the spill
+path can never leave a torn envelope), O(1) :meth:`EnvelopeStore.count`
+for the ``/metrics`` scrape, and the operation counters ``/metrics``
+reports.  The historical names remain the public surface:
 
-Two implementations ship with the library:
+* :class:`MemoryEnvelopeStore` - :class:`~repro.backends.MemoryBackend`
+  behind the adapter; envelopes survive eviction but not the process.
+* :class:`FileEnvelopeStore` - :class:`~repro.backends.FileBackend`
+  under a directory; envelopes survive restarts (legacy pre-backend
+  ``<hex>.json`` spill directories remain readable).
 
-* :class:`MemoryEnvelopeStore` - a dict; envelopes survive eviction but
-  not the process.  The default, and what the tests drive.
-* :class:`FileEnvelopeStore` - one file per tenant under a directory;
-  envelopes survive restarts.  Tenant names are encoded to safe
-  filenames (hex of the UTF-8 bytes), so any tenant string round-trips.
+Any backend - including :class:`~repro.backends.RedisBackend` for
+multi-machine spill - slots in through :class:`BackendEnvelopeStore`
+(``ServiceSpec.store="redis"`` builds exactly that).
 
 Store methods are synchronous: the async tenant store calls them while
-holding the tenant's lock, and both built-ins are fast enough that
+holding the tenant's lock, and the built-ins are fast enough that
 yielding the event loop around them buys nothing.  A store backed by a
 network service should do its own internal batching/caching rather than
 block the loop for long.
@@ -25,10 +30,12 @@ block the loop for long.
 
 from __future__ import annotations
 
-import os
 from typing import Iterator
 
+from repro.backends import FileBackend, MemoryBackend, StateBackend
+
 __all__ = [
+    "BackendEnvelopeStore",
     "EnvelopeStore",
     "FileEnvelopeStore",
     "MemoryEnvelopeStore",
@@ -54,81 +61,88 @@ class EnvelopeStore:
         """Iterate the tenants that currently have a blob stored."""
         raise NotImplementedError
 
+    def count(self) -> int:
+        """Number of stored blobs.
+
+        Backend-based stores answer in O(1); the default counts
+        ``keys()`` so bespoke subclasses stay correct without opting in.
+        """
+        return sum(1 for _ in self.keys())
+
+    def stats(self) -> dict[str, int]:
+        """Operation counters for ``/metrics`` (empty when untracked)."""
+        return {}
+
+    def close(self) -> None:
+        """Release whatever the store holds (connections, fds)."""
+
     def __contains__(self, tenant: str) -> bool:
         return self.get(tenant) is not None
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.keys())
+        return self.count()
 
 
-class MemoryEnvelopeStore(EnvelopeStore):
-    """Envelopes in a plain dict (per-process; the default)."""
+class BackendEnvelopeStore(EnvelopeStore):
+    """Adapter: any :class:`~repro.backends.StateBackend` as a spill store.
 
-    def __init__(self) -> None:
-        self._blobs: dict[str, bytes] = {}
-
-    def put(self, tenant: str, data: bytes) -> None:
-        self._blobs[tenant] = bytes(data)
-
-    def get(self, tenant: str) -> bytes | None:
-        return self._blobs.get(tenant)
-
-    def delete(self, tenant: str) -> bool:
-        return self._blobs.pop(tenant, None) is not None
-
-    def keys(self) -> Iterator[str]:
-        return iter(list(self._blobs))
-
-
-class FileEnvelopeStore(EnvelopeStore):
-    """One ``<hex(tenant)>.json`` file per tenant under a directory.
-
-    Writes go through a same-directory temp file + ``os.replace`` so a
-    crash mid-eviction leaves either the old envelope or the new one,
-    never a torn file.
+    The tenant store does not CAS (each tenant's spill is serialised by
+    the tenant's lock), so the adapter only exposes the blob half of the
+    backend; versions stay available through :attr:`backend` for callers
+    that coordinate across processes.
     """
 
-    _SUFFIX = ".json"
+    def __init__(self, backend: StateBackend) -> None:
+        self._backend = backend
+
+    @property
+    def backend(self) -> StateBackend:
+        """The underlying state backend."""
+        return self._backend
+
+    def put(self, tenant: str, data: bytes) -> None:
+        self._backend.put(tenant, data)
+
+    def get(self, tenant: str) -> bytes | None:
+        return self._backend.get(tenant)
+
+    def delete(self, tenant: str) -> bool:
+        return self._backend.delete(tenant)
+
+    def keys(self) -> Iterator[str]:
+        return self._backend.keys()
+
+    def count(self) -> int:
+        return self._backend.count()
+
+    def stats(self) -> dict[str, int]:
+        return self._backend.stats()
+
+    def close(self) -> None:
+        self._backend.close()
+
+
+class MemoryEnvelopeStore(BackendEnvelopeStore):
+    """Envelopes in a per-process memory backend (the default)."""
+
+    def __init__(self) -> None:
+        super().__init__(MemoryBackend())
+
+
+class FileEnvelopeStore(BackendEnvelopeStore):
+    """One versioned blob file per tenant under a directory.
+
+    Writes go through the file backend's fsynced same-directory temp
+    file + atomic ``os.replace`` (directory entry fsynced too), so a
+    crash mid-eviction - even a power cut - leaves either the old
+    envelope or the new one, never a torn file; temp names are unique
+    per process and call, so concurrent spillers of one tenant cannot
+    clobber each other, and stale temps are swept on open.
+    """
 
     def __init__(self, directory: str) -> None:
-        self._directory = str(directory)
-        os.makedirs(self._directory, exist_ok=True)
+        super().__init__(FileBackend(directory))
 
     @property
     def directory(self) -> str:
-        return self._directory
-
-    def _path(self, tenant: str) -> str:
-        name = tenant.encode("utf-8").hex() + self._SUFFIX
-        return os.path.join(self._directory, name)
-
-    def put(self, tenant: str, data: bytes) -> None:
-        path = self._path(tenant)
-        tmp = path + ".tmp"
-        with open(tmp, "wb") as handle:
-            handle.write(data)
-        os.replace(tmp, path)
-
-    def get(self, tenant: str) -> bytes | None:
-        try:
-            with open(self._path(tenant), "rb") as handle:
-                return handle.read()
-        except FileNotFoundError:
-            return None
-
-    def delete(self, tenant: str) -> bool:
-        try:
-            os.remove(self._path(tenant))
-        except FileNotFoundError:
-            return False
-        return True
-
-    def keys(self) -> Iterator[str]:
-        for name in sorted(os.listdir(self._directory)):
-            if not name.endswith(self._SUFFIX):
-                continue
-            stem = name[: -len(self._SUFFIX)]
-            try:
-                yield bytes.fromhex(stem).decode("utf-8")
-            except (ValueError, UnicodeDecodeError):
-                continue  # not one of ours
+        return self.backend.directory

@@ -39,6 +39,7 @@ from repro.errors import ParameterError
 from repro.persist import dumps_summary, loads_summary, summary_to_state
 from repro.service.config import ServiceSpec
 from repro.service.stores import EnvelopeStore
+from repro.streams.point import StreamPoint
 
 __all__ = ["TenantStore", "derive_tenant_seed"]
 
@@ -159,11 +160,54 @@ class TenantStore:
     # tenant operations (each serialised under the tenant's lock)
     # ------------------------------------------------------------------ #
 
+    def _coerce_batch(self, points: Iterable[Any]) -> list[Any]:
+        """Validate and coerce a whole ingest batch *before* any mutation.
+
+        Ingest must be all-or-nothing: a batch with a malformed point at
+        position k must leave the tenant's summary exactly as it was,
+        not k points further along - otherwise an HTTP client that
+        retries its 400ed batch replays the k good points into the
+        summary twice, silently breaking the per-tenant serial-replay
+        invariant.  ``process_many`` validates lazily (it raises *at*
+        the bad point, after mutating on the good ones), so the checks
+        it would fail on - float coercion and, for point summaries, the
+        spec's dimension - run here over the full batch first.
+        """
+        expected_dim = getattr(self.spec.spec, "dim", None)
+        coerced: list[Any] = []
+        for position, point in enumerate(points):
+            if isinstance(point, StreamPoint):
+                dim = point.dim
+            else:
+                try:
+                    point = tuple(float(x) for x in point)
+                except (TypeError, ValueError) as error:
+                    raise ParameterError(
+                        f"batch rejected, nothing ingested - point "
+                        f"{position}: {error}"
+                    ) from error
+                dim = len(point)
+            if expected_dim is not None and dim != expected_dim:
+                raise ParameterError(
+                    f"batch rejected, nothing ingested - point "
+                    f"{position} has dimension {dim}, summary expects "
+                    f"{expected_dim}"
+                )
+            coerced.append(point)
+        return coerced
+
     async def ingest(self, tenant: str, points: Iterable[Any]) -> int:
-        """Feed a batch to ``tenant``'s summary; returns points ingested."""
+        """Feed a batch to ``tenant``'s summary; returns points ingested.
+
+        All-or-nothing: the batch is validated and coerced in full
+        (:meth:`_coerce_batch`) before the summary is touched, so a
+        rejected batch leaves the tenant's state unchanged and a client
+        retry cannot double-ingest its valid prefix.
+        """
+        batch = self._coerce_batch(points)
         async with self._lock_for(tenant):
             summary = self._materialize(tenant)
-            count = summary.process_many(points)
+            count = summary.process_many(batch)
         await self.enforce()
         return count
 
@@ -270,8 +314,13 @@ class TenantStore:
 
     @property
     def spilled_count(self) -> int:
-        """Tenants currently parked in the envelope store."""
-        return len(self.store)
+        """Tenants currently parked in the envelope store.
+
+        Served from the store's O(1) :meth:`~EnvelopeStore.count` -
+        this is on the ``/metrics`` scrape path, which must never pay a
+        directory walk (or a network enumeration) per request.
+        """
+        return self.store.count()
 
     def resident_tenants(self) -> list[str]:
         """Resident tenant keys, least recently used first."""
@@ -291,6 +340,10 @@ class TenantStore:
             "restores": self.restores,
             "drops": self.drops,
         }
+
+    def store_stats(self) -> dict[str, int]:
+        """Backend operation counters (the ``/metrics`` ``store`` section)."""
+        return self.store.stats()
 
 
 def validate_tenant_name(tenant: str) -> str:

@@ -1,0 +1,564 @@
+"""State-backend contract and crash-safety suite (``repro.backends``).
+
+Every backend flavour runs the same contract matrix: versioning,
+atomic compare-and-swap (nothing applied on conflict), O(1) count,
+operation counters.  The file backend additionally runs the durability
+gauntlet - fault injection between temp-write and rename, a
+``SIGKILL``\\ ed writer subprocess, cross-process CAS races, torn-read
+hunting, stale-temp sweeping and legacy-layout upgrades - because its
+crash-safety discipline (fsync + unique temp + atomic rename +
+directory fsync + flock'd CAS) is exactly what the ISSUE's spill-path
+bugfix is about.
+
+The redis flavour joins the matrix when ``REPRO_REDIS_URL`` points at
+a reachable server (CI runs one as a service container); without the
+``redis`` package or a server it must *skip cleanly*, never error -
+that graceful degradation is itself asserted below.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import struct
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.backends import (
+    BACKEND_NAMES,
+    HAVE_REDIS,
+    FileBackend,
+    MemoryBackend,
+    RedisBackend,
+    StateBackend,
+    atomic_write_bytes,
+    make_backend,
+)
+from repro.backends.file import _HEADER, _MAGIC
+from repro.errors import (
+    BackendError,
+    BackendUnavailableError,
+    CASConflictError,
+    ParameterError,
+)
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _subprocess_env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _redis_backend(namespace: str) -> RedisBackend:
+    """A namespaced redis backend, or skip (cleanly) when unavailable."""
+    url = os.environ.get("REPRO_REDIS_URL")
+    if not url:
+        pytest.skip("REPRO_REDIS_URL not set; no redis server to test")
+    if not HAVE_REDIS:
+        pytest.skip("redis package not installed (the [redis] extra)")
+    backend = RedisBackend(url, namespace=namespace)
+    try:
+        backend.ping()
+    except Exception:
+        pytest.skip("redis server unreachable")
+    backend.clear()
+    return backend
+
+
+@pytest.fixture(params=list(BACKEND_NAMES))
+def backend(request, tmp_path):
+    """The contract matrix: every flavour faces the same assertions."""
+    if request.param == "memory":
+        yield MemoryBackend()
+        return
+    if request.param == "file":
+        instance = FileBackend(str(tmp_path / "store"))
+        yield instance
+        instance.close()
+        return
+    instance = _redis_backend(f"repro-test:{request.node.name}")
+    yield instance
+    instance.clear()
+    instance.close()
+
+
+class TestContract:
+    """The StateBackend contract, identical across flavours."""
+
+    def test_absent_key(self, backend):
+        assert backend.get("missing") is None
+        assert backend.get_versioned("missing") is None
+        assert "missing" not in backend
+        assert backend.count() == 0
+        assert list(backend.keys()) == []
+
+    def test_put_get_roundtrip_and_versions(self, backend):
+        assert backend.put("k", b"one") == 1
+        assert backend.put("k", b"two") == 2
+        assert backend.get("k") == b"two"
+        assert backend.get_versioned("k") == (b"two", 2)
+        assert "k" in backend
+        assert len(backend) == 1
+
+    def test_keys_sorted_and_count(self, backend):
+        for name in ("beta", "alpha", "gamma"):
+            backend.put(name, name.encode())
+        assert list(backend.keys()) == ["alpha", "beta", "gamma"]
+        assert backend.count() == 3
+
+    def test_delete_resets_version(self, backend):
+        backend.put("k", b"data")
+        assert backend.delete("k") is True
+        assert backend.delete("k") is False
+        assert backend.get_versioned("k") is None
+        assert backend.count() == 0
+        # A fresh write restarts the version history at 1.
+        assert backend.put("k", b"again") == 1
+
+    def test_binary_payloads_and_odd_keys(self, backend):
+        payload = bytes(range(256)) * 3
+        key = "tenant/key:with spacesé"
+        backend.put(key, payload)
+        assert backend.get(key) == payload
+        assert list(backend.keys()) == [key]
+
+    def test_cas_create_only(self, backend):
+        assert backend.compare_and_swap("k", 0, b"mine") == 1
+        with pytest.raises(CASConflictError) as excinfo:
+            backend.compare_and_swap("k", 0, b"thief")
+        assert excinfo.value.expected_version == 0
+        assert excinfo.value.actual_version == 1
+        assert backend.get("k") == b"mine"  # nothing applied
+
+    def test_cas_chain_and_stale_writer(self, backend):
+        version = backend.compare_and_swap("k", 0, b"v1")
+        version = backend.compare_and_swap("k", version, b"v2")
+        assert version == 2
+        # A writer still holding version 1 must lose, wholly.
+        with pytest.raises(CASConflictError) as excinfo:
+            backend.compare_and_swap("k", 1, b"stale")
+        assert excinfo.value.actual_version == 2
+        assert backend.get_versioned("k") == (b"v2", 2)
+
+    def test_cas_on_absent_key_with_nonzero_expected(self, backend):
+        with pytest.raises(CASConflictError) as excinfo:
+            backend.compare_and_swap("k", 3, b"data")
+        assert excinfo.value.actual_version == 0
+        assert backend.get("k") is None
+
+    def test_cas_negative_expected_rejected(self, backend):
+        with pytest.raises(ParameterError):
+            backend.compare_and_swap("k", -1, b"data")
+
+    def test_stats_counters(self, backend):
+        backend.put("k", b"one")
+        backend.get("k")
+        backend.get_versioned("k")
+        backend.compare_and_swap("k", 1, b"two")
+        with pytest.raises(CASConflictError):
+            backend.compare_and_swap("k", 1, b"stale")
+        backend.delete("k")
+        stats = backend.stats()
+        assert stats["puts"] == 1
+        assert stats["gets"] == 2
+        assert stats["cas_attempts"] == 2
+        assert stats["cas_conflicts"] == 1
+        assert stats["deletes"] == 1
+
+    def test_threaded_cas_hammer_loses_no_update(self, backend):
+        """N threads CAS-retrying on one key: every successful commit
+        got a unique version; the final version counts the successes."""
+        successes = []
+        lock = threading.Lock()
+
+        def writer(worker: int) -> None:
+            for i in range(20):
+                while True:
+                    found = backend.get_versioned("counter")
+                    expected = 0 if found is None else found[1]
+                    try:
+                        version = backend.compare_and_swap(
+                            "counter", expected, f"{worker}:{i}".encode()
+                        )
+                    except CASConflictError:
+                        continue
+                    with lock:
+                        successes.append(version)
+                    break
+
+        threads = [
+            threading.Thread(target=writer, args=(w,)) for w in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(successes) == list(range(1, 81))
+        assert backend.get_versioned("counter")[1] == 80
+
+
+class TestMakeBackend:
+    def test_flavours(self, tmp_path):
+        assert isinstance(make_backend("memory"), MemoryBackend)
+        file_backend = make_backend("file", path=str(tmp_path / "s"))
+        assert isinstance(file_backend, FileBackend)
+        file_backend.close()
+
+    def test_option_validation(self, tmp_path):
+        with pytest.raises(ParameterError):
+            make_backend("memory", path=str(tmp_path))
+        with pytest.raises(ParameterError):
+            make_backend("memory", url="redis://localhost")
+        with pytest.raises(ParameterError):
+            make_backend("file")
+        with pytest.raises(ParameterError):
+            make_backend("file", path=str(tmp_path), url="redis://x")
+        with pytest.raises(ParameterError):
+            make_backend("redis")
+        with pytest.raises(ParameterError):
+            make_backend("redis", url="redis://x", path=str(tmp_path))
+        with pytest.raises(ParameterError):
+            make_backend("sqlite")
+
+    def test_redis_without_package_degrades_gracefully(self):
+        """Without the redis package the flavour must raise the typed
+        unavailability error (pointing at the extra), not ImportError."""
+        if HAVE_REDIS:
+            pytest.skip("redis package installed; the error path is moot")
+        with pytest.raises(BackendUnavailableError, match=r"\[redis\]"):
+            make_backend("redis", url="redis://localhost:6379/0")
+
+
+class TestAtomicWriteBytes:
+    def test_writes_and_leaves_no_temp(self, tmp_path):
+        path = tmp_path / "blob"
+        atomic_write_bytes(str(path), b"payload")
+        assert path.read_bytes() == b"payload"
+        assert [p.name for p in tmp_path.iterdir()] == ["blob"]
+
+    def test_failed_replace_preserves_old_and_cleans_temp(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "blob"
+        atomic_write_bytes(str(path), b"old")
+
+        def exploding_replace(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            atomic_write_bytes(str(path), b"new")
+        monkeypatch.undo()
+        assert path.read_bytes() == b"old"
+        assert [p.name for p in tmp_path.iterdir()] == ["blob"]
+
+    def test_unique_temp_names_per_call(self, tmp_path, monkeypatch):
+        """Two in-flight writes of one path never share a temp file."""
+        seen = []
+        real_replace = os.replace
+
+        def recording_replace(src, dst):
+            seen.append(src)
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", recording_replace)
+        path = str(tmp_path / "blob")
+        atomic_write_bytes(path, b"a")
+        atomic_write_bytes(path, b"b")
+        assert len(set(seen)) == 2
+        assert all(f".tmp.{os.getpid()}." in name for name in seen)
+
+
+class TestFileBackendDurability:
+    """The spill-path bugfix gauntlet (file flavour only)."""
+
+    def test_count_and_keys_never_enumerate_after_init(
+        self, tmp_path, monkeypatch
+    ):
+        """The /metrics scrape path reads count() per request: pin that
+        it is served from the maintained counter, not a directory walk."""
+        backend = FileBackend(str(tmp_path / "store"))
+        backend.put("a", b"1")
+        backend.put("b", b"2")
+
+        def forbidden_listdir(path):
+            raise AssertionError("count()/keys() enumerated the directory")
+
+        monkeypatch.setattr(os, "listdir", forbidden_listdir)
+        assert backend.count() == 2
+        assert list(backend.keys()) == ["a", "b"]
+        backend.delete("a")
+        assert backend.count() == 1
+        backend.close()
+
+    def test_failed_write_leaves_committed_state_intact(
+        self, tmp_path, monkeypatch
+    ):
+        """Fault between temp-write and rename: the put fails, the
+        previous version stays fully readable, no temp debris."""
+        backend = FileBackend(str(tmp_path / "store"))
+        backend.put("k", b"committed")
+        monkeypatch.setattr(
+            os, "replace", lambda src, dst: (_ for _ in ()).throw(
+                OSError("injected crash before rename")
+            )
+        )
+        with pytest.raises(OSError):
+            backend.put("k", b"doomed")
+        monkeypatch.undo()
+        assert backend.get_versioned("k") == (b"committed", 1)
+        names = os.listdir(tmp_path / "store")
+        assert not [n for n in names if ".tmp." in n]
+        # The failed put consumed no version: the next write is v2.
+        assert backend.put("k", b"next") == 2
+        backend.close()
+
+    def test_stale_temp_files_swept_on_init(self, tmp_path):
+        dead = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        dead_pid = int(dead.stdout)
+        store = tmp_path / "store"
+        store.mkdir()
+        key_file = "6b" + ".blob"  # hex("k")
+        (store / key_file).write_bytes(
+            _HEADER.pack(_MAGIC, 1) + b"good"
+        )
+        (store / f"{key_file}.tmp.{dead_pid}.0").write_bytes(b"half a wri")
+        (store / f"{key_file}.tmp.bogus").write_bytes(b"")  # debris
+        backend = FileBackend(str(store))
+        names = os.listdir(store)
+        assert not [n for n in names if ".tmp." in n]
+        assert backend.get_versioned("k") == (b"good", 1)
+        backend.close()
+
+    def test_sweep_spares_a_live_writers_temp(self, tmp_path):
+        """Opening the directory while another process is mid-write
+        must not delete its in-flight temp file."""
+        store = tmp_path / "store"
+        store.mkdir()
+        live = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        name = f"6b.blob.tmp.{os.getpid()}.7"
+        (store / name).write_bytes(b"in flight")
+        other = f"6b.blob.tmp.{int(live.stdout)}.0"
+        (store / other).write_bytes(b"dead")
+        backend = FileBackend(str(store))
+        survivors = [n for n in os.listdir(store) if ".tmp." in n]
+        # Another handle in this (live) process keeps its temp...
+        assert survivors == [name]
+        backend.close()
+
+    def test_corrupt_header_raises_backend_error(self, tmp_path):
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / "6b.blob").write_bytes(b"XX")
+        backend = FileBackend(str(store))
+        with pytest.raises(BackendError, match="corrupt header"):
+            backend.get("k")
+        backend.close()
+
+    def test_legacy_json_layout_read_as_version_one_and_upgraded(
+        self, tmp_path
+    ):
+        """Pre-backend spill directories (bare ``<hex>.json`` payloads)
+        stay readable as version 1 and upgrade on the next write."""
+        store = tmp_path / "store"
+        store.mkdir()
+        key_hex = "tenant-1".encode("utf-8").hex()
+        (store / f"{key_hex}.json").write_bytes(b'{"legacy": true}')
+        backend = FileBackend(str(store))
+        assert backend.count() == 1
+        assert backend.get_versioned("tenant-1") == (b'{"legacy": true}', 1)
+        # CAS against the synthesised version works, and the write
+        # migrates the key to the versioned blob layout.
+        assert backend.compare_and_swap("tenant-1", 1, b"new") == 2
+        assert not (store / f"{key_hex}.json").exists()
+        assert (store / f"{key_hex}.blob").exists()
+        backend.close()
+
+    def test_reopen_preserves_versions(self, tmp_path):
+        store = str(tmp_path / "store")
+        first = FileBackend(store)
+        first.put("k", b"one")
+        first.put("k", b"two")
+        first.close()
+        second = FileBackend(store)
+        assert second.get_versioned("k") == (b"two", 2)
+        assert second.count() == 1
+        # CAS history continues across handles.
+        assert second.compare_and_swap("k", 2, b"three") == 3
+        second.close()
+
+    def test_sigkilled_writer_never_leaves_torn_state(self, tmp_path):
+        """kill -9 a subprocess mid-write-loop: whatever survives on
+        disk must be one complete self-consistent payload (checksum
+        embedded in the data), and a fresh handle sweeps the debris."""
+        store = tmp_path / "store"
+        script = (
+            "import hashlib, sys\n"
+            "from repro.backends import FileBackend\n"
+            "backend = FileBackend(sys.argv[1])\n"
+            "print('ready', flush=True)\n"
+            "i = 0\n"
+            "while True:\n"
+            "    body = (str(i) * 200).encode()\n"
+            "    digest = hashlib.sha256(body).hexdigest().encode()\n"
+            "    backend.put('victim', digest + b':' + body)\n"
+            "    i += 1\n"
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-c", script, str(store)],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=_subprocess_env(),
+        )
+        try:
+            assert process.stdout.readline().strip() == "ready"
+            time.sleep(0.2)  # let some writes land
+        finally:
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+        backend = FileBackend(str(store))
+        found = backend.get_versioned("victim")
+        assert found is not None, "no write committed before the kill"
+        data, version = found
+        digest, body = data.split(b":", 1)
+        assert hashlib.sha256(body).hexdigest().encode() == digest
+        assert version >= 1
+        assert not [n for n in os.listdir(store) if ".tmp." in n]
+        backend.close()
+
+    def test_cross_process_create_race_elects_one_owner(self, tmp_path):
+        """Two processes CAS-create the same key: exactly one wins."""
+        store = str(tmp_path / "store")
+        script = (
+            "import sys\n"
+            "from repro.backends import FileBackend\n"
+            "from repro.errors import CASConflictError\n"
+            "backend = FileBackend(sys.argv[1])\n"
+            "try:\n"
+            "    backend.compare_and_swap('owner', 0, sys.argv[2].encode())\n"
+            "    print('won')\n"
+            "except CASConflictError:\n"
+            "    print('lost')\n"
+        )
+        processes = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, store, name],
+                stdout=subprocess.PIPE,
+                text=True,
+                env=_subprocess_env(),
+            )
+            for name in ("first", "second")
+        ]
+        outcomes = sorted(
+            process.communicate(timeout=60)[0].strip()
+            for process in processes
+        )
+        assert all(process.returncode == 0 for process in processes)
+        assert outcomes == ["lost", "won"]
+        backend = FileBackend(store)
+        data, version = backend.get_versioned("owner")
+        assert version == 1
+        assert data in (b"first", b"second")
+        backend.close()
+
+    def test_cross_process_cas_hammer_loses_no_update(self, tmp_path):
+        """Two processes CAS-retry 25 commits each on one key: the
+        final version is exactly 50 - no update lost, none torn."""
+        store = str(tmp_path / "store")
+        script = (
+            "import sys\n"
+            "from repro.backends import FileBackend\n"
+            "from repro.errors import CASConflictError\n"
+            "backend = FileBackend(sys.argv[1])\n"
+            "done = 0\n"
+            "while done < 25:\n"
+            "    found = backend.get_versioned('counter')\n"
+            "    expected = 0 if found is None else found[1]\n"
+            "    payload = (sys.argv[2] * 50).encode()\n"
+            "    try:\n"
+            "        backend.compare_and_swap('counter', expected, payload)\n"
+            "    except CASConflictError:\n"
+            "        continue\n"
+            "    done += 1\n"
+            "print('done')\n"
+        )
+        processes = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, store, marker],
+                stdout=subprocess.PIPE,
+                text=True,
+                env=_subprocess_env(),
+            )
+            for marker in ("a", "b")
+        ]
+        for process in processes:
+            out, _ = process.communicate(timeout=120)
+            assert process.returncode == 0
+            assert out.strip() == "done"
+        backend = FileBackend(store)
+        data, version = backend.get_versioned("counter")
+        assert version == 50
+        assert data in (b"a" * 50, b"b" * 50)  # complete, never mixed
+        backend.close()
+
+    def test_reader_never_sees_torn_payload(self, tmp_path):
+        """A reader polling during a write storm sees only complete
+        payloads: uniformly 'A' bytes or uniformly 'B' bytes."""
+        backend = FileBackend(str(tmp_path / "store"))
+        payloads = (b"A" * 8192, b"B" * 8192)
+        backend.put("hot", payloads[0])
+        stop = threading.Event()
+        torn: list[bytes] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                data = backend.get("hot")
+                if data not in payloads:
+                    torn.append(data)
+                    return
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        for i in range(200):
+            backend.put("hot", payloads[i % 2])
+        stop.set()
+        thread.join(timeout=30)
+        assert torn == []
+        assert backend.get_versioned("hot")[1] == 201
+        backend.close()
+
+    def test_blob_header_is_the_version(self, tmp_path):
+        """Version and payload travel in one file: what the header
+        says is what get_versioned reports (no sidecar to diverge)."""
+        backend = FileBackend(str(tmp_path / "store"))
+        backend.put("k", b"data")
+        backend.put("k", b"data2")
+        raw = (tmp_path / "store" / ("6b" + ".blob")).read_bytes()
+        magic, version = struct.unpack_from(">4sQ", raw)
+        assert magic == _MAGIC
+        assert version == 2
+        assert raw[_HEADER.size:] == b"data2"
+        backend.close()
+
+
+class TestBackendIsStateBackend:
+    def test_every_flavour_subclasses_the_contract(self, backend):
+        assert isinstance(backend, StateBackend)

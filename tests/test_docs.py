@@ -139,6 +139,43 @@ class TestDocsMatchCode:
         for name in ("ServiceSpec", "create_app"):
             assert hasattr(service, name)
 
+    def test_architecture_documents_state_backends(self):
+        # The state-backends section must exist, document the CAS
+        # contract and the crash-safety invariant, name every real
+        # backend flavour, and point at the suites that enforce it.
+        text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+            encoding="utf-8"
+        )
+        assert "## State backends" in text
+        assert "compare_and_swap" in text
+        assert "CASConflictError" in text
+        # The crash-safety invariant (tolerating markdown line wraps).
+        assert "complete old value" in text and "torn mix" in text
+        for pointer in ("tests/test_backends.py", "tests/test_resumable.py"):
+            assert pointer in text
+            assert (REPO_ROOT / pointer).is_file(), pointer
+        from repro.backends import BACKEND_NAMES, StateBackend
+
+        for flavour in BACKEND_NAMES:
+            assert f"`{flavour}`" in text, (
+                f"backend flavour {flavour!r} missing from the docs"
+            )
+        # The documented surface is the real one.
+        for method in ("put", "get_versioned", "compare_and_swap", "count"):
+            assert hasattr(StateBackend, method)
+
+    def test_readme_documents_state_backends(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "StateBackend" in readme
+        assert "repro.backends" in readme
+        assert "--backend" in readme
+        assert "repro[redis]" in readme
+        import repro.backends as backends
+
+        for name in ("StateBackend", "make_backend", "BACKEND_NAMES"):
+            assert hasattr(backends, name)
+        from repro.engine import run_resumable  # noqa: F401  (README names it)
+
     def test_readme_documents_executor_options(self):
         from repro.engine.executors import EXECUTOR_NAMES
 

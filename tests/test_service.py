@@ -691,3 +691,202 @@ class TestServiceMetrics:
         assert route["latency_ms"]["le_100ms"] == 1
         assert snapshot["tenants"] == {"resident": 1}
         assert snapshot["ingest"]["points_total"] == 200
+
+
+# --------------------------------------------------------------------- #
+# state-backend satellites: all-or-nothing ingest, O(1) spill count,
+# backend-aware spec, /metrics store section
+# --------------------------------------------------------------------- #
+
+
+class TestAllOrNothingIngest:
+    """The ingest-atomicity bugfix: a poisoned batch mutates nothing.
+
+    Before the fix, ``process_many`` raised *at* the bad point, leaving
+    the valid prefix ingested; a client retrying its corrected batch
+    then double-counted that prefix, breaking the per-tenant
+    serial-replay invariant under the most ordinary failure mode there
+    is (a retry after a 400).
+    """
+
+    POISONS = [
+        [[1.0], [2.0], ["x"]],          # unparseable coordinate
+        [[1.0], None, [2.0]],           # not a point at all
+        [[1.0], [2.0, 3.0], [4.0]],     # wrong dimension mid-batch
+        [[1.0], [], [2.0]],             # empty point
+    ]
+
+    @pytest.mark.parametrize("poison", POISONS)
+    def test_tenant_store_state_unchanged(self, poison):
+        async def scenario():
+            store = TenantStore(service_spec(capacity=8))
+            await store.ingest("alice", [[0.0], [9.0]])
+            before = await store.fingerprint("alice")
+            with pytest.raises(ParameterError, match="nothing ingested"):
+                await store.ingest("alice", poison)
+            assert await store.fingerprint("alice") == before
+
+        run(scenario())
+
+    def test_retry_after_rejection_equals_serial_replay(self):
+        """The scenario the bug corrupted: 400ed batch, client fixes the
+        bad point, retries the WHOLE batch.  The tenant must equal a
+        serial replay of good-batch + corrected-batch only."""
+
+        async def scenario():
+            store = TenantStore(service_spec(capacity=8))
+            good = [[0.0], [9.0], [3.0]]
+            poisoned = [[1.0], [2.0], ["x"]]
+            corrected = [[1.0], [2.0], [7.0]]
+            await store.ingest("alice", good)
+            with pytest.raises(ParameterError):
+                await store.ingest("alice", poisoned)
+            await store.ingest("alice", corrected)
+            oracle = store.fresh_summary("alice")
+            oracle.process_many(good)
+            oracle.process_many(corrected)
+            assert await store.fingerprint("alice") == state_fingerprint(
+                oracle
+            )
+
+        run(scenario())
+
+    def test_http_poisoned_batch_is_400_and_ingests_nothing(self):
+        async def scenario():
+            app = create_app(service_spec(capacity=8))
+            client = ASGITestClient(app)
+            good = [[0.0], [9.0]]
+            await client.post_json("/v1/alice/ingest", {"points": good})
+            before = await app.tenants.fingerprint("alice")
+            resp = await client.post_json(
+                "/v1/alice/ingest", {"points": [[1.0], ["x"], [2.0]]}
+            )
+            assert resp.status == 400
+            assert "nothing ingested" in resp.json()["error"]
+            assert await app.tenants.fingerprint("alice") == before
+            # Nothing from the rejected batch counts as ingested.
+            metrics = (await client.get("/metrics")).json()
+            assert metrics["ingest"]["points_total"] == 2
+
+        run(scenario())
+
+    def test_stream_points_pass_through_untouched(self):
+        """Pre-tagged StreamPoints keep their index/time tags (the
+        coercion layer must not re-wrap them)."""
+        from repro.streams.point import StreamPoint
+
+        async def scenario():
+            store = TenantStore(service_spec(capacity=8))
+            tagged = [StreamPoint((5.0,), 3, time=1.5)]
+            await store.ingest("alice", tagged)
+            with pytest.raises(ParameterError):
+                await store.ingest(
+                    "alice", [StreamPoint((1.0, 2.0), 4)]  # wrong dim
+                )
+
+        run(scenario())
+
+
+class TestSpilledCountIsO1:
+    def test_scrape_never_walks_the_spill_directory(self, tmp_path, monkeypatch):
+        """The spilled_count bugfix pinned: /metrics used to listdir the
+        spill directory per scrape.  After construction, counters() must
+        work with directory enumeration forbidden entirely."""
+        import os as _os
+
+        async def scenario():
+            store = TenantStore(
+                service_spec(
+                    capacity=1,
+                    store="file",
+                    store_path=str(tmp_path / "spill"),
+                )
+            )
+            for tenant in ("a", "b", "c"):
+                await store.ingest(tenant, [[1.0]])
+            assert store.spilled_count == 2  # a and b were evicted
+
+            def forbidden(path):
+                raise AssertionError(
+                    "/metrics scrape enumerated the spill directory"
+                )
+
+            monkeypatch.setattr(_os, "listdir", forbidden)
+            assert store.spilled_count == 2
+            counters = store.counters()
+            assert counters["spilled"] == 2
+            stats = store.store_stats()
+            assert stats["puts"] == 2  # the two evictions
+
+        run(scenario())
+
+
+class TestBackendAwareServiceSpec:
+    def test_store_names_include_redis(self):
+        from repro.service import STORE_NAMES
+
+        assert STORE_NAMES == ("memory", "file", "redis")
+
+    def test_redis_needs_url_and_url_needs_redis(self):
+        with pytest.raises(ParameterError):
+            service_spec(store="redis")
+        with pytest.raises(ParameterError):
+            service_spec(store="memory", store_url="redis://localhost")
+        with pytest.raises(ParameterError):
+            service_spec(
+                store="file",
+                store_path="/tmp/x",
+                store_url="redis://localhost",
+            )
+
+    def test_redis_spec_validates_without_the_package(self):
+        """Spec validation must not require a redis connection (or even
+        the package): unavailability surfaces at build_store() time."""
+        spec = service_spec(store="redis", store_url="redis://localhost:1/0")
+        assert spec.store == "redis"
+        from repro.backends import HAVE_REDIS
+        from repro.errors import BackendUnavailableError
+
+        if not HAVE_REDIS:
+            with pytest.raises(BackendUnavailableError):
+                spec.build_store()
+
+    def test_stores_are_backend_adapters(self, tmp_path):
+        from repro.backends import FileBackend, MemoryBackend
+        from repro.service import BackendEnvelopeStore
+
+        memory = service_spec().build_store()
+        assert isinstance(memory, BackendEnvelopeStore)
+        assert isinstance(memory.backend, MemoryBackend)
+        file_store = service_spec(
+            store="file", store_path=str(tmp_path / "s")
+        ).build_store()
+        assert isinstance(file_store, BackendEnvelopeStore)
+        assert isinstance(file_store.backend, FileBackend)
+        file_store.close()
+
+
+class TestMetricsStoreSection:
+    def test_metrics_expose_backend_operation_counters(self, tmp_path):
+        async def scenario():
+            app = create_app(
+                service_spec(
+                    capacity=1,
+                    store="file",
+                    store_path=str(tmp_path / "spill"),
+                )
+            )
+            client = ASGITestClient(app)
+            for tenant in ("a", "b"):  # b's arrival evicts a
+                await client.post_json(
+                    f"/v1/{tenant}/ingest", {"points": [[1.0]]}
+                )
+            metrics = (await client.get("/metrics")).json()
+            store = metrics["store"]
+            assert store["puts"] == 1  # a's eviction
+            assert store["cas_attempts"] == 0
+            assert set(store) == {
+                "puts", "gets", "deletes", "cas_attempts", "cas_conflicts"
+            }
+
+        run(scenario())
