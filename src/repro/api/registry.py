@@ -343,7 +343,7 @@ def _register_builtins() -> None:
         _build_pipeline,
         supports_merge=False,
         description="Sharded batched ingestion over l0-infinite shards "
-        "(serial/thread/process executors)",
+        "(serial/thread/process/remote executors)",
     )
     register_summary(
         "exact",

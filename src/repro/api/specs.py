@@ -272,12 +272,19 @@ class PipelineSpec(PointSummarySpec):
         calling process, ``"thread"`` fans them out over worker threads,
         ``"process"`` ships them to worker processes holding shard
         replicas and folds finished shard states back in as they arrive
-        (streaming merge).  Every choice is ``state_fingerprint``-
-        equivalent; only wall-clock throughput differs.
+        (streaming merge), ``"remote"`` enqueues chunks into a shared
+        :class:`~repro.backends.base.StateBackend` served by
+        lease-holding workers that may live on other machines
+        (``python -m repro.engine.remote_worker``).  Every choice is
+        ``state_fingerprint``-equivalent; only wall-clock throughput
+        differs.
     num_workers:
         Worker threads/processes for the parallel executors (capped at
         ``num_shards``, the unit of parallelism).  ``None`` means one
-        worker per shard.  Ignored by the serial executor.
+        worker per shard - except under the remote executor, where it
+        means one *local* worker thread and ``0`` is allowed (every
+        worker is an external process someone launches against the
+        queue).  Ignored by the serial executor.
     transport:
         Chunk transport of the process executor: ``"auto"`` (default)
         ships eligible chunks zero-copy through pooled shared-memory
@@ -289,16 +296,28 @@ class PipelineSpec(PointSummarySpec):
         Whether the process executor may migrate a backlogged shard to
         an idle worker (on by default).  Also state-unobservable:
         per-shard chunk order is preserved across migrations.
+    queue_backend / queue_path / queue_url / queue_key / lease_ttl:
+        Remote-executor knobs (rejected for every other executor).  The
+        backend flavour (``"memory"`` default - in-process only, for
+        the zero-configuration / test mode), its location, the queue's
+        key namespace (default ``"remote-queue"``) and the seconds
+        without a heartbeat before a worker's shard is stolen.  All
+        plain data, so specs embed in checkpoints unchanged.
     """
 
     key: ClassVar[str] = "batch-pipeline"
 
     num_shards: int = 4
     batch_size: int = DEFAULT_BATCH_SIZE
-    executor: Literal["serial", "thread", "process"] = "serial"
+    executor: Literal["serial", "thread", "process", "remote"] = "serial"
     num_workers: int | None = None
     transport: Literal["auto", "shm", "pickle"] = "auto"
     work_stealing: bool = True
+    queue_backend: Literal["memory", "file", "redis"] | None = None
+    queue_path: str | None = None
+    queue_url: str | None = None
+    queue_key: str | None = None
+    lease_ttl: float = 5.0
     kappa0: float = DEFAULT_KAPPA0
     expected_stream_length: int | None = None
 
@@ -324,9 +343,39 @@ class PipelineSpec(PointSummarySpec):
                 f"transport must be one of {', '.join(TRANSPORT_NAMES)}, "
                 f"got {self.transport!r}"
             )
-        if self.num_workers is not None and self.num_workers < 1:
+        minimum_workers = 0 if self.executor == "remote" else 1
+        if (
+            self.num_workers is not None
+            and self.num_workers < minimum_workers
+        ):
             raise ParameterError(
-                f"num_workers must be >= 1, got {self.num_workers}"
+                f"num_workers must be >= {minimum_workers}, "
+                f"got {self.num_workers}"
+            )
+        if self.executor != "remote":
+            for knob in (
+                "queue_backend", "queue_path", "queue_url", "queue_key"
+            ):
+                if getattr(self, knob) is not None:
+                    raise ParameterError(
+                        f"{knob} applies only to the remote executor, "
+                        f"but executor is {self.executor!r}"
+                    )
+        else:
+            from repro.backends.base import BACKEND_NAMES
+
+            if (
+                self.queue_backend is not None
+                and self.queue_backend not in BACKEND_NAMES
+            ):
+                raise ParameterError(
+                    "queue_backend must be one of "
+                    f"{', '.join(BACKEND_NAMES)}, got "
+                    f"{self.queue_backend!r}"
+                )
+        if self.lease_ttl <= 0:
+            raise ParameterError(
+                f"lease_ttl must be > 0, got {self.lease_ttl}"
             )
 
 

@@ -21,10 +21,23 @@ old-or-new value** (never torn, wherever a writer was killed), and of
 two racing ``compare_and_swap`` writers **exactly one wins** while the
 loser gets :class:`~repro.errors.CASConflictError` with nothing
 applied.  See ``docs/ARCHITECTURE.md`` §State backends.
+
+Two batch/coordination extensions ride on the same contract:
+``put_many`` (group commit - the file backend pays one directory fsync
+per batch instead of per key) and :mod:`repro.backends.lease`
+(CAS-backed shard leases with heartbeats, the claim protocol of the
+remote pipeline workers).
 """
 
 from repro.backends.base import BACKEND_NAMES, StateBackend, make_backend
 from repro.backends.file import FileBackend, atomic_write_bytes
+from repro.backends.lease import (
+    Lease,
+    acquire_lease,
+    read_lease,
+    release_lease,
+    renew_lease,
+)
 from repro.backends.memory import MemoryBackend
 from repro.backends.redis import HAVE_REDIS, RedisBackend
 
@@ -32,9 +45,14 @@ __all__ = [
     "BACKEND_NAMES",
     "HAVE_REDIS",
     "FileBackend",
+    "Lease",
     "MemoryBackend",
     "RedisBackend",
     "StateBackend",
+    "acquire_lease",
     "atomic_write_bytes",
     "make_backend",
+    "read_lease",
+    "release_lease",
+    "renew_lease",
 ]

@@ -42,7 +42,7 @@ should be deleted only once their writers are done.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.errors import CASConflictError, ParameterError
 
@@ -78,6 +78,26 @@ class StateBackend:
         """Unconditionally store ``data``; returns the new version."""
         self._stats["puts"] += 1
         return self._put(key, bytes(data))
+
+    def put_many(
+        self, items: Iterable[tuple[str, bytes]]
+    ) -> dict[str, int]:
+        """Store many ``(key, data)`` pairs; returns ``{key: version}``.
+
+        Semantically identical to calling :meth:`put` per pair, in
+        order (a repeated key is written repeatedly and the *last*
+        version is reported), but backends may amortise their
+        per-write overhead across the batch: the file backend group
+        commits - one directory fsync per batch instead of one per key
+        - which is what lifts its ~2k puts/s fsync bound for batch
+        writers like the remote executor's chunk queue.  Durability is
+        batch-granular there (the whole batch is durable once
+        ``put_many`` returns; a crash mid-batch may persist any prefix
+        of it), while each individual value stays torn-free.
+        """
+        pairs = [(key, bytes(data)) for key, data in items]
+        self._stats["puts"] += len(pairs)
+        return self._put_many(pairs)
 
     def get(self, key: str) -> bytes | None:
         """The blob under ``key``, or ``None`` while absent."""
@@ -147,6 +167,9 @@ class StateBackend:
 
     def _put(self, key: str, data: bytes) -> int:
         raise NotImplementedError
+
+    def _put_many(self, pairs: list[tuple[str, bytes]]) -> dict[str, int]:
+        return {key: self._put(key, data) for key, data in pairs}
 
     def _get_versioned(self, key: str) -> tuple[bytes, int] | None:
         raise NotImplementedError

@@ -1,0 +1,144 @@
+"""CAS-backed shard leases with heartbeats, on any :class:`StateBackend`.
+
+A *lease* is a tiny JSON entry (``{"worker": id, "beat": wall-clock}``)
+under one backend key, mutated only through
+:meth:`~repro.backends.base.StateBackend.compare_and_swap`.  It is how
+remote pipeline workers claim exclusive ownership of a shard's chunk
+queue without any coordinator process:
+
+* **Acquire** is create-only CAS (``expected_version=0``): N racing
+  workers electing themselves owner of a fresh shard see exactly one
+  winner.
+* **Renew** (the heartbeat) CAS-bumps the entry with a fresh ``beat``
+  timestamp at the version the holder last observed.  A holder whose
+  renewal raises :class:`~repro.errors.CASConflictError` has *lost* the
+  lease (someone stole it) and must abandon the shard.
+* **Steal** is acquire over a *stale* lease - one whose ``beat`` is
+  older than the ttl, meaning the holder died or wedged - done by CAS
+  at the stale entry's current version, so two would-be adopters race
+  safely: one wins, the other conflicts.
+
+The lease alone is advisory (a SIGSTOPped holder cannot observe that it
+lost); what makes a stale holder *harmless* is the separate CAS fence
+on the data it would publish - see ``repro/engine/queue.py`` and the
+"Remote workers" section of ``docs/ARCHITECTURE.md``.  Timestamps are
+``time.time()`` wall clock: adopters on different machines compare
+their clock against the holder's, so ttls should comfortably exceed
+cross-machine clock skew.
+
+Enforced by ``tests/test_remote_executor.py`` (acquire/steal/renew
+races, plus the chaos suite built on top).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, replace
+
+from repro.backends.base import StateBackend
+from repro.errors import CASConflictError
+
+__all__ = [
+    "Lease",
+    "acquire_lease",
+    "read_lease",
+    "release_lease",
+    "renew_lease",
+]
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A held lease: the proof-of-ownership a holder passes to renew."""
+
+    key: str
+    worker_id: str
+    version: int  #: backend version of the entry this holder wrote
+    beat: float  #: wall-clock time of the holder's last heartbeat
+
+
+def _encode(worker_id: str, beat: float) -> bytes:
+    return json.dumps({"worker": worker_id, "beat": beat}).encode("utf-8")
+
+
+def read_lease(
+    backend: StateBackend, key: str
+) -> tuple[str, float, int] | None:
+    """``(worker_id, beat, version)`` of the live entry, or ``None``."""
+    found = backend.get_versioned(key)
+    if found is None:
+        return None
+    data, version = found
+    try:
+        entry = json.loads(data.decode("utf-8"))
+        return str(entry["worker"]), float(entry["beat"]), version
+    except (ValueError, KeyError, UnicodeDecodeError):
+        # Debris under the lease key: treat as infinitely stale.
+        return "", 0.0, version
+
+
+def acquire_lease(
+    backend: StateBackend,
+    key: str,
+    worker_id: str,
+    *,
+    ttl: float,
+    now: float | None = None,
+) -> Lease | None:
+    """Claim ``key``, stealing it if its heartbeat is older than ``ttl``.
+
+    Returns the held :class:`Lease`, or ``None`` when someone else
+    holds it freshly (or won the race to it).  Re-acquiring a lease
+    this worker already holds refreshes it.
+    """
+    beat = time.time() if now is None else now
+    current = read_lease(backend, key)
+    if current is None:
+        expected = 0
+    else:
+        holder, held_beat, version = current
+        fresh = (beat - held_beat) <= ttl
+        if holder != worker_id and fresh:
+            return None
+        expected = version
+    try:
+        version = backend.compare_and_swap(
+            key, expected, _encode(worker_id, beat)
+        )
+    except CASConflictError:
+        return None  # lost the adoption race
+    return Lease(key=key, worker_id=worker_id, version=version, beat=beat)
+
+
+def renew_lease(
+    backend: StateBackend, lease: Lease, *, now: float | None = None
+) -> Lease:
+    """Heartbeat: bump ``beat`` at the held version.
+
+    Raises :class:`~repro.errors.CASConflictError` when the lease was
+    stolen in between - the holder must abandon the shard without
+    publishing anything further.
+    """
+    beat = time.time() if now is None else now
+    version = backend.compare_and_swap(
+        lease.key, lease.version, _encode(lease.worker_id, beat)
+    )
+    return replace(lease, version=version, beat=beat)
+
+
+def release_lease(backend: StateBackend, lease: Lease) -> bool:
+    """Hand the shard back: mark the entry instantly stale.
+
+    The entry is CAS-overwritten with a ``beat`` of 0 (never deleted -
+    deletion resets the version to 0 and reopens the ABA window the
+    contract warns about), so any adopter may take it immediately.
+    Returns whether this holder still owned it.
+    """
+    try:
+        backend.compare_and_swap(
+            lease.key, lease.version, _encode("", 0.0)
+        )
+    except CASConflictError:
+        return False
+    return True

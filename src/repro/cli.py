@@ -8,9 +8,13 @@ library's summaries over it:
 * ``count``    - robust F0 estimate;
 * ``heavy``    - robust heavy hitters;
 * ``pipeline`` - sharded parallel ingestion (``--shards`` shard
-  samplers fed round-robin by a serial/thread/process ``--executor``
-  with ``--workers`` workers), answering a robust F0 estimate and one
-  distinct sample over the union stream from the streaming shard merge;
+  samplers fed round-robin by a serial/thread/process/remote
+  ``--executor`` with ``--workers`` workers), answering a robust F0
+  estimate and one distinct sample over the union stream from the
+  streaming shard merge;
+* ``worker``   - serve a remote pipeline's work queue from any machine
+  that shares its backend (the CLI twin of
+  ``python -m repro.engine.remote_worker``);
 * ``serve``    - the multi-tenant summary service (:mod:`repro.service`):
   one summary per tenant key with LRU/TTL eviction to checkpoint,
   ``/metrics`` and SSE streaming, run under uvicorn (``pip install
@@ -210,16 +214,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard samplers fed round-robin (default 4)",
     )
     pipeline.add_argument(
-        "--executor", choices=["serial", "thread", "process"],
+        "--executor", choices=["serial", "thread", "process", "remote"],
         default="serial",
         help="where shard ingestion runs; every choice is "
-        "state-equivalent, 'process' adds wall-clock parallelism "
-        "(default serial)",
+        "state-equivalent, 'process' adds wall-clock parallelism, "
+        "'remote' serves chunks through a shared state backend to "
+        "workers that may run on other machines (default serial)",
     )
     pipeline.add_argument(
         "--workers", type=int, default=None,
         help="worker threads/processes for --executor thread/process "
-        "(default: one per shard)",
+        "(default: one per shard); for --executor remote the number of "
+        "LOCAL worker threads - pass 0 when every worker is an "
+        "external 'worker' command",
+    )
+    pipeline.add_argument(
+        "--queue-backend", choices=list(BACKEND_NAMES), default=None,
+        help="work-queue backend for --executor remote (default "
+        "memory: in-process only; 'file'/'redis' let external workers "
+        "join)",
+    )
+    pipeline.add_argument(
+        "--queue-path", default=None,
+        help="directory of the file work queue (with "
+        "--queue-backend file)",
+    )
+    pipeline.add_argument(
+        "--queue-url", default=None,
+        help="redis URL of the work queue (with --queue-backend redis)",
+    )
+    pipeline.add_argument(
+        "--queue-key", default=None,
+        help="work-queue namespace workers serve (default remote-queue)",
+    )
+    pipeline.add_argument(
+        "--lease-ttl", type=float, default=5.0,
+        help="seconds without a worker heartbeat before its shards are "
+        "re-adopted (default 5)",
     )
     pipeline.add_argument(
         "--transport", choices=["auto", "shm", "pickle"], default="auto",
@@ -259,6 +290,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-every", type=int, default=DEFAULT_CHECKPOINT_EVERY,
         help="chunks between checkpoint commits "
         f"(default {DEFAULT_CHECKPOINT_EVERY})",
+    )
+
+    worker = commands.add_parser(
+        "worker",
+        help="serve a remote pipeline work queue: lease shards via "
+        "backend CAS, fold their chunks, commit states through the CAS "
+        "fence (runs on any machine sharing the backend)",
+    )
+    worker.add_argument(
+        "--backend", choices=["file", "redis"], required=True,
+        help="shared backend flavour the submitting pipeline uses "
+        "(memory is in-process only and has no worker command)",
+    )
+    worker.add_argument(
+        "--backend-path", default=None,
+        help="directory of the file backend (with --backend file)",
+    )
+    worker.add_argument(
+        "--backend-url", default=None,
+        help="redis URL of the redis backend (with --backend redis)",
+    )
+    worker.add_argument(
+        "--queue-key", default="remote-queue",
+        help="work-queue namespace to serve (default remote-queue; "
+        "must match the pipeline's --queue-key)",
+    )
+    worker.add_argument(
+        "--worker-id", default=None,
+        help="lease identity (default: <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--lease-ttl", type=float, default=5.0,
+        help="seconds without a heartbeat before this worker's shards "
+        "are stolen (default 5; match the pipeline's --lease-ttl)",
+    )
+    worker.add_argument(
+        "--poll-interval", type=float, default=0.05,
+        help="idle polling period in seconds (default 0.05)",
+    )
+    worker.add_argument(
+        "--max-idle", type=float, default=None,
+        help="exit after this many idle seconds (default: serve "
+        "forever, across successive pipeline runs)",
     )
 
     serve = commands.add_parser(
@@ -422,6 +496,11 @@ def _spec_for(args, *, dim: int, seed: int):
             num_workers=args.workers,
             transport=args.transport,
             work_stealing=not args.no_work_stealing,
+            queue_backend=args.queue_backend,
+            queue_path=args.queue_path,
+            queue_url=args.queue_url,
+            queue_key=args.queue_key,
+            lease_ttl=args.lease_ttl,
         )
     return HeavyHittersSpec(
         alpha=args.alpha,
@@ -483,6 +562,32 @@ def _service_spec_for(args):
         store_url=args.store_url,
         stream_interval=args.stream_interval,
     )
+
+
+def _run_worker(args, out: TextIO) -> None:
+    """Serve a remote work queue until stopped (the ``worker`` command).
+
+    The in-process twin of ``python -m repro.engine.remote_worker``;
+    prints the worker's counters as JSON on exit.
+    """
+    from repro.backends import make_backend
+    from repro.engine.remote_worker import run_worker
+
+    backend = make_backend(
+        args.backend, path=args.backend_path, url=args.backend_url
+    )
+    try:
+        stats = run_worker(
+            backend,
+            args.queue_key,
+            worker_id=args.worker_id,
+            lease_ttl=args.lease_ttl,
+            poll_interval=args.poll_interval,
+            max_idle=args.max_idle,
+        )
+    finally:
+        backend.close()
+    out.write(json.dumps(stats, sort_keys=True) + "\n")
 
 
 def _run_serve(args) -> None:
@@ -644,9 +749,14 @@ def main(argv: list[str] | None = None, out: TextIO | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
-    if args.command == "serve":
+    if args.command in ("serve", "worker"):
+        # Neither takes an input stream: serve answers the network,
+        # worker pulls its work from the shared backend queue.
         try:
-            _run_serve(args)
+            if args.command == "serve":
+                _run_serve(args)
+            else:
+                _run_worker(args, out)
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 1

@@ -101,10 +101,13 @@ sharing one config) and answers queries from the sketch-sized merge;
 ``tests/test_distributed.py`` checks the merge against a single sampler
 fed the interleaved union stream.  *Where* shard work runs is pluggable
 (:mod:`repro.engine.executors`): the ``serial`` executor ingests chunks
-inline, ``thread`` fans them out over worker threads, and ``process``
+inline, ``thread`` fans them out over worker threads, ``process``
 ships them to worker processes holding shard replicas - the wall-clock
-scaling path - with finished shard states folded into the coordinator's
-running union merge as they arrive
+scaling path - and ``remote`` enqueues them into a shared
+:class:`~repro.backends.StateBackend` served by lease-holding workers
+on any machine (:mod:`repro.engine.remote_worker`, chaos-tested by
+``tests/test_remote_executor.py``), with finished shard states folded
+into the coordinator's running union merge as they arrive
 (:meth:`~repro.distributed.coordinator.DistributedRobustSampler.streaming_merge`).
 Executor choice is never observable in state
 (``tests/test_executors.py``).  The pipeline is part of the unified
@@ -136,12 +139,14 @@ from repro.engine.executors import (
     EXECUTOR_NAMES,
     TRANSPORT_NAMES,
     ProcessShardExecutor,
+    RemoteShardExecutor,
     SerialShardExecutor,
     ShardExecutor,
     ThreadShardExecutor,
     make_executor,
 )
 from repro.engine.pipeline import BatchPipeline
+from repro.engine.remote_worker import run_worker
 from repro.engine.resumable import run_resumable
 
 __all__ = [
@@ -161,6 +166,8 @@ __all__ = [
     "SerialShardExecutor",
     "ThreadShardExecutor",
     "ProcessShardExecutor",
+    "RemoteShardExecutor",
     "make_executor",
     "run_resumable",
+    "run_worker",
 ]

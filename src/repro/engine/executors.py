@@ -1,4 +1,4 @@
-"""Pluggable shard executors: serial, thread-pool and process-pool.
+"""Pluggable shard executors: serial, thread, process and remote.
 
 A :class:`~repro.engine.pipeline.BatchPipeline` deals chunks round-robin
 across the shards of a
@@ -36,6 +36,18 @@ keeping the *what* bit-identical:
   (streaming merge - see
   :meth:`repro.distributed.coordinator.DistributedRobustSampler.streaming_merge`)
   instead of barriering on the slowest worker.
+* :class:`RemoteShardExecutor` - workers that may live on **other
+  machines**, coupled to the submitter only through a shared
+  :class:`~repro.backends.base.StateBackend` (a mounted directory, a
+  Redis).  Chunks are enqueued as sequenced backend entries (group
+  committed via ``put_many``), workers lease shards through backend
+  CAS with heartbeat renewal (:mod:`repro.backends.lease`) and commit
+  each folded chunk through a per-shard **CAS fence**, so a killed
+  worker's shards are re-adopted from their last committed state and a
+  resurrected stale worker loses wholly - see
+  :mod:`repro.engine.queue` / :mod:`repro.engine.remote_worker` and
+  ``docs/ARCHITECTURE.md`` §Remote workers.  Chaos-tested by
+  ``tests/test_remote_executor.py``.
 
 Scheduling and work stealing
 ----------------------------
@@ -67,8 +79,9 @@ to the serial one for the same dealt chunk sequence:
   ``to_state``/``from_state``, which is fingerprint-exact.
 
 ``tests/test_executors.py`` enforces the contract differentially
-(serial vs thread vs process, including empty batches, single-shard
-pipelines, mid-stream checkpoint/resume and forced shard migrations),
+(serial vs thread vs process vs remote, including empty batches,
+single-shard pipelines, mid-stream checkpoint/resume and forced shard
+migrations),
 ``tests/test_shm_transport.py`` covers the shared-memory lifecycle
 (no leaked segments after close, worker crash or failure; the matrix
 under a forced spawn context), and
@@ -110,7 +123,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Registry of executor names accepted by
 #: :class:`~repro.api.specs.PipelineSpec` and the CLI's ``--executor``.
-EXECUTOR_NAMES = ("serial", "thread", "process")
+EXECUTOR_NAMES = ("serial", "thread", "process", "remote")
 
 #: Chunk transports of the process executor: ``"auto"`` uses the
 #: shared-memory array transport whenever numpy is available, ``"shm"``
@@ -1345,6 +1358,233 @@ class ProcessShardExecutor(ShardExecutor):
         self._ctrl.close()
 
 
+class RemoteShardExecutor(ShardExecutor):
+    """Shard work served by workers reachable only through a backend.
+
+    The submitter side of the multi-machine pipeline: ``submit``
+    serialises each chunk through the array coercion path
+    (:func:`_chunk_as_array` - raw float64 rows when eligible, pickle
+    otherwise) and group-commits it as a sequenced
+    ``chunk/<shard>/<seq>`` backend entry
+    (:meth:`~repro.backends.base.StateBackend.put_many`, amortising the
+    file backend's per-put fsync).  Workers - local threads spawned
+    here, or ``python -m repro.engine.remote_worker`` processes on any
+    machine sharing the backend - lease shards via CAS, fold chunks in
+    sequence order and commit ``(consumed_seq, state)`` entries through
+    a per-shard CAS fence (see :mod:`repro.engine.queue`).  ``drain``
+    polls those entries and yields each shard's plain protocol state
+    the moment its consumed count reaches the submitted count, in
+    completion order, for the pipeline's streaming merge - so the
+    executor is fingerprint-identical to serial by construction:
+    per-shard FIFO is enforced by sequence numbers, and states
+    round-trip through the protocol's exact ``to_state``/``from_state``.
+
+    Crash story: a worker that dies stops heartbeating; after
+    ``lease_ttl`` any other worker steals the lease and resumes from
+    the shard's last *committed* state (chunks at or after it are still
+    queued - a chunk is deleted only once committed).  A stale worker
+    that resurrects mid-steal conflicts at the fence with nothing
+    applied.  Worker-side failures (a poisoned point) surface here as
+    :class:`~repro.errors.ExecutorError` at the next drain, sticky, like
+    every other executor.
+
+    Each instance claims a fresh queue *epoch* under ``queue_key``, so
+    leftover workers of a previous executor cannot touch it; ``close``
+    signals workers to stop, joins the local ones and purges the
+    epoch's keys.
+    """
+
+    name = "remote"
+    #: Workers rebuild geometry from the transported array, exactly like
+    #: the process executor - shipping the object would just be weight.
+    wants_geometry = False
+
+    def __init__(
+        self,
+        coordinator: "DistributedRobustSampler",
+        *,
+        num_workers: int | None = None,
+        backend: Any = None,
+        queue_backend: str | None = None,
+        queue_path: str | None = None,
+        queue_url: str | None = None,
+        queue_key: str | None = None,
+        lease_ttl: float = 5.0,
+        poll_interval: float = 0.02,
+        flush_chunks: int = 8,
+    ) -> None:
+        from repro.backends.base import make_backend
+        from repro.core import serialize
+        from repro.engine.queue import RemoteQueue
+        from repro.engine.remote_worker import run_worker
+
+        if lease_ttl <= 0:
+            raise ParameterError(
+                f"lease_ttl must be > 0, got {lease_ttl}"
+            )
+        if flush_chunks < 1:
+            raise ParameterError(
+                f"flush_chunks must be >= 1, got {flush_chunks}"
+            )
+        self._coordinator = coordinator
+        self._dim = coordinator.config.dim
+        if backend is not None:
+            self._backend = backend
+            self._owns_backend = False
+        else:
+            self._backend = make_backend(
+                queue_backend or "memory",
+                path=queue_path,
+                url=queue_url,
+            )
+            self._owns_backend = True
+        self._poll_interval = poll_interval
+        self._flush_chunks = flush_chunks
+        self._queue = RemoteQueue.create(
+            self._backend,
+            queue_key or "remote-queue",
+            config_state=serialize.config_to_state(coordinator.config),
+            dim=self._dim,
+            shard_states=[
+                coordinator.shard(index).to_state()
+                for index in range(coordinator.num_shards)
+            ],
+        )
+        self._submitted = [0] * coordinator.num_shards
+        self._pending: list[tuple[int, int, bytes]] = []
+        self._failure: str | None = None
+        self._closed = False
+        self._counters = {
+            "chunks": 0,
+            "array_chunks": 0,
+            "pickle_chunks": 0,
+            "bytes_out": 0,
+            "flushes": 0,
+        }
+        # Local workers: the zero-configuration mode (and the fast path
+        # of the test matrix).  num_workers=0 means every worker is an
+        # external ``remote_worker`` process someone else launches.
+        if num_workers is None:
+            local = 1
+        elif num_workers < 0:
+            raise ParameterError(
+                f"num_workers must be >= 0, got {num_workers}"
+            )
+        else:
+            local = min(num_workers, coordinator.num_shards)
+        self._stop_event = threading.Event()
+        self._local_workers = [
+            threading.Thread(
+                target=run_worker,
+                args=(self._backend, self._queue.queue_key),
+                kwargs={
+                    "worker_id": f"local-{index}",
+                    "lease_ttl": lease_ttl,
+                    "poll_interval": poll_interval,
+                    "stop_event": self._stop_event,
+                },
+                name=f"repro-remote-worker-{index}",
+                daemon=True,
+            )
+            for index in range(local)
+        ]
+        for thread in self._local_workers:
+            thread.start()
+
+    def _flush(self) -> None:
+        if not self._pending:
+            return
+        self._queue.put_chunks(self._pending)
+        self._counters["flushes"] += 1
+        self._pending.clear()
+
+    def submit(
+        self, shard_id: int, chunk: Sequence[Any], geometry: Any = None
+    ) -> None:
+        if self._closed:
+            raise ExecutorError("executor is closed")
+        from repro.engine.queue import encode_chunk
+
+        # Serialised immediately, so the caller may reuse its buffer.
+        payload = encode_chunk(chunk, self._dim)
+        seq = self._submitted[shard_id]
+        self._submitted[shard_id] = seq + 1
+        self._pending.append((shard_id, seq, payload))
+        kind = "array_chunks" if payload[4:5] == b"A" else "pickle_chunks"
+        self._counters[kind] += 1
+        self._counters["chunks"] += 1
+        self._counters["bytes_out"] += len(payload)
+        if len(self._pending) >= self._flush_chunks:
+            self._flush()
+        return None
+
+    def drain(self) -> Iterator[tuple[int, dict[str, Any] | None]]:
+        if self._failure is not None:
+            raise ExecutorError(
+                "remote worker failed:\n" + self._failure
+            )
+        self._flush()
+        pending = set(range(self._coordinator.num_shards))
+        last_total = -1
+        last_progress = time.monotonic()
+        while pending:
+            error = self._queue.first_error()
+            if error is not None:
+                self._failure = error
+                raise ExecutorError("remote worker failed:\n" + error)
+            total = 0
+            settled: list[tuple[int, dict[str, Any] | None]] = []
+            for shard in sorted(pending):
+                found = self._queue.read_state(shard)
+                if found is None:  # pragma: no cover - purged underfoot
+                    continue
+                seq, state, _version = found
+                total += seq
+                if seq >= self._submitted[shard]:
+                    # seq == 0: no chunk ever folded this epoch, so the
+                    # coordinator's own shard object is still current.
+                    settled.append((shard, state if seq > 0 else None))
+            for shard, state in settled:
+                pending.discard(shard)
+                yield (shard, state)
+            if not pending:
+                return
+            now = time.monotonic()
+            if total > last_total:
+                last_total = total
+                last_progress = now
+            elif now - last_progress > _DRAIN_STALL_SECONDS:
+                raise ExecutorError(
+                    "remote drain stalled: no shard progress for "
+                    f"{_DRAIN_STALL_SECONDS:.0f}s (workers dead with no "
+                    f"successor?); shards pending: {sorted(pending)}"
+                )
+            time.sleep(self._poll_interval)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "executor": self.name,
+            "backend": type(self._backend).__name__,
+            "epoch": self._queue.epoch,
+            "local_workers": len(self._local_workers),
+            **self._counters,
+            "backend_ops": self._backend.stats(),
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.request_stop()
+        self._stop_event.set()
+        for thread in self._local_workers:
+            thread.join(timeout=5.0)
+        self._queue.purge()
+        self._pending.clear()
+        if self._owns_backend:
+            self._backend.close()
+
+
 def make_executor(
     name: str,
     coordinator: "DistributedRobustSampler",
@@ -1352,12 +1592,22 @@ def make_executor(
     num_workers: int | None = None,
     transport: str = "auto",
     work_stealing: bool = True,
+    backend: Any = None,
+    queue_backend: str | None = None,
+    queue_path: str | None = None,
+    queue_url: str | None = None,
+    queue_key: str | None = None,
+    lease_ttl: float = 5.0,
+    poll_interval: float = 0.02,
 ) -> ShardExecutor:
     """Build the executor registered under ``name``.
 
     ``transport`` and ``work_stealing`` configure the process executor
-    (see :class:`ProcessShardExecutor`) and are ignored by the
-    in-process executors.
+    (see :class:`ProcessShardExecutor`); ``backend`` (an instance) or
+    ``queue_backend``/``queue_path``/``queue_url`` plus ``queue_key``,
+    ``lease_ttl`` and ``poll_interval`` configure the remote executor
+    (see :class:`RemoteShardExecutor`).  Each executor ignores the
+    others' knobs.
 
     >>> from repro.distributed.coordinator import DistributedRobustSampler
     >>> coordinator = DistributedRobustSampler(1.0, 1, num_shards=2, seed=1)
@@ -1366,7 +1616,7 @@ def make_executor(
     >>> make_executor("warp", coordinator)
     Traceback (most recent call last):
         ...
-    repro.errors.ParameterError: unknown executor 'warp'; one of: serial, thread, process
+    repro.errors.ParameterError: unknown executor 'warp'; one of: serial, thread, process, remote
     """
     if name == "serial":
         return SerialShardExecutor(coordinator)
@@ -1378,6 +1628,18 @@ def make_executor(
             num_workers=num_workers,
             transport=transport,
             work_stealing=work_stealing,
+        )
+    if name == "remote":
+        return RemoteShardExecutor(
+            coordinator,
+            num_workers=num_workers,
+            backend=backend,
+            queue_backend=queue_backend,
+            queue_path=queue_path,
+            queue_url=queue_url,
+            queue_key=queue_key,
+            lease_ttl=lease_ttl,
+            poll_interval=poll_interval,
         )
     raise ParameterError(
         f"unknown executor {name!r}; one of: " + ", ".join(EXECUTOR_NAMES)

@@ -255,6 +255,11 @@ class BatchPipeline:
                 num_workers=self._spec.num_workers,
                 transport=self._spec.transport,
                 work_stealing=self._spec.work_stealing,
+                queue_backend=self._spec.queue_backend,
+                queue_path=self._spec.queue_path,
+                queue_url=self._spec.queue_url,
+                queue_key=self._spec.queue_key,
+                lease_ttl=self._spec.lease_ttl,
             )
         return self._executor
 

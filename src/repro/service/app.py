@@ -139,6 +139,11 @@ class SummaryService:
             if message["type"] == "lifespan.startup":
                 await send({"type": "lifespan.startup.complete"})
             elif message["type"] == "lifespan.shutdown":
+                # Spill every resident tenant and close its summary
+                # before acknowledging: worker-owning summaries (the
+                # batch-pipeline's executor threads/processes) must not
+                # outlive the server.
+                await self.tenants.close()
                 await send({"type": "lifespan.shutdown.complete"})
                 return
 

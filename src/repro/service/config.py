@@ -46,8 +46,10 @@ class ServiceSpec:
     ----------
     summary:
         Registry key of the summary kept per tenant (any key from
-        :func:`repro.api.available` except ``batch-pipeline``, whose
-        worker lifecycle does not fit per-tenant eviction).
+        :func:`repro.api.available`, including ``batch-pipeline``:
+        eviction and shutdown close worker-owning summaries through
+        their ``close()`` hook, so pipeline tenants cannot leak
+        executors - see :meth:`repro.service.TenantStore.close`).
     spec:
         The summary spec every tenant is built from.  When ``spec.seed``
         is set, each tenant gets its own deterministically derived seed
@@ -93,12 +95,6 @@ class ServiceSpec:
         from repro.api import registry
 
         entry = registry.entry(self.summary)  # raises on unknown keys
-        if self.summary == "batch-pipeline":
-            raise ParameterError(
-                "the service cannot serve 'batch-pipeline' tenants: the "
-                "pipeline owns worker processes, which per-tenant "
-                "eviction would leak"
-            )
         if not isinstance(self.spec, entry.spec_cls):
             raise ParameterError(
                 f"summary {self.summary!r} expects a "

@@ -57,6 +57,20 @@ def derive_tenant_seed(base_seed: int, tenant: str) -> int:
     return int.from_bytes(digest, "big") % (2**62)
 
 
+def _close_summary(summary: Any) -> None:
+    """Release whatever resources ``summary`` holds, if any.
+
+    Most summaries are plain in-memory objects; the ones that own
+    workers (``batch-pipeline``'s executor threads/processes) expose
+    ``close()``.  Eviction and drop call this so a tenant leaving
+    memory never leaks its workers - the property that lets the
+    service host pipeline tenants at all.
+    """
+    close = getattr(summary, "close", None)
+    if callable(close):
+        close()
+
+
 class _Resident:
     """One in-memory tenant: its live summary and last-touch time."""
 
@@ -238,9 +252,11 @@ class TenantStore:
     async def drop(self, tenant: str) -> bool:
         """Forget ``tenant`` entirely (memory and store)."""
         async with self._lock_for(tenant):
-            was_resident = self._resident.pop(tenant, None) is not None
+            entry = self._resident.pop(tenant, None)
+            if entry is not None:
+                _close_summary(entry.summary)
             was_stored = self.store.delete(tenant)
-            dropped = was_resident or was_stored
+            dropped = entry is not None or was_stored
             if dropped:
                 self.drops += 1
             return dropped
@@ -262,7 +278,12 @@ class TenantStore:
         entry = self._resident.pop(tenant, None)
         if entry is None:
             return False
+        # Serialise first: to_state() synchronises any workers the
+        # summary owns (e.g. a batch-pipeline's executor), so the
+        # envelope always captures the settled state; only then release
+        # the summary's resources.
         self.store.put(tenant, dumps_summary(entry.summary))
+        _close_summary(entry.summary)
         self.evictions += 1
         return True
 
@@ -302,6 +323,29 @@ class TenantStore:
                 if self._next_victim() == victim:
                     self._evict_locked(victim)
                     evicted += 1
+
+    # ------------------------------------------------------------------ #
+    # shutdown
+    # ------------------------------------------------------------------ #
+
+    async def close(self) -> None:
+        """Evict every resident tenant and release the envelope store.
+
+        The service's lifespan shutdown hook: each resident summary is
+        serialised to the store (so summaries whose specs persist - file
+        or redis stores - survive the restart) and then closed, which is
+        what lets worker-owning summaries such as ``batch-pipeline`` be
+        served per tenant without leaking executors on exit.  Safe to
+        call more than once.
+        """
+        while True:
+            tenants = list(self._resident)
+            if not tenants:
+                break
+            for tenant in tenants:
+                async with self._lock_for(tenant):
+                    self._evict_locked(tenant)
+        self.store.close()
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -472,13 +472,24 @@ class TestServeCommand:
         err = capsys.readouterr().err
         assert err.startswith("error:") and "--alpha" in err
 
-    def test_pipeline_key_is_uniform_error(self, capsys):
+    def test_pipeline_key_is_servable(self, monkeypatch):
+        # Formerly a uniform error: the ServiceSpec gate on
+        # 'batch-pipeline' is gone now that eviction/shutdown close
+        # worker-owning summaries.
+        calls = {}
+        monkeypatch.setitem(
+            sys.modules,
+            "uvicorn",
+            types.SimpleNamespace(
+                run=lambda app, host, port: calls.update(app=app)
+            ),
+        )
         code = main(
             ["serve", "--summary", "batch-pipeline", "--alpha", "1.0",
              "--dim", "1"]
         )
-        assert code == 1
-        assert "error:" in capsys.readouterr().err
+        assert code == 0
+        assert calls["app"].spec.summary == "batch-pipeline"
 
     def test_file_store_flags_validated(self, capsys, tmp_path,
                                         monkeypatch):

@@ -184,3 +184,40 @@ class TestDocsMatchCode:
             assert f"`{name}`" in readme, (
                 f"executor {name!r} missing from the README"
             )
+
+    def test_architecture_documents_remote_workers(self):
+        # The remote-workers section must exist, document the lease /
+        # heartbeat / CAS-fence protocol, and point at the chaos suite
+        # that enforces it.
+        text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+            encoding="utf-8"
+        )
+        assert "#### Remote workers" in text
+        for keyword in ("lease", "heartbeat", "CAS fence", "epoch"):
+            assert keyword in text, (
+                f"remote-worker keyword {keyword!r} missing from the docs"
+            )
+        pointer = "tests/test_remote_executor.py"
+        assert pointer in text
+        assert (REPO_ROOT / pointer).is_file()
+        # The documented surface is the real one.
+        from repro.backends.lease import acquire_lease, renew_lease  # noqa: F401
+        from repro.engine.remote_worker import main, run_worker  # noqa: F401
+
+    def test_readme_documents_remote_workers(self):
+        # The README quickstart must name the real worker entry points
+        # and the spec knobs it shows.
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "repro.engine.remote_worker" in readme
+        assert "repro.cli worker" in readme
+        for knob in ("queue_backend", "queue_path", "queue_key"):
+            assert knob in readme, (
+                f"remote spec knob {knob!r} missing from the README"
+            )
+        import dataclasses
+
+        from repro.api import PipelineSpec
+
+        fields = {f.name for f in dataclasses.fields(PipelineSpec)}
+        for knob in ("queue_backend", "queue_path", "queue_key"):
+            assert knob in fields

@@ -163,7 +163,7 @@ class TestCallerBufferReuse:
 
 
 class TestExecutorFailures:
-    @pytest.mark.parametrize("executor", ["thread", "process"])
+    @pytest.mark.parametrize("executor", ["thread", "process", "remote"])
     def test_worker_failure_surfaces_at_sync(self, executor):
         pipeline = make_pipeline(executor)
         pipeline.extend(group_stream(64, seed=1))

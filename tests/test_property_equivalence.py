@@ -180,8 +180,11 @@ class TestRegistryWideProperties:
 
 class TestExecutorEquivalenceProperties:
     """Tentpole property: *where* shard work runs (serial / thread /
-    process executors) is never observable in pipeline state, for any
-    stream, chunk layout, or chunk-aligned checkpoint position."""
+    process / remote executors) is never observable in pipeline state,
+    for any stream, chunk layout, or chunk-aligned checkpoint position.
+    The remote flavour runs its zero-configuration mode here (private
+    memory backend, one in-process worker thread) so the property stays
+    fast; the cross-process story is ``tests/test_remote_executor.py``."""
 
     @staticmethod
     def _pipeline(executor):
@@ -200,7 +203,7 @@ class TestExecutorEquivalenceProperties:
             ),
         )
 
-    @pytest.mark.parametrize("executor", ["thread", "process"])
+    @pytest.mark.parametrize("executor", ["thread", "process", "remote"])
     @given(
         bursts=BURSTS,
         seed=SEEDS,

@@ -80,14 +80,17 @@ class TestServiceSpec:
         with pytest.raises(ParameterError):
             ServiceSpec(summary="nope", spec=GATE_SPECS["l0-infinite"])
 
-    def test_pipeline_tenants_rejected(self):
+    def test_pipeline_tenants_accepted(self):
+        # Formerly gated: per-tenant eviction would have leaked the
+        # pipeline's workers.  Eviction/drop/shutdown now close
+        # worker-owning summaries, so the key is served like any other.
         from repro.api import PipelineSpec
 
-        with pytest.raises(ParameterError):
-            ServiceSpec(
-                summary="batch-pipeline",
-                spec=PipelineSpec(alpha=1.0, dim=1, seed=1),
-            )
+        spec = ServiceSpec(
+            summary="batch-pipeline",
+            spec=PipelineSpec(alpha=1.0, dim=1, seed=1),
+        )
+        assert spec.summary == "batch-pipeline"
 
     def test_mismatched_spec_type_rejected(self):
         with pytest.raises(ParameterError):
@@ -888,5 +891,108 @@ class TestMetricsStoreSection:
             assert set(store) == {
                 "puts", "gets", "deletes", "cas_attempts", "cas_conflicts"
             }
+
+        run(scenario())
+
+
+class TestPipelineTenants:
+    """``batch-pipeline`` tenants: the former ServiceSpec gate is gone.
+
+    The risk the gate guarded against was leaked workers: a pipeline
+    summary owns an executor (threads/processes), and eviction used to
+    drop the object without closing it.  Eviction, drop and the
+    TenantStore shutdown hook now close worker-owning summaries, and the
+    envelope round-trip must stay fingerprint-exact.
+    """
+
+    def pipeline_service_spec(self, **overrides):
+        from repro.api import PipelineSpec
+
+        overrides.setdefault(
+            "spec",
+            PipelineSpec(
+                alpha=1.0, dim=1, seed=11, num_shards=2, batch_size=8,
+                executor="thread", num_workers=2,
+            ),
+        )
+        overrides.setdefault("lock_shards", 4)
+        return ServiceSpec(summary="batch-pipeline", **overrides)
+
+    def test_eviction_closes_workers_and_restores_exactly(self):
+        store = TenantStore(self.pipeline_service_spec(capacity=4))
+        rng = random.Random(5)
+        points = noisy_points(rng, 96)
+
+        async def scenario():
+            await store.ingest("t", points)
+            pipeline = store._resident["t"].summary
+            before = await store.fingerprint("t")
+            assert pipeline._executor is not None  # workers are live
+            assert await store.evict("t")
+            assert pipeline._executor is None  # close() ran on eviction
+            # Restore from the envelope is fingerprint-exact and the
+            # tenant keeps ingesting (workers restart lazily).
+            assert await store.fingerprint("t") == before
+            await store.ingest("t", noisy_points(rng, 32))
+            await store.close()
+
+        run(scenario())
+
+    def test_drop_closes_resident_workers(self):
+        store = TenantStore(self.pipeline_service_spec(capacity=4))
+
+        async def scenario():
+            await store.ingest("t", noisy_points(random.Random(7), 40))
+            pipeline = store._resident["t"].summary
+            assert await store.drop("t")
+            assert pipeline._executor is None
+            await store.close()
+
+        run(scenario())
+
+    def test_shutdown_hook_closes_every_resident(self):
+        store = TenantStore(self.pipeline_service_spec(capacity=8))
+
+        async def scenario():
+            rng = random.Random(9)
+            for tenant in ("a", "b", "c"):
+                await store.ingest(tenant, noisy_points(rng, 40))
+            pipelines = [
+                store._resident[t].summary for t in ("a", "b", "c")
+            ]
+            await store.close()
+            assert store.resident_count == 0
+            assert all(p._executor is None for p in pipelines)
+            await store.close()  # idempotent
+
+        run(scenario())
+
+    def test_asgi_lifespan_shutdown_closes_tenants(self):
+        app = create_app(self.pipeline_service_spec(capacity=8))
+
+        async def scenario():
+            client = ASGITestClient(app)
+            await client.post_json(
+                "/v1/t/ingest",
+                {"points": [[float(i % 5)] for i in range(40)]},
+            )
+            pipeline = app.tenants._resident["t"].summary
+            messages = iter(
+                [{"type": "lifespan.startup"}, {"type": "lifespan.shutdown"}]
+            )
+            sent = []
+
+            async def receive():
+                return next(messages)
+
+            async def send(message):
+                sent.append(message["type"])
+
+            await app({"type": "lifespan"}, receive, send)
+            assert sent == [
+                "lifespan.startup.complete", "lifespan.shutdown.complete"
+            ]
+            assert app.tenants.resident_count == 0
+            assert pipeline._executor is None
 
         run(scenario())
