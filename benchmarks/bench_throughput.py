@@ -381,18 +381,21 @@ def main(argv: list[str] | None = None) -> int:
         "sampler (ignored with --smoke)",
     )
     parser.add_argument(
-        "--min-sliding-speedup", type=float, default=1.15,
+        "--min-sliding-speedup", type=float, default=1.35,
         help="committed floor for the cascade-dominated sliding workload "
-        "(ignored with --smoke)",
+        "(ignored with --smoke; raised from 1.15 when the array-backed "
+        "candidate/heap hot path landed - measured 1.57x)",
     )
     parser.add_argument(
-        "--min-sliding-steady-speedup", type=float, default=2.0,
+        "--min-sliding-steady-speedup", type=float, default=2.2,
         help="committed floor for the steady-window sliding workload "
-        "(ignored with --smoke)",
+        "(ignored with --smoke; measured 2.49x)",
     )
     parser.add_argument(
-        "--min-sliding-smoke-speedup", type=float, default=1.3,
-        help="committed floor for the sliding ratio in --smoke mode",
+        "--min-sliding-smoke-speedup", type=float, default=1.5,
+        help="committed floor for the sliding ratio in --smoke mode "
+        "(raised from 1.3 with the array-backed hot path - measured "
+        "2.2x; kept conservative against CI-runner noise)",
     )
     parser.add_argument(
         "--min-geometry-speedup", type=float, default=1.3,

@@ -377,7 +377,7 @@ class SamplerConfig:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class CandidateRecord:
     """Bookkeeping for one candidate group.
 
@@ -429,6 +429,12 @@ class CandidateRecord:
     #: Cached ``max_v tz(v)`` over ``adj_hashes`` (-1 = not yet computed;
     #: see :meth:`survival_exponent`).  Derived state - never serialised.
     adj_tz: int = -1
+    #: Slot index into the owning :class:`CandidateStore`'s parallel
+    #: arrays (``_slot_tb`` / ``_slot_words``).  0 is the reserved
+    #: sentinel slot: a record not currently held by a store (detached
+    #: stand-ins, removed records) carries slot 0, whose generation
+    #: counter is permanently stale.  Derived state - never serialised.
+    slot: int = 0
 
     def survival_exponent(self) -> int:
         """Largest ``k`` such that some ``adj`` hash is sampled at ``2^k``.
@@ -479,6 +485,34 @@ class CandidateStore:
     :meth:`remove` and :meth:`relink_last`, so :meth:`space_words` is
     O(1) instead of a full record walk.  ``recount_space_words`` is the
     from-scratch oracle the invariant tests compare against.
+
+    Slot pool (the array-backed hot path)
+    -------------------------------------
+    Every live record owns an integer *slot* into the store's parallel
+    arrays, granted by :meth:`add` from an explicit free list and
+    released by :meth:`remove`:
+
+    * ``_slot_record[slot]`` - the record occupying the slot (``None``
+      when free),
+    * ``_slot_tb[slot]`` - generation counter: the heap tiebreak of the
+      record's most recent heap entry (-1 when the record has never been
+      pushed, or the slot is free),
+    * ``_slot_words[slot]`` - the record's current ``record_words``
+      footprint, kept exact by :meth:`add` / :meth:`relink_last` (and
+      the samplers' inlined relink fast paths).
+
+    The sliding-window samplers stamp ``_slot_tb`` on every heap push,
+    turning the lazy-eviction staleness check into one list index plus
+    an int compare (``slot_tb[record.slot] != entry_tb``) instead of two
+    object-identity probes through dict lookups.  Soundness: heap
+    tiebreaks are drawn from a strictly increasing counter, every
+    re-link of a record is immediately followed by a push with a fresh
+    tiebreak, and a *reused* slot is only ever re-stamped with a later
+    tiebreak - so ``slot_tb`` matches an entry's tiebreak iff that entry
+    is the record's current (freshest) one.  Slot 0 is a reserved
+    sentinel whose counter is permanently stale (-1): detached records
+    (checkpoint stand-ins, removed records) carry slot 0, so their heap
+    entries read as stale without special-casing.
     """
 
     __slots__ = (
@@ -488,6 +522,10 @@ class CandidateStore:
         "_accepted_count",
         "_base_words",
         "_member_words",
+        "_slot_record",
+        "_slot_tb",
+        "_slot_words",
+        "_free",
     )
 
     def __init__(self, config: SamplerConfig) -> None:
@@ -498,6 +536,11 @@ class CandidateStore:
         self._accepted_count = 0
         self._base_words = 0
         self._member_words = 0
+        # Parallel slot arrays; index 0 is the reserved stale sentinel.
+        self._slot_record: list[CandidateRecord | None] = [None]
+        self._slot_tb: list[int] = [-1]
+        self._slot_words: list[int] = [0]
+        self._free: list[int] = []
 
     def __len__(self) -> int:
         return len(self._records)
@@ -562,7 +605,7 @@ class CandidateStore:
         return words
 
     def add(self, record: CandidateRecord) -> None:
-        """Insert a new candidate record."""
+        """Insert a new candidate record (granting it a slot)."""
         key = record.representative.index
         if key in self._records:
             raise ParameterError(
@@ -570,20 +613,38 @@ class CandidateStore:
             )
         self._records[key] = record
         buckets = self._buckets
+        buckets_get = buckets.get
         # No dedup: adj hash values are distinct in practice (distinct
         # cells, 64-bit hashes), and a collision merely registers the
         # record twice in one bucket - remove() iterates the same
         # sequence, so registration stays symmetric either way.
         for value in record.adj_hashes:
-            buckets.setdefault(value, []).append(record)
+            bucket = buckets_get(value)
+            if bucket is None:
+                buckets[value] = [record]
+            else:
+                bucket.append(record)
         if record.accepted:
             self._accepted_count += 1
-        self._base_words += self.record_words(record)
+        words = self.record_words(record)
+        self._base_words += words
         if record.member is not None:
             self._member_words += len(record.representative.vector) + 2
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._slot_record[slot] = record
+            self._slot_tb[slot] = -1
+            self._slot_words[slot] = words
+        else:
+            slot = len(self._slot_record)
+            self._slot_record.append(record)
+            self._slot_tb.append(-1)
+            self._slot_words.append(words)
+        record.slot = slot
 
     def remove(self, record: CandidateRecord) -> None:
-        """Remove a candidate record."""
+        """Remove a candidate record (releasing its slot)."""
         key = record.representative.index
         del self._records[key]
         buckets = self._buckets
@@ -594,9 +655,15 @@ class CandidateStore:
                 del buckets[value]
         if record.accepted:
             self._accepted_count -= 1
-        self._base_words -= self.record_words(record)
+        slot = record.slot
+        self._base_words -= self._slot_words[slot]
         if record.member is not None:
             self._member_words -= len(record.representative.vector) + 2
+        self._slot_record[slot] = None
+        self._slot_tb[slot] = -1
+        self._slot_words[slot] = 0
+        self._free.append(slot)
+        record.slot = 0
 
     def relink_last(self, record: CandidateRecord, new_last: StreamPoint) -> None:
         """Set ``record.last`` keeping the incremental footprint exact.
@@ -613,9 +680,47 @@ class CandidateStore:
         if record.last is rep:
             if new_last is not rep:
                 self._base_words += extra
+                self._slot_words[record.slot] += extra
         elif new_last is rep:
             self._base_words -= extra
+            self._slot_words[record.slot] -= extra
         record.last = new_last
+
+    def check_slot_integrity(self) -> None:
+        """Free-list / slot-pool invariant oracle (test hook, O(slots)).
+
+        Raises ``AssertionError`` unless:
+
+        * slot 0 is the pristine stale sentinel,
+        * every live record owns exactly one slot, that slot points back
+          at it, and its cached words match :meth:`record_words`,
+        * every free-list entry is a cleared slot, listed exactly once,
+          never slot 0, and never a live record's slot (no double-grant,
+          no live-slot reuse),
+        * live slots + free slots account for the whole pool.
+        """
+        slot_record = self._slot_record
+        slot_tb = self._slot_tb
+        slot_words = self._slot_words
+        assert len(slot_record) == len(slot_tb) == len(slot_words)
+        assert slot_record[0] is None and slot_tb[0] == -1 and slot_words[0] == 0
+        free = self._free
+        free_set = set(free)
+        assert len(free_set) == len(free), "free list double-grants a slot"
+        assert 0 not in free_set, "sentinel slot 0 on the free list"
+        live_slots = set()
+        for record in self._records.values():
+            slot = record.slot
+            assert 0 < slot < len(slot_record), "live record without a slot"
+            assert slot not in live_slots, "two live records share a slot"
+            assert slot not in free_set, "live record's slot on the free list"
+            assert slot_record[slot] is record, "slot does not point back"
+            assert slot_words[slot] == self.record_words(record)
+            live_slots.add(slot)
+        for slot in free_set:
+            assert slot_record[slot] is None and slot_tb[slot] == -1
+            assert slot_words[slot] == 0
+        assert len(live_slots) + len(free_set) == len(slot_record) - 1
 
     def set_accepted(self, record: CandidateRecord, accepted: bool) -> None:
         """Flip a record between the accept and reject sets."""
@@ -760,6 +865,16 @@ class _ThresholdPolicy:
     minimum: int = 4
     fixed: int | None = None
     _seen: int = field(default=0, init=False)
+    #: Memo ``(lo, hi, value)``: the inclusive interval of effective
+    #: stream lengths ``m`` over which :meth:`threshold` is constant,
+    #: and its value there.  A pure cache of the deterministic
+    #: ``ceil(kappa0 * log2(m))`` rule - recomputed (and re-verified
+    #: against the exact formula at both endpoints) on any miss, so it
+    #: can never change what ``threshold()`` returns.  Excluded from
+    #: equality; never serialised.
+    _memo: tuple[int, int, int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def observe(self) -> None:
         """Record one arrival (drives the growing-m fallback)."""
@@ -775,7 +890,15 @@ class _ThresholdPolicy:
         return self._seen
 
     def threshold(self) -> int:
-        """Current accept-set capacity."""
+        """Current accept-set capacity.
+
+        The growing-``m`` rule is a step function of the arrival count,
+        so the hot paths' per-batch (and the eviction loops' per-point)
+        calls are served from an interval memo: one tuple compare on a
+        hit, with the full ``ceil(kappa0 * log2(m))`` evaluation - plus
+        an exact-formula verification of the memoised interval's
+        endpoints - only on a step boundary.
+        """
         if self.fixed is not None:
             return max(self.minimum, self.fixed)
         m = (
@@ -783,4 +906,34 @@ class _ThresholdPolicy:
             if self.expected_stream_length is not None
             else max(self._seen, 16)
         )
-        return max(self.minimum, math.ceil(self.kappa0 * math.log2(max(m, 2))))
+        if m < 2:
+            m = 2
+        memo = self._memo
+        if memo is not None and memo[0] <= m <= memo[1]:
+            return memo[2]
+        value = max(self.minimum, math.ceil(self.kappa0 * math.log2(m)))
+        # Largest hi with the same threshold: analytically floor(2^(t/k0))
+        # for the active branch, then nudged against the exact formula so
+        # float drift in the analytic guess can never widen the interval.
+        kappa0 = self.kappa0
+        t = math.ceil(kappa0 * math.log2(m))
+        if t <= self.minimum and kappa0 > 0:
+            # minimum dominates: constant until ceil(k0*log2(hi)) exceeds it.
+            t = self.minimum
+        if kappa0 > 0:
+            exponent = t / kappa0
+            hi = int(2.0**exponent) if exponent < 62 else 1 << 62
+            if hi < m:
+                hi = m
+            while math.ceil(kappa0 * math.log2(hi)) > t:
+                hi -= 1
+            while hi < 1 << 62 and math.ceil(kappa0 * math.log2(hi + 1)) <= t:
+                hi += 1
+        else:
+            # Non-positive kappa0: the rule is no longer non-decreasing
+            # in m, so memoise only the exact point just computed.
+            hi = m
+        # lo is recorded (rather than assuming m only grows) so the memo
+        # stays sound even if _seen is rewound by a state restore.
+        self._memo = (m, hi, value)
+        return value

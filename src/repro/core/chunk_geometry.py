@@ -161,6 +161,8 @@ class ChunkGeometry:
         "_fracs",
         "_ignorable",
         "_ignorable_mask",
+        "_low_ignorable",
+        "_low_ignorable_mask",
         "_adj_table",
         "_adj_start",
         "_adj_requests",
@@ -193,6 +195,8 @@ class ChunkGeometry:
         self._fracs = None
         self._ignorable: list[bool] | None = None
         self._ignorable_mask = -1
+        self._low_ignorable: list[bool] | None = None
+        self._low_ignorable_mask = -1
         self._adj_table: list[tuple[int, ...]] | None = None
         self._adj_start = 0
         self._adj_requests = 0
@@ -221,6 +225,11 @@ class ChunkGeometry:
         if config is not self.config or n > len(vectors):
             return False
         own = self._vectors
+        if vectors is own:
+            # The pipeline handed the shard this geometry's own coerced
+            # tuples (see ``BatchPipeline.submit``): trivially valid,
+            # skip the endpoint comparisons.
+            return True
         return n == 0 or (
             vectors[0] == own[0] and vectors[n - 1] == own[n - 1]
         )
@@ -273,6 +282,38 @@ class ChunkGeometry:
         self._ignorable = probe.tolist() if probe is not None else None
         self._ignorable_mask = mask
         return self._ignorable
+
+    def low_dim_ignorable(self, mask: int) -> list[bool] | None:
+        """The exact "no sampled cell in ``adj(p)``" verdicts at ``mask``.
+
+        The dim<=2 twin of :meth:`high_dim_ignorable`, but *exact*
+        rather than conservative (see
+        :func:`repro.geometry.kernels.low_dim_ignore_probe`): ``True``
+        entries are certainly ignored by the founding path when their
+        own cell is unsampled, ``False`` entries certainly have a
+        sampled adjacency cell and can skip the scalar corner filter.
+        Lazy - chunks whose points all match tracked groups never pay
+        for the enumeration - and cached per mask; ``True`` verdicts
+        stay valid across mid-chunk rate doublings (decisions nest).
+        Returns ``None`` when the adjacency enumeration cannot serve
+        this configuration (the caller keeps the scalar corner filter).
+        """
+        if self._low_ignorable_mask == mask:
+            return self._low_ignorable
+        config = self.config
+        probe = kernels.low_dim_ignore_probe(
+            self._coords,
+            self.fracs,
+            config.grid.side,
+            config.alpha,
+            mask,
+            lambda rows: np.array(
+                _hash_cells_list(config, rows), dtype=np.uint64
+            ),
+        )
+        self._low_ignorable = probe.tolist() if probe is not None else None
+        self._low_ignorable_mask = mask
+        return self._low_ignorable
 
     # ------------------------------------------------------------------ #
     # adjacency
@@ -375,7 +416,10 @@ def _geometry_from_array(
     cell_hashes = _hash_cells_list(config, coords)
     return ChunkGeometry(
         config,
-        vectors[:n],
+        # Keep the caller's list object when it is fully covered so the
+        # ``valid_for``/``_reusable_vectors`` identity fast paths can
+        # hit (a full-length slice would copy).
+        vectors if n == total else vectors[:n],
         shifted,
         cells_f,
         coords,
@@ -466,6 +510,91 @@ def geometry_from_array(
         pure_coords=True,
     )
     return vectors, geometry
+
+
+def feed_copies_shared(
+    copies: Sequence, points: Iterable[StreamPoint | Sequence[float]]
+) -> int:
+    """Shared-geometry batch path of the multi-copy wrappers (k-sample, F0).
+
+    Like :func:`repro.core.base.materialize_and_feed` - raw coordinates
+    are materialised once into :class:`StreamPoint` objects so all
+    copies agree on arrival indices, then every copy ingests the shared
+    chunk - but the chunk's float coercion and its flattened float64
+    array are computed **once** and each copy's
+    :class:`ChunkGeometry` is derived from that one array.  The grid
+    derivation itself (offset shift, cell coordinates, cell hashing) is
+    necessarily per copy - each copy owns an independently seeded
+    :class:`~repro.core.base.SamplerConfig`, so their grids and hashes
+    differ by construction - but the per-copy ``np.fromiter`` flatten
+    and the per-element ``float()`` coercion the copies would otherwise
+    repeat are gone.
+
+    The shared array is only built when the coerced rows are provably
+    rectangular at the wrappers' dimension (a cheap ``len`` sweep): a
+    ragged chunk falls back to per-copy geometry computation, which
+    reproduces the per-copy dimension-error semantics exactly.  Error
+    semantics match :func:`materialize_and_feed`: a coercion failure or
+    a copy-side rejection leaves every copy with exactly the valid
+    prefix before the error propagates.
+
+    Returns the number of points ingested.
+    """
+    index = copies[0].points_seen
+    chunk: list[StreamPoint] = []
+    vectors: list[tuple[float, ...]] = []
+    append_point = chunk.append
+    append_vector = vectors.append
+    error: BaseException | None = None
+    try:
+        for point in points:
+            if isinstance(point, StreamPoint):
+                vector = point.vector
+            else:
+                vector = tuple(float(x) for x in point)
+                point = StreamPoint(vector, index)
+            append_point(point)
+            append_vector(vector)
+            index += 1
+    except BaseException as exc:
+        # Per-point ingestion would have fed the valid prefix to every
+        # copy before hitting the bad coordinate; match that exactly.
+        error = exc
+    total = len(chunk)
+    geometries: list[ChunkGeometry | None] = [None] * len(copies)
+    if (
+        _ENABLED
+        and kernels.HAVE_NUMPY
+        and total >= MIN_VECTOR_CHUNK
+    ):
+        dim = copies[0].dim
+        if all(len(vector) == dim for vector in vectors):
+            array = np.fromiter(
+                chain.from_iterable(vectors), np.float64, count=total * dim
+            ).reshape(total, dim)
+            geometries = [
+                _geometry_from_array(copy._config, vectors, array)
+                for copy in copies
+            ]
+    first = copies[0]
+    before = first.points_seen
+    try:
+        first.process_many(chunk, geometry=geometries[0])
+    except BaseException:
+        # First copy rejected a point mid-chunk: the rejection is
+        # deterministic per point, so the other copies accept exactly
+        # the prefix it ingested (their full-chunk geometries cannot
+        # serve the shorter prefix and are dropped - valid_for would
+        # reject them anyway).
+        prefix = first.points_seen - before
+        for copy in copies[1:]:
+            copy.process_many(chunk[:prefix])
+        raise
+    for copy, geometry in zip(copies[1:], geometries[1:]):
+        copy.process_many(chunk, geometry=geometry)
+    if error is not None:
+        raise error
+    return total
 
 
 def _reusable_vectors(

@@ -13,7 +13,8 @@ import math
 import statistics
 from typing import Iterable, Sequence
 
-from repro.core.base import StreamSampler, materialize_and_feed
+from repro.core.base import StreamSampler
+from repro.core.chunk_geometry import feed_copies_shared
 from repro.core.infinite_window import RobustL0SamplerIW
 from repro.errors import ParameterError
 from repro.streams.point import StreamPoint
@@ -108,14 +109,15 @@ class RobustF0EstimatorIW(StreamSampler):
     ) -> int:
         """Batched :meth:`insert`: materialise once, feed every copy.
 
-        See :func:`~repro.core.base.materialize_and_feed` - the copies
-        stay in lockstep even when a mid-chunk point is invalid.  Each
-        copy rides its own vectorised chunk-geometry path (copies have
-        independent grids/hashes, so their
-        :class:`~repro.core.chunk_geometry.ChunkGeometry` precomputes
-        cannot be shared).
+        See :func:`~repro.core.chunk_geometry.feed_copies_shared` - the
+        copies stay in lockstep even when a mid-chunk point is invalid,
+        and the chunk's coercion and flattened float array are computed
+        once and shared.  Each copy still derives its own grid/hash
+        products from that array (copies have independent grids and
+        hashes by construction), but the per-copy coercion and flatten
+        passes are gone.
         """
-        return materialize_and_feed(self._copies, points)
+        return feed_copies_shared(self._copies, points)
 
     def copy_estimates(self) -> list[float]:
         """Per-copy point estimates ``|S_acc| * R``."""

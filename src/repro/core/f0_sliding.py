@@ -24,7 +24,8 @@ from __future__ import annotations
 import statistics
 from typing import Iterable, Literal, Sequence
 
-from repro.core.base import DEFAULT_KAPPA0, StreamSampler, materialize_and_feed
+from repro.core.base import DEFAULT_KAPPA0, StreamSampler
+from repro.core.chunk_geometry import feed_copies_shared
 from repro.core.sliding_window import RobustL0SamplerSW
 from repro.errors import ParameterError
 from repro.streams.point import StreamPoint
@@ -112,12 +113,13 @@ class RobustF0EstimatorSW(StreamSampler):
     ) -> int:
         """Batched :meth:`insert`: materialise once, feed every copy.
 
-        See :func:`~repro.core.base.materialize_and_feed` - the copies
-        stay in lockstep even when a mid-chunk point is invalid.  Each
-        copy rides its own vectorised chunk-geometry path (independent
-        grids/hashes per copy - the precomputes cannot be shared).
+        See :func:`~repro.core.chunk_geometry.feed_copies_shared` - the
+        copies stay in lockstep even when a mid-chunk point is invalid,
+        the chunk's coercion and float-array flatten are shared, and
+        each copy derives its own grid/hash products from the shared
+        array (grids/hashes are independent per copy).
         """
-        return materialize_and_feed(self._copies, points)
+        return feed_copies_shared(self._copies, points)
 
     def copy_levels(self) -> list[int]:
         """Deepest active level per copy (0 when the window is empty)."""

@@ -133,11 +133,16 @@ class FixedRateSlidingSampler(StreamSampler):
     # ------------------------------------------------------------------ #
 
     def _push_heap(self, record: CandidateRecord) -> None:
+        # Stamp the record's slot generation with the entry's tiebreak
+        # (see the slot-pool notes on CandidateStore): eviction then
+        # detects stale entries with one list index + int compare.
+        tiebreak = next(self._tiebreak)
+        self._store._slot_tb[record.slot] = tiebreak
         heapq.heappush(
             self._heap,
             (
                 self._window.expiry_key(record.last),
-                next(self._tiebreak),
+                tiebreak,
                 record,
                 record.last,
             ),
@@ -146,9 +151,11 @@ class FixedRateSlidingSampler(StreamSampler):
     def evict(self, latest: StreamPoint) -> None:
         """Drop groups whose last point expired (Lines 1-3 of Algorithm 2).
 
-        Stale heap entries (the record was updated or already removed) are
-        discarded lazily; amortised O(log n) per tracked update.  The
-        window's :meth:`~repro.streams.windows.WindowSpec.eviction_cutoff`
+        Stale heap entries (the record was updated or already removed -
+        detected in O(1) by the entry tiebreak no longer matching its
+        record's slot generation) are discarded lazily; amortised
+        O(log n) per tracked update.  The window's
+        :meth:`~repro.streams.windows.WindowSpec.eviction_cutoff`
         pre-filters live entries by their heap key, so the common
         nothing-expires case costs one comparison past the stale check.
         """
@@ -158,10 +165,10 @@ class FixedRateSlidingSampler(StreamSampler):
         store = self._store
         window = self._window
         cutoff = window.eviction_cutoff(latest)
+        slot_tb = store._slot_tb
         while heap:
-            key, _, record, last_ref = heap[0]
-            current = store.get(record.representative.index)
-            if current is not record or record.last is not last_ref:
+            key, tiebreak, record, _ = heap[0]
+            if slot_tb[record.slot] != tiebreak:
                 heapq.heappop(heap)
                 continue
             if key > cutoff or window.in_window(record.last, latest):
@@ -278,7 +285,8 @@ class FixedRateSlidingSampler(StreamSampler):
         heappush = heapq.heappush
         heappop = heapq.heappop
         store = self._store
-        records_get = store._records.get
+        slot_tb = store._slot_tb
+        slot_words = store._slot_words
         buckets_get = store._buckets.get
         reservoirs = self._reservoirs
         track = self._track_members
@@ -327,11 +335,8 @@ class FixedRateSlidingSampler(StreamSampler):
             if heap:
                 cutoff = eviction_cutoff(p)
                 while heap:
-                    key, _, record, last_ref = heap[0]
-                    if (
-                        records_get(record.representative.index) is not record
-                        or record.last is not last_ref
-                    ):
+                    key, entry_tb, record, _ = heap[0]
+                    if slot_tb[record.slot] != entry_tb:
                         heappop(heap)
                         continue
                     if key > cutoff or in_window(record.last, p):
@@ -385,11 +390,15 @@ class FixedRateSlidingSampler(StreamSampler):
                 if p is not existing.representative:
                     if existing.last is existing.representative:
                         store._base_words += dim + 2
+                        slot_words[existing.slot] += dim + 2
                 elif existing.last is not existing.representative:
                     store._base_words -= dim + 2
+                    slot_words[existing.slot] -= dim + 2
                 existing.last = p
                 existing.count += 1
-                heappush(heap, (expiry_key(p), next(tiebreak), existing, p))
+                entry_tb = next(tiebreak)
+                slot_tb[existing.slot] = entry_tb
+                heappush(heap, (expiry_key(p), entry_tb, existing, p))
                 if track:
                     self._reservoir_for(existing).offer(p, member_rng)
                 continue
@@ -416,7 +425,9 @@ class FixedRateSlidingSampler(StreamSampler):
                 last=p,
             )
             store.add(record)
-            heappush(heap, (expiry_key(p), next(tiebreak), record, p))
+            entry_tb = next(tiebreak)
+            slot_tb[record.slot] = entry_tb
+            heappush(heap, (expiry_key(p), entry_tb, record, p))
             if track:
                 self._reservoir_for(record).offer(p, member_rng)
         if error is not None:
@@ -598,13 +609,15 @@ class FixedRateSlidingSampler(StreamSampler):
             record = serialize.record_from_state(record_state)
             records[record.representative.index] = record
             sampler._store.add(record)
+        slot_tb = sampler._store._slot_tb
         for entry in state["heap"]:
             last = serialize.point_from_state(entry["p"])
             record = records.get(entry["r"]) if entry["linked"] else None
             if record is None:
                 # The referenced record left the store: fabricate a
                 # detached stand-in so the staleness check pops the entry
-                # exactly as it would have popped the original.
+                # exactly as it would have popped the original (the
+                # sentinel slot 0 never matches a real tiebreak).
                 record = CandidateRecord(
                     representative=StreamPoint(last.vector, entry["r"]),
                     cell=(),
@@ -614,8 +627,12 @@ class FixedRateSlidingSampler(StreamSampler):
                     last=last,
                 )
             elif entry["cur"]:
-                # Live entry: restore the identity record.last is last_ref.
+                # Live entry: restore the identity record.last is last_ref
+                # and stamp the slot generation (max-wins: the record's
+                # latest push owns the counter, as in live stamping).
                 last = record.last
+                if entry["t"] > slot_tb[record.slot]:
+                    slot_tb[record.slot] = entry["t"]
             # The saved list order *is* a valid heap arrangement (it was
             # the live heap), so it is restored verbatim - heapifying
             # could legally rearrange it and break fingerprint equality.

@@ -337,6 +337,14 @@ class RobustL0SamplerIW(StreamSampler):
         ignorable = None
         if geom_n and not use_ignore_filter:
             ignorable = geom.high_dim_ignorable(mask)
+        # Low-dimensional twin: the exact vectorised adj(p) probe
+        # (fetched lazily on the first untracked point, so chunks of
+        # pure duplicates never pay for it).  Unlike the conservative
+        # corner filter it is exact in both directions: True entries
+        # are certainly ignored, False entries certainly found or join
+        # a sampled neighbourhood and skip the corner test entirely.
+        low_ignorable = None
+        low_probe_ok = bool(geom_n) and use_ignore_filter
         if dim == 1:
             off0 = offset[0]
             off1 = 0.0
@@ -397,8 +405,10 @@ class RobustL0SamplerIW(StreamSampler):
                         if p is not existing.representative:
                             if existing.last is existing.representative:
                                 store._base_words += dim + 2
+                                store._slot_words[existing.slot] += dim + 2
                         elif existing.last is not existing.representative:
                             store._base_words -= dim + 2
+                            store._slot_words[existing.slot] -= dim + 2
                         existing.last = p
                         if track and member_random() < 1.0 / existing.count:
                             existing.member = p
@@ -410,36 +420,55 @@ class RobustL0SamplerIW(StreamSampler):
                 # of its conservative neighbourhood are few and memoised.
                 # The exact path below stays authoritative for the rest.
                 if use_ignore_filter and cell_hash & mask != 0:
-                    if cell is None:
-                        cell = cell_at(i)
-                    corners = nearby_get(cell)
-                    if corners is None:
-                        corners = tuple(
-                            corner
-                            for corner, value in conservative_neighborhood(
-                                cell
-                            )
-                            if value & mask == 0
-                        )
-                        if len(nearby_memo) >= _CELL_MEMO_LIMIT:
-                            nearby_memo.clear()
-                        nearby_memo[cell] = corners
-                    for corner in corners:
-                        acc = 0.0
-                        for x, low in zip(vector, corner):
-                            if x < low:
-                                diff = low - x
-                            else:
-                                diff = x - low - side
-                                if diff <= 0.0:
-                                    continue
-                            acc += diff * diff
-                            if acc > alpha_eps:
-                                break
+                    if low_probe_ok and i < geom_n:
+                        if low_ignorable is None:
+                            low_ignorable = geom.low_dim_ignorable(mask)
+                            low_probe_ok = low_ignorable is not None
+                        if low_probe_ok:
+                            if low_ignorable[i]:
+                                # Exact verdict: no sampled cell in
+                                # adj(p), and cell(p) is unsampled -
+                                # insert() would ignore the point.
+                                continue
+                            # A sampled adjacency cell certainly
+                            # exists: skip the corner filter, the
+                            # founding path below decides.
+                            low_verdict = True
                         else:
-                            break  # near a sampled cell: exact path
+                            low_verdict = False
                     else:
-                        continue  # certainly ignored at the current rate
+                        low_verdict = False
+                    if not low_verdict:
+                        if cell is None:
+                            cell = cell_at(i)
+                        corners = nearby_get(cell)
+                        if corners is None:
+                            corners = tuple(
+                                corner
+                                for corner, value in (
+                                    conservative_neighborhood(cell)
+                                )
+                                if value & mask == 0
+                            )
+                            if len(nearby_memo) >= _CELL_MEMO_LIMIT:
+                                nearby_memo.clear()
+                            nearby_memo[cell] = corners
+                        for corner in corners:
+                            acc = 0.0
+                            for x, low in zip(vector, corner):
+                                if x < low:
+                                    diff = low - x
+                                else:
+                                    diff = x - low - side
+                                    if diff <= 0.0:
+                                        continue
+                                acc += diff * diff
+                                if acc > alpha_eps:
+                                    break
+                            else:
+                                break  # near a sampled cell: exact path
+                        else:
+                            continue  # certainly ignored at current rate
                 elif (
                     ignorable is not None
                     and i < geom_n

@@ -15,7 +15,8 @@ from __future__ import annotations
 import random
 from typing import Iterable, Sequence
 
-from repro.core.base import DEFAULT_KAPPA0, StreamSampler, materialize_and_feed
+from repro.core.base import DEFAULT_KAPPA0, StreamSampler
+from repro.core.chunk_geometry import feed_copies_shared
 from repro.core.infinite_window import RobustL0SamplerIW
 from repro.core.sliding_window import RobustL0SamplerSW
 from repro.errors import EmptySampleError, ParameterError
@@ -130,14 +131,15 @@ class KDistinctSampler(StreamSampler):
     ) -> int:
         """Batched :meth:`insert`: one shared materialisation, k batch runs.
 
-        See :func:`~repro.core.base.materialize_and_feed`: one shared
-        materialisation, then every underlying sampler ingests the chunk
-        through its own specialised path (including its own vectorised
-        chunk geometry - samplers have independent grids/hashes), with
-        per-point error semantics preserved (every copy holds the valid
-        prefix on failure).
+        See :func:`~repro.core.chunk_geometry.feed_copies_shared`: one
+        shared materialisation and one shared float-array flatten, then
+        every underlying sampler ingests the chunk through its own
+        specialised path with a chunk geometry derived from the shared
+        array (grid/hash products stay per sampler - they have
+        independent grids/hashes), with per-point error semantics
+        preserved (every copy holds the valid prefix on failure).
         """
-        return materialize_and_feed(self._samplers, points)
+        return feed_copies_shared(self._samplers, points)
 
     def sample(self, rng: random.Random | None = None) -> list[StreamPoint]:
         """Return the k samples.

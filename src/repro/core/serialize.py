@@ -103,7 +103,15 @@ def config_from_state(state: dict[str, Any]) -> SamplerConfig:
 
 def record_to_state(record: CandidateRecord) -> dict[str, Any]:
     """Encode one candidate record (``last``/``member``/``level`` only
-    when they deviate from the defaults)."""
+    when they deviate from the defaults).
+
+    ``record.slot`` - the record's index into its store's slot pool -
+    is **derived state** and deliberately never encoded: restoring
+    re-grants slots through ``CandidateStore.add``, so checkpoints stay
+    byte-identical to the pre-pool layout and legacy checkpoints
+    restore unchanged (``tests/test_persist.py``,
+    ``tests/test_property_equivalence.py``).
+    """
     state = {
         "rep": point_to_state(record.representative),
         "cell": list(record.cell),

@@ -302,11 +302,17 @@ class RobustL0SamplerSW(StreamSampler):
     # ------------------------------------------------------------------ #
 
     def _push(self, record: CandidateRecord) -> None:
+        # Stamping the record's slot with the entry's tiebreak is what
+        # makes the eviction staleness check O(1): an entry is current
+        # iff its tiebreak matches the slot's generation counter (see
+        # the slot-pool notes on CandidateStore).
+        tiebreak = next(self._tiebreak)
+        self._store._slot_tb[record.slot] = tiebreak
         heapq.heappush(
             self._heap,
             (
                 self._window.expiry_key(record.last),
-                next(self._tiebreak),
+                tiebreak,
                 record,
                 record.last,
             ),
@@ -314,35 +320,35 @@ class RobustL0SamplerSW(StreamSampler):
 
     def _add(self, record: CandidateRecord) -> None:
         """Register a record (store + its level's map/counters)."""
-        self._store.add(record)
+        store = self._store
+        store.add(record)
         level = record.level
         self._level_records[level][record.representative.index] = record
         if record.accepted:
             self._level_accepted[level] += 1
-        self._level_words[level] += _record_words(record)
+        self._level_words[level] += store._slot_words[record.slot]
 
     def _remove(self, record: CandidateRecord) -> None:
         """Drop a record (store + its level's map/counters)."""
-        self._store.remove(record)
+        store = self._store
+        words = store._slot_words[record.slot]
+        store.remove(record)
         level = record.level
         del self._level_records[level][record.representative.index]
         if record.accepted:
             self._level_accepted[level] -= 1
-        self._level_words[level] -= _record_words(record)
+        self._level_words[level] -= words
 
     def _move(self, record: CandidateRecord, target: int) -> None:
         """Retag a record's level - the store registration survives."""
         source = record.level
-        rep = record.representative
-        key = rep.index
+        key = record.representative.index
         del self._level_records[source][key]
         self._level_records[target][key] = record
         record.level = target
-        # Inline record_words: this runs once per promotion step.
-        dim = len(rep.vector)
-        words = dim + 5 + len(record.adj_hashes)
-        if record.last is not rep:
-            words += dim + 2
+        # The record's footprint is served from its slot (kept exact by
+        # add/relink), so the promotion is counter moves only.
+        words = self._store._slot_words[record.slot]
         level_words = self._level_words
         level_words[source] -= words
         level_words[target] += words
@@ -361,12 +367,15 @@ class RobustL0SamplerSW(StreamSampler):
         """Level-aware :meth:`CandidateStore.relink_last`."""
         rep = record.representative
         extra = len(rep.vector) + 2
+        store = self._store
         if record.last is rep:
             if new_last is not rep:
-                self._store._base_words += extra
+                store._base_words += extra
+                store._slot_words[record.slot] += extra
                 self._level_words[record.level] += extra
         elif new_last is rep:
-            self._store._base_words -= extra
+            store._base_words -= extra
+            store._slot_words[record.slot] -= extra
             self._level_words[record.level] -= extra
         record.last = new_last
 
@@ -376,24 +385,22 @@ class RobustL0SamplerSW(StreamSampler):
         One lazy heap covers the whole hierarchy.  The window's
         ``eviction_cutoff`` pre-filters by heap key first - the common
         nothing-expires case costs one float comparison - then stale
-        entries (the record was removed, or its last point superseded)
-        are popped, and the authoritative ``in_window`` test decides the
-        rest.
+        entries (detected in O(1): the entry's tiebreak no longer
+        matches its record's slot generation - the record was removed,
+        or a later push superseded the entry) are popped, and the
+        authoritative ``in_window`` test decides the rest.
         """
         heap = self._heap
         if not heap:
             return
         window = self._window
         cutoff = window.eviction_cutoff(latest)
-        records_get = self._store._records.get
+        slot_tb = self._store._slot_tb
         while heap:
-            key, _, record, last_ref = heap[0]
+            key, tiebreak, record, _ = heap[0]
             if key > cutoff:
                 break
-            if (
-                records_get(record.representative.index) is not record
-                or record.last is not last_ref
-            ):
+            if slot_tb[record.slot] != tiebreak:
                 heapq.heappop(heap)
                 continue
             if window.in_window(record.last, latest):
@@ -523,8 +530,10 @@ class RobustL0SamplerSW(StreamSampler):
         heappush = heapq.heappush
         heappop = heapq.heappop
         policy = self._policy
+        threshold = policy.threshold
         store = self._store
-        records_get = store._records.get
+        slot_tb = store._slot_tb
+        slot_words = store._slot_words
         buckets_get = store._buckets.get
         level_records0 = self._level_records[0]
         level_accepted = self._level_accepted
@@ -603,14 +612,10 @@ class RobustL0SamplerSW(StreamSampler):
                     else:
                         cutoff = eviction_cutoff(p)
                     while heap:
-                        key, _, record, last_ref = heap[0]
+                        key, entry_tb, record, _ = heap[0]
                         if key > cutoff:
                             break
-                        if (
-                            records_get(record.representative.index)
-                            is not record
-                            or record.last is not last_ref
-                        ):
+                        if slot_tb[record.slot] != entry_tb:
                             heappop(heap)
                             continue
                         if (
@@ -671,15 +676,17 @@ class RobustL0SamplerSW(StreamSampler):
                     if p is not rep:
                         if found.last is rep:
                             store._base_words += last_extra
+                            slot_words[found.slot] += last_extra
                             level_words[found.level] += last_extra
                     elif found.last is not rep:
                         store._base_words -= last_extra
+                        slot_words[found.slot] -= last_extra
                         level_words[found.level] -= last_extra
                     found.last = p
                     found.count += 1
-                    heappush(
-                        heap, (point_key, next(tiebreak), found, p)
-                    )
+                    entry_tb = next(tiebreak)
+                    slot_tb[found.slot] = entry_tb
+                    heappush(heap, (point_key, entry_tb, found, p))
                     if not found.accepted and found.level:
                         # Rejected group with fresh activity: move it to
                         # level 0 (representative preserved).
@@ -689,7 +696,7 @@ class RobustL0SamplerSW(StreamSampler):
                         pending = 0
                         self._move(found, 0)
                         self._set_accepted(found, True)
-                        if level_accepted[0] > policy.threshold():
+                        if level_accepted[0] > threshold():
                             self._cascade(0)
                 else:
                     # A genuinely new group enters at level 0 (R_0 = 1
@@ -716,11 +723,11 @@ class RobustL0SamplerSW(StreamSampler):
                     store.add(record)
                     level_records0[p.index] = record
                     level_accepted[0] += 1
-                    level_words[0] += _record_words(record)
-                    heappush(
-                        heap, (point_key, next(tiebreak), record, p)
-                    )
-                    if level_accepted[0] > policy.threshold():
+                    level_words[0] += slot_words[record.slot]
+                    entry_tb = next(tiebreak)
+                    slot_tb[record.slot] = entry_tb
+                    heappush(heap, (point_key, entry_tb, record, p))
+                    if level_accepted[0] > threshold():
                         self._cascade(0)
 
                 if count & 0xF == 0:
@@ -1061,13 +1068,16 @@ class RobustL0SamplerSW(StreamSampler):
             records[record.representative.index] = record
             sampler._add(record)
         sampler._tiebreak = itertools.count(state["next_tiebreak"])
+        slot_tb = sampler._store._slot_tb
         for entry in state["heap"]:
             last = serialize.point_from_state(entry["p"])
             record = records.get(entry["r"]) if entry["linked"] else None
             if record is None:
                 # The referenced record left the store: fabricate a
                 # detached stand-in so the staleness check pops the entry
-                # exactly as it would have popped the original.
+                # exactly as it would have popped the original (a
+                # detached record carries the sentinel slot 0, whose
+                # generation counter never matches a real tiebreak).
                 record = CandidateRecord(
                     representative=StreamPoint(last.vector, entry["r"]),
                     cell=(),
@@ -1077,8 +1087,13 @@ class RobustL0SamplerSW(StreamSampler):
                     last=last,
                 )
             elif entry["cur"]:
-                # Live entry: restore the identity record.last is last_ref.
+                # Live entry: restore the identity record.last is last_ref
+                # and stamp the record's slot generation so the entry
+                # reads as current.  Max-wins, matching live stamping
+                # (the record's *latest* push owns the slot counter).
                 last = record.last
+                if entry["t"] > slot_tb[record.slot]:
+                    slot_tb[record.slot] = entry["t"]
             # The saved list order *is* a valid heap arrangement (it was
             # the live heap), so it is restored verbatim - heapifying
             # could legally rearrange it and break fingerprint equality.
@@ -1116,8 +1131,11 @@ class RobustL0SamplerSW(StreamSampler):
         # Pushing in sorted order yields a valid heap with fresh,
         # collision-free tiebreaks (per-level counters overlapped).
         self._tiebreak = itertools.count()
+        slot_tb = self._store._slot_tb
         for heap_key, _, _, record_key in sorted(live_entries):
             record = records[record_key]
-            self._heap.append(
-                (heap_key, next(self._tiebreak), record, record.last)
-            )
+            tiebreak = next(self._tiebreak)
+            # Later pushes overwrite: the slot generation tracks the
+            # record's freshest entry, exactly as live stamping does.
+            slot_tb[record.slot] = tiebreak
+            self._heap.append((heap_key, tiebreak, record, record.last))

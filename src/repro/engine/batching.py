@@ -30,7 +30,13 @@ from repro.core.chunk_geometry import (
     set_vectorized_geometry,
     vectorized_geometry_enabled,
 )
+from repro.geometry import kernels
 from repro.streams.point import StreamPoint
+
+if kernels.HAVE_NUMPY:
+    import numpy as np
+else:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
 
 __all__ = [
     "chunked",
@@ -64,6 +70,26 @@ def chunk_geometry_for(
     if not vectorized_geometry_enabled() or len(chunk) < MIN_VECTOR_CHUNK:
         return None
     dim = config.dim
+    if (
+        kernels.HAVE_NUMPY
+        and isinstance(chunk, np.ndarray)
+        and chunk.ndim == 2
+        and chunk.dtype.kind in "fiub"
+    ):
+        # Numeric array chunks skip the per-row float() loop entirely:
+        # one dtype cast (a no-op for float64 input), then the same
+        # builder the worker-side transport uses.  Restricted to numeric
+        # dtypes, where the cast is element-wise identical to float(x);
+        # object arrays fall through to the scalar loop below so exotic
+        # elements keep their exact per-point coercion semantics.
+        if chunk.shape[1] != dim:
+            # The scalar loop would fail its dimension sweep on every
+            # row; short-circuit to the same verdict.
+            return None
+        _, geometry = geometry_from_array(
+            config, np.asarray(chunk, dtype=np.float64)
+        )
+        return geometry
     pure = True
     vectors = []
     try:

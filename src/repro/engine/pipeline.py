@@ -390,6 +390,21 @@ class BatchPipeline:
         geometry = None
         if executor.wants_geometry:
             geometry = chunk_geometry_for(self._coordinator.config, chunk)
+            if (
+                geometry is not None
+                and geometry.pure_coords
+                and geometry.source_vectors is not None
+                and len(geometry.source_vectors) == len(chunk)
+            ):
+                # Hand the shard the coerced tuples themselves: shard
+                # materialisation then hits the identity fast path of
+                # ``_reusable_vectors`` (``points is source_vectors``)
+                # and ``valid_for`` short-circuits on the same identity,
+                # so the chunk is coerced exactly once per pipeline
+                # pass.  Safe because ``pure_coords`` guarantees no
+                # StreamPoint metadata is lost and the tuples cover the
+                # full chunk.
+                chunk = geometry.source_vectors
         processed = executor.submit(shard, chunk, geometry)
         if processed is None:  # queued, not yet ingested
             self._dirty = True

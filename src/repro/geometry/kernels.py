@@ -244,6 +244,50 @@ def adjacent_cells_chunk(
     return cells, counts
 
 
+def low_dim_ignore_probe(
+    coords: "np.ndarray",
+    fracs: "np.ndarray",
+    side: float,
+    radius: float,
+    mask: int,
+    hash_coords: "Callable[[np.ndarray], np.ndarray]",
+) -> "np.ndarray | None":
+    """Exact "no sampled cell in ``adj(p)``" verdict per point (small dims).
+
+    The vectorised twin of the scalar dim<=2 corner filter: instead of
+    testing each point against the corner boxes of the sampled cells of
+    its *conservative* neighbourhood, enumerate ``adj(p)`` itself with
+    :func:`adjacent_cells_chunk` (bit-identical to the exact path's
+    adjacency), hash every cell (``hash_coords``, memo-aware) and test
+    against ``mask``.  ``True`` entries have **no** sampled cell in
+    ``adj(p)`` - the exact founding path would ignore them outright -
+    so unlike the corner filter the probe is exact, not conservative:
+    ``False`` entries certainly have a sampled cell in ``adj(p)`` and
+    can skip the corner test and go straight to the founding path.
+
+    The enumeration includes the point's own cell; callers consult the
+    probe only for points whose own cell is unsampled, where that row
+    never matches.  Verdicts nest across mid-chunk rate doublings
+    exactly like :func:`high_dim_ignore_probe`'s (the sampled set only
+    shrinks), so one probe per chunk suffices for ``True`` entries;
+    ``False`` entries re-test against the live mask on the exact path.
+
+    Returns ``None`` when :func:`adjacent_cells_chunk` cannot serve the
+    configuration (dimension or table size); callers then keep the
+    scalar corner filter.
+    """
+    result = adjacent_cells_chunk(coords, fracs, side, radius)
+    if result is None:
+        return None
+    n = coords.shape[0]
+    cells, counts = result
+    if cells.shape[0] == 0:
+        return np.ones(n, dtype=bool)
+    sampled = (hash_coords(cells) & _U64(mask)) == 0
+    owners = np.repeat(np.arange(n), counts)
+    return np.bincount(owners[sampled], minlength=n) == 0
+
+
 def high_dim_ignore_probe(
     coords: "np.ndarray",
     fracs: "np.ndarray",
@@ -265,9 +309,13 @@ def high_dim_ignore_probe(
       points always reach the exact path);
     * every feasible single-axis neighbour is hashed (``hash_coords``,
       memo-aware) and tested against ``mask``;
-    * multi-axis (diagonal) neighbours are never hashed: if the two
-      cheapest feasible axis moves fit the budget together, the point is
-      conservatively sent to the exact path.
+    * multi-axis (diagonal) neighbours whose summed per-axis costs fit
+      the budget are *enumerated and hashed too* (a pruned DFS over the
+      feasible ``{-1, 0, +1}`` offsets, run only for the points whose
+      two cheapest axis moves fit the budget together - corner-parked
+      points, typically few); a point whose feasible enumeration would
+      exceed :data:`_DIAGONAL_CELL_CAP` cells falls back to the old
+      conservative verdict (sent to the exact path).
 
     Returns a bool array (``True`` = certainly ignorable when the
     point's own cell is unsampled), or ``None`` when ``side`` is not
@@ -311,13 +359,107 @@ def high_dim_ignore_probe(
 
     # Feasible diagonal neighbourhood: the two cheapest feasible axis
     # moves fitting the budget together means some multi-axis cell may
-    # lie within the radius - conservatively not ignorable.
+    # lie within the radius.  Those cells used to be a conservative
+    # give-up; enumerate and hash them instead (the candidate points
+    # are corner-parked and few, so the per-point DFS is cheap), so a
+    # point whose whole feasible diagonal set is unsampled is still
+    # certainly ignorable.
     if dim >= 2:
         axis_min = np.where(feasible_minus, minus_cost, np.inf)
         axis_min = np.minimum(
             axis_min, np.where(feasible_plus, plus_cost, np.inf)
         )
         cheapest_two = np.partition(axis_min, 1, axis=1)[:, :2]
-        diagonal = cheapest_two.sum(axis=1) <= budget
+        maybe = (cheapest_two.sum(axis=1) <= budget) & ~hit
+        diagonal = np.zeros(n, dtype=bool)
+        if maybe.any():
+            candidates = np.nonzero(maybe)[0]
+            minus_list = minus_cost[candidates].tolist()
+            plus_list = plus_cost[candidates].tolist()
+            coords_list = coords[candidates].tolist()
+            cell_rows: list[list[int]] = []
+            owner_rows: list[int] = []
+            for position, index in enumerate(candidates.tolist()):
+                cells = _feasible_diagonal_cells(
+                    coords_list[position],
+                    minus_list[position],
+                    plus_list[position],
+                    budget,
+                )
+                if cells is None:
+                    # Cap exceeded: keep the old conservative verdict
+                    # for this point (exact path decides).
+                    diagonal[index] = True
+                else:
+                    cell_rows.extend(cells)
+                    owner_rows.extend([index] * len(cells))
+            if cell_rows:
+                sampled = (
+                    hash_coords(np.array(cell_rows, dtype=np.int64))
+                    & _U64(mask)
+                ) == 0
+                if sampled.any():
+                    owners = np.array(owner_rows, dtype=np.intp)
+                    diagonal |= (
+                        np.bincount(owners[sampled], minlength=n) > 0
+                    )
         return ~(hit | diagonal)
     return ~hit
+
+
+#: Per-point bound on enumerated feasible diagonal cells in
+#: :func:`high_dim_ignore_probe`; beyond it the point keeps the old
+#: conservative "send to the exact path" verdict.
+_DIAGONAL_CELL_CAP = 512
+
+
+def _feasible_diagonal_cells(
+    cell: list, minus_cost: list, plus_cost: list, budget: float
+) -> list[list[int]] | None:
+    """Multi-axis ``{-1, 0, +1}`` neighbours within the cost budget.
+
+    A pruned DFS over per-axis offsets: offset ``-1`` on axis ``a``
+    costs ``minus_cost[a]`` (the squared distance to the lower face),
+    ``+1`` costs ``plus_cost[a]``, ``0`` is free; a cell is feasible
+    when its total cost fits ``budget``.  Only combinations with at
+    least two non-zero offsets are returned (single-axis neighbours are
+    hashed separately, the all-zero row is the point's own cell).  The
+    summed costs bound the true squared distance from below exactly as
+    the scalar adjacency does, and ``budget`` carries the caller's
+    over-inclusive headroom, so the result is a superset of the true
+    diagonal ``adj(p)`` cells.  Returns ``None`` when more than
+    :data:`_DIAGONAL_CELL_CAP` cells would be produced.
+    """
+    dim = len(cell)
+    out: list[list[int]] = []
+    row = list(cell)
+
+    def walk(axis: int, cost: float, moved: int) -> bool:
+        if axis == dim:
+            if moved >= 2:
+                out.append(list(row))
+                if len(out) > _DIAGONAL_CELL_CAP:
+                    return False
+            return True
+        if not walk(axis + 1, cost, moved):
+            return False
+        base = row[axis]
+        down = cost + minus_cost[axis]
+        if down <= budget:
+            row[axis] = base - 1
+            if not walk(axis + 1, down, moved + 1):
+                row[axis] = base
+                return False
+            row[axis] = base
+        up = cost + plus_cost[axis]
+        if up <= budget:
+            row[axis] = base + 1
+            if not walk(axis + 1, up, moved + 1):
+                row[axis] = base
+                return False
+            row[axis] = base
+        return True
+
+    if not walk(0, 0.0, 0):
+        return None
+    return out

@@ -97,6 +97,43 @@ class TestDocsMatchCode:
             )
             assert f"{table} = {{" in module_text, (table, module)
 
+    def test_architecture_documents_hot_path(self):
+        # The slot/generation scheme and the shared-geometry cache
+        # invariant are load-bearing perf architecture: the sections
+        # must exist and name machinery that really exists in the code.
+        text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+            encoding="utf-8"
+        )
+        assert "slot/generation scheme" in text
+        assert "## The shared-geometry cache invariant" in text
+        base_source = (
+            REPO_ROOT / "src" / "repro" / "core" / "base.py"
+        ).read_text(encoding="utf-8")
+        for name in (
+            "_slot_record",
+            "_slot_tb",
+            "_slot_words",
+            "check_slot_integrity",
+        ):
+            assert name in text
+            assert name in base_source
+        geometry_source = (
+            REPO_ROOT / "src" / "repro" / "core" / "chunk_geometry.py"
+        ).read_text(encoding="utf-8")
+        for name in (
+            "valid_for",
+            "feed_copies_shared",
+            "source_vectors",
+            "pure_coords",
+        ):
+            assert name in text
+            assert name in geometry_source
+        kernels_source = (
+            REPO_ROOT / "src" / "repro" / "geometry" / "kernels.py"
+        ).read_text(encoding="utf-8")
+        assert "low_dim_ignore_probe" in text
+        assert "def low_dim_ignore_probe" in kernels_source
+
     def test_readme_registry_table_matches_live_registry(self):
         from repro.api import available, entry
 

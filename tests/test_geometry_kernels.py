@@ -366,6 +366,196 @@ class TestHighDimProbe:
             if at_coarse:
                 assert at_fine
 
+    @staticmethod
+    def _corner_parked_points(config, count, seed):
+        """1-ulp adversaries parked at cell corners: every axis sits on
+        (or one ulp off) a lattice line, so the diagonal neighbourhood
+        is feasible on purpose."""
+        grid = config.grid
+        rng = random.Random(seed)
+        points = []
+        for _ in range(count):
+            vector = []
+            for axis in range(grid.dim):
+                value = (
+                    grid.offset[axis] + rng.randrange(-6, 6) * grid.side
+                )
+                nudge = rng.randrange(3)
+                if nudge == 1:
+                    value = math.nextafter(value, math.inf)
+                elif nudge == 2:
+                    value = math.nextafter(value, -math.inf)
+                vector.append(value)
+            points.append(tuple(vector))
+        return points
+
+    @pytest.mark.parametrize("dim", [3, 4, 5])
+    @pytest.mark.parametrize("mask", [63, 1023])
+    def test_diagonal_hashing_stays_sound_at_corners(self, dim, mask):
+        # Corner-parked points have feasible diagonals by construction;
+        # the probe now hashes them instead of giving up, and every
+        # True verdict must still be backed by the scalar adjacency.
+        config = SamplerConfig.create(1.0, dim, seed=dim * 37 + 1)
+        grid = config.grid
+        points = self._corner_parked_points(config, 200, seed=dim)
+        geom = compute_chunk_geometry(config, points)
+        ignorable = geom.high_dim_ignorable(mask)
+        assert ignorable is not None
+        for index, point in enumerate(points):
+            if not ignorable[index]:
+                continue
+            cell = grid.cell_of(point)
+            for neighbour in collect_adjacent(
+                grid, point, config.alpha, base_cell=cell
+            ):
+                if neighbour != cell:
+                    assert config.cell_hash(neighbour) & mask != 0
+
+    def test_diagonal_hashing_prunes_corner_points(self):
+        # The payoff over the old conservative give-up: at a sparse
+        # mask some corner-parked points (feasible diagonals, none of
+        # them sampled) must now come back ignorable - the old probe
+        # marked every such point not-ignorable unconditionally.
+        config = SamplerConfig.create(1.0, 4, seed=11)
+        points = self._corner_parked_points(config, 300, seed=29)
+        geom = compute_chunk_geometry(config, points)
+        fracs = geom.fracs
+        budget = config.alpha * config.alpha * (1.0 + 1e-9)
+        minus = fracs * fracs
+        rem = config.grid.side - fracs
+        plus = rem * rem
+        axis_min = np.minimum(
+            np.where(minus <= budget, minus, np.inf),
+            np.where(plus <= budget, plus, np.inf),
+        )
+        two_cheapest = np.partition(axis_min, 1, axis=1)[:, :2]
+        feasible_diagonal = two_cheapest.sum(axis=1) <= budget
+        assert feasible_diagonal.any()  # adversaries did their job
+        ignorable = np.array(geom.high_dim_ignorable(2047), dtype=bool)
+        assert (ignorable & feasible_diagonal).any()
+
+    def test_diagonal_cell_cap_falls_back_conservatively(self, monkeypatch):
+        # A cap of zero forces every feasible-diagonal point onto the
+        # old conservative verdict; soundness must be unaffected (the
+        # point just goes to the exact path).
+        monkeypatch.setattr(kernels, "_DIAGONAL_CELL_CAP", 0)
+        config = SamplerConfig.create(1.0, 3, seed=13)
+        points = self._corner_parked_points(config, 120, seed=13)
+        capped = compute_chunk_geometry(config, points).high_dim_ignorable(
+            63
+        )
+        monkeypatch.undo()
+        full = compute_chunk_geometry(config, points).high_dim_ignorable(63)
+        # Capped verdicts are a subset of the full ones: the cap can
+        # only demote True -> False, never invent a True.
+        for with_cap, without in zip(capped, full):
+            if with_cap:
+                assert without
+
+    def test_feasible_diagonal_cells_enumeration(self):
+        # Direct unit check of the DFS: a point at the exact corner of
+        # its cell (zero cost to every lower face) reaches all lower
+        # diagonals and nothing else at a tiny budget.
+        cells = kernels._feasible_diagonal_cells(
+            [5, -3], [0.0, 0.0], [4.0, 4.0], 1.0
+        )
+        assert cells == [[4, -4]]
+        # Budget admitting +1 on axis 0 too (cost 0.5 each way).
+        cells = kernels._feasible_diagonal_cells(
+            [0, 0], [0.5, 0.5], [0.5, 0.5], 1.0
+        )
+        assert sorted(map(tuple, cells)) == [
+            (-1, -1),
+            (-1, 1),
+            (1, -1),
+            (1, 1),
+        ]
+
+
+class TestLowDimProbe:
+    @pytest.mark.parametrize("dim", [1, 2])
+    @pytest.mark.parametrize("mask", [3, 63, 4095])
+    def test_exactly_matches_scalar_adjacency_oracle(self, dim, mask):
+        # The probe is exact, not conservative: verdicts must equal the
+        # scalar adjacency sweep in both directions, ulp adversaries
+        # included.
+        config = SamplerConfig.create(1.0, dim, seed=dim * 53 + 3)
+        grid = config.grid
+        points = boundary_points(grid, 400, seed=dim * 7 + mask)
+        geom = compute_chunk_geometry(config, points)
+        verdicts = geom.low_dim_ignorable(mask)
+        assert verdicts is not None
+        for point, verdict in zip(points, verdicts):
+            cell = grid.cell_of(point)
+            oracle = all(
+                config.cell_hash(neighbour) & mask != 0
+                for neighbour in collect_adjacent(
+                    grid, point, config.alpha, base_cell=cell
+                )
+            )
+            assert verdict == oracle
+
+    def test_prunes_at_least_the_corner_filter(self):
+        # Every point the scalar corner filter skips, the exact probe
+        # must skip too (it subsumes the conservative filter).
+        config = SamplerConfig.create(1.0, 2, seed=91)
+        grid = config.grid
+        side = grid.side
+        mask = 7
+        alpha_eps = config.alpha * config.alpha * (1.0 + 1e-9)
+        points = boundary_points(grid, 400, seed=17)
+        geom = compute_chunk_geometry(config, points)
+        verdicts = geom.low_dim_ignorable(mask)
+        skipped_by_filter = []
+        for point in points:
+            cell = grid.cell_of(point)
+            if config.cell_hash(cell) & mask == 0:
+                skipped_by_filter.append(False)
+                continue
+            corners = [
+                corner
+                for corner, value in config.conservative_neighborhood(cell)
+                if value & mask == 0
+            ]
+            skip = True
+            for corner in corners:
+                acc = 0.0
+                for x, low in zip(point, corner):
+                    if x < low:
+                        diff = low - x
+                    else:
+                        diff = x - low - side
+                        if diff <= 0.0:
+                            continue
+                    acc += diff * diff
+                    if acc > alpha_eps:
+                        break
+                else:
+                    skip = False
+                    break
+            skipped_by_filter.append(skip)
+        assert any(skipped_by_filter)
+        for verdict, filtered in zip(verdicts, skipped_by_filter):
+            if filtered:
+                assert verdict
+
+    def test_verdicts_survive_rate_doubling(self):
+        config = SamplerConfig.create(1.0, 2, seed=19)
+        points = boundary_points(config.grid, 300, seed=19)
+        coarse = compute_chunk_geometry(config, points).low_dim_ignorable(7)
+        fine = compute_chunk_geometry(config, points).low_dim_ignorable(15)
+        for at_coarse, at_fine in zip(coarse, fine):
+            if at_coarse:
+                assert at_fine
+
+    def test_unservable_dimension_returns_none(self):
+        # Above the vectorised adjacency limit the probe declines and
+        # callers keep the scalar corner filter.
+        config = SamplerConfig.create(1.0, kernels.MAX_ADJACENCY_DIM + 1, seed=2)
+        points = boundary_points(config.grid, 40, seed=2)
+        geom = compute_chunk_geometry(config, points)
+        assert geom.low_dim_ignorable(7) is None
+
 
 class TestMaterializeChunk:
     def test_valid_prefix_and_dim_error(self):

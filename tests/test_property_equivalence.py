@@ -509,3 +509,112 @@ class TestPeakSpaceRegression:
             json.loads(json.dumps(sampler.to_state()))
         )
         assert restored.peak_space_words == sampler.peak_space_words
+
+
+def _assert_no_slot_leak(state) -> None:
+    """The slot pool is derived state: no checkpoint may carry it."""
+    if isinstance(state, dict):
+        for key, value in state.items():
+            assert key not in {"slot", "slots", "free", "free_list"}, (
+                f"slot-pool key {key!r} leaked into a checkpoint"
+            )
+            _assert_no_slot_leak(value)
+    elif isinstance(state, (list, tuple)):
+        for value in state:
+            _assert_no_slot_leak(value)
+
+
+class TestSlotPoolProperties:
+    """Tentpole invariants of the array-backed candidate store.
+
+    * *Checkpoint purity*: slot indices, generation stamps and the free
+      list are derived state - fingerprints and checkpoints of a pooled
+      store must equal what the pre-pool layout produced, which is
+      exactly what a JSON round-trip (pool rebuilt from scratch) checks.
+    * *Free-list integrity*: after **every** ``add``/``remove`` on any
+      live store, the pool must pass :meth:`CandidateStore.
+      check_slot_integrity` - unique live slots, exact cached words,
+      clean free slots, conservation of pool size.
+    """
+
+    #: Registry keys whose summaries are built on CandidateStore.
+    STORE_KEYS = sorted(
+        set(PROPERTY_SPECS)
+        - {
+            "exact",
+            "naive-reservoir",
+            "minrank",
+            "fm",
+            "loglog",
+            "hyperloglog",
+            "bjkst",
+        }
+    )
+
+    @pytest.mark.parametrize("key", STORE_KEYS)
+    @given(bursts=BURSTS, seed=SEEDS, batch_size=BATCH_SIZES)
+    @settings(max_examples=8, deadline=None)
+    def test_pooled_fingerprints_match_pre_pool_layout(
+        self, key, bursts, seed, batch_size
+    ):
+        points = burst_points(bursts, seed)
+        summary = build_twin(key)
+        for chunk in chunked(points, batch_size):
+            summary.process_many(chunk)
+        envelope = summary_to_state(summary)
+        _assert_no_slot_leak(envelope)
+        # Restoring rebuilds every slot pool from scratch; equality of
+        # fingerprints proves the pool never shapes observable state.
+        restored = summary_from_state(json.loads(json.dumps(envelope)))
+        assert state_fingerprint(restored) == state_fingerprint(summary)
+        assert summary_to_state(restored) == envelope
+
+    @pytest.mark.parametrize("key", STORE_KEYS)
+    @given(bursts=BURSTS, seed=SEEDS, batch_size=BATCH_SIZES)
+    @settings(max_examples=6, deadline=None)
+    def test_slot_integrity_after_every_store_operation(
+        self, key, bursts, seed, batch_size
+    ):
+        original_add = CandidateStore.add
+        original_remove = CandidateStore.remove
+
+        def checked_add(self, record, *args, **kwargs):
+            result = original_add(self, record, *args, **kwargs)
+            self.check_slot_integrity()
+            return result
+
+        def checked_remove(self, record, *args, **kwargs):
+            result = original_remove(self, record, *args, **kwargs)
+            self.check_slot_integrity()
+            return result
+
+        CandidateStore.add = checked_add
+        CandidateStore.remove = checked_remove
+        try:
+            points = burst_points(bursts, seed)
+            summary = build_twin(key)
+            for chunk in chunked(points, batch_size):
+                summary.process_many(chunk)
+        finally:
+            CandidateStore.add = original_add
+            CandidateStore.remove = original_remove
+
+    @given(bursts=BURSTS, seed=SEEDS, window=st.integers(1, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_sliding_slot_integrity_per_point_and_queries(
+        self, bursts, seed, window
+    ):
+        # The heaviest slot churn: sliding eviction recycles slots
+        # constantly.  Check the pool after every point and query.
+        points = burst_points(bursts, seed)
+        sampler = RobustL0SamplerSW(1.0, 1, SequenceWindow(window), seed=seed)
+        for point in points:
+            sampler.insert(point)
+            sampler._store.check_slot_integrity()
+        sampler.estimate_f0()
+        sampler._store.check_slot_integrity()
+        restored = RobustL0SamplerSW.from_state(
+            json.loads(json.dumps(sampler.to_state()))
+        )
+        restored._store.check_slot_integrity()
+        assert state_fingerprint(restored) == state_fingerprint(sampler)
